@@ -1,0 +1,31 @@
+//! Criterion bench backing Figure 5: DSR query latency as the number of
+//! slaves grows (strong scaling) on the LiveJournal analogue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_strong_scaling(c: &mut Criterion) {
+    let graph = dataset_by_name("LiveJ-68M").unwrap().graph;
+    let query = random_query(&graph, 10, 10, 0xF5);
+    let mut group = c.benchmark_group("figure5_scalability");
+    group.sample_size(10);
+    for slaves in [2usize, 4, 8] {
+        let partitioning = MultilevelPartitioner::default().partition(&graph, slaves);
+        let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs);
+        group.bench_with_input(
+            BenchmarkId::new("dsr_query_10x10_slaves", slaves),
+            &slaves,
+            |b, _| {
+                let engine = DsrEngine::new(&index);
+                b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench backing Figure 6: the cost of an incremental 5% edge
+//! insertion batch versus rebuilding the index from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::DsrIndex;
+use dsr_datagen::dataset_by_name;
+use dsr_graph::DiGraph;
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_updates(c: &mut Criterion) {
+    let graph = dataset_by_name("Stanford").unwrap().graph;
+    let edges = graph.edge_vec();
+    let keep = (edges.len() as f64 * 0.95) as usize;
+    let base = DiGraph::from_edges(graph.num_vertices(), &edges[..keep]);
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let batch = edges[keep..].to_vec();
+
+    let mut group = c.benchmark_group("figure6_updates");
+    group.sample_size(10);
+    group.bench_function("insert_5_percent_batch", |b| {
+        b.iter_with_setup(
+            || DsrIndex::build(&base, partitioning.clone(), LocalIndexKind::Dfs),
+            |mut index| index.insert_edges(&batch),
+        )
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

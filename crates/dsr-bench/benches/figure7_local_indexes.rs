@@ -1,0 +1,32 @@
+//! Criterion bench backing Figure 7: DSR query latency with the three local
+//! reachability strategies (DFS, FERRARI, MS-BFS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_local_indexes(c: &mut Criterion) {
+    let graph = dataset_by_name("LiveJ-68M").unwrap().graph;
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let query = random_query(&graph, 100, 100, 0xF7);
+
+    let mut group = c.benchmark_group("figure7_local_indexes");
+    group.sample_size(10);
+    for kind in [
+        LocalIndexKind::Dfs,
+        LocalIndexKind::Ferrari,
+        LocalIndexKind::MsBfs,
+    ] {
+        let index = DsrIndex::build(&graph, partitioning.clone(), kind);
+        group.bench_function(format!("query_100x100_{}", kind.name()), |b| {
+            let engine = DsrEngine::new(&index);
+            b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_indexes);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench backing Figure 8: Giraph++ with and without the
+//! equivalence-set optimization, plus plain Giraph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_giraph::{giraph_pp_set_reachability, giraph_set_reachability, GraphCentricVariant};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+
+fn bench_giraph_eq(c: &mut Criterion) {
+    let graph = dataset_by_name("Stanford").unwrap().graph;
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let query = random_query(&graph, 10, 10, 0x88);
+
+    let mut group = c.benchmark_group("figure8_giraph_eq");
+    group.sample_size(10);
+    group.bench_function("giraph_pp", |b| {
+        b.iter(|| {
+            giraph_pp_set_reachability(
+                &graph,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlus,
+            )
+        })
+    });
+    group.bench_function("giraph_pp_weq", |b| {
+        b.iter(|| {
+            giraph_pp_set_reachability(
+                &graph,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlusWithEquivalence,
+            )
+        })
+    });
+    group.bench_function("giraph", |b| {
+        b.iter(|| giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_giraph_eq);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench backing Table 2: DSR index construction (the operation
+//! whose output sizes the table reports) on a small-graph analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::DsrIndex;
+use dsr_datagen::dataset_by_name;
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_index_build(c: &mut Criterion) {
+    let graph = dataset_by_name("Stanford").unwrap().graph;
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let mut group = c.benchmark_group("table2_index_sizes");
+    group.sample_size(10);
+    group.bench_function("dsr_index_build_stanford_k5", |b| {
+        b.iter(|| DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

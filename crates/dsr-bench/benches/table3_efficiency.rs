@@ -1,0 +1,46 @@
+//! Criterion bench backing Table 3: query latency of DSR vs. the Giraph
+//! variants and the DSR-Fan baseline on a small-graph analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::baselines::FanBaseline;
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_giraph::{giraph_pp_set_reachability, giraph_set_reachability, GraphCentricVariant};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_query_times(c: &mut Criterion) {
+    let graph = dataset_by_name("NotreDame").unwrap().graph;
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let query = random_query(&graph, 10, 10, 0x33);
+    let index = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs);
+    let fan = FanBaseline::new(&graph, partitioning.clone());
+
+    let mut group = c.benchmark_group("table3_efficiency");
+    group.sample_size(10);
+    group.bench_function("dsr_query_10x10", |b| {
+        let engine = DsrEngine::new(&index);
+        b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+    });
+    group.bench_function("giraph_pp_query_10x10", |b| {
+        b.iter(|| {
+            giraph_pp_set_reachability(
+                &graph,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlus,
+            )
+        })
+    });
+    group.bench_function("giraph_query_10x10", |b| {
+        b.iter(|| giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets))
+    });
+    group.bench_function("dsr_fan_query_10x10", |b| {
+        b.iter(|| fan.set_reachability(&query.sources, &query.targets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_times);
+criterion_main!(benches);

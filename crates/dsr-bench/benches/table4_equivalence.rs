@@ -1,0 +1,32 @@
+//! Criterion bench backing Table 4: DSR query latency with and without the
+//! equivalence-set optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_equivalence(c: &mut Criterion) {
+    let graph = dataset_by_name("Stanford").unwrap().graph;
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
+    let query = random_query(&graph, 10, 10, 0x44);
+    let opt = DsrIndex::build_with_options(&graph, partitioning.clone(), LocalIndexKind::Dfs, true);
+    let non_opt =
+        DsrIndex::build_with_options(&graph, partitioning, LocalIndexKind::Dfs, false);
+
+    let mut group = c.benchmark_group("table4_equivalence");
+    group.sample_size(10);
+    group.bench_function("query_with_equivalence", |b| {
+        let engine = DsrEngine::new(&opt);
+        b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+    });
+    group.bench_function("query_without_equivalence", |b| {
+        let engine = DsrEngine::new(&non_opt);
+        b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Table 5: DSR query latency under hash vs.
+//! multilevel (METIS-like) partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_partition::{HashPartitioner, MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let graph = dataset_by_name("NotreDame").unwrap().graph;
+    let query = random_query(&graph, 10, 10, 0x55);
+    let hash_index = DsrIndex::build(
+        &graph,
+        HashPartitioner::default().partition(&graph, 5),
+        LocalIndexKind::Dfs,
+    );
+    let ml_index = DsrIndex::build(
+        &graph,
+        MultilevelPartitioner::default().partition(&graph, 5),
+        LocalIndexKind::Dfs,
+    );
+
+    let mut group = c.benchmark_group("table5_partitioning");
+    group.sample_size(10);
+    group.bench_function("query_hash_partitioning", |b| {
+        let engine = DsrEngine::new(&hash_index);
+        b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+    });
+    group.bench_function("query_multilevel_partitioning", |b| {
+        let engine = DsrEngine::new(&ml_index);
+        b.iter(|| engine.set_reachability(&query.sources, &query.targets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

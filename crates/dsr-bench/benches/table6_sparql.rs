@@ -1,0 +1,29 @@
+//! Criterion bench backing Table 6: property-path query evaluation with the
+//! DSR-backed resolver vs. the online-BFS baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_rdf::{
+    datasets::path_predicates, evaluate, lubm_like_store, named_query, BfsPathResolver,
+    DsrPathResolver,
+};
+
+fn bench_sparql(c: &mut Criterion) {
+    let store = lubm_like_store(8, 0x61);
+    let predicates = path_predicates(&store);
+    let dsr = DsrPathResolver::new(&store, &predicates, 5);
+    let bfs = BfsPathResolver::new(&store, &predicates);
+    let l1 = named_query("L1").unwrap();
+
+    let mut group = c.benchmark_group("table6_sparql");
+    group.sample_size(10);
+    group.bench_function("l1_with_dsr_paths", |b| {
+        b.iter(|| evaluate(&store, &l1, &dsr))
+    });
+    group.bench_function("l1_with_bfs_paths", |b| {
+        b.iter(|| evaluate(&store, &l1, &bfs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparql);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Table 7: community detection plus DSR queries
+//! between community representatives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsr_community::louvain;
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::social_network;
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+fn bench_communities(c: &mut Criterion) {
+    let social = social_network(2_000, 16, 10.0, 0.9, 0x77);
+    let assignment = louvain(&social.graph, 1e-6);
+    let by_size = assignment.by_size();
+    let sources = assignment.members(by_size[0]);
+    let targets = assignment.members(by_size[1]);
+    let sources = &sources[..sources.len().min(100)];
+    let targets = &targets[..targets.len().min(100)];
+    let index = DsrIndex::build(
+        &social.graph,
+        MultilevelPartitioner::default().partition(&social.graph, 5),
+        LocalIndexKind::Dfs,
+    );
+
+    let mut group = c.benchmark_group("table7_communities");
+    group.sample_size(10);
+    group.bench_function("louvain_detection", |b| {
+        b.iter(|| louvain(&social.graph, 1e-6))
+    });
+    group.bench_function("community_pairs_100x100", |b| {
+        let engine = DsrEngine::new(&index);
+        b.iter(|| engine.set_reachability(sources, targets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_communities);
+criterion_main!(benches);

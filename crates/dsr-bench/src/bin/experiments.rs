@@ -1,0 +1,64 @@
+//! Command-line driver that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments [--fast] all
+//! experiments [--fast] table2 table3 figure5 ...
+//! experiments --list
+//! ```
+
+use std::process::ExitCode;
+
+use dsr_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut fast = false;
+    let mut requested: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => requested.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string())),
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    for id in requested {
+        match run_experiment(&id, fast) {
+            Some(output) => {
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; use --list to see valid ids");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!("usage: experiments [--fast] (all | <experiment id>...)");
+    eprintln!("       experiments --list");
+    eprintln!();
+    eprintln!("experiment ids: {}", EXPERIMENT_IDS.join(", "));
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod common;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;

@@ -1,0 +1,187 @@
+//! Figure 5 — scalability evaluation on the large-graph analogues.
+//!
+//! For each of the four large datasets (LiveJournal, Freebase, Twitter and
+//! LUBM analogues) the experiment produces the four series of the paper's
+//! figure:
+//!
+//! * (a/e/i/m) **strong scaling** — query time while the number of slaves
+//!   grows from 2 to 8 over the full graph,
+//! * (b/f/j/n) **communication cost** — bytes exchanged per query for DSR
+//!   and the Giraph variants,
+//! * (c/g/k/o) **weak scaling** — query time when both the data size and
+//!   the number of slaves grow proportionally,
+//! * (d/h/l/p) **query-size robustness** — query time for 10×10, 50×50 and
+//!   100×100 queries on the full graph.
+//!
+//! Reproduced shape: DSR stays one or more orders of magnitude below the
+//! Giraph variants in both time and communication, and its query time is
+//! essentially flat in the number of slaves and in the query size.
+
+use dsr_core::DsrEngine;
+use dsr_giraph::{
+    giraph_pp_set_reachability, giraph_pp_weq_with_summaries, giraph_set_reachability,
+    GraphCentricVariant,
+};
+use dsr_graph::DiGraph;
+
+use crate::experiments::common;
+use crate::{secs, time, Table};
+
+/// Runs the experiment and renders all four sub-figures per dataset.
+pub fn run(fast: bool) -> String {
+    let mut out = String::new();
+    let datasets = common::large_datasets(fast);
+    let slave_counts: Vec<usize> = if fast { vec![2, 4] } else { vec![2, 3, 4, 5, 6, 7, 8] };
+    let query_sizes: Vec<usize> = if fast { vec![10, 50] } else { vec![10, 50, 100] };
+
+    for name in datasets {
+        let graph = common::dataset(name);
+        out.push_str(&strong_scaling_and_comm(name, &graph, &slave_counts, fast));
+        out.push_str(&weak_scaling(name, &graph, &slave_counts));
+        out.push_str(&query_size_robustness(name, &graph, &query_sizes));
+    }
+    out
+}
+
+fn strong_scaling_and_comm(
+    name: &str,
+    graph: &DiGraph,
+    slave_counts: &[usize],
+    fast: bool,
+) -> String {
+    let mut table = Table::new(
+        &format!("Figure 5 (a/b-style): strong scaling and communication — {name}"),
+        &[
+            "#Slaves",
+            "DSR time (s)",
+            "DSR comm (KB)",
+            "Giraph++ time (s)",
+            "Giraph++ comm (KB)",
+            "Giraph++wEq time (s)",
+            "Giraph++wEq comm (KB)",
+            "Giraph time (s)",
+            "Giraph comm (KB)",
+        ],
+    );
+    for &k in slave_counts {
+        let partitioning = common::partition(graph, k);
+        let query = common::standard_query(graph, 10, 10, 0xF5);
+        let index = dsr_core::DsrIndex::build(graph, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let (dsr, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
+        let (gpp, gpp_time) = time(|| {
+            giraph_pp_set_reachability(
+                graph,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlus,
+            )
+        });
+        let (gppeq, gppeq_time) = time(|| {
+            giraph_pp_weq_with_summaries(
+                graph,
+                &partitioning,
+                &index.summaries,
+                &query.sources,
+                &query.targets,
+            )
+        });
+        let (giraph_cells, giraph_time_cell) = if fast && graph.num_edges() > 80_000 {
+            (("n/a".to_string(), "n/a".to_string()), "n/a".to_string())
+        } else {
+            let (g, g_time) = time(|| {
+                giraph_set_reachability(graph, &partitioning, &query.sources, &query.targets)
+            });
+            assert_eq!(dsr.pairs, g.pairs);
+            (
+                (format!("{:.1}", g.kilobytes()), secs(g_time)),
+                secs(g_time),
+            )
+        };
+        assert_eq!(dsr.pairs, gpp.pairs);
+        assert_eq!(dsr.pairs, gppeq.pairs);
+        let _ = giraph_time_cell;
+        table.row(vec![
+            k.to_string(),
+            secs(dsr_time),
+            format!("{:.1}", dsr.bytes as f64 / 1024.0),
+            secs(gpp_time),
+            format!("{:.1}", gpp.kilobytes()),
+            secs(gppeq_time),
+            format!("{:.1}", gppeq.kilobytes()),
+            giraph_cells.1,
+            giraph_cells.0,
+        ]);
+    }
+    table.render()
+}
+
+fn weak_scaling(name: &str, graph: &DiGraph, slave_counts: &[usize]) -> String {
+    let mut table = Table::new(
+        &format!("Figure 5 (c-style): weak scaling — {name}"),
+        &["#Slaves [%Data]", "DSR time (s)", "Giraph++ time (s)"],
+    );
+    let all_edges = graph.edge_vec();
+    let max_slaves = *slave_counts.last().unwrap_or(&2);
+    for &k in slave_counts {
+        // Scale the data proportionally to the number of slaves.
+        let fraction = k as f64 / max_slaves as f64;
+        let take = (all_edges.len() as f64 * fraction) as usize;
+        let sub = DiGraph::from_edges(graph.num_vertices(), &all_edges[..take]);
+        let partitioning = common::partition(&sub, k);
+        let query = common::standard_query(&sub, 10, 10, 0xF5);
+        let index = dsr_core::DsrIndex::build(&sub, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let (dsr, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
+        let (gpp, gpp_time) = time(|| {
+            giraph_pp_set_reachability(
+                &sub,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlus,
+            )
+        });
+        assert_eq!(dsr.pairs, gpp.pairs);
+        table.row(vec![
+            format!("{k} [{:.0}%]", fraction * 100.0),
+            secs(dsr_time),
+            secs(gpp_time),
+        ]);
+    }
+    table.render()
+}
+
+fn query_size_robustness(name: &str, graph: &DiGraph, query_sizes: &[usize]) -> String {
+    let mut table = Table::new(
+        &format!("Figure 5 (d-style): query-size robustness — {name}"),
+        &["|S|x|T|", "DSR time (s)", "#pairs"],
+    );
+    let partitioning = common::partition(graph, common::DEFAULT_SLAVES);
+    let index = dsr_core::DsrIndex::build(graph, partitioning, dsr_reach::LocalIndexKind::Dfs);
+    let engine = DsrEngine::new(&index);
+    for &size in query_sizes {
+        let query = common::standard_query(graph, size, size, 0xD5);
+        let (out, elapsed) = time(|| engine.set_reachability(&query.sources, &query.targets));
+        table.row(vec![
+            query.label(),
+            secs(elapsed),
+            out.pairs.len().to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_all_series() {
+        let out = run(true);
+        assert!(out.contains("strong scaling"));
+        assert!(out.contains("weak scaling"));
+        assert!(out.contains("query-size robustness"));
+    }
+}

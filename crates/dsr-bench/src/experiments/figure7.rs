@@ -1,0 +1,81 @@
+//! Figure 7 — comparison of the local reachability strategies.
+//!
+//! DSR with plain DFS, with the FERRARI-like interval index and with
+//! MS-BFS, over the LiveJournal and Freebase analogues and for query sizes
+//! 10×10, 100×100 and 1000×1000.
+//!
+//! Reproduced shape: DFS is the slowest (one traversal per source), the
+//! FERRARI index is fastest on small and medium queries, and MS-BFS closes
+//! the gap as the query grows because it shares traversals across sources.
+
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_reach::LocalIndexKind;
+
+use crate::experiments::common::{self, DEFAULT_SLAVES};
+use crate::{secs, time, Table};
+
+/// Runs the experiment and renders one table per dataset.
+pub fn run(fast: bool) -> String {
+    let datasets = if fast {
+        vec!["LiveJ-68M"]
+    } else {
+        vec!["LiveJ-68M", "Freebase-1B"]
+    };
+    let query_sizes: Vec<usize> = if fast {
+        vec![10, 100]
+    } else {
+        vec![10, 100, 1000]
+    };
+
+    let mut out = String::new();
+    for name in datasets {
+        let graph = common::dataset(name);
+        let partitioning = common::partition(&graph, DEFAULT_SLAVES);
+        let mut table = Table::new(
+            &format!("Figure 7: local reachability strategies — {name}"),
+            &["|S|x|T|", "DSR-DFS (s)", "DSR-FERRARI (s)", "DSR-MSBFS (s)"],
+        );
+
+        // Build the three indexes once (their build cost is part of
+        // indexing, not of the per-query measurements).
+        let dfs = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs);
+        let ferrari = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Ferrari);
+        let msbfs = DsrIndex::build(&graph, partitioning, LocalIndexKind::MsBfs);
+
+        for &size in &query_sizes {
+            let size = size.min(graph.num_vertices());
+            let query = common::standard_query(&graph, size, size, 0xF7);
+            let (dfs_out, dfs_time) = time(|| {
+                DsrEngine::new(&dfs).set_reachability(&query.sources, &query.targets)
+            });
+            let (ferrari_out, ferrari_time) = time(|| {
+                DsrEngine::new(&ferrari).set_reachability(&query.sources, &query.targets)
+            });
+            let (msbfs_out, msbfs_time) = time(|| {
+                DsrEngine::new(&msbfs).set_reachability(&query.sources, &query.targets)
+            });
+            assert_eq!(dfs_out.pairs, ferrari_out.pairs);
+            assert_eq!(dfs_out.pairs, msbfs_out.pairs);
+            table.row(vec![
+                query.label(),
+                secs(dfs_time),
+                secs(ferrari_time),
+                secs(msbfs_time),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_rows() {
+        let out = run(true);
+        assert!(out.contains("Figure 7"));
+        assert!(out.contains("10x10"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 2 — index sizes for the DSR variants.
+//!
+//! For every dataset analogue the experiment reports the per-node maximum
+//! compound-graph size before ("Original") and after SCC condensation
+//! ("DAG"), the total byte size of the DSR index, and the dependency-graph
+//! sizes that DSR-Fan and DSR-Naïve build dynamically for a 10×10 query.
+//! The paper's headline observations reproduced here: SCC condensation
+//! shrinks the compound graphs drastically on highly connected graphs
+//! (Twitter/LiveJournal analogues), and the dynamic dependency graphs of
+//! DSR-Fan/DSR-Naïve are far larger than the static DSR index.
+
+use dsr_core::baselines::{FanBaseline, NaiveBaseline};
+
+use crate::experiments::common::{self, DEFAULT_SLAVES};
+use crate::{megabytes, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(fast: bool) -> String {
+    let mut table = Table::new(
+        "Table 2: Index sizes for DSR variants",
+        &[
+            "Graph",
+            "DSR Original (#edges)",
+            "DSR DAG (#edges)",
+            "DSR Size (MB)",
+            "Fan dep.graph (#edges)",
+            "Naive dep.graph (#edges, avg)",
+        ],
+    );
+    let mut datasets = common::small_datasets(fast);
+    if !fast {
+        // The paper also lists the large graphs for DSR; include the two
+        // extremes (highly connected vs. sparse) to show the condensation
+        // effect.
+        datasets.push("LiveJ-68M");
+        datasets.push("Twitter-1.4B");
+        datasets.push("LUBM-1B");
+    }
+    let query_pairs = if fast { 4 } else { 10 };
+
+    for name in datasets {
+        let graph = common::dataset(name);
+        let index = common::build_dsr(&graph, DEFAULT_SLAVES);
+        let query = common::standard_query(&graph, query_pairs, query_pairs, 0xD5);
+
+        let partitioning = common::partition(&graph, DEFAULT_SLAVES);
+        // Fan/Naive dependency graphs only on the small graphs (as in the
+        // paper, where they are "n/a" for the large ones).
+        let (fan_edges, naive_edges) = if graph.num_edges() <= 50_000 {
+            let fan = FanBaseline::new(&graph, partitioning.clone());
+            let fan_out = fan.set_reachability(&query.sources, &query.targets);
+            let naive = NaiveBaseline::new(&graph, partitioning);
+            let naive_out = naive.set_reachability(&query.sources, &query.targets);
+            (
+                fan_out.dependency_edges.to_string(),
+                naive_out.dependency_edges.to_string(),
+            )
+        } else {
+            ("n/a".to_string(), "n/a".to_string())
+        };
+
+        table.row(vec![
+            name.to_string(),
+            index.stats.max_compound_edges().to_string(),
+            index.stats.max_dag_edges().to_string(),
+            megabytes(index.stats.total_bytes),
+            fan_edges,
+            naive_edges,
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_rows() {
+        let out = run(true);
+        assert!(out.contains("Table 2"));
+        assert!(out.contains("NotreDame"));
+        assert!(out.contains("Stanford"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Table 3 — efficiency evaluation (indexing and query times).
+//!
+//! For every dataset analogue the experiment measures the DSR indexing
+//! time and the query time of a random set-reachability query for all six
+//! competitors: DSR, Giraph++, Giraph++wEq, Giraph, DSR-Fan and DSR-Naïve.
+//! As in the paper, the iterative and per-pair baselines are skipped
+//! ("n/a") on the large graphs where they stop being practical.
+//! The reproduced shape: DSR is orders of magnitude faster than the
+//! Giraph variants and than DSR-Fan/DSR-Naïve, with Giraph++ ≥ Giraph++wEq
+//! both clearly ahead of plain Giraph.
+
+use dsr_core::baselines::{FanBaseline, NaiveBaseline};
+use dsr_core::DsrEngine;
+use dsr_giraph::{
+    giraph_pp_set_reachability, giraph_pp_weq_with_summaries, giraph_set_reachability,
+    GraphCentricVariant,
+};
+
+use crate::experiments::common::{self, DEFAULT_SLAVES};
+use crate::{secs, time, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(fast: bool) -> String {
+    let mut table = Table::new(
+        "Table 3: Efficiency evaluation (times in seconds)",
+        &[
+            "Graph",
+            "Indexing (DSR)",
+            "|S|x|T|",
+            "DSR",
+            "Giraph++",
+            "Giraph++wEq",
+            "Giraph",
+            "DSR-Fan",
+            "DSR-Naive",
+        ],
+    );
+
+    let mut datasets: Vec<(&str, usize)> = common::small_datasets(fast)
+        .into_iter()
+        .map(|d| (d, 10))
+        .collect();
+    for d in common::large_datasets(fast) {
+        // The paper uses 1000×1000 for the very sparse LUBM graph.
+        let q = if d.starts_with("LUBM") { 200 } else { 10 };
+        datasets.push((d, q));
+    }
+    if fast {
+        datasets.truncate(3);
+    }
+
+    for (name, query_size) in datasets {
+        let graph = common::dataset(name);
+        let query = common::standard_query(&graph, query_size, query_size, 0x33);
+        let partitioning = common::partition(&graph, DEFAULT_SLAVES);
+
+        let (index, indexing_time) = time(|| {
+            dsr_core::DsrIndex::build(
+                &graph,
+                partitioning.clone(),
+                dsr_reach::LocalIndexKind::Dfs,
+            )
+        });
+        let engine = DsrEngine::new(&index);
+        let (dsr_out, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
+
+        let (gpp, gpp_time) = time(|| {
+            giraph_pp_set_reachability(
+                &graph,
+                &partitioning,
+                &query.sources,
+                &query.targets,
+                GraphCentricVariant::GiraphPlusPlus,
+            )
+        });
+        // The equivalence summaries are part of the DSR index, so the wEq
+        // query time excludes their computation (as in the paper).
+        let (gppeq, gppeq_time) = time(|| {
+            giraph_pp_weq_with_summaries(
+                &graph,
+                &partitioning,
+                &index.summaries,
+                &query.sources,
+                &query.targets,
+            )
+        });
+        let (giraph, giraph_time) = time(|| {
+            giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets)
+        });
+        // Sanity: all engines must agree on the answer.
+        assert_eq!(dsr_out.pairs, gpp.pairs, "{name}: DSR vs Giraph++ disagree");
+        assert_eq!(dsr_out.pairs, gppeq.pairs, "{name}: DSR vs Giraph++wEq disagree");
+        assert_eq!(dsr_out.pairs, giraph.pairs, "{name}: DSR vs Giraph disagree");
+
+        // The per-query baselines are only run on small graphs (the paper
+        // marks them n/a beyond LiveJ-20M).
+        let (fan_cell, naive_cell) = if graph.num_edges() <= 40_000 && query_size <= 10 {
+            let fan = FanBaseline::new(&graph, partitioning.clone());
+            let (fan_out, fan_time) = time(|| fan.set_reachability(&query.sources, &query.targets));
+            assert_eq!(dsr_out.pairs, fan_out.pairs, "{name}: DSR vs Fan disagree");
+            let naive = NaiveBaseline::new(&graph, partitioning.clone());
+            let (naive_out, naive_time) =
+                time(|| naive.set_reachability(&query.sources, &query.targets));
+            assert_eq!(dsr_out.pairs, naive_out.pairs, "{name}: DSR vs Naive disagree");
+            (secs(fan_time), secs(naive_time))
+        } else {
+            ("n/a".to_string(), "n/a".to_string())
+        };
+
+        table.row(vec![
+            name.to_string(),
+            secs(indexing_time),
+            query.label(),
+            secs(dsr_time),
+            secs(gpp_time),
+            secs(gppeq_time),
+            secs(giraph_time),
+            fan_cell,
+            naive_cell,
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_rows() {
+        let out = run(true);
+        assert!(out.contains("Table 3"));
+        assert!(out.contains("NotreDame"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 5 — impact of the partitioning strategy (hash vs. METIS-like).
+//!
+//! The same DSR index and the same 10×10 query are evaluated once over a
+//! hash-partitioned graph and once over a multilevel (METIS-like)
+//! partitioning with 5 slaves.
+//!
+//! Reproduced shape: hash partitioning blows up the cut (and therefore the
+//! boundary graphs), so the multilevel partitioning gives equal or better
+//! query times; the gap grows with the amount of structure in the graph.
+
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_partition::{HashPartitioner, MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+use crate::experiments::common::{self, DEFAULT_SLAVES};
+use crate::{secs, time, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(fast: bool) -> String {
+    let mut table = Table::new(
+        "Table 5: Impact of hash vs. METIS-like partitioning (query times in seconds)",
+        &["Graph", "Hash", "Multilevel", "Hash cut", "Multilevel cut"],
+    );
+    let mut datasets = common::small_datasets(fast);
+    if !fast {
+        datasets.push("LiveJ-68M");
+    }
+    for name in datasets {
+        let graph = common::dataset(name);
+        let query = common::standard_query(&graph, 10, 10, 0x55);
+
+        let hash = HashPartitioner::default().partition(&graph, DEFAULT_SLAVES);
+        let multilevel = MultilevelPartitioner::default().partition(&graph, DEFAULT_SLAVES);
+        let hash_cut = hash.cut_size(&graph);
+        let ml_cut = multilevel.cut_size(&graph);
+
+        let hash_index = DsrIndex::build(&graph, hash, LocalIndexKind::Dfs);
+        let ml_index = DsrIndex::build(&graph, multilevel, LocalIndexKind::Dfs);
+
+        let (hash_pairs, hash_time) = time(|| {
+            DsrEngine::new(&hash_index).set_reachability(&query.sources, &query.targets)
+        });
+        let (ml_pairs, ml_time) = time(|| {
+            DsrEngine::new(&ml_index).set_reachability(&query.sources, &query.targets)
+        });
+        assert_eq!(hash_pairs.pairs, ml_pairs.pairs, "{name}: partitioning must not change results");
+
+        table.row(vec![
+            name.to_string(),
+            secs(hash_time),
+            secs(ml_time),
+            hash_cut.to_string(),
+            ml_cut.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_rows() {
+        let out = run(true);
+        assert!(out.contains("Table 5"));
+        assert!(out.contains("Multilevel"));
+    }
+}

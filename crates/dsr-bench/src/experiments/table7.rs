@@ -1,0 +1,78 @@
+//! Table 7 — community connectedness via DSR (Section 4.5.B).
+//!
+//! Communities are detected on the social-graph analogues with the Louvain
+//! method; the two largest communities provide the source and target
+//! representatives (10, 100 and 1000 members per side), and DSR reports all
+//! reachable pairs between them together with the query time.
+//!
+//! Reproduced shape: the number of reachable pairs grows roughly
+//! quadratically with the representative count while the query time grows
+//! far more slowly (the benefit of evaluating the whole set at once).
+
+use dsr_community::louvain;
+use dsr_core::DsrEngine;
+use dsr_datagen::social_network;
+use dsr_graph::VertexId;
+
+use crate::experiments::common::{self, DEFAULT_SLAVES};
+use crate::{secs, time, Table};
+
+/// Runs the experiment and renders one table per social graph.
+pub fn run(fast: bool) -> String {
+    let mut out = String::new();
+    let configs: Vec<(&str, usize, usize, f64)> = if fast {
+        vec![("LiveJ-68M analogue", 2_000, 16, 10.0)]
+    } else {
+        vec![
+            ("LiveJ-68M analogue", 8_000, 24, 10.0),
+            ("Twitter-1.4B analogue", 12_000, 32, 14.0),
+        ]
+    };
+    let sizes: Vec<usize> = if fast { vec![10, 100] } else { vec![10, 100, 1000] };
+
+    for (name, vertices, communities, degree) in configs {
+        let social = social_network(vertices, communities, degree, 0.9, 0x77);
+        let assignment = louvain(&social.graph, 1e-6);
+        let by_size = assignment.by_size();
+        let (c1, c2) = (by_size[0], by_size[1]);
+        let members1 = assignment.members(c1);
+        let members2 = assignment.members(c2);
+
+        let index = common::build_dsr(&social.graph, DEFAULT_SLAVES);
+        let engine = DsrEngine::new(&index);
+
+        let mut table = Table::new(
+            &format!(
+                "Table 7: Community connectedness — {name} (#communities detected: {})",
+                assignment.num_communities
+            ),
+            &["|S|x|T|", "Query time (s)", "#Pairs"],
+        );
+        for &size in &sizes {
+            let take1 = size.min(members1.len());
+            let take2 = size.min(members2.len());
+            let sources: Vec<VertexId> = members1[..take1].to_vec();
+            let targets: Vec<VertexId> = members2[..take2].to_vec();
+            let (outcome, elapsed) = time(|| engine.set_reachability(&sources, &targets));
+            table.row(vec![
+                format!("{}x{}", take1, take2),
+                secs(elapsed),
+                outcome.pairs.len().to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_rows() {
+        let out = run(true);
+        assert!(out.contains("Table 7"));
+        assert!(out.contains("#Pairs"));
+    }
+}

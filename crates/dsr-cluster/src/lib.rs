@@ -1,0 +1,30 @@
+//! Simulated compute cluster for the DSR reproduction.
+//!
+//! The paper evaluates on a 10-node cluster connected with MPI over a
+//! 10 GBit LAN. The algorithms, however, only rely on a very small
+//! master/slave contract:
+//!
+//! * every slave holds one graph partition and can run local computations
+//!   in parallel with the other slaves,
+//! * slaves exchange point-to-point messages (Step 2 of Algorithm 2), and
+//! * the master scatters queries and gathers results.
+//!
+//! This crate provides exactly that contract in-process: slaves are worker
+//! threads ([`run_on_slaves`]), message exchange is an all-to-all shuffle
+//! with per-message size accounting ([`Network`]), and [`CommStats`]
+//! records the number of rounds, messages and bytes — the quantities behind
+//! the communication-cost plots of Figure 5 (b)(f)(j)(n) and Figure 8.
+//!
+//! Because the substrate is in-process, absolute wall-clock numbers differ
+//! from the paper's cluster, but round counts, message counts and byte
+//! volumes are faithful to the algorithms being simulated.
+
+pub mod message;
+pub mod network;
+pub mod stats;
+pub mod worker;
+
+pub use message::MessageSize;
+pub use network::Network;
+pub use stats::CommStats;
+pub use worker::run_on_slaves;

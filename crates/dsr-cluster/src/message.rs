@@ -1,0 +1,87 @@
+//! Message size accounting.
+//!
+//! The paper reports communication cost in kilobytes (Figure 5(b)(f)(j)(n),
+//! Figure 8). The simulated cluster does not serialize messages over a real
+//! wire, so every message type implements [`MessageSize`] to report the
+//! number of bytes an MPI implementation would have shipped (fixed-width
+//! integers, length prefixes for collections).
+
+/// Number of bytes a message would occupy on the wire.
+pub trait MessageSize {
+    /// Serialized size in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+impl MessageSize for u32 {
+    fn byte_size(&self) -> usize {
+        4
+    }
+}
+
+impl MessageSize for u64 {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl MessageSize for bool {
+    fn byte_size(&self) -> usize {
+        1
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn byte_size(&self) -> usize {
+        // 4-byte length prefix plus the payload.
+        4 + self.iter().map(MessageSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::byte_size)
+    }
+}
+
+impl<T: MessageSize> MessageSize for &T {
+    fn byte_size(&self) -> usize {
+        (*self).byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(7u32.byte_size(), 4);
+        assert_eq!(7u64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u32).byte_size(), 8);
+        assert_eq!((1u32, 2u64, false).byte_size(), 13);
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.byte_size(), 4 + 12);
+        let nested: Vec<(u32, Vec<u32>)> = vec![(1, vec![2, 3])];
+        assert_eq!(nested.byte_size(), 4 + 4 + 4 + 8);
+        assert_eq!(Some(5u32).byte_size(), 5);
+        assert_eq!(None::<u32>.byte_size(), 1);
+        assert_eq!((&7u32).byte_size(), 4);
+    }
+}

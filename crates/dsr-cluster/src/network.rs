@@ -1,0 +1,150 @@
+//! Simulated network: scatter, gather and all-to-all exchange with
+//! communication accounting.
+
+use crate::message::MessageSize;
+use crate::stats::CommStats;
+
+/// A simulated network among `num_nodes` compute nodes.
+///
+/// The network does not copy payloads through sockets — messages are moved
+/// between in-process buffers — but every transfer between *different*
+/// nodes is counted in the attached [`CommStats`]. Transfers from a node to
+/// itself are free, mirroring how MPI ranks short-circuit local sends (and
+/// how Giraph++ treats intra-partition messages).
+pub struct Network<'a> {
+    num_nodes: usize,
+    stats: &'a CommStats,
+}
+
+impl<'a> Network<'a> {
+    /// Creates a network over `num_nodes` nodes recording into `stats`.
+    pub fn new(num_nodes: usize, stats: &'a CommStats) -> Self {
+        Network { num_nodes, stats }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All-to-all exchange: `outgoing[src][dst]` is the (optional) message
+    /// from `src` to `dst`. Returns `incoming` where `incoming[dst][src]`
+    /// holds the message `src` sent to `dst`.
+    ///
+    /// Records one communication round plus one message per non-`None`
+    /// cross-node payload.
+    ///
+    /// # Panics
+    /// Panics if the outgoing matrix is not `num_nodes × num_nodes`.
+    pub fn all_to_all<M: MessageSize>(
+        &self,
+        outgoing: Vec<Vec<Option<M>>>,
+    ) -> Vec<Vec<Option<M>>> {
+        assert_eq!(outgoing.len(), self.num_nodes, "outgoing rows");
+        for row in &outgoing {
+            assert_eq!(row.len(), self.num_nodes, "outgoing columns");
+        }
+        self.stats.record_round();
+        // incoming[dst][src]
+        let mut incoming: Vec<Vec<Option<M>>> = (0..self.num_nodes)
+            .map(|_| (0..self.num_nodes).map(|_| None).collect())
+            .collect();
+        for (src, row) in outgoing.into_iter().enumerate() {
+            for (dst, msg) in row.into_iter().enumerate() {
+                if let Some(msg) = msg {
+                    if src != dst {
+                        self.stats.record_message(msg.byte_size());
+                    }
+                    incoming[dst][src] = Some(msg);
+                }
+            }
+        }
+        incoming
+    }
+
+    /// Gather: every slave sends one message to the master. Returns the
+    /// messages in slave order and records one round plus one message per
+    /// slave (the master is assumed to be a separate node, as in the
+    /// paper's "5 slaves and 1 master" setup).
+    pub fn gather<M: MessageSize>(&self, messages: Vec<M>) -> Vec<M> {
+        self.stats.record_round();
+        for msg in &messages {
+            self.stats.record_message(msg.byte_size());
+        }
+        messages
+    }
+
+    /// Broadcast from the master to all slaves; records one round and
+    /// `num_nodes` messages. Returns one clone per slave.
+    pub fn broadcast<M: MessageSize + Clone>(&self, message: &M) -> Vec<M> {
+        self.stats.record_round();
+        (0..self.num_nodes)
+            .map(|_| {
+                self.stats.record_message(message.byte_size());
+                message.clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_transposes_and_counts() {
+        let stats = CommStats::new();
+        let net = Network::new(3, &stats);
+        // node i sends (i, j) to node j, skipping the diagonal for node 2.
+        let outgoing: Vec<Vec<Option<Vec<u32>>>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| {
+                        if i == 2 && j == 2 {
+                            None
+                        } else {
+                            Some(vec![i as u32, j as u32])
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let incoming = net.all_to_all(outgoing);
+        assert_eq!(incoming[1][0], Some(vec![0, 1]));
+        assert_eq!(incoming[0][2], Some(vec![2, 0]));
+        assert_eq!(incoming[2][2], None);
+        assert_eq!(stats.rounds(), 1);
+        // 8 messages total, 6 of them cross-node.
+        assert_eq!(stats.messages(), 6);
+        assert_eq!(stats.bytes(), 6 * (4 + 8));
+    }
+
+    #[test]
+    fn gather_counts_each_slave() {
+        let stats = CommStats::new();
+        let net = Network::new(4, &stats);
+        let gathered = net.gather(vec![1u32, 2, 3, 4]);
+        assert_eq!(gathered, vec![1, 2, 3, 4]);
+        assert_eq!(stats.messages(), 4);
+        assert_eq!(stats.bytes(), 16);
+        assert_eq!(stats.rounds(), 1);
+    }
+
+    #[test]
+    fn broadcast_clones_to_everyone() {
+        let stats = CommStats::new();
+        let net = Network::new(3, &stats);
+        let copies = net.broadcast(&vec![9u32, 8]);
+        assert_eq!(copies.len(), 3);
+        assert_eq!(stats.messages(), 3);
+        assert_eq!(net.num_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outgoing rows")]
+    fn wrong_shape_panics() {
+        let stats = CommStats::new();
+        let net = Network::new(2, &stats);
+        net.all_to_all(vec![vec![Some(1u32), None]]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Communication statistics collected by the simulated cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters for rounds, messages and bytes exchanged.
+///
+/// A fresh instance is typically created per query (or per index build) so
+/// experiments can report per-query communication, matching the paper's
+/// "Comm. Size (in KB)" plots.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    rounds: AtomicU64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one communication round (a bulk exchange among all nodes).
+    pub fn record_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a single message of `bytes` bytes.
+    pub fn record_message(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records `count` messages totalling `bytes` bytes.
+    pub fn record_messages(&self, count: u64, bytes: u64) {
+        self.messages.fetch_add(count, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of communication rounds so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Number of bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes expressed in kilobytes (the unit of Figure 5 / Figure 8).
+    pub fn kilobytes(&self) -> f64 {
+        self.bytes() as f64 / 1024.0
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.rounds.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of `(rounds, messages, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (self.rounds(), self.messages(), self.bytes())
+    }
+}
+
+impl Clone for CommStats {
+    fn clone(&self) -> Self {
+        let c = CommStats::new();
+        c.rounds.store(self.rounds(), Ordering::Relaxed);
+        c.messages.store(self.messages(), Ordering::Relaxed);
+        c.bytes.store(self.bytes(), Ordering::Relaxed);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counting() {
+        let s = CommStats::new();
+        s.record_round();
+        s.record_message(100);
+        s.record_messages(3, 300);
+        assert_eq!(s.rounds(), 1);
+        assert_eq!(s.messages(), 4);
+        assert_eq!(s.bytes(), 400);
+        assert!((s.kilobytes() - 400.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(s.snapshot(), (1, 4, 400));
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_counting() {
+        let s = Arc::new(CommStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_message(10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.messages(), 8000);
+        assert_eq!(s.bytes(), 80_000);
+    }
+
+    #[test]
+    fn clone_snapshots_values() {
+        let s = CommStats::new();
+        s.record_message(5);
+        let c = s.clone();
+        s.record_message(5);
+        assert_eq!(c.messages(), 1);
+        assert_eq!(s.messages(), 2);
+    }
+}

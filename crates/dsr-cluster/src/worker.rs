@@ -1,0 +1,83 @@
+//! Parallel execution of per-slave tasks.
+//!
+//! [`run_on_slaves`] executes one closure per slave on its own thread and
+//! collects the results in slave order — the "local evaluation … at all
+//! slaves i = 1..k in parallel" steps of Algorithms 1 and 2.
+
+/// Runs `task(slave_id)` for every slave `0..num_slaves` in parallel and
+/// returns the results in slave order.
+///
+/// The closure receives the slave id. Panics in any task are propagated to
+/// the caller (a crashed slave is a crashed query, exactly like an MPI
+/// abort).
+pub fn run_on_slaves<R, F>(num_slaves: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if num_slaves == 0 {
+        return Vec::new();
+    }
+    if num_slaves == 1 {
+        // Avoid thread overhead in the single-slave (centralized) setting.
+        return vec![task(0)];
+    }
+    let mut results: Vec<Option<R>> = (0..num_slaves).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_slaves);
+        for (slave, slot) in results.iter_mut().enumerate() {
+            let task = &task;
+            handles.push(scope.spawn(move || {
+                *slot = Some(task(slave));
+            }));
+        }
+        for handle in handles {
+            // Propagate panics from slave tasks.
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("slave task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_slave_order() {
+        let results = run_on_slaves(5, |slave| slave * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn zero_and_one_slave() {
+        assert!(run_on_slaves(0, |s| s).is_empty());
+        assert_eq!(run_on_slaves(1, |s| s + 1), vec![1]);
+    }
+
+    #[test]
+    fn tasks_actually_run_concurrently_or_at_least_all_run() {
+        let counter = AtomicUsize::new(0);
+        run_on_slaves(8, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "slave exploded")]
+    fn panics_propagate() {
+        run_on_slaves(3, |slave| {
+            if slave == 1 {
+                panic!("slave exploded");
+            }
+            slave
+        });
+    }
+}

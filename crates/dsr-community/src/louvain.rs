@@ -1,0 +1,367 @@
+//! The Louvain method (Blondel et al., 2008).
+//!
+//! The directed input graph is projected onto an undirected weighted graph
+//! (edge weight = number of directed edges between the endpoints). The
+//! algorithm then alternates two phases until modularity stops improving:
+//!
+//! 1. **Local moving** — every vertex is greedily moved to the neighboring
+//!    community with the largest modularity gain.
+//! 2. **Aggregation** — each community becomes a super-vertex; edge weights
+//!    between super-vertices are the summed inter-community weights.
+//!
+//! The final assignment is propagated back to the original vertices.
+
+use std::collections::HashMap;
+
+use dsr_graph::{DiGraph, VertexId};
+
+/// A community assignment over the original graph's vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityAssignment {
+    /// `community[v]` is the community id of vertex `v` (dense ids).
+    pub community: Vec<u32>,
+    /// Number of communities.
+    pub num_communities: usize,
+}
+
+impl CommunityAssignment {
+    /// Members of community `c`.
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.community
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x == c)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Sizes of all communities.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_communities];
+        for &c in &self.community {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Community ids ordered by descending size (Table 7 picks the largest
+    /// communities to query).
+    pub fn by_size(&self) -> Vec<u32> {
+        let sizes = self.sizes();
+        let mut ids: Vec<u32> = (0..self.num_communities as u32).collect();
+        ids.sort_by_key(|&c| std::cmp::Reverse(sizes[c as usize]));
+        ids
+    }
+}
+
+/// Undirected weighted adjacency used internally.
+struct UndirectedWeighted {
+    adjacency: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per vertex (from aggregation).
+    self_loops: Vec<f64>,
+    total_weight: f64,
+}
+
+impl UndirectedWeighted {
+    fn from_digraph(graph: &DiGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut maps: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n];
+        let mut self_loops = vec![0.0; n];
+        let mut total_weight = 0.0;
+        for (u, v) in graph.edges() {
+            if u == v {
+                self_loops[u as usize] += 1.0;
+                total_weight += 1.0;
+                continue;
+            }
+            *maps[u as usize].entry(v).or_insert(0.0) += 1.0;
+            *maps[v as usize].entry(u).or_insert(0.0) += 1.0;
+            total_weight += 1.0;
+        }
+        let adjacency = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+                v.sort_by_key(|&(w, _)| w);
+                v
+            })
+            .collect();
+        UndirectedWeighted {
+            adjacency,
+            self_loops,
+            total_weight,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn weighted_degree(&self, v: usize) -> f64 {
+        self.self_loops[v] * 2.0 + self.adjacency[v].iter().map(|&(_, w)| w).sum::<f64>()
+    }
+}
+
+/// Runs the Louvain method and returns the community assignment.
+///
+/// `min_gain` is the modularity improvement threshold below which the
+/// algorithm stops (the paper's implementation uses a similar cutoff).
+pub fn louvain(graph: &DiGraph, min_gain: f64) -> CommunityAssignment {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return CommunityAssignment {
+            community: Vec::new(),
+            num_communities: 0,
+        };
+    }
+    let mut level_graph = UndirectedWeighted::from_digraph(graph);
+    // membership[v] = community of vertex v at the current level.
+    let mut hierarchy: Vec<Vec<u32>> = Vec::new();
+
+    loop {
+        let (assignment, improved) = one_level(&level_graph, min_gain);
+        let renumbered = renumber(&assignment);
+        hierarchy.push(renumbered.clone());
+        if !improved {
+            break;
+        }
+        level_graph = aggregate(&level_graph, &renumbered);
+        if level_graph.len() <= 1 {
+            break;
+        }
+    }
+
+    // Flatten the hierarchy: original vertex -> final community.
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    // Start with the identity at level 0: hierarchy[0] maps original
+    // vertices already.
+    for (level, mapping) in hierarchy.iter().enumerate() {
+        if level == 0 {
+            community = mapping.clone();
+        } else {
+            for c in community.iter_mut() {
+                *c = mapping[*c as usize];
+            }
+        }
+    }
+    let num_communities = community.iter().copied().max().map_or(0, |m| m as usize + 1);
+    CommunityAssignment {
+        community,
+        num_communities,
+    }
+}
+
+/// One pass of greedy local moving. Returns the per-vertex community and
+/// whether any improvement was made.
+fn one_level(graph: &UndirectedWeighted, min_gain: f64) -> (Vec<u32>, bool) {
+    let n = graph.len();
+    let m2 = (graph.total_weight * 2.0).max(1e-12);
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    // Sum of weighted degrees per community.
+    let mut sigma_tot: Vec<f64> = (0..n).map(|v| graph.weighted_degree(v)).collect();
+    let mut improved_any = false;
+
+    loop {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let current = community[v];
+            let degree = graph.weighted_degree(v);
+            // Connection weight of v to each neighboring community.
+            let mut conn: HashMap<u32, f64> = HashMap::new();
+            for &(w, weight) in &graph.adjacency[v] {
+                *conn.entry(community[w as usize]).or_insert(0.0) += weight;
+            }
+            let own_connection = conn.get(&current).copied().unwrap_or(0.0);
+            // Remove v from its community.
+            sigma_tot[current as usize] -= degree;
+            let mut best = (current, 0.0f64);
+            for (&c, &weight) in &conn {
+                let gain = weight - sigma_tot[c as usize] * degree / m2;
+                if c == current {
+                    // Gain of staying, computed consistently.
+                    if gain > best.1 {
+                        best = (c, gain);
+                    }
+                    continue;
+                }
+                if gain > best.1 + min_gain {
+                    best = (c, gain);
+                }
+            }
+            // Baseline: gain of re-joining the original community.
+            let stay_gain = own_connection - sigma_tot[current as usize] * degree / m2;
+            let (target, gain) = best;
+            let target = if gain > stay_gain + min_gain { target } else { current };
+            sigma_tot[target as usize] += degree;
+            if target != current {
+                community[v] = target;
+                moved += 1;
+                improved_any = true;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    (community, improved_any)
+}
+
+/// Renumbers community ids to a dense 0..k range.
+fn renumber(assignment: &[u32]) -> Vec<u32> {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut next = 0u32;
+    assignment
+        .iter()
+        .map(|&c| {
+            *remap.entry(c).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Aggregates communities into super-vertices.
+fn aggregate(graph: &UndirectedWeighted, assignment: &[u32]) -> UndirectedWeighted {
+    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut maps: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
+    let mut self_loops = vec![0.0; k];
+    let mut total_weight = 0.0;
+    for v in 0..graph.len() {
+        let cv = assignment[v];
+        self_loops[cv as usize] += graph.self_loops[v];
+        total_weight += graph.self_loops[v];
+        for &(w, weight) in &graph.adjacency[v] {
+            if (w as usize) < v {
+                continue; // count each undirected edge once
+            }
+            let cw = assignment[w as usize];
+            total_weight += weight;
+            if cv == cw {
+                self_loops[cv as usize] += weight;
+            } else {
+                *maps[cv as usize].entry(cw).or_insert(0.0) += weight;
+                *maps[cw as usize].entry(cv).or_insert(0.0) += weight;
+            }
+        }
+    }
+    let adjacency = maps
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+            v.sort_by_key(|&(w, _)| w);
+            v
+        })
+        .collect();
+    UndirectedWeighted {
+        adjacency,
+        self_loops,
+        total_weight,
+    }
+}
+
+/// Modularity of an assignment over the undirected projection of `graph`.
+pub fn modularity(graph: &DiGraph, assignment: &[u32]) -> f64 {
+    let projected = UndirectedWeighted::from_digraph(graph);
+    let m2 = (projected.total_weight * 2.0).max(1e-12);
+    let num_comm = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut internal = vec![0.0; num_comm];
+    let mut degree_sum = vec![0.0; num_comm];
+    for v in 0..projected.len() {
+        let cv = assignment[v] as usize;
+        degree_sum[cv] += projected.weighted_degree(v);
+        internal[cv] += projected.self_loops[v] * 2.0;
+        for &(w, weight) in &projected.adjacency[v] {
+            if assignment[w as usize] as usize == cv {
+                internal[cv] += weight;
+            }
+        }
+    }
+    (0..num_comm)
+        .map(|c| internal[c] / m2 - (degree_sum[c] / m2).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_datagen::social_network;
+
+    #[test]
+    fn two_cliques_are_separated() {
+        // Two 5-cliques joined by a single edge.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        for a in 5..10u32 {
+            for b in 5..10u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.push((0, 5));
+        let g = DiGraph::from_edges(10, &edges);
+        let result = louvain(&g, 1e-7);
+        assert_eq!(result.num_communities, 2);
+        let c0 = result.community[0];
+        for v in 0..5 {
+            assert_eq!(result.community[v], c0);
+        }
+        let c5 = result.community[5];
+        for v in 5..10 {
+            assert_eq!(result.community[v], c5);
+        }
+        assert_ne!(c0, c5);
+        assert!(modularity(&g, &result.community) > 0.3);
+    }
+
+    #[test]
+    fn recovers_planted_communities_reasonably() {
+        let social = social_network(400, 4, 12.0, 0.95, 7);
+        let result = louvain(&social.graph, 1e-7);
+        // The detected partition must have high modularity and a small
+        // number of communities (close to the planted 4).
+        assert!(result.num_communities >= 2);
+        assert!(result.num_communities <= 40);
+        let q = modularity(&social.graph, &result.community);
+        assert!(q > 0.4, "expected high modularity, got {q}");
+    }
+
+    #[test]
+    fn assignment_helpers() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let result = louvain(&g, 1e-7);
+        assert_eq!(result.num_communities, 2);
+        let sizes = result.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        let by_size = result.by_size();
+        assert_eq!(by_size.len(), 2);
+        let members: usize = (0..result.num_communities as u32)
+            .map(|c| result.members(c).len())
+            .sum();
+        assert_eq!(members, 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = louvain(&DiGraph::empty(0), 1e-7);
+        assert_eq!(empty.num_communities, 0);
+        let single = louvain(&DiGraph::empty(3), 1e-7);
+        assert_eq!(single.community.len(), 3);
+    }
+
+    #[test]
+    fn modularity_of_trivial_partition_is_nonpositive() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Every vertex in its own community: modularity <= 0.
+        let q = modularity(&g, &[0, 1, 2, 3]);
+        assert!(q <= 0.0 + 1e-9);
+    }
+}

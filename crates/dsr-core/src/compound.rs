@@ -1,0 +1,385 @@
+//! Compound graphs (Definition 6).
+//!
+//! The compound graph `GC_i` of partition `i` merges:
+//!
+//! * the **local subgraph** `Gi` (all vertices of the partition with their
+//!   internal edges),
+//! * every **cut edge** of the whole graph (endpoints that are not local
+//!   appear as concrete remote boundary vertices),
+//! * for every remote partition `j ≠ i`: one **in-virtual vertex** `υ` per
+//!   forward-equivalence class and one **out-virtual vertex** `ν` per
+//!   backward-equivalence class, membership edges `c → υ(c)` /
+//!   `ν(o) → o`, and the compacted **transit edges** `υ → ν` that replace
+//!   the quadratic `Ij ; Oj` reachability materialization.
+//!
+//! With this construction, the reachability between any two vertices that
+//! are local to partition `i` *or* boundary vertices of remote partitions
+//! can be decided entirely on `GC_i` (Theorem 1), which is what makes the
+//! single-communication-round query evaluation possible.
+
+use std::collections::HashMap;
+
+use dsr_graph::{condense, DiGraph, InducedSubgraph, VertexId};
+use dsr_partition::{Cut, PartitionId};
+
+use crate::summary::PartitionSummary;
+
+/// The compound graph of one partition, with id translation tables.
+#[derive(Debug, Clone)]
+pub struct CompoundGraph {
+    /// The partition this compound graph belongs to.
+    pub partition: PartitionId,
+    /// The compound graph itself, over dense compound vertex ids.
+    pub graph: DiGraph,
+    /// Number of local vertices (compound ids `0..num_local` are the
+    /// partition's own vertices, in the order of the partitioning's member
+    /// list).
+    pub num_local: usize,
+    /// Global id of every compound vertex, `None` for virtual vertices.
+    pub global_of: Vec<Option<VertexId>>,
+    /// Compound id of every represented global vertex (local vertices and
+    /// concrete remote boundary vertices).
+    pub compound_of: HashMap<VertexId, VertexId>,
+    /// Compound id of the in-virtual vertex `(remote partition, class)`.
+    pub forward_virtual: HashMap<(PartitionId, u32), VertexId>,
+    /// Compound id of the out-virtual vertex `(remote partition, class)`.
+    pub backward_virtual: HashMap<(PartitionId, u32), VertexId>,
+}
+
+impl CompoundGraph {
+    /// Builds the compound graph of `partition` from its local induced
+    /// subgraph, the global cut and the summaries of *every* partition.
+    ///
+    /// Only partition-local data plus the (small) summaries and cut are
+    /// needed, which is what allows incremental updates to rebuild compound
+    /// graphs without re-reading the full data graph.
+    pub fn build(
+        local: &InducedSubgraph,
+        cut: &Cut,
+        summaries: &[PartitionSummary],
+        partition: PartitionId,
+    ) -> Self {
+        let local_members = local.mapping.globals();
+        let k = summaries.len();
+
+        let mut global_of: Vec<Option<VertexId>> = Vec::new();
+        let mut compound_of: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut forward_virtual: HashMap<(PartitionId, u32), VertexId> = HashMap::new();
+        let mut backward_virtual: HashMap<(PartitionId, u32), VertexId> = HashMap::new();
+
+        // 1. Local vertices.
+        for &v in local_members {
+            let id = global_of.len() as VertexId;
+            global_of.push(Some(v));
+            compound_of.insert(v, id);
+        }
+        let num_local = global_of.len();
+
+        // 2. Concrete boundary vertices and virtual vertices of every remote
+        //    partition.
+        for j in 0..k as PartitionId {
+            if j == partition {
+                continue;
+            }
+            let summary = &summaries[j as usize];
+            for &b in summary
+                .in_boundaries
+                .iter()
+                .chain(summary.out_boundaries.iter())
+            {
+                compound_of.entry(b).or_insert_with(|| {
+                    let id = global_of.len() as VertexId;
+                    global_of.push(Some(b));
+                    id
+                });
+            }
+            for class in 0..summary.num_forward_classes() as u32 {
+                let id = global_of.len() as VertexId;
+                global_of.push(None);
+                forward_virtual.insert((j, class), id);
+            }
+            for class in 0..summary.num_backward_classes() as u32 {
+                let id = global_of.len() as VertexId;
+                global_of.push(None);
+                backward_virtual.insert((j, class), id);
+            }
+        }
+
+        // 3. Edges.
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        // 3a. Local edges of the partition. Local vertices received compound
+        //     ids in member order, which is exactly the induced subgraph's
+        //     local-id order.
+        for (lu, lv) in local.graph.edges() {
+            let u = local.mapping.global(lu);
+            let v = local.mapping.global(lv);
+            edges.push((compound_of[&u], compound_of[&v]));
+        }
+        // 3b. Every cut edge of the graph (both endpoints are representable:
+        //     either local to this partition or a boundary vertex of their
+        //     own partition).
+        for &(u, v) in &cut.edges {
+            let cu = *compound_of
+                .get(&u)
+                .expect("cut-edge source is local or a remote out-boundary");
+            let cv = *compound_of
+                .get(&v)
+                .expect("cut-edge target is local or a remote in-boundary");
+            edges.push((cu, cv));
+        }
+        // 3c. Membership and transit edges of every remote partition.
+        for j in 0..k as PartitionId {
+            if j == partition {
+                continue;
+            }
+            let summary = &summaries[j as usize];
+            for (&b, &class) in &summary.forward_class_of {
+                edges.push((compound_of[&b], forward_virtual[&(j, class)]));
+            }
+            for (&b, &class) in &summary.backward_class_of {
+                edges.push((backward_virtual[&(j, class)], compound_of[&b]));
+            }
+            for &(f, b) in &summary.transit {
+                edges.push((forward_virtual[&(j, f)], backward_virtual[&(j, b)]));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let compound = DiGraph::from_edges(global_of.len(), &edges);
+        CompoundGraph {
+            partition,
+            graph: compound,
+            num_local,
+            global_of,
+            compound_of,
+            forward_virtual,
+            backward_virtual,
+        }
+    }
+
+    /// Compound id of a global vertex (local vertex or concrete remote
+    /// boundary vertex), if represented.
+    pub fn compound_id(&self, global: VertexId) -> Option<VertexId> {
+        self.compound_of.get(&global).copied()
+    }
+
+    /// Global id of a compound vertex (`None` for virtual vertices).
+    pub fn global_id(&self, compound: VertexId) -> Option<VertexId> {
+        self.global_of[compound as usize]
+    }
+
+    /// Whether the global vertex is local to this partition.
+    pub fn is_local(&self, global: VertexId) -> bool {
+        self.compound_id(global)
+            .map(|c| (c as usize) < self.num_local)
+            .unwrap_or(false)
+    }
+
+    /// All in-virtual vertices of remote partition `j`, as
+    /// `(class, compound id)` pairs sorted by class.
+    pub fn forward_virtuals_of(&self, j: PartitionId) -> Vec<(u32, VertexId)> {
+        let mut out: Vec<(u32, VertexId)> = self
+            .forward_virtual
+            .iter()
+            .filter(|&(&(p, _), _)| p == j)
+            .map(|(&(_, class), &id)| (class, id))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of vertices of the compound graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of edges of the compound graph ("Original" column of
+    /// Table 2).
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Number of edges after SCC condensation ("DAG" column of Table 2).
+    pub fn dag_edges(&self) -> usize {
+        condense(&self.graph).num_edges()
+    }
+
+    /// Approximate in-memory size of the compound graph in bytes ("Size"
+    /// column of Table 2).
+    pub fn byte_size(&self) -> usize {
+        self.graph.byte_size()
+            + self.global_of.len() * std::mem::size_of::<Option<VertexId>>()
+            + self.compound_of.len() * 2 * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_graph::is_reachable;
+    use dsr_partition::Partitioning;
+
+    /// Same Figure 1 fixture as in `summary.rs`.
+    fn figure1() -> (DiGraph, Partitioning, Cut) {
+        let edges = vec![
+            (2, 1),
+            (2, 3),
+            (0, 1),
+            (5, 0),
+            (4, 5),
+            (7, 9),
+            (7, 11),
+            (8, 9),
+            (9, 10),
+            (12, 8),
+            (6, 9),
+            (13, 16),
+            (14, 16),
+            (14, 18),
+            (16, 15),
+            (16, 17),
+            (16, 18),
+            (1, 6),
+            (3, 7),
+            (1, 8),
+            (9, 13),
+            (9, 14),
+            (15, 4),
+        ];
+        let g = DiGraph::from_edges(19, &edges);
+        let mut assignment = vec![0u32; 19];
+        for v in 6..=12 {
+            assignment[v] = 1;
+        }
+        for v in 13..=18 {
+            assignment[v] = 2;
+        }
+        let p = Partitioning::new(assignment, 3);
+        let cut = Cut::extract(&g, &p);
+        (g, p, cut)
+    }
+
+    fn build_all() -> (DiGraph, Partitioning, Cut, Vec<PartitionSummary>, Vec<CompoundGraph>) {
+        let (g, p, cut) = figure1();
+        let members = p.members();
+        let locals: Vec<InducedSubgraph> = (0..3)
+            .map(|i| InducedSubgraph::induced(&g, &members[i]))
+            .collect();
+        let summaries: Vec<PartitionSummary> = (0..3)
+            .map(|i| PartitionSummary::compute(i as PartitionId, &locals[i], cut.partition(i as u32)))
+            .collect();
+        let compounds: Vec<CompoundGraph> = (0..3)
+            .map(|i| CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId))
+            .collect();
+        (g, p, cut, summaries, compounds)
+    }
+
+    #[test]
+    fn example7_local_reachability_through_remote_partitions() {
+        // Example 7: b ; f is not visible inside G1 alone but holds in G
+        // via b -> c -> i -> n -> p -> o -> f; the compound graph GC_1 must
+        // expose it locally.
+        let (g, _, _, _, compounds) = build_all();
+        let gc1 = &compounds[0];
+        let b = gc1.compound_id(1).unwrap();
+        let f = gc1.compound_id(4).unwrap();
+        assert!(
+            is_reachable(&gc1.graph, b, f),
+            "b ; f must be answerable on the compound graph of G1"
+        );
+        // Sanity: not reachable inside the plain local subgraph.
+        assert!(is_reachable(&g, 1, 4), "ground truth in the full graph");
+    }
+
+    #[test]
+    fn example8_cross_partition_source_to_forward_virtual() {
+        // Example 8: a ; q with a in G1, q in G3. On GC_1, a must reach the
+        // in-virtual vertex υ4 of partition 3 (the class {m, n}).
+        let (_, _, _, summaries, compounds) = build_all();
+        let gc1 = &compounds[0];
+        let a = gc1.compound_id(0).unwrap();
+        let s3 = &summaries[2];
+        assert_eq!(s3.num_forward_classes(), 1);
+        let v4 = gc1.forward_virtual[&(2, 0)];
+        assert!(is_reachable(&gc1.graph, a, v4));
+    }
+
+    #[test]
+    fn compound_preserves_reachability_for_local_and_boundary_vertices() {
+        let (g, p, cut, _, compounds) = build_all();
+        // Collect boundary vertices per partition.
+        for i in 0..3u32 {
+            let gc = &compounds[i as usize];
+            for u in 0..g.num_vertices() as VertexId {
+                for v in 0..g.num_vertices() as VertexId {
+                    let u_ok = gc.compound_id(u).is_some()
+                        && (p.partition_of(u) == i
+                            || cut.partition(p.partition_of(u)).is_in_boundary(u)
+                            || cut.partition(p.partition_of(u)).is_out_boundary(u));
+                    let v_ok = gc.compound_id(v).is_some()
+                        && (p.partition_of(v) == i
+                            || cut.partition(p.partition_of(v)).is_out_boundary(v));
+                    // Only claim exactness for (local ∪ boundary) sources and
+                    // (local ∪ out-boundary ∪ cut-target) targets; in-boundary
+                    // targets of remote partitions are the documented case
+                    // resolved jointly with the target slave.
+                    if !(u_ok && v_ok) {
+                        continue;
+                    }
+                    let expected = is_reachable(&g, u, v);
+                    let got = is_reachable(
+                        &gc.graph,
+                        gc.compound_id(u).unwrap(),
+                        gc.compound_id(v).unwrap(),
+                    );
+                    if p.partition_of(v) == i || cut.partition(p.partition_of(v)).is_out_boundary(v)
+                    {
+                        assert_eq!(
+                            got, expected,
+                            "GC_{i}: reachability {u} -> {v} must match the global graph"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn id_translation_roundtrip() {
+        let (_, p, _, _, compounds) = build_all();
+        for gc in &compounds {
+            for v in 0..gc.num_vertices() as VertexId {
+                if let Some(global) = gc.global_id(v) {
+                    assert_eq!(gc.compound_id(global), Some(v));
+                }
+            }
+            // Local vertices come first.
+            let members = p.members();
+            assert_eq!(gc.num_local, members[gc.partition as usize].len());
+            for &m in &members[gc.partition as usize] {
+                assert!(gc.is_local(m));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_virtuals_listing() {
+        let (_, _, _, summaries, compounds) = build_all();
+        let gc1 = &compounds[0];
+        let of_g2 = gc1.forward_virtuals_of(1);
+        assert_eq!(of_g2.len(), summaries[1].num_forward_classes());
+        let of_g1 = gc1.forward_virtuals_of(0);
+        assert!(of_g1.is_empty(), "no virtual vertices for the own partition");
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        let (_, _, _, _, compounds) = build_all();
+        for gc in &compounds {
+            assert!(gc.num_edges() > 0);
+            assert!(gc.dag_edges() <= gc.num_edges());
+            assert!(gc.byte_size() > 0);
+        }
+    }
+}

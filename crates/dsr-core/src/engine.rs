@@ -1,0 +1,614 @@
+//! Distributed query evaluation — Algorithms 1 and 2 of the paper.
+//!
+//! A DSR query `S ; T` is evaluated in the three steps of Algorithm 2:
+//!
+//! 1. **Local evaluation** (all slaves in parallel): every slave resolves
+//!    the reachability from its local sources to (a) its local targets,
+//!    (b) the boundary vertices of remote partitions that appear in `T`
+//!    (these are concrete vertices of its compound graph), and (c) the
+//!    in-virtual vertices `υ` of every remote partition (the forward list
+//!    `Fi`).
+//! 2. **One round of message exchange**: for every remote partition `j`,
+//!    the slave ships `⟨s, classes of j reached from s⟩` buffers to slave
+//!    `j` (plus, only when `T` contains in-boundary vertices of `j`, the
+//!    concrete entry boundaries reached — see DESIGN.md, "protocol
+//!    refinement").
+//! 3. **Final local evaluation** (all slaves in parallel): slave `j`
+//!    expands each received class to a representative member and resolves
+//!    reachability to its own targets; results are gathered at the master.
+//!
+//! Communication is accounted through [`dsr_cluster::CommStats`]; the
+//! protocol never needs more than the single exchange round of step 2 plus
+//! the scatter/gather of the query itself, matching the paper's guarantee.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use dsr_cluster::{run_on_slaves, CommStats, MessageSize, Network};
+use dsr_graph::traversal::{bfs_reachable, Direction};
+use dsr_graph::VertexId;
+use dsr_partition::PartitionId;
+
+use crate::index::DsrIndex;
+
+/// Result of a DSR query together with its cost profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// All reachable `(source, target)` pairs, sorted and deduplicated.
+    pub pairs: Vec<(VertexId, VertexId)>,
+    /// Communication rounds used (query scatter + data exchange + gather).
+    pub rounds: u64,
+    /// Number of messages exchanged.
+    pub messages: u64,
+    /// Total bytes exchanged.
+    pub bytes: u64,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// The per-source buffer shipped from a source slave to a target slave in
+/// step 2 of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SourceMessage {
+    /// The (global) source vertex.
+    source: VertexId,
+    /// Forward-equivalence classes of the destination partition reached
+    /// from `source`.
+    classes: Vec<u32>,
+    /// Concrete in-boundary vertices of the destination partition reached
+    /// from `source`; only populated when the query's target set contains
+    /// in-boundary vertices of that partition.
+    entries: Vec<VertexId>,
+}
+
+impl MessageSize for SourceMessage {
+    fn byte_size(&self) -> usize {
+        4 + self.classes.byte_size() + self.entries.byte_size()
+    }
+}
+
+/// Query engine over a prebuilt [`DsrIndex`].
+pub struct DsrEngine<'a> {
+    index: &'a DsrIndex,
+}
+
+enum RouteKind {
+    /// A target that can be fully resolved at the source slave.
+    FinalTarget(VertexId),
+    /// An in-virtual vertex of a remote partition.
+    ForwardClass(PartitionId, u32),
+    /// A concrete in-boundary of a remote partition, used as an entry point
+    /// for resolving in-boundary targets of that partition.
+    Entry(PartitionId, VertexId),
+}
+
+struct StepOneOutput {
+    final_pairs: Vec<(VertexId, VertexId)>,
+    /// Outgoing buffers, one per destination partition.
+    outgoing: Vec<Option<Vec<SourceMessage>>>,
+}
+
+impl<'a> DsrEngine<'a> {
+    /// Creates an engine over `index`.
+    pub fn new(index: &'a DsrIndex) -> Self {
+        DsrEngine { index }
+    }
+
+    /// Algorithm 1: single-pair reachability. When source and target live in
+    /// the same partition the answer is computed entirely locally (Theorem
+    /// 1, no communication); otherwise the general set machinery is used
+    /// (one exchange round, Theorem 2).
+    pub fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
+        let ps = self.index.partition_of(source);
+        let pt = self.index.partition_of(target);
+        if ps == pt {
+            let comp = &self.index.compounds[ps as usize];
+            let idx = &self.index.local_indexes[ps as usize];
+            return idx.is_reachable(
+                comp.compound_id(source).expect("source is local"),
+                comp.compound_id(target).expect("target is local"),
+            );
+        }
+        !self.set_reachability(&[source], &[target]).pairs.is_empty()
+    }
+
+    /// Algorithm 2: full set reachability with timing and communication
+    /// accounting.
+    pub fn set_reachability(&self, sources: &[VertexId], targets: &[VertexId]) -> QueryOutcome {
+        let stats = CommStats::new();
+        let start = Instant::now();
+        let pairs = self.set_reachability_with_stats(sources, targets, &stats);
+        let (rounds, messages, bytes) = stats.snapshot();
+        QueryOutcome {
+            pairs,
+            rounds,
+            messages,
+            bytes,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Algorithm 2 with an externally provided statistics collector.
+    pub fn set_reachability_with_stats(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        stats: &CommStats,
+    ) -> Vec<(VertexId, VertexId)> {
+        let index = self.index;
+        let k = index.num_partitions();
+        if sources.is_empty() || targets.is_empty() {
+            return Vec::new();
+        }
+
+        // ---- Master: partition the query and scatter it. -------------------
+        let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for &s in sources {
+            sources_by_partition[index.partition_of(s) as usize].push(s);
+        }
+        for list in &mut sources_by_partition {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut target_list: Vec<VertexId> = targets.to_vec();
+        target_list.sort_unstable();
+        target_list.dedup();
+
+        stats.record_round();
+        for list in &sources_by_partition {
+            stats.record_message(list.byte_size() + target_list.byte_size());
+        }
+
+        // Which remote partitions have in-boundary targets (these require
+        // concrete entry information in the exchanged buffers).
+        let mut boundary_targets_of: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for &t in &target_list {
+            let p = index.partition_of(t) as usize;
+            if index.cut.partition(p as PartitionId).is_in_boundary(t) {
+                boundary_targets_of[p].push(t);
+            }
+        }
+
+        // ---- Step 1: local evaluation at every slave. ----------------------
+        let step_one: Vec<StepOneOutput> = run_on_slaves(k, |i| {
+            self.step_one(
+                i as PartitionId,
+                &sources_by_partition[i],
+                &target_list,
+                &boundary_targets_of,
+            )
+        });
+
+        // ---- Step 2: one all-to-all exchange round. ------------------------
+        let network = Network::new(k, stats);
+        let mut outgoing: Vec<Vec<Option<Vec<SourceMessage>>>> = Vec::with_capacity(k);
+        let mut final_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for out in step_one {
+            final_pairs.extend(out.final_pairs);
+            outgoing.push(out.outgoing);
+        }
+        let incoming = network.all_to_all(outgoing);
+
+        // ---- Step 3: final local evaluation at every slave. ----------------
+        let step_three: Vec<Vec<(VertexId, VertexId)>> = run_on_slaves(k, |j| {
+            self.step_three(j as PartitionId, &incoming[j], &target_list)
+        });
+
+        // ---- Gather results at the master. ---------------------------------
+        let gathered = network.gather(
+            step_three
+                .iter()
+                .map(|pairs| pairs.iter().map(|&(s, t)| (s, t)).collect::<Vec<_>>())
+                .collect(),
+        );
+        for pairs in gathered {
+            final_pairs.extend(pairs);
+        }
+        final_pairs.sort_unstable();
+        final_pairs.dedup();
+        final_pairs
+    }
+
+    /// Step 1 at slave `i`: resolve local sources against local targets,
+    /// remote boundary targets and the forward list, and assemble the
+    /// outgoing buffers.
+    fn step_one(
+        &self,
+        i: PartitionId,
+        local_sources: &[VertexId],
+        targets: &[VertexId],
+        boundary_targets_of: &[Vec<VertexId>],
+    ) -> StepOneOutput {
+        let index = self.index;
+        let k = index.num_partitions();
+        let mut output = StepOneOutput {
+            final_pairs: Vec::new(),
+            outgoing: (0..k).map(|_| None).collect(),
+        };
+        if local_sources.is_empty() {
+            return output;
+        }
+        let comp = &index.compounds[i as usize];
+        let local_index = &index.local_indexes[i as usize];
+
+        // Routing targets: compound ids + what they mean. A single compound
+        // vertex can play several roles at once (e.g. a remote in-boundary
+        // that is both a query target and an entry point for other
+        // in-boundary targets of its partition), so every id maps to a list
+        // of kinds.
+        let mut route_ids: Vec<VertexId> = Vec::new();
+        let mut route_kinds: HashMap<VertexId, Vec<RouteKind>> = HashMap::new();
+
+        for &t in targets {
+            let pt = index.partition_of(t);
+            if pt == i {
+                let id = comp.compound_id(t).expect("local target is represented");
+                route_kinds.entry(id).or_default().push(RouteKind::FinalTarget(t));
+                route_ids.push(id);
+            } else {
+                let boundaries = index.cut.partition(pt);
+                if boundaries.is_in_boundary(t) || boundaries.is_out_boundary(t) {
+                    let id = comp
+                        .compound_id(t)
+                        .expect("remote boundary target is represented");
+                    route_kinds.entry(id).or_default().push(RouteKind::FinalTarget(t));
+                    route_ids.push(id);
+                }
+            }
+        }
+        for j in 0..k as PartitionId {
+            if j == i {
+                continue;
+            }
+            for (class, id) in comp.forward_virtuals_of(j) {
+                route_kinds.entry(id).or_default().push(RouteKind::ForwardClass(j, class));
+                route_ids.push(id);
+            }
+            // Concrete entry points are only needed when partition j has
+            // in-boundary targets.
+            if !boundary_targets_of[j as usize].is_empty() {
+                for &c in &index.summaries[j as usize].in_boundaries {
+                    let id = comp.compound_id(c).expect("in-boundary is represented");
+                    route_kinds.entry(id).or_default().push(RouteKind::Entry(j, c));
+                    route_ids.push(id);
+                }
+            }
+        }
+        route_ids.sort_unstable();
+        route_ids.dedup();
+
+        let source_ids: Vec<VertexId> = local_sources
+            .iter()
+            .map(|&s| comp.compound_id(s).expect("local source is represented"))
+            .collect();
+
+        let reachable = local_index.set_reachability(&source_ids, &route_ids);
+
+        // Per-source accumulation of classes/entries for every destination.
+        let mut per_destination: Vec<HashMap<VertexId, SourceMessage>> =
+            (0..k).map(|_| HashMap::new()).collect();
+        for (s_comp, t_comp) in reachable {
+            let s_global = comp
+                .global_id(s_comp)
+                .expect("sources are concrete vertices");
+            let kinds = route_kinds
+                .get(&t_comp)
+                .expect("every routing target has at least one kind");
+            for kind in kinds {
+                match kind {
+                    RouteKind::FinalTarget(t) => output.final_pairs.push((s_global, *t)),
+                    RouteKind::ForwardClass(j, class) => {
+                        per_destination[*j as usize]
+                            .entry(s_global)
+                            .or_insert_with(|| SourceMessage {
+                                source: s_global,
+                                classes: Vec::new(),
+                                entries: Vec::new(),
+                            })
+                            .classes
+                            .push(*class);
+                    }
+                    RouteKind::Entry(j, c) => {
+                        per_destination[*j as usize]
+                            .entry(s_global)
+                            .or_insert_with(|| SourceMessage {
+                                source: s_global,
+                                classes: Vec::new(),
+                                entries: Vec::new(),
+                            })
+                            .entries
+                            .push(*c);
+                    }
+                }
+            }
+        }
+        for (j, messages) in per_destination.into_iter().enumerate() {
+            if messages.is_empty() || j == i as usize {
+                continue;
+            }
+            let mut buffer: Vec<SourceMessage> = messages.into_values().collect();
+            buffer.sort_unstable_by_key(|m| m.source);
+            for m in &mut buffer {
+                m.classes.sort_unstable();
+                m.classes.dedup();
+                m.entries.sort_unstable();
+                m.entries.dedup();
+            }
+            output.outgoing[j] = Some(buffer);
+        }
+        output
+    }
+
+    /// Step 3 at slave `j`: expand the received classes/entries against the
+    /// local targets.
+    fn step_three(
+        &self,
+        j: PartitionId,
+        incoming: &[Option<Vec<SourceMessage>>],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let index = self.index;
+        let comp = &index.compounds[j as usize];
+        let local_index = &index.local_indexes[j as usize];
+        let summary = &index.summaries[j as usize];
+        let local = &index.locals[j as usize];
+
+        // Local targets of this partition, split into interior targets
+        // (resolved through class representatives — exact because
+        // forward-equivalent boundaries agree on reachability to
+        // Vi − Ii ∪ Oi) and in-boundary targets (resolved through the
+        // concrete entry vertices).
+        let mut interior_targets: Vec<VertexId> = Vec::new();
+        let mut boundary_targets: Vec<VertexId> = Vec::new();
+        for &t in targets {
+            if index.partition_of(t) != j {
+                continue;
+            }
+            if index.cut.partition(j).is_in_boundary(t) {
+                boundary_targets.push(t);
+            } else {
+                interior_targets.push(t);
+            }
+        }
+        if incoming.iter().all(Option::is_none) {
+            return Vec::new();
+        }
+
+        let interior_compound: Vec<VertexId> = interior_targets
+            .iter()
+            .map(|&t| comp.compound_id(t).expect("local target"))
+            .collect();
+
+        // Batched class expansion: every class mentioned by any incoming
+        // buffer is expanded to its representative, and a single
+        // set-reachability call over all representatives resolves their
+        // reachable interior targets (this lets MS-BFS/FERRARI share work
+        // across classes instead of one traversal per class).
+        let mut mentioned_classes: Vec<u32> = incoming
+            .iter()
+            .flatten()
+            .flat_map(|buffer| buffer.iter())
+            .flat_map(|message| message.classes.iter().copied())
+            .collect();
+        mentioned_classes.sort_unstable();
+        mentioned_classes.dedup();
+        let mut class_cache: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        if !interior_compound.is_empty() && !mentioned_classes.is_empty() {
+            let rep_compound: Vec<VertexId> = mentioned_classes
+                .iter()
+                .map(|&class| {
+                    comp.compound_id(summary.forward_representative(class))
+                        .expect("representative is local")
+                })
+                .collect();
+            let mut by_rep: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+            for (rep, t) in local_index.set_reachability(&rep_compound, &interior_compound) {
+                by_rep
+                    .entry(rep)
+                    .or_default()
+                    .push(comp.global_id(t).expect("interior target is concrete"));
+            }
+            for (&class, &rep) in mentioned_classes.iter().zip(rep_compound.iter()) {
+                class_cache.insert(class, by_rep.get(&rep).cloned().unwrap_or_default());
+            }
+        }
+        // Per boundary target: the set of local vertices that reach it
+        // *within* the local subgraph.
+        let mut boundary_reachers: HashMap<VertexId, HashSet<VertexId>> = HashMap::new();
+        for &t in &boundary_targets {
+            let local_t = local.mapping.local(t).expect("boundary target is local");
+            let reaches = bfs_reachable(&local.graph, local_t, Direction::Backward);
+            let set: HashSet<VertexId> = reaches
+                .iter()
+                .enumerate()
+                .filter(|&(_, &r)| r)
+                .map(|(v, _)| local.mapping.global(v as VertexId))
+                .collect();
+            boundary_reachers.insert(t, set);
+        }
+
+        let mut results = Vec::new();
+        for buffer in incoming.iter().flatten() {
+            for message in buffer {
+                for &class in &message.classes {
+                    let reached = class_cache.entry(class).or_insert_with(|| {
+                        let rep = summary.forward_representative(class);
+                        let rep_comp = comp.compound_id(rep).expect("representative is local");
+                        local_index
+                            .reachable_targets(rep_comp, &interior_compound)
+                            .into_iter()
+                            .map(|c| comp.global_id(c).expect("interior target is concrete"))
+                            .collect()
+                    });
+                    for &t in reached.iter() {
+                        results.push((message.source, t));
+                    }
+                }
+                for &t in &boundary_targets {
+                    let reachers = &boundary_reachers[&t];
+                    if message.entries.iter().any(|c| reachers.contains(c)) {
+                        results.push((message.source, t));
+                    }
+                }
+            }
+        }
+        results.sort_unstable();
+        results.dedup();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_graph::{DiGraph, TransitiveClosure};
+    use dsr_partition::{HashPartitioner, Partitioner, Partitioning};
+    use dsr_reach::LocalIndexKind;
+
+    /// Figure 1 fixture (same ids as in `summary.rs`).
+    fn figure1() -> (DiGraph, Partitioning) {
+        let edges = vec![
+            (2, 1),
+            (2, 3),
+            (0, 1),
+            (5, 0),
+            (4, 5),
+            (7, 9),
+            (7, 11),
+            (8, 9),
+            (9, 10),
+            (12, 8),
+            (6, 9),
+            (13, 16),
+            (14, 16),
+            (14, 18),
+            (16, 15),
+            (16, 17),
+            (16, 18),
+            (1, 6),
+            (3, 7),
+            (1, 8),
+            (9, 13),
+            (9, 14),
+            (15, 4),
+        ];
+        let g = DiGraph::from_edges(19, &edges);
+        let mut assignment = vec![0u32; 19];
+        for v in 6..=12 {
+            assignment[v] = 1;
+        }
+        for v in 13..=18 {
+            assignment[v] = 2;
+        }
+        (g, Partitioning::new(assignment, 3))
+    }
+
+    #[test]
+    fn example7_single_reachability_same_partition() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        // b ; f holds only through remote partitions.
+        assert!(engine.is_reachable(1, 4));
+        assert!(!engine.is_reachable(4, 1) || TransitiveClosure::build(&g).reachable(4, 1));
+    }
+
+    #[test]
+    fn example8_cross_partition_single_reachability() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        // a ; q: a in G1, q in G3.
+        assert!(engine.is_reachable(0, 17));
+        // q cannot reach a.
+        assert!(!engine.is_reachable(17, 0));
+    }
+
+    #[test]
+    fn set_query_matches_oracle_on_figure1() {
+        let (g, p) = figure1();
+        let oracle = TransitiveClosure::build(&g);
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let sources: Vec<u32> = (0..19).collect();
+        let targets: Vec<u32> = (0..19).collect();
+        let outcome = engine.set_reachability(&sources, &targets);
+        assert_eq!(outcome.pairs, oracle.set_reachability(&sources, &targets));
+    }
+
+    #[test]
+    fn single_round_of_data_exchange() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let outcome = engine.set_reachability(&[0, 2, 7], &[17, 10, 4]);
+        // Rounds: query scatter + one all-to-all + result gather.
+        assert_eq!(outcome.rounds, 3);
+        assert!(outcome.messages > 0);
+        assert!(outcome.bytes > 0);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        assert!(engine.set_reachability(&[], &[1]).pairs.is_empty());
+        assert!(engine.set_reachability(&[1], &[]).pairs.is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_with_every_local_index() {
+        let (g, p) = figure1();
+        let oracle = TransitiveClosure::build(&g);
+        let sources: Vec<u32> = (0..19).collect();
+        let targets: Vec<u32> = (0..19).collect();
+        let expected = oracle.set_reachability(&sources, &targets);
+        for kind in LocalIndexKind::ALL {
+            let index = DsrIndex::build(&g, p.clone(), kind);
+            let engine = DsrEngine::new(&index);
+            assert_eq!(
+                engine.set_reachability(&sources, &targets).pairs,
+                expected,
+                "mismatch with local index {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph_with_hash_partitioning() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let n = rng.gen_range(10..40);
+            let m = rng.gen_range(10..150);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .collect();
+            let g = DiGraph::from_edges(n, &edges);
+            let p = HashPartitioner::default().partition(&g, 3);
+            let oracle = TransitiveClosure::build(&g);
+            let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+            let engine = DsrEngine::new(&index);
+            let all: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(
+                engine.set_reachability(&all, &all).pairs,
+                oracle.set_reachability(&all, &all)
+            );
+        }
+    }
+
+    #[test]
+    fn single_partition_no_communication() {
+        let (g, _) = figure1();
+        let index = DsrIndex::build(&g, Partitioning::single(19), LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let outcome = engine.set_reachability(&[0, 1], &[17]);
+        // Only scatter/gather bookkeeping, no cross-slave data messages
+        // carry content (all-to-all has nothing to ship).
+        assert!(engine.is_reachable(0, 17));
+        assert_eq!(outcome.pairs, vec![(0, 17), (1, 17)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! The full DSR index: partition summaries, compound graphs, local
+//! reachability indexes and build statistics.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsr_cluster::run_on_slaves;
+use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
+use dsr_partition::{Cut, PartitionId, Partitioning};
+use dsr_reach::{build_index, LocalIndexKind, LocalReachability};
+
+use crate::compound::CompoundGraph;
+use crate::summary::PartitionSummary;
+
+/// Statistics collected while building a [`DsrIndex`] — these are the
+/// quantities reported in Table 2 (index sizes) and Table 4
+/// (equivalence-set optimization).
+#[derive(Debug, Clone)]
+pub struct IndexBuildStats {
+    /// Wall-clock build time (the "Indexing Time" column of Table 3).
+    pub build_time: Duration,
+    /// Per-partition compound-graph edge counts before condensation
+    /// ("Original" in Table 2); the table reports the per-node maximum.
+    pub compound_edges: Vec<usize>,
+    /// Per-partition compound-graph edge counts after SCC condensation
+    /// ("DAG" in Table 2).
+    pub dag_edges: Vec<usize>,
+    /// Total byte size of all compound graphs ("Size" in Table 2).
+    pub total_bytes: usize,
+    /// Total number of in-boundaries across partitions (non-optimized
+    /// forward boundary-graph size, Table 4).
+    pub total_in_boundaries: usize,
+    /// Total number of out-boundaries across partitions.
+    pub total_out_boundaries: usize,
+    /// Total number of forward classes (optimized forward size, Table 4).
+    pub total_forward_classes: usize,
+    /// Total number of backward classes.
+    pub total_backward_classes: usize,
+    /// Total number of reachable concrete boundary pairs (what the
+    /// non-optimized transit materialization would store).
+    pub total_boundary_pairs: usize,
+    /// Total number of compacted transit edges actually stored.
+    pub total_transit_edges: usize,
+}
+
+impl IndexBuildStats {
+    /// Maximum per-node compound graph size (the unit Table 2 reports).
+    pub fn max_compound_edges(&self) -> usize {
+        self.compound_edges.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum per-node DAG size.
+    pub fn max_dag_edges(&self) -> usize {
+        self.dag_edges.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The complete DSR index for a partitioned graph.
+///
+/// The index owns everything a slave would hold in the paper's deployment:
+/// its local subgraph, the compound graph, the local reachability index
+/// built over the compound graph, and the (small) summaries of all other
+/// partitions needed for routing.
+pub struct DsrIndex {
+    /// The partition assignment the index was built for.
+    pub partitioning: Partitioning,
+    /// The cut and the per-partition boundaries.
+    pub cut: Cut,
+    /// Per-partition local induced subgraphs (kept for updates and for the
+    /// boundary-target resolution step of Algorithm 2).
+    pub locals: Vec<InducedSubgraph>,
+    /// Per-partition summaries (boundaries, equivalence classes, transit).
+    pub summaries: Vec<PartitionSummary>,
+    /// Per-partition compound graphs.
+    pub compounds: Vec<CompoundGraph>,
+    /// Per-partition local reachability indexes over the compound graphs.
+    pub local_indexes: Vec<Box<dyn LocalReachability>>,
+    /// Which local strategy the index was built with.
+    pub kind: LocalIndexKind,
+    /// Build statistics.
+    pub stats: IndexBuildStats,
+}
+
+impl DsrIndex {
+    /// Builds the DSR index for `graph` under `partitioning`, using `kind`
+    /// as the local reachability strategy at every slave.
+    ///
+    /// Summaries and compound graphs are computed by all "slaves" in
+    /// parallel, exactly like the precomputation described in Section 3.3.1.
+    pub fn build(graph: &DiGraph, partitioning: Partitioning, kind: LocalIndexKind) -> Self {
+        Self::build_with_options(graph, partitioning, kind, true)
+    }
+
+    /// Builds the DSR index, optionally disabling the equivalence-set
+    /// optimization (Table 4's "Non-Opt." configuration).
+    pub fn build_with_options(
+        graph: &DiGraph,
+        partitioning: Partitioning,
+        kind: LocalIndexKind,
+        use_equivalence: bool,
+    ) -> Self {
+        assert_eq!(
+            graph.num_vertices(),
+            partitioning.num_vertices(),
+            "partitioning must cover the graph"
+        );
+        let start = Instant::now();
+        let k = partitioning.num_partitions;
+        let cut = Cut::extract(graph, &partitioning);
+        let members = partitioning.members();
+
+        // Per-slave local subgraph extraction + summary computation.
+        let locals: Vec<InducedSubgraph> =
+            run_on_slaves(k, |i| InducedSubgraph::induced(graph, &members[i]));
+        let summaries: Vec<PartitionSummary> = run_on_slaves(k, |i| {
+            PartitionSummary::compute_with_options(
+                i as PartitionId,
+                &locals[i],
+                cut.partition(i as PartitionId),
+                use_equivalence,
+            )
+        });
+        // Compound graphs need every other partition's summary (one round of
+        // summary exchange in a real deployment).
+        let compounds: Vec<CompoundGraph> = run_on_slaves(k, |i| {
+            CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId)
+        });
+        let local_indexes: Vec<Box<dyn LocalReachability>> =
+            run_on_slaves(k, |i| build_index(kind, Arc::new(compounds[i].graph.clone())));
+
+        let stats = Self::collect_stats(start.elapsed(), &summaries, &compounds);
+        DsrIndex {
+            partitioning,
+            cut,
+            locals,
+            summaries,
+            compounds,
+            local_indexes,
+            kind,
+            stats,
+        }
+    }
+
+    pub(crate) fn collect_stats(
+        build_time: Duration,
+        summaries: &[PartitionSummary],
+        compounds: &[CompoundGraph],
+    ) -> IndexBuildStats {
+        IndexBuildStats {
+            build_time,
+            compound_edges: compounds.iter().map(|c| c.num_edges()).collect(),
+            dag_edges: compounds.iter().map(|c| c.dag_edges()).collect(),
+            total_bytes: compounds.iter().map(|c| c.byte_size()).sum(),
+            total_in_boundaries: summaries.iter().map(|s| s.in_boundaries.len()).sum(),
+            total_out_boundaries: summaries.iter().map(|s| s.out_boundaries.len()).sum(),
+            total_forward_classes: summaries.iter().map(|s| s.num_forward_classes()).sum(),
+            total_backward_classes: summaries.iter().map(|s| s.num_backward_classes()).sum(),
+            total_boundary_pairs: summaries.iter().map(|s| s.boundary_pairs).sum(),
+            total_transit_edges: summaries.iter().map(|s| s.transit.len()).sum(),
+        }
+    }
+
+    /// Number of partitions (slaves).
+    pub fn num_partitions(&self) -> usize {
+        self.partitioning.num_partitions
+    }
+
+    /// Partition (slave) of a global vertex.
+    pub fn partition_of(&self, v: VertexId) -> PartitionId {
+        self.partitioning.partition_of(v)
+    }
+
+    /// Rebuilds the compound graphs and local indexes from the current
+    /// summaries/cut/locals. Used by the incremental update path after a
+    /// summary has been refreshed.
+    pub(crate) fn rebuild_compounds(&mut self) {
+        let k = self.num_partitions();
+        let summaries = &self.summaries;
+        let cut = &self.cut;
+        let locals = &self.locals;
+        let compounds: Vec<CompoundGraph> = run_on_slaves(k, |i| {
+            CompoundGraph::build(&locals[i], cut, summaries, i as PartitionId)
+        });
+        let kind = self.kind;
+        let local_indexes: Vec<Box<dyn LocalReachability>> =
+            run_on_slaves(k, |i| build_index(kind, Arc::new(compounds[i].graph.clone())));
+        self.compounds = compounds;
+        self.local_indexes = local_indexes;
+        self.stats = Self::collect_stats(self.stats.build_time, &self.summaries, &self.compounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_partition::{HashPartitioner, MultilevelPartitioner, Partitioner};
+
+    fn sample_graph() -> DiGraph {
+        // Three clusters of 4 vertices, chained.
+        let mut edges = Vec::new();
+        for c in 0..3u32 {
+            let base = c * 4;
+            edges.extend_from_slice(&[
+                (base, base + 1),
+                (base + 1, base + 2),
+                (base + 2, base + 3),
+                (base + 3, base),
+            ]);
+        }
+        edges.push((3, 4));
+        edges.push((7, 8));
+        DiGraph::from_edges(12, &edges)
+    }
+
+    #[test]
+    fn build_produces_one_structure_per_partition() {
+        let g = sample_graph();
+        let p = MultilevelPartitioner::default().partition(&g, 3);
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        assert_eq!(index.num_partitions(), 3);
+        assert_eq!(index.locals.len(), 3);
+        assert_eq!(index.summaries.len(), 3);
+        assert_eq!(index.compounds.len(), 3);
+        assert_eq!(index.local_indexes.len(), 3);
+        assert!(index.stats.total_bytes > 0);
+        assert!(index.stats.max_compound_edges() >= index.stats.max_dag_edges());
+    }
+
+    #[test]
+    fn equivalence_reduces_or_preserves_boundary_counts() {
+        let g = sample_graph();
+        let p = HashPartitioner::default().partition(&g, 3);
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        assert!(index.stats.total_forward_classes <= index.stats.total_in_boundaries);
+        assert!(index.stats.total_backward_classes <= index.stats.total_out_boundaries);
+        assert!(index.stats.total_transit_edges <= index.stats.total_boundary_pairs.max(1));
+    }
+
+    #[test]
+    fn single_partition_index() {
+        let g = sample_graph();
+        let index = DsrIndex::build(&g, Partitioning::single(12), LocalIndexKind::Dfs);
+        assert_eq!(index.num_partitions(), 1);
+        assert_eq!(index.cut.num_edges(), 0);
+        assert_eq!(index.stats.total_in_boundaries, 0);
+        // The compound graph of the single partition is just the graph.
+        assert_eq!(index.compounds[0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn mismatched_partitioning_panics() {
+        let g = sample_graph();
+        DsrIndex::build(&g, Partitioning::single(3), LocalIndexKind::Dfs);
+    }
+
+    #[test]
+    fn builds_with_every_local_index_kind() {
+        let g = sample_graph();
+        for kind in LocalIndexKind::ALL {
+            let p = MultilevelPartitioner::default().partition(&g, 2);
+            let index = DsrIndex::build(&g, p, kind);
+            assert_eq!(index.kind, kind);
+        }
+    }
+}

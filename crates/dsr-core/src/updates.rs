@@ -1,0 +1,341 @@
+//! Incremental index maintenance (Section 3.3.3).
+//!
+//! Insertions and deletions are applied against the per-partition state
+//! held by the [`DsrIndex`]:
+//!
+//! * a **local edge insertion** whose endpoints already belong to the same
+//!   SCC of the local subgraph changes nothing about boundary reachability
+//!   — only the local subgraph and its compound graph are refreshed;
+//! * any other local insertion, and every cut-edge insertion or deletion,
+//!   triggers a recomputation of the affected partitions' summaries
+//!   (equivalence classes and transit relation) followed by a rebuild of
+//!   the compound graphs at every slave (the paper's "communicate the new
+//!   boundary connections to all other partitions and merge them in");
+//! * **deletions** always recompute the affected summaries — the paper
+//!   notes that deletions cost roughly as much as rebuilding the affected
+//!   local boundary information, and the same holds here.
+//!
+//! Batch variants ([`DsrIndex::insert_edges`] / [`DsrIndex::delete_edges`])
+//! apply many edges before refreshing summaries once; the Figure 6
+//! bulk/progressive update experiments use them.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use dsr_graph::{is_reachable, DiGraph, InducedSubgraph, VertexId};
+use dsr_partition::PartitionId;
+
+use crate::index::DsrIndex;
+use crate::summary::PartitionSummary;
+
+/// What an incremental update did and how long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Partitions whose summaries (equivalence classes/transit) were
+    /// recomputed.
+    pub refreshed_summaries: Vec<PartitionId>,
+    /// Whether the compound graphs were rebuilt at every slave.
+    pub rebuilt_compounds: bool,
+    /// Wall-clock time of the update.
+    pub elapsed: Duration,
+}
+
+impl DsrIndex {
+    /// Inserts a single edge; see [`DsrIndex::insert_edges`].
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateOutcome {
+        self.insert_edges(&[(u, v)])
+    }
+
+    /// Deletes a single edge; see [`DsrIndex::delete_edges`].
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> UpdateOutcome {
+        self.delete_edges(&[(u, v)])
+    }
+
+    /// Inserts a batch of edges into the indexed graph and incrementally
+    /// refreshes the index.
+    pub fn insert_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateOutcome {
+        let start = Instant::now();
+        let mut affected: HashSet<PartitionId> = HashSet::new();
+        let mut new_local_edges: Vec<Vec<(VertexId, VertexId)>> =
+            vec![Vec::new(); self.num_partitions()];
+        let mut any_change = false;
+
+        for &(u, v) in edges {
+            let pu = self.partition_of(u);
+            let pv = self.partition_of(v);
+            any_change = true;
+            if pu == pv {
+                let local = &self.locals[pu as usize];
+                let lu = local.mapping.local(u).expect("endpoint is local");
+                let lv = local.mapping.local(v).expect("endpoint is local");
+                // Same-SCC insertions do not change any reachability
+                // information (paper: "can be safely ignored").
+                let same_scc =
+                    is_reachable(&local.graph, lu, lv) && is_reachable(&local.graph, lv, lu);
+                new_local_edges[pu as usize].push((lu, lv));
+                if !same_scc {
+                    affected.insert(pu);
+                }
+            } else {
+                // New cut edge.
+                if !self.cut.edges.contains(&(u, v)) {
+                    self.cut.edges.push((u, v));
+                    self.cut.edges.sort_unstable();
+                }
+                insert_sorted(&mut self.cut.boundaries[pu as usize].out_boundaries, u);
+                insert_sorted(&mut self.cut.boundaries[pv as usize].in_boundaries, v);
+                affected.insert(pu);
+                affected.insert(pv);
+            }
+        }
+
+        // Refresh local subgraphs that gained edges.
+        for (p, extra) in new_local_edges.iter().enumerate() {
+            if !extra.is_empty() {
+                self.rebuild_local(p as PartitionId, |edges| {
+                    edges.extend_from_slice(extra);
+                });
+            }
+        }
+        self.finish_update(start, affected, any_change)
+    }
+
+    /// Deletes a batch of edges from the indexed graph and refreshes the
+    /// index. Edges that are not present are ignored.
+    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateOutcome {
+        let start = Instant::now();
+        let mut affected: HashSet<PartitionId> = HashSet::new();
+        let mut removed_local: Vec<Vec<(VertexId, VertexId)>> =
+            vec![Vec::new(); self.num_partitions()];
+        let mut boundary_recheck: HashSet<PartitionId> = HashSet::new();
+        let mut any_change = false;
+
+        for &(u, v) in edges {
+            let pu = self.partition_of(u);
+            let pv = self.partition_of(v);
+            if pu == pv {
+                let local = &self.locals[pu as usize];
+                let lu = local.mapping.local(u).expect("endpoint is local");
+                let lv = local.mapping.local(v).expect("endpoint is local");
+                if local.graph.has_edge(lu, lv) {
+                    removed_local[pu as usize].push((lu, lv));
+                    affected.insert(pu);
+                    any_change = true;
+                }
+            } else if let Ok(pos) = self.cut.edges.binary_search(&(u, v)) {
+                self.cut.edges.remove(pos);
+                affected.insert(pu);
+                affected.insert(pv);
+                boundary_recheck.insert(pu);
+                boundary_recheck.insert(pv);
+                any_change = true;
+            }
+        }
+
+        // Re-derive boundary membership for partitions that lost cut edges.
+        for &p in &boundary_recheck {
+            let mut in_b = Vec::new();
+            let mut out_b = Vec::new();
+            for &(u, v) in &self.cut.edges {
+                if self.partition_of(u) == p {
+                    out_b.push(u);
+                }
+                if self.partition_of(v) == p {
+                    in_b.push(v);
+                }
+            }
+            in_b.sort_unstable();
+            in_b.dedup();
+            out_b.sort_unstable();
+            out_b.dedup();
+            self.cut.boundaries[p as usize].in_boundaries = in_b;
+            self.cut.boundaries[p as usize].out_boundaries = out_b;
+        }
+
+        // Refresh local subgraphs that lost edges.
+        for (p, removed) in removed_local.iter().enumerate() {
+            if !removed.is_empty() {
+                let to_remove: Vec<(VertexId, VertexId)> = removed.clone();
+                self.rebuild_local(p as PartitionId, move |edges| {
+                    for rm in &to_remove {
+                        if let Some(pos) = edges.iter().position(|e| e == rm) {
+                            edges.swap_remove(pos);
+                        }
+                    }
+                });
+            }
+        }
+        self.finish_update(start, affected, any_change)
+    }
+
+    /// Rebuilds the local induced subgraph of `partition` after applying
+    /// `mutate` to its (local-id) edge list.
+    fn rebuild_local<F>(&mut self, partition: PartitionId, mutate: F)
+    where
+        F: FnOnce(&mut Vec<(VertexId, VertexId)>),
+    {
+        let local = &self.locals[partition as usize];
+        let mut edges = local.graph.edge_vec();
+        mutate(&mut edges);
+        let graph = DiGraph::from_edges(local.graph.num_vertices(), &edges);
+        self.locals[partition as usize] = InducedSubgraph {
+            graph,
+            mapping: local.mapping.clone(),
+        };
+    }
+
+    fn finish_update(
+        &mut self,
+        start: Instant,
+        affected: HashSet<PartitionId>,
+        any_change: bool,
+    ) -> UpdateOutcome {
+        let mut refreshed: Vec<PartitionId> = affected.into_iter().collect();
+        refreshed.sort_unstable();
+        for &p in &refreshed {
+            self.summaries[p as usize] = PartitionSummary::compute(
+                p,
+                &self.locals[p as usize],
+                self.cut.partition(p),
+            );
+        }
+        if any_change {
+            self.rebuild_compounds();
+        }
+        UpdateOutcome {
+            refreshed_summaries: refreshed,
+            rebuilt_compounds: any_change,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+fn insert_sorted(list: &mut Vec<VertexId>, value: VertexId) {
+    if let Err(pos) = list.binary_search(&value) {
+        list.insert(pos, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DsrEngine;
+    use dsr_graph::TransitiveClosure;
+    use dsr_partition::{Partitioner, Partitioning};
+    use dsr_reach::LocalIndexKind;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain_graph() -> (DiGraph, Partitioning) {
+        // 0 -> 1 -> 2 | 3 -> 4 -> 5 (two partitions, no connection yet)
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        (g, p)
+    }
+
+    #[test]
+    fn inserting_a_cut_edge_connects_partitions() {
+        let (g, p) = chain_graph();
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        {
+            let engine = DsrEngine::new(&index);
+            assert!(!engine.is_reachable(0, 5));
+        }
+        let outcome = index.insert_edge(2, 3);
+        assert!(outcome.rebuilt_compounds);
+        assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
+        let engine = DsrEngine::new(&index);
+        assert!(engine.is_reachable(0, 5));
+        assert!(!engine.is_reachable(5, 0));
+    }
+
+    #[test]
+    fn inserting_a_local_edge_updates_local_reachability() {
+        let (g, p) = chain_graph();
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        index.insert_edge(2, 0); // creates a cycle 0 -> 1 -> 2 -> 0
+        let engine = DsrEngine::new(&index);
+        assert!(engine.is_reachable(2, 1));
+    }
+
+    #[test]
+    fn same_scc_insertion_skips_summary_refresh() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        // 0 and 1 are already mutually reachable: adding 1 -> 0 again (or a
+        // parallel edge inside the SCC) must not refresh any summary.
+        let outcome = index.insert_edge(0, 1);
+        assert!(outcome.refreshed_summaries.is_empty());
+    }
+
+    #[test]
+    fn deleting_a_cut_edge_disconnects() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        {
+            let engine = DsrEngine::new(&index);
+            assert!(engine.is_reachable(0, 3));
+        }
+        let outcome = index.delete_edge(1, 2);
+        assert!(outcome.rebuilt_compounds);
+        let engine = DsrEngine::new(&index);
+        assert!(!engine.is_reachable(0, 3));
+        // Boundaries must have been cleared.
+        assert!(index.cut.partition(0).out_boundaries.is_empty());
+        assert!(index.cut.partition(1).in_boundaries.is_empty());
+    }
+
+    #[test]
+    fn deleting_a_missing_edge_is_a_noop() {
+        let (g, p) = chain_graph();
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let outcome = index.delete_edge(0, 5);
+        assert!(!outcome.rebuilt_compounds);
+        assert!(outcome.refreshed_summaries.is_empty());
+    }
+
+    #[test]
+    fn incremental_updates_match_full_rebuild_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for _ in 0..3 {
+            let n = 20usize;
+            let mut edges: Vec<(u32, u32)> = (0..50)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .filter(|(u, v)| u != v)
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            let g = DiGraph::from_edges(n, &edges);
+            let p = dsr_partition::HashPartitioner::default().partition(&g, 3);
+            let mut index = DsrIndex::build(&g, p.clone(), LocalIndexKind::Dfs);
+
+            // Apply a mix of insertions and deletions.
+            let mut current = edges.clone();
+            for step in 0..6 {
+                if step % 2 == 0 {
+                    let u = rng.gen_range(0..n) as u32;
+                    let v = rng.gen_range(0..n) as u32;
+                    if u != v && !current.contains(&(u, v)) {
+                        current.push((u, v));
+                        index.insert_edge(u, v);
+                    }
+                } else if !current.is_empty() {
+                    let idx = rng.gen_range(0..current.len());
+                    let (u, v) = current.swap_remove(idx);
+                    index.delete_edge(u, v);
+                }
+            }
+            let updated_graph = DiGraph::from_edges(n, &current);
+            let oracle = TransitiveClosure::build(&updated_graph);
+            let engine = DsrEngine::new(&index);
+            let all: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(
+                engine.set_reachability(&all, &all).pairs,
+                oracle.set_reachability(&all, &all),
+                "index after incremental updates must match a fresh oracle"
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Uniform random (Erdős–Rényi G(n, m)) directed graphs.
+
+use dsr_graph::DiGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed G(n, m) graph: `num_edges` edges drawn uniformly at
+/// random (self loops excluded, duplicates allowed as in a multigraph — they
+/// do not affect reachability).
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> DiGraph {
+    assert!(num_vertices > 0, "need at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    if num_vertices == 1 {
+        return DiGraph::empty(1);
+    }
+    while edges.len() < num_edges {
+        let u = rng.gen_range(0..num_vertices) as u32;
+        let v = rng.gen_range(0..num_vertices) as u32;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    DiGraph::from_edges(num_vertices, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_requested_size() {
+        let g = erdos_renyi(100, 400, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 400);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(erdos_renyi(50, 200, 7), erdos_renyi(50, 200, 7));
+        assert_ne!(erdos_renyi(50, 200, 7), erdos_renyi(50, 200, 8));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(30, 200, 3);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = erdos_renyi(1, 10, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

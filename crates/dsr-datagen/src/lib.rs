@@ -1,0 +1,38 @@
+//! Synthetic dataset and workload generators.
+//!
+//! The paper evaluates on real-world graphs (Amazon, BerkStan, Google,
+//! NotreDame, Stanford, LiveJournal, Twitter, Freebase) and on the
+//! synthetic LUBM benchmark (Table 1). None of those downloads are
+//! available offline, so this crate generates structural analogues at
+//! laptop scale:
+//!
+//! * [`erdos_renyi`] — uniform random digraphs (baseline workloads),
+//! * [`rmat`] — power-law R-MAT graphs standing in for the social graphs
+//!   (LiveJournal, Twitter): heavy-tailed degrees and one giant SCC,
+//! * [`web`] — bow-tie style web graphs standing in for the SNAP web crawls
+//!   (Amazon, BerkStan, Google, NotreDame, Stanford): hierarchical host
+//!   structure, moderate SCCs,
+//! * [`lubm`] — a sparse, almost-acyclic RDF-like organization hierarchy
+//!   standing in for LUBM (universities, departments, research groups),
+//! * [`social`] — a planted-community social graph for the Section 4.5.B
+//!   community-connectedness experiment.
+//!
+//! [`workload`] generates the query workloads (random source/target sets of
+//! a given size) and [`datasets`] names scaled-down analogues of every
+//! dataset in Table 1 so the experiment harness can refer to them by name.
+
+pub mod datasets;
+pub mod erdos_renyi;
+pub mod lubm;
+pub mod rmat;
+pub mod social;
+pub mod web;
+pub mod workload;
+
+pub use datasets::{dataset_by_name, Dataset, DATASET_NAMES};
+pub use erdos_renyi::erdos_renyi;
+pub use lubm::{lubm_like, LubmGraph};
+pub use rmat::rmat;
+pub use social::{social_network, SocialGraph};
+pub use web::web_graph;
+pub use workload::{random_query, QueryWorkload};

@@ -1,0 +1,113 @@
+//! Query-workload generation.
+//!
+//! The paper's efficiency and scalability experiments use randomly selected
+//! source and target sets ("We randomly selected 10 source and 10 target
+//! vertices from all datasets … thus resulting in 100 reachability
+//! comparisons", Section 4.1). [`QueryWorkload`] reproduces that setup with
+//! configurable sizes (10×10 up to 10k×10k for Figure 5(d)(h)(l)(p)).
+
+use dsr_graph::{DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set-reachability query: source set `S` and target set `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWorkload {
+    /// Source vertices `S`.
+    pub sources: Vec<VertexId>,
+    /// Target vertices `T`.
+    pub targets: Vec<VertexId>,
+}
+
+impl QueryWorkload {
+    /// `|S| × |T|` — the number of reachability comparisons the query asks
+    /// for.
+    pub fn num_comparisons(&self) -> usize {
+        self.sources.len() * self.targets.len()
+    }
+
+    /// Label such as `10x10` used in experiment output.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.sources.len(), self.targets.len())
+    }
+}
+
+/// Draws a random set-reachability query with `num_sources` distinct sources
+/// and `num_targets` distinct targets (source and target sets may overlap,
+/// as in the paper).
+pub fn random_query(
+    graph: &DiGraph,
+    num_sources: usize,
+    num_targets: usize,
+    seed: u64,
+) -> QueryWorkload {
+    let n = graph.num_vertices();
+    assert!(n > 0, "cannot sample from an empty graph");
+    assert!(
+        num_sources <= n && num_targets <= n,
+        "query larger than the graph"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vertices: Vec<VertexId> = (0..n as VertexId).collect();
+    vertices.shuffle(&mut rng);
+    let sources = vertices[..num_sources].to_vec();
+    vertices.shuffle(&mut rng);
+    let targets = vertices[..num_targets].to_vec();
+    QueryWorkload { sources, targets }
+}
+
+/// Draws a batch of queries with distinct seeds (used when experiments
+/// average over several queries).
+pub fn random_queries(
+    graph: &DiGraph,
+    num_sources: usize,
+    num_targets: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<QueryWorkload> {
+    (0..count)
+        .map(|i| random_query(graph, num_sources, num_targets, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_distinctness() {
+        let g = DiGraph::empty(100);
+        let q = random_query(&g, 10, 10, 1);
+        assert_eq!(q.sources.len(), 10);
+        assert_eq!(q.targets.len(), 10);
+        assert_eq!(q.num_comparisons(), 100);
+        assert_eq!(q.label(), "10x10");
+        let mut s = q.sources.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10, "sources must be distinct");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = DiGraph::empty(50);
+        assert_eq!(random_query(&g, 5, 5, 9), random_query(&g, 5, 5, 9));
+        assert_ne!(random_query(&g, 5, 5, 9), random_query(&g, 5, 5, 10));
+    }
+
+    #[test]
+    fn batch_generation() {
+        let g = DiGraph::empty(30);
+        let qs = random_queries(&g, 3, 4, 5, 77);
+        assert_eq!(qs.len(), 5);
+        assert!(qs.iter().all(|q| q.sources.len() == 3 && q.targets.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the graph")]
+    fn oversized_query_panics() {
+        let g = DiGraph::empty(5);
+        random_query(&g, 10, 2, 0);
+    }
+}

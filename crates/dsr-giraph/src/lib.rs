@@ -1,0 +1,33 @@
+//! Pregel-style baseline engines for DSR queries.
+//!
+//! The paper compares its index-based approach against three
+//! implementations of set reachability on distributed graph engines
+//! (Section 4 and Appendix 8.4):
+//!
+//! * **Giraph** — purely vertex-centric BSP: every superstep, each vertex
+//!   that learned about new reachable sources forwards them to all of its
+//!   out-neighbors. The number of supersteps is bounded by the graph
+//!   diameter and *every* vertex-to-vertex message goes through the
+//!   engine's message store ([`vertex_centric`]).
+//! * **Giraph++** — graph-centric ("think like a graph"): each worker holds
+//!   a whole partition and propagates new sources to a local fixpoint
+//!   within a superstep, so only cross-partition messages remain
+//!   ([`graph_centric`]).
+//! * **Giraph++wEq** — Giraph++ plus the equivalence-set optimization: the
+//!   cross-partition messages are grouped per forward-equivalence class of
+//!   the destination partition (the in-virtual vertices of `dsr-core`),
+//!   which reduces the message count further.
+//!
+//! All three return a [`GiraphOutcome`] with the reachable pairs, the
+//! number of supersteps, and the communication volume, which is exactly
+//! what Figures 5 and 8 and Table 3 report.
+
+pub mod graph_centric;
+pub mod outcome;
+pub mod vertex_centric;
+
+pub use graph_centric::{
+    giraph_pp_set_reachability, giraph_pp_weq_with_summaries, GraphCentricVariant,
+};
+pub use outcome::GiraphOutcome;
+pub use vertex_centric::giraph_set_reachability;

@@ -1,0 +1,145 @@
+//! DAG condensation of a directed graph.
+//!
+//! The paper condenses every compound graph into its SCC DAG before building
+//! local reachability indexes (Section 3.3.1 and the "DAG" column of
+//! Table 2). [`CondensedGraph`] keeps the mapping between original vertices
+//! and condensed vertices so queries can be translated in both directions.
+
+use crate::{tarjan_scc, DiGraph, SccResult, VertexId};
+
+/// A graph condensed by contracting every SCC to a single vertex.
+#[derive(Debug, Clone)]
+pub struct CondensedGraph {
+    /// The condensation DAG; vertex `c` represents SCC `c` of the original.
+    pub dag: DiGraph,
+    /// The SCC assignment of the original graph.
+    pub scc: SccResult,
+    /// For every condensed vertex, the list of original member vertices.
+    pub members: Vec<Vec<VertexId>>,
+}
+
+impl CondensedGraph {
+    /// Condensed vertex that represents original vertex `v`.
+    #[inline]
+    pub fn map(&self, v: VertexId) -> VertexId {
+        self.scc.component_of(v)
+    }
+
+    /// A representative original vertex of condensed vertex `c` (the first
+    /// member).
+    #[inline]
+    pub fn representative(&self, c: VertexId) -> VertexId {
+        self.members[c as usize][0]
+    }
+
+    /// Number of vertices of the condensation.
+    pub fn num_vertices(&self) -> usize {
+        self.dag.num_vertices()
+    }
+
+    /// Number of edges of the condensation (inter-SCC edges, deduplicated).
+    pub fn num_edges(&self) -> usize {
+        self.dag.num_edges()
+    }
+
+    /// Compression factor `original_edges / dag_edges` (Section 4.2 reports
+    /// a factor of ~150 for the Twitter graph). Returns `None` when the DAG
+    /// has no edges.
+    pub fn compression_factor(&self, original_edges: usize) -> Option<f64> {
+        if self.dag.num_edges() == 0 {
+            None
+        } else {
+            Some(original_edges as f64 / self.dag.num_edges() as f64)
+        }
+    }
+}
+
+/// Condenses `graph` into its SCC DAG. Inter-component edges are
+/// deduplicated; intra-component edges are dropped.
+pub fn condense(graph: &DiGraph) -> CondensedGraph {
+    let scc = tarjan_scc(graph);
+    condense_with(graph, scc)
+}
+
+/// Condenses `graph` using a precomputed SCC assignment.
+pub fn condense_with(graph: &DiGraph, scc: SccResult) -> CondensedGraph {
+    let k = scc.num_components;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, v) in graph.edges() {
+        let cu = scc.component_of(u);
+        let cv = scc.component_of(v);
+        if cu != cv {
+            edges.push((cu, cv));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let dag = DiGraph::from_edges(k, &edges);
+    let members = scc.members();
+    CondensedGraph { dag, scc, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+
+    #[test]
+    fn condensing_a_dag_is_isomorphic() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let c = condense(&g);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn cycle_collapses_to_single_vertex() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = condense(&g);
+        assert_eq!(c.num_vertices(), 2);
+        assert_eq!(c.num_edges(), 1);
+        let c3 = c.map(3);
+        let c0 = c.map(0);
+        assert!(c.dag.has_edge(c0, c3));
+        assert_eq!(c.members[c0 as usize].len(), 3);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        // Two interleaved cycles plus cross edges.
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (1, 4)],
+        );
+        let c = condense(&g);
+        assert!(topological_order(&c.dag).is_some(), "condensation must be a DAG");
+        assert_eq!(c.num_vertices(), 2);
+    }
+
+    #[test]
+    fn parallel_inter_component_edges_dedup() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)]);
+        let c = condense(&g);
+        // {0,1} -> 2 appears twice in the original but once in the DAG.
+        assert_eq!(c.num_edges(), 2);
+    }
+
+    #[test]
+    fn representative_is_member() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let c = condense(&g);
+        let comp = c.map(0);
+        let rep = c.representative(comp);
+        assert!(c.members[comp as usize].contains(&rep));
+    }
+
+    #[test]
+    fn compression_factor() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let c = condense(&g);
+        let f = c.compression_factor(g.num_edges()).unwrap();
+        assert!(f > 1.0);
+        let empty = condense(&DiGraph::empty(3));
+        assert!(empty.compression_factor(0).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Edge-list I/O in the SNAP text format.
+//!
+//! The paper's small datasets are distributed by the Stanford SNAP project
+//! as whitespace-separated edge lists with `#` comment lines. This module
+//! reads and writes that format so the library can be pointed at the real
+//! datasets when they are available, and so experiment inputs/outputs can
+//! be persisted.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{DiGraph, VertexId};
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number and its
+    /// content.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse(line, content) => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses a SNAP-style edge list from a reader.
+///
+/// Lines starting with `#` or `%` and empty lines are skipped; every other
+/// line must contain two whitespace-separated vertex ids. The vertex count
+/// is `max id + 1`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DiGraph, EdgeListError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_vertex: Option<VertexId> = None;
+    for (number, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |token: Option<&str>| -> Option<VertexId> { token?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                max_vertex = Some(max_vertex.map_or(u.max(v), |m| m.max(u).max(v)));
+                edges.push((u, v));
+            }
+            _ => return Err(EdgeListError::Parse(number + 1, trimmed.to_owned())),
+        }
+    }
+    let num_vertices = max_vertex.map_or(0, |m| m as usize + 1);
+    Ok(DiGraph::from_edges(num_vertices, &edges))
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, EdgeListError> {
+    let file = File::open(path)?;
+    read_edge_list(BufReader::new(file))
+}
+
+/// Writes a graph as a SNAP-style edge list (one `u\tv` line per edge,
+/// preceded by a size comment).
+pub fn write_edge_list<W: Write>(graph: &DiGraph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# Directed graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &DiGraph, path: P) -> io::Result<()> {
+    let file = File::create(path)?;
+    write_edge_list(graph, BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_format_with_comments() {
+        let input = "# FromNodeId ToNodeId\n0 1\n1\t2\n\n% another comment\n2 0\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list("0 1\nnot-an-edge\n".as_bytes()).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        match err {
+            EdgeListError::Parse(line, content) => {
+                assert_eq!(line, 2);
+                assert!(content.contains("not-an-edge"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (4, 0)]);
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let parsed = read_edge_list(buffer.as_slice()).unwrap();
+        assert_eq!(parsed.num_vertices(), g.num_vertices());
+        assert_eq!(parsed.edge_vec(), g.edge_vec());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("dsr_graph_io_test_roundtrip.txt");
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        assert_eq!(parsed.edge_vec(), g.edge_vec());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("# nothing here\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/nonexistent/path/graph.txt").unwrap_err();
+        assert!(matches!(err, EdgeListError::Io(_)));
+    }
+}

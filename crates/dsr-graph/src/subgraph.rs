@@ -1,0 +1,168 @@
+//! Vertex-induced subgraphs with local/global id mapping.
+//!
+//! The paper's Definition 1 partitions the data graph into vertex-disjoint,
+//! vertex-induced subgraphs `Gi`. Local computations at each slave operate
+//! on dense local ids; [`VertexMapping`] translates between the local and
+//! the global id space.
+
+use std::collections::HashMap;
+
+use crate::{DiGraph, VertexId};
+
+/// Bidirectional mapping between global vertex ids and dense local ids.
+#[derive(Debug, Clone, Default)]
+pub struct VertexMapping {
+    to_local: HashMap<VertexId, VertexId>,
+    to_global: Vec<VertexId>,
+}
+
+impl VertexMapping {
+    /// Builds a mapping for the given global vertices (order defines the
+    /// local ids).
+    pub fn new(global_vertices: &[VertexId]) -> Self {
+        let mut to_local = HashMap::with_capacity(global_vertices.len());
+        let mut to_global = Vec::with_capacity(global_vertices.len());
+        for (local, &global) in global_vertices.iter().enumerate() {
+            let prev = to_local.insert(global, local as VertexId);
+            assert!(prev.is_none(), "duplicate global vertex {global}");
+            to_global.push(global);
+        }
+        VertexMapping {
+            to_local,
+            to_global,
+        }
+    }
+
+    /// Local id of a global vertex, if it belongs to this subgraph.
+    #[inline]
+    pub fn local(&self, global: VertexId) -> Option<VertexId> {
+        self.to_local.get(&global).copied()
+    }
+
+    /// Global id of a local vertex.
+    #[inline]
+    pub fn global(&self, local: VertexId) -> VertexId {
+        self.to_global[local as usize]
+    }
+
+    /// Whether the given global vertex belongs to this subgraph.
+    #[inline]
+    pub fn contains(&self, global: VertexId) -> bool {
+        self.to_local.contains_key(&global)
+    }
+
+    /// Number of mapped vertices.
+    pub fn len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_global.is_empty()
+    }
+
+    /// Iterator over all global vertices in local-id order.
+    pub fn globals(&self) -> &[VertexId] {
+        &self.to_global
+    }
+}
+
+/// A vertex-induced subgraph together with its id mapping.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph over dense local ids.
+    pub graph: DiGraph,
+    /// Mapping local ids <-> global ids.
+    pub mapping: VertexMapping,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph of `graph` induced by `vertices` (global ids).
+    ///
+    /// Only edges with both endpoints inside `vertices` are kept — exactly
+    /// the paper's `Ei = {(u, v) | u ∈ Vi, v ∈ Vi, (u, v) ∈ E}`.
+    pub fn induced(graph: &DiGraph, vertices: &[VertexId]) -> Self {
+        let mapping = VertexMapping::new(vertices);
+        let mut edges = Vec::new();
+        for &u in vertices {
+            let lu = mapping.local(u).expect("vertex just inserted");
+            for &v in graph.out_neighbors(u) {
+                if let Some(lv) = mapping.local(v) {
+                    edges.push((lu, lv));
+                }
+            }
+        }
+        let graph = DiGraph::from_edges(vertices.len(), &edges);
+        InducedSubgraph { graph, mapping }
+    }
+
+    /// Number of local vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of local edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        // 0 -> 1 -> 2 -> 3; induce {1, 2}
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = InducedSubgraph::induced(&g, &[1, 2]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        let l1 = sub.mapping.local(1).unwrap();
+        let l2 = sub.mapping.local(2).unwrap();
+        assert!(sub.graph.has_edge(l1, l2));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let m = VertexMapping::new(&[10, 20, 30]);
+        assert_eq!(m.local(20), Some(1));
+        assert_eq!(m.global(1), 20);
+        assert!(m.contains(30));
+        assert!(!m.contains(40));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.globals(), &[10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_vertices_panic() {
+        VertexMapping::new(&[1, 1]);
+    }
+
+    #[test]
+    fn empty_induced_subgraph() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]);
+        let sub = InducedSubgraph::induced(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert_eq!(sub.num_edges(), 0);
+        assert!(sub.mapping.is_empty());
+    }
+
+    #[test]
+    fn paper_partition_example() {
+        // Figure 1: partition G1 = {a, b, d, e, f, r} of graph G. Build a
+        // small analogue: vertices 0..=5 are G1 with internal edges
+        // (d->b, d->e, a->b, r->a, f->r) and external edges to other
+        // partitions that must be dropped.
+        let mut edges = vec![(0, 1), (0, 2), (3, 1), (4, 3), (5, 4)];
+        // external: b(1) -> 6, e(2) -> 7
+        edges.push((1, 6));
+        edges.push((2, 7));
+        let g = DiGraph::from_edges(8, &edges);
+        let sub = InducedSubgraph::induced(&g, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(sub.num_edges(), 5);
+        assert_eq!(sub.num_vertices(), 6);
+    }
+}

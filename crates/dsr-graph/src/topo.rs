@@ -1,0 +1,91 @@
+//! Topological ordering of DAGs (Kahn's algorithm).
+//!
+//! Used by the FERRARI-like interval index (interval assignment needs a
+//! topological numbering) and by tests that check that condensations are
+//! acyclic.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, VertexId};
+
+/// Returns a topological order of `graph`, or `None` if the graph contains a
+/// cycle. Ties are broken by vertex id so the order is deterministic.
+pub fn topological_order(graph: &DiGraph) -> Option<Vec<VertexId>> {
+    let n = graph.num_vertices();
+    let mut in_degree: Vec<usize> = (0..n).map(|v| graph.in_degree(v as VertexId)).collect();
+    let mut queue: VecDeque<VertexId> = (0..n as VertexId)
+        .filter(|&v| in_degree[v as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in graph.out_neighbors(v) {
+            in_degree[w as usize] -= 1;
+            if in_degree[w as usize] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Returns `position[v]` = index of `v` in the topological order, or `None`
+/// if the graph is cyclic.
+pub fn topological_positions(graph: &DiGraph) -> Option<Vec<usize>> {
+    let order = topological_order(graph)?;
+    let mut pos = vec![0usize; graph.num_vertices()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    Some(pos)
+}
+
+/// Whether the graph is a DAG.
+pub fn is_dag(graph: &DiGraph) -> bool {
+    topological_order(graph).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_order(&g).unwrap();
+        let pos = topological_positions(&g).unwrap();
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize]);
+        }
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_order(&g).is_none());
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(topological_order(&DiGraph::empty(0)).unwrap().len(), 0);
+        assert_eq!(topological_order(&DiGraph::empty(3)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let g = DiGraph::from_edges(4, &[(3, 1), (3, 0), (0, 2), (1, 2)]);
+        assert_eq!(topological_order(&g), topological_order(&g));
+    }
+}

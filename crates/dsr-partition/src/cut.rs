@@ -1,0 +1,222 @@
+//! Cut extraction and in-/out-boundary computation (Definition 3).
+//!
+//! Given a partitioning `G = {G1, ..., Gk}` of a data graph `G`, the *cut*
+//! `C` is the subgraph formed by all edges whose endpoints lie in different
+//! partitions. For every partition `Gi`:
+//!
+//! * the **in-boundaries** `Ii` are the vertices of `Gi` with an incoming
+//!   cut edge, and
+//! * the **out-boundaries** `Oi` are the vertices of `Gi` with an outgoing
+//!   cut edge.
+//!
+//! These sets drive the size of the boundary graph and therefore the whole
+//! index (Section 3.3.1, "Complexity").
+
+use dsr_graph::{DiGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{PartitionId, Partitioning};
+
+/// The boundaries of a single partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionBoundaries {
+    /// In-boundaries `Ii` (sorted global vertex ids).
+    pub in_boundaries: Vec<VertexId>,
+    /// Out-boundaries `Oi` (sorted global vertex ids).
+    pub out_boundaries: Vec<VertexId>,
+}
+
+impl PartitionBoundaries {
+    /// Whether `v` is an in-boundary of this partition.
+    pub fn is_in_boundary(&self, v: VertexId) -> bool {
+        self.in_boundaries.binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` is an out-boundary of this partition.
+    pub fn is_out_boundary(&self, v: VertexId) -> bool {
+        self.out_boundaries.binary_search(&v).is_ok()
+    }
+}
+
+/// The cut `C` of a partitioned graph plus all per-partition boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cut {
+    /// All cut edges `(u, v)` with `ρ(u) != ρ(v)`, in global ids, sorted.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Boundaries of every partition, indexed by partition id.
+    pub boundaries: Vec<PartitionBoundaries>,
+}
+
+impl Cut {
+    /// Extracts the cut and boundaries of `graph` under `partitioning`.
+    pub fn extract(graph: &DiGraph, partitioning: &Partitioning) -> Self {
+        assert_eq!(
+            graph.num_vertices(),
+            partitioning.num_vertices(),
+            "partitioning must cover the graph"
+        );
+        let k = partitioning.num_partitions;
+        let mut edges = Vec::new();
+        let mut boundaries = vec![PartitionBoundaries::default(); k];
+        for (u, v) in graph.edges() {
+            let pu = partitioning.partition_of(u);
+            let pv = partitioning.partition_of(v);
+            if pu != pv {
+                edges.push((u, v));
+                boundaries[pu as usize].out_boundaries.push(u);
+                boundaries[pv as usize].in_boundaries.push(v);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for b in &mut boundaries {
+            b.in_boundaries.sort_unstable();
+            b.in_boundaries.dedup();
+            b.out_boundaries.sort_unstable();
+            b.out_boundaries.dedup();
+        }
+        Cut { edges, boundaries }
+    }
+
+    /// Number of cut edges `|EC|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Boundaries of partition `i`.
+    pub fn partition(&self, i: PartitionId) -> &PartitionBoundaries {
+        &self.boundaries[i as usize]
+    }
+
+    /// Total number of boundary vertices across all partitions (in + out,
+    /// duplicates between the two sets counted once per set).
+    pub fn total_boundary_vertices(&self) -> usize {
+        self.boundaries
+            .iter()
+            .map(|b| b.in_boundaries.len() + b.out_boundaries.len())
+            .sum()
+    }
+
+    /// Cut edges whose *target* lies in partition `i` (incoming cut edges).
+    pub fn incoming_edges(&self, partitioning: &Partitioning, i: PartitionId) -> Vec<(VertexId, VertexId)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|&(_, v)| partitioning.partition_of(v) == i)
+            .collect()
+    }
+
+    /// Cut edges whose *source* lies in partition `i` (outgoing cut edges).
+    pub fn outgoing_edges(&self, partitioning: &Partitioning, i: PartitionId) -> Vec<(VertexId, VertexId)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|&(u, _)| partitioning.partition_of(u) == i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 example graph. Vertices (paper label -> id):
+    /// G1: a=0 b=1 d=2 e=3 f=4 r=5
+    /// G2: c=6 g=7 h=8 i=9 k=10 l=11 u=12
+    /// G3: m=13 n=14 o=15 p=16 q=17 v=18
+    pub fn figure1_graph() -> (DiGraph, Partitioning) {
+        let edges = vec![
+            // G1 internal: d->b, d->e, a->b(?), r->a, f->r, e->? Keep a
+            // faithful small analogue of Figure 1(a):
+            (2, 1),
+            (2, 3),
+            (0, 1),
+            (5, 0),
+            (4, 5),
+            (3, 4),
+            // G2 internal: c->g? Figure: g->i, g->l, h->i, i->k, u->h, c->? ...
+            (7, 9),
+            (7, 11),
+            (8, 9),
+            (9, 10),
+            (12, 8),
+            (6, 7),
+            // G3 internal: m->p, n->p, n->v, p->o, o->q, q->? ...
+            (13, 16),
+            (14, 16),
+            (14, 18),
+            (16, 15),
+            (15, 17),
+            // Cut edges (Figure 1(b)): b->c, e->g, b->h(?), i->n, i->m, o->f
+            (1, 6),
+            (3, 7),
+            (1, 8),
+            (9, 14),
+            (9, 13),
+            (15, 4),
+        ];
+        let g = DiGraph::from_edges(19, &edges);
+        let mut assignment = vec![0u32; 19];
+        for v in 6..=12 {
+            assignment[v] = 1;
+        }
+        for v in 13..=18 {
+            assignment[v] = 2;
+        }
+        (g, Partitioning::new(assignment, 3))
+    }
+
+    #[test]
+    fn figure1_boundaries() {
+        let (g, p) = figure1_graph();
+        let cut = Cut::extract(&g, &p);
+        // I1 = {f}, O1 = {b, e}
+        assert_eq!(cut.partition(0).in_boundaries, vec![4]);
+        assert_eq!(cut.partition(0).out_boundaries, vec![1, 3]);
+        // I2 = {c, g, h}, O2 = {i}
+        assert_eq!(cut.partition(1).in_boundaries, vec![6, 7, 8]);
+        assert_eq!(cut.partition(1).out_boundaries, vec![9]);
+        // I3 = {m, n}, O3 = {o}
+        assert_eq!(cut.partition(2).in_boundaries, vec![13, 14]);
+        assert_eq!(cut.partition(2).out_boundaries, vec![15]);
+        assert_eq!(cut.num_edges(), 6);
+    }
+
+    #[test]
+    fn boundary_membership_queries() {
+        let (g, p) = figure1_graph();
+        let cut = Cut::extract(&g, &p);
+        assert!(cut.partition(0).is_in_boundary(4));
+        assert!(!cut.partition(0).is_in_boundary(1));
+        assert!(cut.partition(1).is_out_boundary(9));
+        assert!(!cut.partition(1).is_out_boundary(6));
+    }
+
+    #[test]
+    fn incoming_outgoing_edges() {
+        let (g, p) = figure1_graph();
+        let cut = Cut::extract(&g, &p);
+        let incoming2 = cut.incoming_edges(&p, 1);
+        assert_eq!(incoming2.len(), 3);
+        assert!(incoming2.iter().all(|&(_, v)| p.partition_of(v) == 1));
+        let outgoing2 = cut.outgoing_edges(&p, 1);
+        assert_eq!(outgoing2.len(), 2);
+    }
+
+    #[test]
+    fn no_cut_for_single_partition() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let p = Partitioning::single(5);
+        let cut = Cut::extract(&g, &p);
+        assert_eq!(cut.num_edges(), 0);
+        assert_eq!(cut.total_boundary_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn mismatched_sizes_panic() {
+        let g = DiGraph::empty(3);
+        let p = Partitioning::new(vec![0, 0], 1);
+        Cut::extract(&g, &p);
+    }
+}

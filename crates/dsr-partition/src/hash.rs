@@ -1,0 +1,98 @@
+//! Hash ("random sharding") partitioning.
+//!
+//! The simplest partitioning strategy referenced in Table 5 of the paper:
+//! each vertex is assigned to partition `hash(v) mod k`. It is balanced in
+//! expectation but ignores the edge structure, which produces large cuts —
+//! exactly the behaviour the paper's comparison highlights.
+
+use dsr_graph::{DiGraph, VertexId};
+
+use crate::types::{PartitionId, Partitioner, Partitioning};
+
+/// Hash partitioner with a configurable seed (so experiments are
+/// reproducible).
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    seed: u64,
+}
+
+impl Default for HashPartitioner {
+    fn default() -> Self {
+        HashPartitioner { seed: 0x5851_f42d_4c95_7f2d }
+    }
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        HashPartitioner { seed }
+    }
+
+    #[inline]
+    fn hash(&self, v: VertexId) -> u64 {
+        // SplitMix64-style mixing: cheap, well-distributed, dependency-free.
+        let mut x = (v as u64).wrapping_add(self.seed);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &DiGraph, k: usize) -> Partitioning {
+        assert!(k > 0, "need at least one partition");
+        let assignment: Vec<PartitionId> = graph
+            .vertices()
+            .map(|v| (self.hash(v) % k as u64) as PartitionId)
+            .collect();
+        Partitioning::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_partitions_and_is_deterministic() {
+        let g = DiGraph::empty(1000);
+        let p1 = HashPartitioner::default().partition(&g, 5);
+        let p2 = HashPartitioner::default().partition(&g, 5);
+        assert_eq!(p1, p2);
+        let sizes = p1.sizes();
+        assert_eq!(sizes.len(), 5);
+        assert!(sizes.iter().all(|&s| s > 0), "every partition gets vertices");
+    }
+
+    #[test]
+    fn reasonably_balanced() {
+        let g = DiGraph::empty(10_000);
+        let p = HashPartitioner::default().partition(&g, 8);
+        assert!(p.balance() < 1.15, "hash partitioning should be near-balanced");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = DiGraph::empty(100);
+        let a = HashPartitioner::new(1).partition(&g, 4);
+        let b = HashPartitioner::new(2).partition(&g, 4);
+        assert_ne!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn single_partition() {
+        let g = DiGraph::from_edges(10, &[(0, 1)]);
+        let p = HashPartitioner::default().partition(&g, 1);
+        assert!(p.assignment.iter().all(|&x| x == 0));
+        assert_eq!(p.cut_size(&g), 0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(HashPartitioner::default().name(), "Hash");
+    }
+}

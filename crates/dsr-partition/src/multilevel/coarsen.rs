@@ -1,0 +1,267 @@
+//! Coarsening phase: heavy-edge matching and contraction.
+//!
+//! The directed input graph is first symmetrized into a [`WeightedGraph`]
+//! (edge weight = number of parallel directed edges between the endpoints,
+//! vertex weight = number of original vertices it represents). Each
+//! coarsening step computes a matching that prefers heavy edges and
+//! contracts every matched pair into a single coarse vertex.
+
+use dsr_graph::{DiGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+
+/// Undirected weighted graph used during coarsening.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    /// adjacency[v] = (neighbor, edge weight), deduplicated.
+    adjacency: Vec<Vec<(VertexId, u64)>>,
+    /// Vertex weights (number of original vertices represented).
+    vertex_weight: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Builds the symmetrized weighted graph of a directed graph.
+    pub fn from_digraph(graph: &DiGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut adjacency: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); n];
+        for (u, v) in graph.edges() {
+            if u == v {
+                continue; // self loops are irrelevant for cuts
+            }
+            adjacency[u as usize].push((v, 1));
+            adjacency[v as usize].push((u, 1));
+        }
+        let mut wg = WeightedGraph {
+            adjacency,
+            vertex_weight: vec![1; n],
+        };
+        wg.normalize();
+        wg
+    }
+
+    /// Merges parallel entries in each adjacency list, summing weights.
+    fn normalize(&mut self) {
+        for list in &mut self.adjacency {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            let mut merged: Vec<(VertexId, u64)> = Vec::with_capacity(list.len());
+            for &(v, w) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            *list = merged;
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Weighted neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, u64)] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Weight of vertex `v`.
+    pub fn vertex_weight(&self, v: VertexId) -> u64 {
+        self.vertex_weight[v as usize]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vertex_weight.iter().sum()
+    }
+
+    /// Sum of weights of edges incident to `v` that cross into another
+    /// partition minus those that stay, given an assignment — helper for
+    /// refinement gain computation lives in `refine.rs`; here we only expose
+    /// raw adjacency.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v as usize].len()
+    }
+}
+
+/// One level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The (weighted) graph at this level.
+    pub graph: WeightedGraph,
+    /// For every vertex of the *finer* (previous) level, the coarse vertex
+    /// it maps to. For the first level this is the identity.
+    pub parent: Vec<VertexId>,
+}
+
+/// Coarsens `base` until it has at most `target` vertices or the matching
+/// stops making progress. Returns the hierarchy from finest (`levels[0]`,
+/// the input) to coarsest (`levels.last()`).
+pub fn coarsen(base: WeightedGraph, target: usize, rng: &mut SmallRng) -> Vec<CoarseLevel> {
+    let identity: Vec<VertexId> = (0..base.len() as VertexId).collect();
+    let mut levels = vec![CoarseLevel {
+        graph: base,
+        parent: identity,
+    }];
+
+    loop {
+        let current = &levels.last().expect("nonempty").graph;
+        if current.len() <= target {
+            break;
+        }
+        let (coarse, mapping) = contract_matching(current, rng);
+        // Stop if we are no longer shrinking meaningfully (e.g. star graphs).
+        if coarse.len() as f64 > current.len() as f64 * 0.95 {
+            break;
+        }
+        levels.push(CoarseLevel {
+            graph: coarse,
+            parent: mapping,
+        });
+    }
+    levels
+}
+
+/// Computes a heavy-edge matching of `graph` and contracts it. Returns the
+/// coarse graph and the fine→coarse vertex mapping.
+fn contract_matching(graph: &WeightedGraph, rng: &mut SmallRng) -> (WeightedGraph, Vec<VertexId>) {
+    let n = graph.len();
+    const UNMATCHED: VertexId = VertexId::MAX;
+    let mut mate = vec![UNMATCHED; n];
+
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        // Pick the unmatched neighbor connected by the heaviest edge.
+        let mut best: Option<(VertexId, u64)> = None;
+        for &(w, weight) in graph.neighbors(v) {
+            if w != v && mate[w as usize] == UNMATCHED {
+                if best.map_or(true, |(_, bw)| weight > bw) {
+                    best = Some((w, weight));
+                }
+            }
+        }
+        match best {
+            Some((w, _)) => {
+                mate[v as usize] = w;
+                mate[w as usize] = v;
+            }
+            None => {
+                mate[v as usize] = v; // matched with itself (singleton)
+            }
+        }
+    }
+
+    // Assign coarse ids: one per matched pair / singleton.
+    let mut mapping = vec![UNMATCHED; n];
+    let mut next = 0 as VertexId;
+    for v in 0..n as VertexId {
+        if mapping[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        mapping[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            mapping[m as usize] = next;
+        }
+        next += 1;
+    }
+
+    // Build the coarse weighted graph.
+    let coarse_n = next as usize;
+    let mut vertex_weight = vec![0u64; coarse_n];
+    for v in 0..n {
+        vertex_weight[mapping[v] as usize] += graph.vertex_weight(v as VertexId);
+    }
+    let mut adjacency: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); coarse_n];
+    for v in 0..n as VertexId {
+        let cv = mapping[v as usize];
+        for &(w, weight) in graph.neighbors(v) {
+            let cw = mapping[w as usize];
+            if cv != cw {
+                adjacency[cv as usize].push((cw, weight));
+            }
+        }
+    }
+    let mut coarse = WeightedGraph {
+        adjacency,
+        vertex_weight,
+    };
+    coarse.normalize();
+    (coarse, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_graph_symmetrizes_and_merges() {
+        // 0 -> 1 twice plus 1 -> 0 gives an undirected edge of weight 3.
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        let wg = WeightedGraph::from_digraph(&g);
+        assert_eq!(wg.neighbors(0), &[(1, 3)]);
+        assert_eq!(wg.neighbors(1), &[(0, 3)]);
+        assert_eq!(wg.total_weight(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let wg = WeightedGraph::from_digraph(&g);
+        assert_eq!(wg.degree(0), 1);
+    }
+
+    #[test]
+    fn coarsening_reduces_size_and_preserves_weight() {
+        let n = 64u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let wg = WeightedGraph::from_digraph(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let levels = coarsen(wg, 8, &mut rng);
+        assert!(levels.len() >= 2);
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.len() < 64);
+        assert_eq!(coarsest.total_weight(), 64, "vertex weight is conserved");
+    }
+
+    #[test]
+    fn parent_mapping_is_consistent() {
+        let n = 32u32;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let wg = WeightedGraph::from_digraph(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let levels = coarsen(wg, 4, &mut rng);
+        for lvl in 1..levels.len() {
+            let fine_len = levels[lvl - 1].graph.len();
+            let coarse_len = levels[lvl].graph.len();
+            assert_eq!(levels[lvl].parent.len(), fine_len);
+            assert!(levels[lvl]
+                .parent
+                .iter()
+                .all(|&p| (p as usize) < coarse_len));
+        }
+    }
+
+    #[test]
+    fn coarsening_stops_at_target() {
+        let g = DiGraph::empty(100);
+        let wg = WeightedGraph::from_digraph(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // No edges: matching makes no progress beyond singletons, must not
+        // loop forever.
+        let levels = coarsen(wg, 10, &mut rng);
+        assert!(!levels.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Initial partitioning of the coarsest graph by greedy region growing.
+//!
+//! Starting from `k` random seed vertices, regions are grown by repeatedly
+//! absorbing the frontier vertex with the strongest connection to the
+//! region, subject to a per-partition weight cap. Unassigned leftovers are
+//! placed on the lightest partition.
+
+use std::collections::BinaryHeap;
+
+use dsr_graph::VertexId;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+
+use crate::types::PartitionId;
+
+use super::coarsen::WeightedGraph;
+
+/// Greedy region-growing initial partition of `graph` into `k` parts, each
+/// holding at most `max_weight` vertex weight (best effort).
+pub fn initial_partition(
+    graph: &WeightedGraph,
+    k: usize,
+    max_weight: u64,
+    rng: &mut SmallRng,
+) -> Vec<PartitionId> {
+    let n = graph.len();
+    const UNASSIGNED: PartitionId = PartitionId::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    if n == 0 {
+        return assignment;
+    }
+    let mut load = vec![0u64; k];
+
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(rng);
+
+    // Pick k distinct seeds (fewer if n < k).
+    let mut seeds: Vec<VertexId> = Vec::with_capacity(k);
+    for &v in order.iter() {
+        if seeds.len() == k {
+            break;
+        }
+        seeds.push(v);
+    }
+
+    // Priority queue of (connection strength, vertex, partition).
+    let mut heap: BinaryHeap<(u64, VertexId, PartitionId)> = BinaryHeap::new();
+    for (p, &seed) in seeds.iter().enumerate() {
+        heap.push((u64::MAX, seed, p as PartitionId));
+    }
+
+    while let Some((_, v, p)) = heap.pop() {
+        if assignment[v as usize] != UNASSIGNED {
+            continue;
+        }
+        if load[p as usize] + graph.vertex_weight(v) > max_weight
+            && load[p as usize] > 0
+        {
+            continue;
+        }
+        assignment[v as usize] = p;
+        load[p as usize] += graph.vertex_weight(v);
+        for &(w, weight) in graph.neighbors(v) {
+            if assignment[w as usize] == UNASSIGNED {
+                heap.push((weight, w, p));
+            }
+        }
+    }
+
+    // Any vertex not reached by region growing (disconnected, or all caps
+    // hit) goes to the currently lightest partition.
+    for v in 0..n {
+        if assignment[v] == UNASSIGNED {
+            let lightest = (0..k).min_by_key(|&p| load[p]).unwrap_or(0);
+            assignment[v] = lightest as PartitionId;
+            load[lightest] += graph.vertex_weight(v as VertexId);
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_graph::DiGraph;
+    use rand::SeedableRng;
+
+    fn weighted(n: u32, edges: &[(u32, u32)]) -> WeightedGraph {
+        WeightedGraph::from_digraph(&DiGraph::from_edges(n as usize, edges))
+    }
+
+    #[test]
+    fn assigns_every_vertex() {
+        let g = weighted(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = initial_partition(&g, 4, 7, &mut rng);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|&p| (p as usize) < 4));
+    }
+
+    #[test]
+    fn respects_weight_cap_roughly() {
+        let g = weighted(40, &(0..39).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = initial_partition(&g, 4, 12, &mut rng);
+        let mut load = [0u64; 4];
+        for (v, &p) in a.iter().enumerate() {
+            load[p as usize] += g.vertex_weight(v as VertexId);
+        }
+        // Leftover placement may exceed the cap slightly, but not wildly.
+        assert!(load.iter().all(|&l| l <= 20), "loads: {load:?}");
+    }
+
+    #[test]
+    fn disconnected_vertices_get_assigned() {
+        let g = weighted(10, &[]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = initial_partition(&g, 3, 4, &mut rng);
+        assert!(a.iter().all(|&p| (p as usize) < 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = weighted(0, &[]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(initial_partition(&g, 2, 10, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Partition-quality metrics reported by the experiment harness
+//! (cut size, balance, boundary counts — the levers behind Tables 2, 4, 5).
+
+use dsr_graph::DiGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::cut::Cut;
+use crate::types::Partitioning;
+
+/// Quality summary of a partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionQuality {
+    /// Number of partitions.
+    pub num_partitions: usize,
+    /// Number of cut edges.
+    pub cut_edges: usize,
+    /// Fraction of all edges that are cut.
+    pub cut_fraction: f64,
+    /// Balance factor (1.0 = perfect).
+    pub balance: f64,
+    /// Total number of in-boundary vertices across partitions.
+    pub total_in_boundaries: usize,
+    /// Total number of out-boundary vertices across partitions.
+    pub total_out_boundaries: usize,
+    /// Largest partition size.
+    pub max_partition_size: usize,
+    /// Smallest partition size.
+    pub min_partition_size: usize,
+}
+
+impl PartitionQuality {
+    /// Evaluates the quality of `partitioning` over `graph`.
+    pub fn evaluate(graph: &DiGraph, partitioning: &Partitioning) -> Self {
+        let cut = Cut::extract(graph, partitioning);
+        Self::evaluate_with_cut(graph, partitioning, &cut)
+    }
+
+    /// Evaluates quality re-using an already extracted [`Cut`].
+    pub fn evaluate_with_cut(graph: &DiGraph, partitioning: &Partitioning, cut: &Cut) -> Self {
+        let sizes = partitioning.sizes();
+        let total_edges = graph.num_edges();
+        PartitionQuality {
+            num_partitions: partitioning.num_partitions,
+            cut_edges: cut.num_edges(),
+            cut_fraction: if total_edges == 0 {
+                0.0
+            } else {
+                cut.num_edges() as f64 / total_edges as f64
+            },
+            balance: partitioning.balance(),
+            total_in_boundaries: cut.boundaries.iter().map(|b| b.in_boundaries.len()).sum(),
+            total_out_boundaries: cut.boundaries.iter().map(|b| b.out_boundaries.len()).sum(),
+            max_partition_size: sizes.iter().copied().max().unwrap_or(0),
+            min_partition_size: sizes.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// One-line human readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "k={} cut={} ({:.1}%) balance={:.3} I={} O={}",
+            self.num_partitions,
+            self.cut_edges,
+            self.cut_fraction * 100.0,
+            self.balance,
+            self.total_in_boundaries,
+            self.total_out_boundaries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashPartitioner;
+    use crate::multilevel::MultilevelPartitioner;
+    use crate::types::Partitioner;
+
+    fn ring(n: u32) -> DiGraph {
+        DiGraph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn quality_of_single_partition() {
+        let g = ring(10);
+        let q = PartitionQuality::evaluate(&g, &Partitioning::single(10));
+        assert_eq!(q.cut_edges, 0);
+        assert_eq!(q.cut_fraction, 0.0);
+        assert_eq!(q.max_partition_size, 10);
+        assert!(q.summary().contains("k=1"));
+    }
+
+    #[test]
+    fn multilevel_beats_hash_in_quality_metrics() {
+        let g = ring(200);
+        let hash = HashPartitioner::default().partition(&g, 4);
+        let ml = MultilevelPartitioner::default().partition(&g, 4);
+        let qh = PartitionQuality::evaluate(&g, &hash);
+        let qm = PartitionQuality::evaluate(&g, &ml);
+        assert!(qm.cut_edges < qh.cut_edges);
+        assert!(qm.cut_fraction <= qh.cut_fraction);
+    }
+
+    #[test]
+    fn boundary_counts_match_cut() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        let q = PartitionQuality::evaluate(&g, &p);
+        assert_eq!(q.cut_edges, 1);
+        assert_eq!(q.total_in_boundaries, 1);
+        assert_eq!(q.total_out_boundaries, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Core partitioning types: [`Partitioning`] (the assignment `ρ : V → N`)
+//! and the [`Partitioner`] trait implemented by the hash and multilevel
+//! strategies.
+
+use dsr_graph::{DiGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition (a "slave" in the paper's master/slave model).
+pub type PartitionId = u32;
+
+/// A complete partition assignment of a graph's vertices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    /// `assignment[v]` is the partition of vertex `v` — the paper's
+    /// partitioning function `ρ`.
+    pub assignment: Vec<PartitionId>,
+    /// Number of partitions `k`.
+    pub num_partitions: usize,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= num_partitions`.
+    pub fn new(assignment: Vec<PartitionId>, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        for (v, &p) in assignment.iter().enumerate() {
+            assert!(
+                (p as usize) < num_partitions,
+                "vertex {v} assigned to out-of-range partition {p}"
+            );
+        }
+        Partitioning {
+            assignment,
+            num_partitions,
+        }
+    }
+
+    /// Places every vertex in a single partition (the "centralized" setting
+    /// used for 1-slave comparisons in Table 6).
+    pub fn single(num_vertices: usize) -> Self {
+        Partitioning {
+            assignment: vec![0; num_vertices],
+            num_partitions: 1,
+        }
+    }
+
+    /// Partition of vertex `v` (the partitioning function `ρ(v)`).
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> PartitionId {
+        self.assignment[v as usize]
+    }
+
+    /// Number of vertices covered by this partitioning.
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Global vertex ids of every partition, indexed by partition id.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut members = vec![Vec::new(); self.num_partitions];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            members[p as usize].push(v as VertexId);
+        }
+        members
+    }
+
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_partitions];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Balance factor: `max_partition_size / ideal_size` (1.0 = perfectly
+    /// balanced). Returns 0.0 for empty graphs.
+    pub fn balance(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 0.0;
+        }
+        let ideal = self.assignment.len() as f64 / self.num_partitions as f64;
+        let max = self.sizes().into_iter().max().unwrap_or(0);
+        max as f64 / ideal
+    }
+
+    /// Number of edges of `graph` whose endpoints lie in different
+    /// partitions (the size of the cut `|EC|`).
+    pub fn cut_size(&self, graph: &DiGraph) -> usize {
+        graph
+            .edges()
+            .filter(|&(u, v)| self.partition_of(u) != self.partition_of(v))
+            .count()
+    }
+}
+
+/// A vertex-partitioning strategy.
+pub trait Partitioner {
+    /// Partitions `graph` into `k` parts.
+    fn partition(&self, graph: &DiGraph, k: usize) -> Partitioning;
+
+    /// Human-readable name used in experiment output ("Hash", "Multilevel").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_and_sizes() {
+        let p = Partitioning::new(vec![0, 1, 0, 1, 2], 3);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        assert_eq!(p.members()[0], vec![0, 2]);
+        assert_eq!(p.partition_of(3), 1);
+        assert_eq!(p.num_vertices(), 5);
+    }
+
+    #[test]
+    fn balance_perfect_and_skewed() {
+        let balanced = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert!((balanced.balance() - 1.0).abs() < 1e-9);
+        let skewed = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert!((skewed.balance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_size_counts_cross_edges() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.cut_size(&g), 2); // 1->2 and 3->0
+    }
+
+    #[test]
+    fn single_partitioning() {
+        let p = Partitioning::single(4);
+        assert_eq!(p.num_partitions, 1);
+        assert_eq!(p.sizes(), vec![4]);
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(p.cut_size(&g), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn invalid_assignment_panics() {
+        Partitioning::new(vec![0, 3], 2);
+    }
+}

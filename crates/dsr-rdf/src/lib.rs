@@ -1,0 +1,33 @@
+//! SPARQL 1.1 property paths over a minimal RDF store, evaluated with DSR.
+//!
+//! Section 4.5.A of the paper augments a distributed RDF engine with the
+//! DSR index to process SPARQL 1.1 *property paths* (`p*` predicates):
+//! since both endpoints of a path expression can be bound to many RDF
+//! constants at query time, evaluating the path resolves to a
+//! set-reachability query. The paper compares this against the Virtuoso
+//! RDF store on LUBM and Freebase data (Table 6).
+//!
+//! This crate provides:
+//!
+//! * [`store::TripleStore`] — a dictionary-encoded, in-memory triple store
+//!   with predicate-indexed access,
+//! * [`query`] — a small basic-graph-pattern query model where predicates
+//!   are either plain IRIs or transitive property paths (`p*`), and an
+//!   evaluator that resolves plain patterns through index scans and path
+//!   patterns through a pluggable [`path::PathResolver`],
+//! * [`path`] — two path resolvers: [`path::DsrPathResolver`] (a DSR index
+//!   over each predicate's subgraph, the paper's approach) and
+//!   [`path::BfsPathResolver`] (per-source online BFS, standing in for the
+//!   centralized Virtuoso comparison point),
+//! * [`datasets`] — LUBM-like and Freebase-like synthetic stores and the
+//!   six benchmark queries L1–L3 / F1–F3 of Appendix 8.3.
+
+pub mod datasets;
+pub mod path;
+pub mod query;
+pub mod store;
+
+pub use datasets::{freebase_like_store, lubm_like_store, named_query, QUERY_NAMES};
+pub use path::{BfsPathResolver, DsrPathResolver, PathResolver};
+pub use query::{evaluate, Pattern, PredicateExpr, Query, Term};
+pub use store::TripleStore;

@@ -1,0 +1,257 @@
+//! Property-path resolvers.
+//!
+//! A transitive property path `?x p* ?y` over an RDF graph is a
+//! set-reachability problem on the subgraph formed by the `p` triples: the
+//! candidate bindings of `?x` are the sources, the candidate bindings of
+//! `?y` are the targets, and SPARQL semantics include the zero-length path
+//! (every term reaches itself).
+//!
+//! * [`DsrPathResolver`] partitions each predicate subgraph and builds a
+//!   [`dsr_core::DsrIndex`] over it — the paper's approach of plugging the
+//!   DSR index into a distributed RDF engine.
+//! * [`BfsPathResolver`] answers each query with per-source online BFS and
+//!   no precomputation — the stand-in for the centralized Virtuoso
+//!   comparison point of Table 6.
+
+use std::collections::HashMap;
+
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_graph::traversal::{bfs_reachable, Direction};
+use dsr_graph::{DiGraph, VertexId};
+use dsr_partition::{HashPartitioner, Partitioner, Partitioning};
+use dsr_reach::LocalIndexKind;
+
+use crate::store::{TermId, TripleStore};
+
+/// Resolves transitive-path reachability between candidate term sets.
+pub trait PathResolver {
+    /// All pairs `(x, y)` with `x ∈ sources`, `y ∈ targets` such that `y`
+    /// is reachable from `x` over edges of `predicate` (including the
+    /// zero-length path, i.e. `x == y` always qualifies when both sides
+    /// contain it).
+    fn reachable_pairs(
+        &self,
+        predicate: TermId,
+        sources: &[TermId],
+        targets: &[TermId],
+    ) -> Vec<(TermId, TermId)>;
+
+    /// Human-readable resolver name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Maps the terms touched by one predicate onto a dense vertex space.
+struct PredicateGraph {
+    graph: DiGraph,
+    vertex_of: HashMap<TermId, VertexId>,
+    term_of: Vec<TermId>,
+}
+
+impl PredicateGraph {
+    fn build(store: &TripleStore, predicate: TermId) -> Self {
+        let mut vertex_of: HashMap<TermId, VertexId> = HashMap::new();
+        let mut term_of: Vec<TermId> = Vec::new();
+        let intern = |t: TermId, term_of: &mut Vec<TermId>, vertex_of: &mut HashMap<TermId, VertexId>| {
+            *vertex_of.entry(t).or_insert_with(|| {
+                term_of.push(t);
+                (term_of.len() - 1) as VertexId
+            })
+        };
+        let mut edges = Vec::new();
+        for &(s, o) in store.pairs_of(predicate) {
+            let vs = intern(s, &mut term_of, &mut vertex_of);
+            let vo = intern(o, &mut term_of, &mut vertex_of);
+            edges.push((vs, vo));
+        }
+        PredicateGraph {
+            graph: DiGraph::from_edges(term_of.len(), &edges),
+            vertex_of,
+            term_of,
+        }
+    }
+}
+
+/// DSR-backed path resolver: one DSR index per predicate subgraph.
+pub struct DsrPathResolver {
+    graphs: HashMap<TermId, PredicateGraph>,
+    indexes: HashMap<TermId, DsrIndex>,
+}
+
+impl DsrPathResolver {
+    /// Builds DSR indexes over the subgraphs of the given predicates,
+    /// partitioned into `num_slaves` partitions.
+    pub fn new(store: &TripleStore, predicates: &[TermId], num_slaves: usize) -> Self {
+        let mut graphs = HashMap::new();
+        let mut indexes = HashMap::new();
+        for &p in predicates {
+            let pg = PredicateGraph::build(store, p);
+            let partitioning = if pg.graph.num_vertices() == 0 {
+                Partitioning::single(0)
+            } else if num_slaves <= 1 {
+                Partitioning::single(pg.graph.num_vertices())
+            } else {
+                HashPartitioner::default().partition(&pg.graph, num_slaves)
+            };
+            let index = DsrIndex::build(&pg.graph, partitioning, LocalIndexKind::Dfs);
+            graphs.insert(p, pg);
+            indexes.insert(p, index);
+        }
+        DsrPathResolver { graphs, indexes }
+    }
+}
+
+impl PathResolver for DsrPathResolver {
+    fn reachable_pairs(
+        &self,
+        predicate: TermId,
+        sources: &[TermId],
+        targets: &[TermId],
+    ) -> Vec<(TermId, TermId)> {
+        let mut out = reflexive_pairs(sources, targets);
+        let (Some(pg), Some(index)) = (self.graphs.get(&predicate), self.indexes.get(&predicate))
+        else {
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        };
+        let src_vertices: Vec<VertexId> = sources
+            .iter()
+            .filter_map(|t| pg.vertex_of.get(t).copied())
+            .collect();
+        let tgt_vertices: Vec<VertexId> = targets
+            .iter()
+            .filter_map(|t| pg.vertex_of.get(t).copied())
+            .collect();
+        if !src_vertices.is_empty() && !tgt_vertices.is_empty() {
+            let engine = DsrEngine::new(index);
+            for (s, t) in engine.set_reachability(&src_vertices, &tgt_vertices).pairs {
+                out.push((pg.term_of[s as usize], pg.term_of[t as usize]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "DSR"
+    }
+}
+
+/// Online-BFS path resolver (no precomputed index, one traversal per
+/// source) — the centralized comparison point.
+pub struct BfsPathResolver {
+    graphs: HashMap<TermId, PredicateGraph>,
+}
+
+impl BfsPathResolver {
+    /// Prepares the per-predicate subgraphs (no reachability
+    /// precomputation).
+    pub fn new(store: &TripleStore, predicates: &[TermId]) -> Self {
+        let graphs = predicates
+            .iter()
+            .map(|&p| (p, PredicateGraph::build(store, p)))
+            .collect();
+        BfsPathResolver { graphs }
+    }
+}
+
+impl PathResolver for BfsPathResolver {
+    fn reachable_pairs(
+        &self,
+        predicate: TermId,
+        sources: &[TermId],
+        targets: &[TermId],
+    ) -> Vec<(TermId, TermId)> {
+        let mut out = reflexive_pairs(sources, targets);
+        if let Some(pg) = self.graphs.get(&predicate) {
+            for &s in sources {
+                let Some(&vs) = pg.vertex_of.get(&s) else { continue };
+                let reach = bfs_reachable(&pg.graph, vs, Direction::Forward);
+                for &t in targets {
+                    if let Some(&vt) = pg.vertex_of.get(&t) {
+                        if reach[vt as usize] {
+                            out.push((s, t));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "BFS (Virtuoso stand-in)"
+    }
+}
+
+/// The zero-length-path pairs required by SPARQL `p*` semantics.
+fn reflexive_pairs(sources: &[TermId], targets: &[TermId]) -> Vec<(TermId, TermId)> {
+    let target_set: std::collections::HashSet<TermId> = targets.iter().copied().collect();
+    sources
+        .iter()
+        .copied()
+        .filter(|s| target_set.contains(s))
+        .map(|s| (s, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_store() -> (TripleStore, TermId) {
+        // a -sub-> b -sub-> c -sub-> d
+        let mut store = TripleStore::new();
+        store.add("a", "sub", "b");
+        store.add("b", "sub", "c");
+        store.add("c", "sub", "d");
+        let p = store.lookup("sub").unwrap();
+        (store, p)
+    }
+
+    #[test]
+    fn dsr_and_bfs_agree_on_chain() {
+        let (store, p) = chain_store();
+        let a = store.lookup("a").unwrap();
+        let c = store.lookup("c").unwrap();
+        let d = store.lookup("d").unwrap();
+        let dsr = DsrPathResolver::new(&store, &[p], 2);
+        let bfs = BfsPathResolver::new(&store, &[p]);
+        let sources = vec![a, c];
+        let targets = vec![c, d];
+        assert_eq!(
+            dsr.reachable_pairs(p, &sources, &targets),
+            bfs.reachable_pairs(p, &sources, &targets)
+        );
+        let pairs = dsr.reachable_pairs(p, &sources, &targets);
+        assert!(pairs.contains(&(a, d)));
+        assert!(pairs.contains(&(c, c)), "zero-length path");
+    }
+
+    #[test]
+    fn terms_outside_the_predicate_graph_still_match_reflexively() {
+        let (mut store, p) = chain_store();
+        let lonely = store.intern("lonely");
+        let dsr = DsrPathResolver::new(&store, &[p], 1);
+        let pairs = dsr.reachable_pairs(p, &[lonely], &[lonely]);
+        assert_eq!(pairs, vec![(lonely, lonely)]);
+    }
+
+    #[test]
+    fn unknown_predicate_only_reflexive() {
+        let (store, _) = chain_store();
+        let a = store.lookup("a").unwrap();
+        let bfs = BfsPathResolver::new(&store, &[]);
+        assert_eq!(bfs.reachable_pairs(12345, &[a], &[a]), vec![(a, a)]);
+    }
+
+    #[test]
+    fn resolver_names() {
+        let (store, p) = chain_store();
+        assert_eq!(DsrPathResolver::new(&store, &[p], 1).name(), "DSR");
+        assert!(BfsPathResolver::new(&store, &[p]).name().contains("BFS"));
+    }
+}

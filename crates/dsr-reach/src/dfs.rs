@@ -1,0 +1,158 @@
+//! Index-free strategies: plain DFS and plain BFS.
+//!
+//! "DSR-DFS uses a standard DFS strategy [6] for processing a DSR query,
+//! where no additional index is built over the compound graphs" — Section
+//! 4.4.A. One traversal is performed per source, with early exit once all
+//! requested targets have been found.
+
+use std::sync::Arc;
+
+use dsr_graph::traversal::{bfs_reachable, is_reachable, reachable_targets, Direction};
+use dsr_graph::{DiGraph, VertexId};
+
+use crate::traits::LocalReachability;
+
+/// Plain per-source DFS (the paper's default local strategy).
+#[derive(Debug, Clone)]
+pub struct DfsReachability {
+    graph: Arc<DiGraph>,
+}
+
+impl DfsReachability {
+    /// Creates the strategy over `graph`; no preprocessing is performed.
+    pub fn new(graph: Arc<DiGraph>) -> Self {
+        DfsReachability { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+impl LocalReachability for DfsReachability {
+    fn name(&self) -> &'static str {
+        "DFS"
+    }
+
+    fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
+        is_reachable(&self.graph, source, target)
+    }
+
+    fn set_reachability(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for &s in sources {
+            for t in reachable_targets(&self.graph, s, targets) {
+                out.push((s, t));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn reachable_targets(&self, source: VertexId, targets: &[VertexId]) -> Vec<VertexId> {
+        reachable_targets(&self.graph, source, targets)
+    }
+}
+
+/// Plain per-source BFS; functionally identical to DFS but used by tests to
+/// cross-check traversal order independence.
+#[derive(Debug, Clone)]
+pub struct BfsReachability {
+    graph: Arc<DiGraph>,
+}
+
+impl BfsReachability {
+    /// Creates the strategy over `graph`.
+    pub fn new(graph: Arc<DiGraph>) -> Self {
+        BfsReachability { graph }
+    }
+}
+
+impl LocalReachability for BfsReachability {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
+        bfs_reachable(&self.graph, source, Direction::Forward)[target as usize]
+    }
+
+    fn set_reachability(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for &s in sources {
+            let reach = bfs_reachable(&self.graph, s, Direction::Forward);
+            for &t in targets {
+                if reach[t as usize] {
+                    out.push((s, t));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Arc<DiGraph> {
+        // 0 -> 1 -> 2 -> 3, 4 isolated, 5 -> 2
+        Arc::new(DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (5, 2)]))
+    }
+
+    #[test]
+    fn dfs_single_pair() {
+        let idx = DfsReachability::new(graph());
+        assert!(idx.is_reachable(0, 3));
+        assert!(idx.is_reachable(4, 4));
+        assert!(!idx.is_reachable(3, 0));
+        assert_eq!(idx.name(), "DFS");
+        assert_eq!(idx.index_bytes(), 0);
+    }
+
+    #[test]
+    fn dfs_set_query() {
+        let idx = DfsReachability::new(graph());
+        let pairs = idx.set_reachability(&[0, 5, 4], &[2, 3, 4]);
+        assert_eq!(pairs, vec![(0, 2), (0, 3), (4, 4), (5, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn bfs_matches_dfs() {
+        let g = graph();
+        let dfs = DfsReachability::new(Arc::clone(&g));
+        let bfs = BfsReachability::new(g);
+        let sources = vec![0, 1, 2, 3, 4, 5];
+        let targets = sources.clone();
+        assert_eq!(
+            dfs.set_reachability(&sources, &targets),
+            bfs.set_reachability(&sources, &targets)
+        );
+    }
+
+    #[test]
+    fn duplicate_sources_and_targets_dedup() {
+        let idx = DfsReachability::new(graph());
+        let pairs = idx.set_reachability(&[0, 0], &[3, 3]);
+        assert_eq!(pairs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn empty_query_sets() {
+        let idx = DfsReachability::new(graph());
+        assert!(idx.set_reachability(&[], &[1]).is_empty());
+        assert!(idx.set_reachability(&[0], &[]).is_empty());
+    }
+}

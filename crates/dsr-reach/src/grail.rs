@@ -1,0 +1,264 @@
+//! GRAIL-style randomized interval labelling (Yildirim et al. [36]).
+//!
+//! GRAIL assigns every vertex `d` independent interval labels, each derived
+//! from a random depth-first traversal of the DAG: label `i` of vertex `v`
+//! is `[low_i(v), post_i(v)]` where `post_i` is the post-order rank and
+//! `low_i` the minimum rank in `v`'s traversal subtree *propagated through
+//! all children*. Containment of all `d` target intervals in the source's
+//! intervals is a **necessary** condition for reachability, so a failed
+//! containment check rejects immediately; positive answers are confirmed
+//! with a DFS that prunes every branch whose labels already exclude the
+//! target.
+//!
+//! This is the third family of centralized indexes the paper cites
+//! ([36] GRAIL, besides FERRARI [28] and the equivalence-set index [12]) and
+//! completes the "any centralized reachability index can be plugged in"
+//! claim of Section 3.3.2.
+
+use dsr_graph::{condense, topological_order, CondensedGraph, DiGraph, VertexId};
+
+use crate::traits::LocalReachability;
+
+/// Number of independent random labelings kept by default (GRAIL's `d`).
+const DEFAULT_DIMENSIONS: usize = 3;
+
+/// GRAIL-style reachability index.
+pub struct GrailReachability {
+    condensed: CondensedGraph,
+    /// `labels[d][v] = (low, post)` for labeling `d` and DAG vertex `v`.
+    labels: Vec<Vec<(u32, u32)>>,
+}
+
+impl GrailReachability {
+    /// Builds the index with the default number of labelings.
+    pub fn new(graph: &DiGraph) -> Self {
+        Self::with_dimensions(graph, DEFAULT_DIMENSIONS, 0x9E3779B97F4A7C15)
+    }
+
+    /// Builds the index with `dimensions` independent labelings derived from
+    /// `seed`.
+    pub fn with_dimensions(graph: &DiGraph, dimensions: usize, seed: u64) -> Self {
+        let dimensions = dimensions.max(1);
+        let condensed = condense(graph);
+        let dag = &condensed.dag;
+        let n = dag.num_vertices();
+        let mut labels = Vec::with_capacity(dimensions);
+        let mut state = seed;
+        for _ in 0..dimensions {
+            state = splitmix(state);
+            labels.push(random_labeling(dag, state));
+        }
+        let _ = topological_order(dag); // condensation invariant (debug aid)
+        let _ = n;
+        GrailReachability { condensed, labels }
+    }
+
+    fn dag_vertex(&self, v: VertexId) -> VertexId {
+        self.condensed.map(v)
+    }
+
+    /// Whether every labeling admits `t` as a potential descendant of `s`.
+    fn labels_admit(&self, s: VertexId, t: VertexId) -> bool {
+        self.labels.iter().all(|labeling| {
+            let (s_low, s_post) = labeling[s as usize];
+            let (t_low, t_post) = labeling[t as usize];
+            s_low <= t_low && t_post <= s_post
+        })
+    }
+
+    fn dag_reachable(&self, s: VertexId, t: VertexId) -> bool {
+        if s == t {
+            return true;
+        }
+        if !self.labels_admit(s, t) {
+            return false;
+        }
+        // Label containment is only a necessary condition: confirm with a
+        // pruned DFS.
+        let dag = &self.condensed.dag;
+        let mut visited = vec![false; dag.num_vertices()];
+        let mut stack = vec![s];
+        visited[s as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &w in dag.out_neighbors(v) {
+                if w == t {
+                    return true;
+                }
+                if !visited[w as usize] && self.labels_admit(w, t) {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of labelings kept.
+    pub fn dimensions(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+impl LocalReachability for GrailReachability {
+    fn name(&self) -> &'static str {
+        "GRAIL"
+    }
+
+    fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
+        self.dag_reachable(self.dag_vertex(source), self.dag_vertex(target))
+    }
+
+    fn set_reachability(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for &s in sources {
+            let ds = self.dag_vertex(s);
+            for &t in targets {
+                if self.dag_reachable(ds, self.dag_vertex(t)) {
+                    out.push((s, t));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<(u32, u32)>())
+            .sum()
+    }
+}
+
+/// One random post-order labeling of the DAG.
+fn random_labeling(dag: &DiGraph, seed: u64) -> Vec<(u32, u32)> {
+    let n = dag.num_vertices();
+    let mut post = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    let mut next_post = 0u32;
+
+    // Random root order.
+    let mut roots: Vec<VertexId> = (0..n as VertexId).collect();
+    shuffle(&mut roots, seed);
+
+    for &root in &roots {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        // Iterative DFS with randomized child order per vertex.
+        let mut stack: Vec<(VertexId, Vec<VertexId>, usize)> = Vec::new();
+        let mut children: Vec<VertexId> = dag.out_neighbors(root).to_vec();
+        shuffle(&mut children, seed ^ (root as u64).wrapping_mul(0x9E37));
+        stack.push((root, children, 0));
+        while let Some((v, children, cursor)) = stack.last_mut() {
+            if *cursor < children.len() {
+                let w = children[*cursor];
+                *cursor += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    let mut grand: Vec<VertexId> = dag.out_neighbors(w).to_vec();
+                    shuffle(&mut grand, seed ^ (w as u64).wrapping_mul(0x9E37));
+                    stack.push((w, grand, 0));
+                }
+                continue;
+            }
+            // Post-visit: low = min over all children's lows and own rank.
+            let v = *v;
+            let mut my_low = next_post;
+            for &w in dag.out_neighbors(v) {
+                if post[w as usize] != u32::MAX {
+                    my_low = my_low.min(low[w as usize]);
+                }
+            }
+            post[v as usize] = next_post;
+            low[v as usize] = my_low;
+            next_post += 1;
+            stack.pop();
+        }
+    }
+    (0..n).map(|v| (low[v], post[v])).collect()
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic Fisher–Yates shuffle driven by SplitMix64.
+fn shuffle(items: &mut [VertexId], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        state = splitmix(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DfsReachability;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    #[test]
+    fn chain_and_branches() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4), (5, 0)]);
+        let idx = GrailReachability::new(&g);
+        assert!(idx.is_reachable(5, 3));
+        assert!(idx.is_reachable(0, 4));
+        assert!(!idx.is_reachable(3, 0));
+        assert!(idx.is_reachable(2, 2));
+        assert!(idx.index_bytes() > 0);
+        assert_eq!(idx.dimensions(), DEFAULT_DIMENSIONS);
+    }
+
+    #[test]
+    fn cycles_are_condensed() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 1)]);
+        let idx = GrailReachability::new(&g);
+        assert!(idx.is_reachable(1, 0));
+        assert!(idx.is_reachable(4, 3));
+        assert!(!idx.is_reachable(3, 4));
+    }
+
+    #[test]
+    fn matches_dfs_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for case in 0..20 {
+            let n = rng.gen_range(4..45);
+            let m = rng.gen_range(0..140);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .collect();
+            let g = DiGraph::from_edges(n, &edges);
+            let grail = GrailReachability::with_dimensions(&g, 2, case);
+            let dfs = DfsReachability::new(Arc::new(g));
+            let all: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(
+                grail.set_reachability(&all, &all),
+                dfs.set_reachability(&all, &all),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_dimension_still_correct() {
+        let g = DiGraph::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 6), (6, 7)]);
+        let idx = GrailReachability::with_dimensions(&g, 1, 42);
+        let dfs = DfsReachability::new(Arc::new(g));
+        let all: Vec<u32> = (0..8).collect();
+        assert_eq!(idx.set_reachability(&all, &all), dfs.set_reachability(&all, &all));
+    }
+}

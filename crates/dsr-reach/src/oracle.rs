@@ -1,0 +1,70 @@
+//! Transitive-closure oracle strategy.
+//!
+//! The related-work section of the paper frames all reachability indexes as
+//! points between "no index" (`O(|V|+|E|)` per query) and "full transitive
+//! closure" (`O(1)` per query, `O(|V|^2)` space). This strategy is the
+//! latter endpoint; it is used as the exact oracle in the test suite and as
+//! an upper-bound comparison point in the ablation benches.
+
+use dsr_graph::{DiGraph, TransitiveClosure, VertexId};
+
+use crate::traits::LocalReachability;
+
+/// Full transitive closure wrapped as a [`LocalReachability`] strategy.
+pub struct ClosureReachability {
+    closure: TransitiveClosure,
+}
+
+impl ClosureReachability {
+    /// Builds the closure (one BFS per vertex).
+    pub fn new(graph: &DiGraph) -> Self {
+        ClosureReachability {
+            closure: TransitiveClosure::build(graph),
+        }
+    }
+
+    /// Access to the underlying closure.
+    pub fn closure(&self) -> &TransitiveClosure {
+        &self.closure
+    }
+}
+
+impl LocalReachability for ClosureReachability {
+    fn name(&self) -> &'static str {
+        "Closure"
+    }
+
+    fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
+        self.closure.reachable(source, target)
+    }
+
+    fn set_reachability(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        self.closure.set_reachability(sources, targets)
+    }
+
+    fn index_bytes(&self) -> usize {
+        // n rows of ceil(n/64) u64 words.
+        let n = self.closure.num_vertices();
+        n * n.div_ceil(64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_answers() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = ClosureReachability::new(&g);
+        assert!(idx.is_reachable(0, 3));
+        assert!(!idx.is_reachable(3, 0));
+        assert_eq!(idx.set_reachability(&[0], &[2, 3]), vec![(0, 2), (0, 3)]);
+        assert_eq!(idx.name(), "Closure");
+        assert!(idx.index_bytes() > 0);
+    }
+}

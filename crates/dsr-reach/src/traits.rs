@@ -1,0 +1,148 @@
+//! The [`LocalReachability`] trait and index selection.
+
+use std::sync::Arc;
+
+use dsr_graph::{DiGraph, VertexId};
+
+/// A centralized reachability strategy over a single (compound) graph.
+///
+/// Implementations are built once per graph (possibly with a heavyweight
+/// preprocessing step) and then answer single-pair and set queries.
+pub trait LocalReachability: Send + Sync {
+    /// Human-readable name ("DFS", "MS-BFS", "FERRARI", "Closure").
+    fn name(&self) -> &'static str;
+
+    /// Whether `target` is reachable from `source` (reflexive: every vertex
+    /// reaches itself).
+    fn is_reachable(&self, source: VertexId, target: VertexId) -> bool;
+
+    /// All reachable `(s, t)` pairs with `s ∈ sources`, `t ∈ targets`.
+    ///
+    /// The default implementation loops over all pairs; strategies override
+    /// it when they can share work between sources (MS-BFS) or prune with
+    /// index information (FERRARI).
+    fn set_reachability(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for &s in sources {
+            for &t in targets {
+                if self.is_reachable(s, t) {
+                    out.push((s, t));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All targets reachable from a single source (used by the DSR engine
+    /// when routing sources to forward boundaries).
+    fn reachable_targets(&self, source: VertexId, targets: &[VertexId]) -> Vec<VertexId> {
+        self.set_reachability(&[source], targets)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Approximate memory footprint of the index in bytes (0 when the
+    /// strategy is index-free, e.g. plain DFS).
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Which local strategy to build — mirrors the paper's DSR-DFS / DSR-MSBFS /
+/// DSR-FERRARI variants plus the GRAIL index from the related work and the
+/// exact-closure oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalIndexKind {
+    /// Plain per-source DFS; no preprocessing.
+    Dfs,
+    /// Bit-parallel multi-source BFS; no preprocessing.
+    MsBfs,
+    /// FERRARI-like interval index; preprocessing proportional to |V|+|E|.
+    Ferrari,
+    /// GRAIL-style randomized interval labelling.
+    Grail,
+    /// Full transitive closure; quadratic space, O(1) queries.
+    Closure,
+}
+
+impl LocalIndexKind {
+    /// All kinds, in the order used by Figure 7 (plus the extra indexes).
+    pub const ALL: [LocalIndexKind; 5] = [
+        LocalIndexKind::Dfs,
+        LocalIndexKind::MsBfs,
+        LocalIndexKind::Ferrari,
+        LocalIndexKind::Grail,
+        LocalIndexKind::Closure,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalIndexKind::Dfs => "DFS",
+            LocalIndexKind::MsBfs => "MS-BFS",
+            LocalIndexKind::Ferrari => "FERRARI",
+            LocalIndexKind::Grail => "GRAIL",
+            LocalIndexKind::Closure => "Closure",
+        }
+    }
+}
+
+/// Builds the chosen local reachability index over `graph`.
+pub fn build_index(kind: LocalIndexKind, graph: Arc<DiGraph>) -> Box<dyn LocalReachability> {
+    match kind {
+        LocalIndexKind::Dfs => Box::new(crate::dfs::DfsReachability::new(graph)),
+        LocalIndexKind::MsBfs => Box::new(crate::msbfs::MsBfsReachability::new(graph)),
+        LocalIndexKind::Ferrari => Box::new(crate::ferrari::FerrariReachability::new(&graph)),
+        LocalIndexKind::Grail => Box::new(crate::grail::GrailReachability::new(&graph)),
+        LocalIndexKind::Closure => Box::new(crate::oracle::ClosureReachability::new(&graph)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_names() {
+        for kind in LocalIndexKind::ALL {
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn build_index_dispatches() {
+        let g = Arc::new(DiGraph::from_edges(3, &[(0, 1), (1, 2)]));
+        for kind in LocalIndexKind::ALL {
+            let idx = build_index(kind, Arc::clone(&g));
+            assert!(idx.is_reachable(0, 2), "{} failed", idx.name());
+            assert!(!idx.is_reachable(2, 0), "{} failed", idx.name());
+        }
+    }
+
+    #[test]
+    fn default_set_reachability_from_pairs() {
+        struct Fake;
+        impl LocalReachability for Fake {
+            fn name(&self) -> &'static str {
+                "fake"
+            }
+            fn is_reachable(&self, s: VertexId, t: VertexId) -> bool {
+                s <= t
+            }
+        }
+        let f = Fake;
+        assert_eq!(
+            f.set_reachability(&[2, 0], &[1]),
+            vec![(0, 1)]
+        );
+        assert_eq!(f.reachable_targets(0, &[1, 2]), vec![1, 2]);
+        assert_eq!(f.index_bytes(), 0);
+    }
+}

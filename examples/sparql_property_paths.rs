@@ -1,0 +1,56 @@
+//! SPARQL 1.1 property paths over an RDF store, evaluated through DSR.
+//!
+//! Mirrors the paper's Section 4.5.A application: a LUBM-like organization
+//! hierarchy is loaded into the triple store, and the benchmark queries
+//! L1–L3 (which contain `subOrganizationOf*` property paths) are answered
+//! once with the DSR-backed path resolver and once with the online-BFS
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example sparql_property_paths
+//! ```
+
+use std::time::Instant;
+
+use dsr_rdf::{
+    datasets::path_predicates, evaluate, lubm_like_store, named_query, BfsPathResolver,
+    DsrPathResolver, PathResolver,
+};
+
+fn main() {
+    let store = lubm_like_store(10, 42);
+    println!(
+        "LUBM-like store: {} triples, {} terms",
+        store.num_triples(),
+        store.num_terms()
+    );
+
+    let predicates = path_predicates(&store);
+    let dsr = DsrPathResolver::new(&store, &predicates, 5);
+    let bfs = BfsPathResolver::new(&store, &predicates);
+
+    for name in ["L1", "L2", "L3"] {
+        let query = named_query(name).expect("benchmark query");
+        println!("\n=== {name} ===");
+        for resolver in [&dsr as &dyn PathResolver, &bfs as &dyn PathResolver] {
+            let start = Instant::now();
+            let solutions = evaluate(&store, &query, resolver);
+            println!(
+                "  {:<28} {:>6} solutions in {:?}",
+                resolver.name(),
+                solutions.len(),
+                start.elapsed()
+            );
+        }
+        // Show a couple of solutions with their string terms.
+        let solutions = evaluate(&store, &query, &dsr);
+        for binding in solutions.iter().take(3) {
+            let mut rendered: Vec<String> = binding
+                .iter()
+                .map(|(var, &term)| format!("?{var} = {}", store.term(term)))
+                .collect();
+            rendered.sort();
+            println!("    {}", rendered.join(", "));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration test for incremental updates on realistic dataset analogues:
+//! an index maintained through insertions and deletions must answer queries
+//! exactly like an index rebuilt from scratch.
+
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_datagen::{dataset_by_name, random_query};
+use dsr_graph::DiGraph;
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+
+#[test]
+fn bulk_insertions_converge_to_full_index() {
+    let full = dataset_by_name("Stanford").unwrap().graph;
+    let edges = full.edge_vec();
+    let keep = (edges.len() as f64 * 0.8) as usize;
+    let base = DiGraph::from_edges(full.num_vertices(), &edges[..keep]);
+    let partitioning = MultilevelPartitioner::default().partition(&full, 4);
+
+    let mut incremental = DsrIndex::build(&base, partitioning.clone(), LocalIndexKind::Dfs);
+    // Insert the remaining edges in four batches.
+    let remaining = &edges[keep..];
+    let batch = remaining.len().div_ceil(4);
+    for chunk in remaining.chunks(batch) {
+        incremental.insert_edges(chunk);
+    }
+    let fresh = DsrIndex::build(&full, partitioning, LocalIndexKind::Dfs);
+
+    let query = random_query(&full, 15, 15, 21);
+    assert_eq!(
+        DsrEngine::new(&incremental)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        DsrEngine::new(&fresh)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs
+    );
+}
+
+#[test]
+fn deletions_match_rebuilt_index() {
+    let full = dataset_by_name("NotreDame").unwrap().graph;
+    let edges = full.edge_vec();
+    let partitioning = MultilevelPartitioner::default().partition(&full, 4);
+
+    let mut incremental = DsrIndex::build(&full, partitioning.clone(), LocalIndexKind::Dfs);
+    // Delete the last 5% of the edges.
+    let cutoff = (edges.len() as f64 * 0.95) as usize;
+    incremental.delete_edges(&edges[cutoff..]);
+
+    let reduced = DiGraph::from_edges(full.num_vertices(), &edges[..cutoff]);
+    let fresh = DsrIndex::build(&reduced, partitioning, LocalIndexKind::Dfs);
+
+    let query = random_query(&full, 15, 15, 22);
+    assert_eq!(
+        DsrEngine::new(&incremental)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        DsrEngine::new(&fresh)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs
+    );
+}
+
+#[test]
+fn interleaved_insert_delete_sequence() {
+    let full = dataset_by_name("Stanford").unwrap().graph;
+    let edges = full.edge_vec();
+    let keep = edges.len() - 200;
+    let base = DiGraph::from_edges(full.num_vertices(), &edges[..keep]);
+    let partitioning = MultilevelPartitioner::default().partition(&full, 3);
+
+    let mut index = DsrIndex::build(&base, partitioning.clone(), LocalIndexKind::Dfs);
+    // Insert 200, delete 100 of them again, in alternating batches.
+    index.insert_edges(&edges[keep..keep + 100]);
+    index.delete_edges(&edges[keep..keep + 50]);
+    index.insert_edges(&edges[keep + 100..]);
+    index.delete_edges(&edges[keep + 50..keep + 100]);
+
+    // Equivalent final edge set: all edges except [keep, keep+100).
+    let mut final_edges = edges[..keep].to_vec();
+    final_edges.extend_from_slice(&edges[keep + 100..]);
+    let final_graph = DiGraph::from_edges(full.num_vertices(), &final_edges);
+    let fresh = DsrIndex::build(&final_graph, partitioning, LocalIndexKind::Dfs);
+
+    let query = random_query(&full, 12, 12, 23);
+    assert_eq!(
+        DsrEngine::new(&index)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        DsrEngine::new(&fresh)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs
+    );
+}
