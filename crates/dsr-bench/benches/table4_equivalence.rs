@@ -12,8 +12,7 @@ fn bench_equivalence(c: &mut Criterion) {
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
     let query = random_query(&graph, 10, 10, 0x44);
     let opt = DsrIndex::build_with_options(&graph, partitioning.clone(), LocalIndexKind::Dfs, true);
-    let non_opt =
-        DsrIndex::build_with_options(&graph, partitioning, LocalIndexKind::Dfs, false);
+    let non_opt = DsrIndex::build_with_options(&graph, partitioning, LocalIndexKind::Dfs, false);
 
     let mut group = c.benchmark_group("table4_equivalence");
     group.sample_size(10);

@@ -31,8 +31,16 @@ use crate::{secs, time, Table};
 pub fn run(fast: bool) -> String {
     let mut out = String::new();
     let datasets = common::large_datasets(fast);
-    let slave_counts: Vec<usize> = if fast { vec![2, 4] } else { vec![2, 3, 4, 5, 6, 7, 8] };
-    let query_sizes: Vec<usize> = if fast { vec![10, 50] } else { vec![10, 50, 100] };
+    let slave_counts: Vec<usize> = if fast {
+        vec![2, 4]
+    } else {
+        vec![2, 3, 4, 5, 6, 7, 8]
+    };
+    let query_sizes: Vec<usize> = if fast {
+        vec![10, 50]
+    } else {
+        vec![10, 50, 100]
+    };
 
     for name in datasets {
         let graph = common::dataset(name);
@@ -66,7 +74,8 @@ fn strong_scaling_and_comm(
     for &k in slave_counts {
         let partitioning = common::partition(graph, k);
         let query = common::standard_query(graph, 10, 10, 0xF5);
-        let index = dsr_core::DsrIndex::build(graph, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
+        let index =
+            dsr_core::DsrIndex::build(graph, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
         let engine = DsrEngine::new(&index);
         let (dsr, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
         let (gpp, gpp_time) = time(|| {
@@ -131,7 +140,8 @@ fn weak_scaling(name: &str, graph: &DiGraph, slave_counts: &[usize]) -> String {
         let sub = DiGraph::from_edges(graph.num_vertices(), &all_edges[..take]);
         let partitioning = common::partition(&sub, k);
         let query = common::standard_query(&sub, 10, 10, 0xF5);
-        let index = dsr_core::DsrIndex::build(&sub, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
+        let index =
+            dsr_core::DsrIndex::build(&sub, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs);
         let engine = DsrEngine::new(&index);
         let (dsr, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
         let (gpp, gpp_time) = time(|| {

@@ -52,7 +52,11 @@ pub fn run(fast: bool) -> String {
     out
 }
 
-fn prefix_graph(graph: &DiGraph, fraction: f64) -> (DiGraph, Vec<(u32, u32)>, Vec<(u32, u32)>) {
+/// A graph rebuilt from the first `fraction` of the edges, plus the kept
+/// and remaining edge lists.
+type PrefixSplit = (DiGraph, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+fn prefix_graph(graph: &DiGraph, fraction: f64) -> PrefixSplit {
     let edges = graph.edge_vec();
     let take = (edges.len() as f64 * fraction).round() as usize;
     let base = DiGraph::from_edges(graph.num_vertices(), &edges[..take]);
@@ -98,7 +102,12 @@ fn bulk_insertions(name: &str, graph: &DiGraph, steps: &[f64]) -> String {
 fn progressive_insertions(name: &str, graph: &DiGraph, fractions: &[f64]) -> String {
     let mut table = Table::new(
         &format!("Figure 6 (b/f-style): progressive insertions — {name}"),
-        &["Inserted", "Update time (s)", "Query time (s)", "Full rebuild (s)"],
+        &[
+            "Inserted",
+            "Update time (s)",
+            "Query time (s)",
+            "Full rebuild (s)",
+        ],
     );
     let all_edges = graph.edge_vec();
     for &fraction in fractions {
@@ -108,8 +117,7 @@ fn progressive_insertions(name: &str, graph: &DiGraph, fractions: &[f64]) -> Str
         let mut index = DsrIndex::build(&base, partitioning.clone(), LocalIndexKind::Dfs);
         let batch = &all_edges[keep..];
         let (_, update_time) = time(|| index.insert_edges(batch));
-        let (_, rebuild_time) =
-            time(|| DsrIndex::build(graph, partitioning, LocalIndexKind::Dfs));
+        let (_, rebuild_time) = time(|| DsrIndex::build(graph, partitioning, LocalIndexKind::Dfs));
         table.row(vec![
             format!("{:.0}%", fraction * 100.0),
             secs(update_time),

@@ -45,15 +45,12 @@ pub fn run(fast: bool) -> String {
         for &size in &query_sizes {
             let size = size.min(graph.num_vertices());
             let query = common::standard_query(&graph, size, size, 0xF7);
-            let (dfs_out, dfs_time) = time(|| {
-                DsrEngine::new(&dfs).set_reachability(&query.sources, &query.targets)
-            });
-            let (ferrari_out, ferrari_time) = time(|| {
-                DsrEngine::new(&ferrari).set_reachability(&query.sources, &query.targets)
-            });
-            let (msbfs_out, msbfs_time) = time(|| {
-                DsrEngine::new(&msbfs).set_reachability(&query.sources, &query.targets)
-            });
+            let (dfs_out, dfs_time) =
+                time(|| DsrEngine::new(&dfs).set_reachability(&query.sources, &query.targets));
+            let (ferrari_out, ferrari_time) =
+                time(|| DsrEngine::new(&ferrari).set_reachability(&query.sources, &query.targets));
+            let (msbfs_out, msbfs_time) =
+                time(|| DsrEngine::new(&msbfs).set_reachability(&query.sources, &query.targets));
             assert_eq!(dfs_out.pairs, ferrari_out.pairs);
             assert_eq!(dfs_out.pairs, msbfs_out.pairs);
             table.row(vec![

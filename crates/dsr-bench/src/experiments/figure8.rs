@@ -46,8 +46,7 @@ pub fn run(fast: bool) -> String {
             &query.targets,
             GraphCentricVariant::GiraphPlusPlus,
         );
-        let giraph =
-            giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets);
+        let giraph = giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets);
         assert_eq!(weq.pairs, gpp.pairs);
         assert_eq!(weq.pairs, giraph.pairs);
 

@@ -55,11 +55,7 @@ pub fn run(fast: bool) -> String {
         let partitioning = common::partition(&graph, DEFAULT_SLAVES);
 
         let (index, indexing_time) = time(|| {
-            dsr_core::DsrIndex::build(
-                &graph,
-                partitioning.clone(),
-                dsr_reach::LocalIndexKind::Dfs,
-            )
+            dsr_core::DsrIndex::build(&graph, partitioning.clone(), dsr_reach::LocalIndexKind::Dfs)
         });
         let engine = DsrEngine::new(&index);
         let (dsr_out, dsr_time) = time(|| engine.set_reachability(&query.sources, &query.targets));
@@ -84,13 +80,18 @@ pub fn run(fast: bool) -> String {
                 &query.targets,
             )
         });
-        let (giraph, giraph_time) = time(|| {
-            giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets)
-        });
+        let (giraph, giraph_time) =
+            time(|| giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets));
         // Sanity: all engines must agree on the answer.
         assert_eq!(dsr_out.pairs, gpp.pairs, "{name}: DSR vs Giraph++ disagree");
-        assert_eq!(dsr_out.pairs, gppeq.pairs, "{name}: DSR vs Giraph++wEq disagree");
-        assert_eq!(dsr_out.pairs, giraph.pairs, "{name}: DSR vs Giraph disagree");
+        assert_eq!(
+            dsr_out.pairs, gppeq.pairs,
+            "{name}: DSR vs Giraph++wEq disagree"
+        );
+        assert_eq!(
+            dsr_out.pairs, giraph.pairs,
+            "{name}: DSR vs Giraph disagree"
+        );
 
         // The per-query baselines are only run on small graphs (the paper
         // marks them n/a beyond LiveJ-20M).
@@ -101,7 +102,10 @@ pub fn run(fast: bool) -> String {
             let naive = NaiveBaseline::new(&graph, partitioning.clone());
             let (naive_out, naive_time) =
                 time(|| naive.set_reachability(&query.sources, &query.targets));
-            assert_eq!(dsr_out.pairs, naive_out.pairs, "{name}: DSR vs Naive disagree");
+            assert_eq!(
+                dsr_out.pairs, naive_out.pairs,
+                "{name}: DSR vs Naive disagree"
+            );
             (secs(fan_time), secs(naive_time))
         } else {
             ("n/a".to_string(), "n/a".to_string())

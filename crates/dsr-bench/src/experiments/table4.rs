@@ -34,17 +34,12 @@ pub fn run(fast: bool) -> String {
         let partitioning = common::partition(&graph, DEFAULT_SLAVES);
         let query = common::standard_query(&graph, 10, 10, 0x44);
 
-        let non_opt = DsrIndex::build_with_options(
-            &graph,
-            partitioning.clone(),
-            LocalIndexKind::Dfs,
-            false,
-        );
+        let non_opt =
+            DsrIndex::build_with_options(&graph, partitioning.clone(), LocalIndexKind::Dfs, false);
         let opt = DsrIndex::build_with_options(&graph, partitioning, LocalIndexKind::Dfs, true);
 
-        let (non_opt_pairs, non_opt_time) = time(|| {
-            DsrEngine::new(&non_opt).set_reachability(&query.sources, &query.targets)
-        });
+        let (non_opt_pairs, non_opt_time) =
+            time(|| DsrEngine::new(&non_opt).set_reachability(&query.sources, &query.targets));
         let (opt_pairs, opt_time) =
             time(|| DsrEngine::new(&opt).set_reachability(&query.sources, &query.targets));
         assert_eq!(

@@ -37,13 +37,14 @@ pub fn run(fast: bool) -> String {
         let hash_index = DsrIndex::build(&graph, hash, LocalIndexKind::Dfs);
         let ml_index = DsrIndex::build(&graph, multilevel, LocalIndexKind::Dfs);
 
-        let (hash_pairs, hash_time) = time(|| {
-            DsrEngine::new(&hash_index).set_reachability(&query.sources, &query.targets)
-        });
-        let (ml_pairs, ml_time) = time(|| {
-            DsrEngine::new(&ml_index).set_reachability(&query.sources, &query.targets)
-        });
-        assert_eq!(hash_pairs.pairs, ml_pairs.pairs, "{name}: partitioning must not change results");
+        let (hash_pairs, hash_time) =
+            time(|| DsrEngine::new(&hash_index).set_reachability(&query.sources, &query.targets));
+        let (ml_pairs, ml_time) =
+            time(|| DsrEngine::new(&ml_index).set_reachability(&query.sources, &query.targets));
+        assert_eq!(
+            hash_pairs.pairs, ml_pairs.pairs,
+            "{name}: partitioning must not change results"
+        );
 
         table.row(vec![
             name.to_string(),

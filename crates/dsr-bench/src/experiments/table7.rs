@@ -28,7 +28,11 @@ pub fn run(fast: bool) -> String {
             ("Twitter-1.4B analogue", 12_000, 32, 14.0),
         ]
     };
-    let sizes: Vec<usize> = if fast { vec![10, 100] } else { vec![10, 100, 1000] };
+    let sizes: Vec<usize> = if fast {
+        vec![10, 100]
+    } else {
+        vec![10, 100, 1000]
+    };
 
     for (name, vertices, communities, degree) in configs {
         let social = social_network(vertices, communities, degree, 0.9, 0x77);

@@ -82,6 +82,7 @@ mod tests {
         assert_eq!(nested.byte_size(), 4 + 4 + 4 + 8);
         assert_eq!(Some(5u32).byte_size(), 5);
         assert_eq!(None::<u32>.byte_size(), 1);
-        assert_eq!((&7u32).byte_size(), 4);
+        let by_ref: &u32 = &7;
+        assert_eq!(by_ref.byte_size(), 4);
     }
 }

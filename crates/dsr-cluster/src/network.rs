@@ -36,10 +36,7 @@ impl<'a> Network<'a> {
     ///
     /// # Panics
     /// Panics if the outgoing matrix is not `num_nodes × num_nodes`.
-    pub fn all_to_all<M: MessageSize>(
-        &self,
-        outgoing: Vec<Vec<Option<M>>>,
-    ) -> Vec<Vec<Option<M>>> {
+    pub fn all_to_all<M: MessageSize>(&self, outgoing: Vec<Vec<Option<M>>>) -> Vec<Vec<Option<M>>> {
         assert_eq!(outgoing.len(), self.num_nodes, "outgoing rows");
         for row in &outgoing {
             assert_eq!(row.len(), self.num_nodes, "outgoing columns");

@@ -144,7 +144,11 @@ pub fn louvain(graph: &DiGraph, min_gain: f64) -> CommunityAssignment {
             }
         }
     }
-    let num_communities = community.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let num_communities = community
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     CommunityAssignment {
         community,
         num_communities,
@@ -191,7 +195,11 @@ fn one_level(graph: &UndirectedWeighted, min_gain: f64) -> (Vec<u32>, bool) {
             // Baseline: gain of re-joining the original community.
             let stay_gain = own_connection - sigma_tot[current as usize] * degree / m2;
             let (target, gain) = best;
-            let target = if gain > stay_gain + min_gain { target } else { current };
+            let target = if gain > stay_gain + min_gain {
+                target
+            } else {
+                current
+            };
             sigma_tot[target as usize] += degree;
             if target != current {
                 community[v] = target;
@@ -224,7 +232,11 @@ fn renumber(assignment: &[u32]) -> Vec<u32> {
 
 /// Aggregates communities into super-vertices.
 fn aggregate(graph: &UndirectedWeighted, assignment: &[u32]) -> UndirectedWeighted {
-    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut maps: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
     let mut self_loops = vec![0.0; k];
     let mut total_weight = 0.0;
@@ -265,7 +277,11 @@ fn aggregate(graph: &UndirectedWeighted, assignment: &[u32]) -> UndirectedWeight
 pub fn modularity(graph: &DiGraph, assignment: &[u32]) -> f64 {
     let projected = UndirectedWeighted::from_digraph(graph);
     let m2 = (projected.total_weight * 2.0).max(1e-12);
-    let num_comm = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let num_comm = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut internal = vec![0.0; num_comm];
     let mut degree_sum = vec![0.0; num_comm];
     for v in 0..projected.len() {

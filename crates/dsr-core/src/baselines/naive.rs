@@ -57,11 +57,7 @@ impl NaiveBaseline {
         pairs.dedup();
         FanOutcome {
             pairs,
-            dependency_edges: if evaluated == 0 {
-                0
-            } else {
-                total_dependency_edges / evaluated
-            },
+            dependency_edges: total_dependency_edges.checked_div(evaluated).unwrap_or(0),
             rounds,
             messages,
             bytes,
@@ -85,7 +81,16 @@ mod tests {
     fn matches_fan_and_oracle() {
         let g = DiGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (3, 4), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (3, 4),
+                (7, 0),
+            ],
         );
         let p = HashPartitioner::default().partition(&g, 3);
         let oracle = TransitiveClosure::build(&g);
@@ -95,7 +100,10 @@ mod tests {
         let targets = vec![3, 6, 7];
         let naive_out = naive.set_reachability(&sources, &targets);
         assert_eq!(naive_out.pairs, oracle.set_reachability(&sources, &targets));
-        assert_eq!(naive_out.pairs, fan.set_reachability(&sources, &targets).pairs);
+        assert_eq!(
+            naive_out.pairs,
+            fan.set_reachability(&sources, &targets).pairs
+        );
         // Naive pays per-pair communication: strictly more rounds than Fan.
         assert!(naive_out.rounds > fan.set_reachability(&sources, &targets).rounds);
     }

@@ -260,14 +260,22 @@ mod tests {
         (g, p, cut)
     }
 
-    fn build_all() -> (DiGraph, Partitioning, Cut, Vec<PartitionSummary>, Vec<CompoundGraph>) {
+    fn build_all() -> (
+        DiGraph,
+        Partitioning,
+        Cut,
+        Vec<PartitionSummary>,
+        Vec<CompoundGraph>,
+    ) {
         let (g, p, cut) = figure1();
         let members = p.members();
         let locals: Vec<InducedSubgraph> = (0..3)
             .map(|i| InducedSubgraph::induced(&g, &members[i]))
             .collect();
         let summaries: Vec<PartitionSummary> = (0..3)
-            .map(|i| PartitionSummary::compute(i as PartitionId, &locals[i], cut.partition(i as u32)))
+            .map(|i| {
+                PartitionSummary::compute(i as PartitionId, &locals[i], cut.partition(i as u32))
+            })
             .collect();
         let compounds: Vec<CompoundGraph> = (0..3)
             .map(|i| CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId))
@@ -370,7 +378,10 @@ mod tests {
         let of_g2 = gc1.forward_virtuals_of(1);
         assert_eq!(of_g2.len(), summaries[1].num_forward_classes());
         let of_g1 = gc1.forward_virtuals_of(0);
-        assert!(of_g1.is_empty(), "no virtual vertices for the own partition");
+        assert!(
+            of_g1.is_empty(),
+            "no virtual vertices for the own partition"
+        );
     }
 
     #[test]

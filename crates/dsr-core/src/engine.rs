@@ -243,7 +243,10 @@ impl<'a> DsrEngine<'a> {
             let pt = index.partition_of(t);
             if pt == i {
                 let id = comp.compound_id(t).expect("local target is represented");
-                route_kinds.entry(id).or_default().push(RouteKind::FinalTarget(t));
+                route_kinds
+                    .entry(id)
+                    .or_default()
+                    .push(RouteKind::FinalTarget(t));
                 route_ids.push(id);
             } else {
                 let boundaries = index.cut.partition(pt);
@@ -251,7 +254,10 @@ impl<'a> DsrEngine<'a> {
                     let id = comp
                         .compound_id(t)
                         .expect("remote boundary target is represented");
-                    route_kinds.entry(id).or_default().push(RouteKind::FinalTarget(t));
+                    route_kinds
+                        .entry(id)
+                        .or_default()
+                        .push(RouteKind::FinalTarget(t));
                     route_ids.push(id);
                 }
             }
@@ -261,7 +267,10 @@ impl<'a> DsrEngine<'a> {
                 continue;
             }
             for (class, id) in comp.forward_virtuals_of(j) {
-                route_kinds.entry(id).or_default().push(RouteKind::ForwardClass(j, class));
+                route_kinds
+                    .entry(id)
+                    .or_default()
+                    .push(RouteKind::ForwardClass(j, class));
                 route_ids.push(id);
             }
             // Concrete entry points are only needed when partition j has
@@ -269,7 +278,10 @@ impl<'a> DsrEngine<'a> {
             if !boundary_targets_of[j as usize].is_empty() {
                 for &c in &index.summaries[j as usize].in_boundaries {
                     let id = comp.compound_id(c).expect("in-boundary is represented");
-                    route_kinds.entry(id).or_default().push(RouteKind::Entry(j, c));
+                    route_kinds
+                        .entry(id)
+                        .or_default()
+                        .push(RouteKind::Entry(j, c));
                     route_ids.push(id);
                 }
             }

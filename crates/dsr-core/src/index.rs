@@ -125,8 +125,9 @@ impl DsrIndex {
         let compounds: Vec<CompoundGraph> = run_on_slaves(k, |i| {
             CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId)
         });
-        let local_indexes: Vec<Box<dyn LocalReachability>> =
-            run_on_slaves(k, |i| build_index(kind, Arc::new(compounds[i].graph.clone())));
+        let local_indexes: Vec<Box<dyn LocalReachability>> = run_on_slaves(k, |i| {
+            build_index(kind, Arc::new(compounds[i].graph.clone()))
+        });
 
         let stats = Self::collect_stats(start.elapsed(), &summaries, &compounds);
         DsrIndex {
@@ -182,8 +183,9 @@ impl DsrIndex {
             CompoundGraph::build(&locals[i], cut, summaries, i as PartitionId)
         });
         let kind = self.kind;
-        let local_indexes: Vec<Box<dyn LocalReachability>> =
-            run_on_slaves(k, |i| build_index(kind, Arc::new(compounds[i].graph.clone())));
+        let local_indexes: Vec<Box<dyn LocalReachability>> = run_on_slaves(k, |i| {
+            build_index(kind, Arc::new(compounds[i].graph.clone()))
+        });
         self.compounds = compounds;
         self.local_indexes = local_indexes;
         self.stats = Self::collect_stats(self.stats.build_time, &self.summaries, &self.compounds);

@@ -189,11 +189,21 @@ fn equivalence_classes(
     // Local ids of the boundaries.
     let own_local: Vec<VertexId> = own_boundaries
         .iter()
-        .map(|&g| local.mapping.local(g).expect("boundary belongs to partition"))
+        .map(|&g| {
+            local
+                .mapping
+                .local(g)
+                .expect("boundary belongs to partition")
+        })
         .collect();
     let opposite_local: Vec<VertexId> = opposite_boundaries
         .iter()
-        .map(|&g| local.mapping.local(g).expect("boundary belongs to partition"))
+        .map(|&g| {
+            local
+                .mapping
+                .local(g)
+                .expect("boundary belongs to partition")
+        })
         .collect();
 
     // Candidate targets: direct successors (in the traversal direction) of

@@ -193,11 +193,8 @@ impl DsrIndex {
         let mut refreshed: Vec<PartitionId> = affected.into_iter().collect();
         refreshed.sort_unstable();
         for &p in &refreshed {
-            self.summaries[p as usize] = PartitionSummary::compute(
-                p,
-                &self.locals[p as usize],
-                self.cut.partition(p),
-            );
+            self.summaries[p as usize] =
+                PartitionSummary::compute(p, &self.locals[p as usize], self.cut.partition(p));
         }
         if any_change {
             self.rebuild_compounds();

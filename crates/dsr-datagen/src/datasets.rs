@@ -77,7 +77,11 @@ pub fn dataset_by_name(name: &str) -> Option<Dataset> {
         "LUBM-1B" => (lubm_like(80, 0xD2).graph, true),
         _ => return None,
     };
-    Some(Dataset { name: leak_name(name), large, graph })
+    Some(Dataset {
+        name: leak_name(name),
+        large,
+        graph,
+    })
 }
 
 /// Maps a dynamic name back to the canonical `&'static str` from
@@ -126,7 +130,11 @@ mod tests {
         );
         let lubm = dataset_by_name("LUBM-1B").unwrap().graph;
         let scc = tarjan_scc(&lubm);
-        assert_eq!(scc.num_components, lubm.num_vertices(), "LUBM analogue is acyclic");
+        assert_eq!(
+            scc.num_components,
+            lubm.num_vertices(),
+            "LUBM analogue is acyclic"
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ mod tests {
             "LUBM analogue must be acyclic"
         );
         let avg_degree = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(avg_degree < 2.5, "LUBM analogue must be sparse, got {avg_degree}");
+        assert!(
+            avg_degree < 2.5,
+            "LUBM analogue must be sparse, got {avg_degree}"
+        );
     }
 
     #[test]
@@ -185,6 +188,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(lubm_like(4, 9).graph.edge_vec(), lubm_like(4, 9).graph.edge_vec());
+        assert_eq!(
+            lubm_like(4, 9).graph.edge_vec(),
+            lubm_like(4, 9).graph.edge_vec()
+        );
     }
 }

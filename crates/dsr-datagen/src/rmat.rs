@@ -17,8 +17,11 @@ use rand::{Rng, SeedableRng};
 /// `1 - a - b - c`). The classic "social network" parameters are
 /// `a = 0.57, b = 0.19, c = 0.19`.
 pub fn rmat(scale: u32, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> DiGraph {
-    assert!(scale >= 1 && scale <= 24, "scale out of supported range");
-    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "invalid quadrant probabilities");
+    assert!((1..=24).contains(&scale), "scale out of supported range");
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+        "invalid quadrant probabilities"
+    );
     let n = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_edges);

@@ -101,7 +101,9 @@ mod tests {
         let g = DiGraph::empty(30);
         let qs = random_queries(&g, 3, 4, 5, 77);
         assert_eq!(qs.len(), 5);
-        assert!(qs.iter().all(|q| q.sources.len() == 3 && q.targets.len() == 4));
+        assert!(qs
+            .iter()
+            .all(|q| q.sources.len() == 3 && q.targets.len() == 4));
     }
 
     #[test]

@@ -91,7 +91,11 @@ fn run_graph_centric(
 ) -> GiraphOutcome {
     let start = Instant::now();
     let n = graph.num_vertices();
-    assert_eq!(partitioning.num_vertices(), n, "partitioning must cover the graph");
+    assert_eq!(
+        partitioning.num_vertices(),
+        n,
+        "partitioning must cover the graph"
+    );
     let k = partitioning.num_partitions;
     let members = partitioning.members();
     let cut = Cut::extract(graph, partitioning);
@@ -286,13 +290,8 @@ mod tests {
         let assignment: Vec<u32> = (0..n).map(|v| if v < n / 2 { 0 } else { 1 }).collect();
         let p = Partitioning::new(assignment, 2);
         let giraph = giraph_set_reachability(&g, &p, &[0], &[n - 1]);
-        let gpp = giraph_pp_set_reachability(
-            &g,
-            &p,
-            &[0],
-            &[n - 1],
-            GraphCentricVariant::GiraphPlusPlus,
-        );
+        let gpp =
+            giraph_pp_set_reachability(&g, &p, &[0], &[n - 1], GraphCentricVariant::GiraphPlusPlus);
         assert_eq!(giraph.pairs, gpp.pairs);
         assert!(
             gpp.supersteps * 4 < giraph.supersteps,
@@ -336,7 +335,8 @@ mod tests {
     fn empty_query() {
         let g = random_graph(3, 10, 20);
         let p = HashPartitioner::default().partition(&g, 2);
-        let out = giraph_pp_set_reachability(&g, &p, &[], &[1], GraphCentricVariant::GiraphPlusPlus);
+        let out =
+            giraph_pp_set_reachability(&g, &p, &[], &[1], GraphCentricVariant::GiraphPlusPlus);
         assert!(out.pairs.is_empty());
     }
 
@@ -350,7 +350,9 @@ mod tests {
             .map(|i| InducedSubgraph::induced(&g, &members[i]))
             .collect();
         let summaries: Vec<PartitionSummary> = (0..3)
-            .map(|i| PartitionSummary::compute(i as PartitionId, &locals[i], cut.partition(i as u32)))
+            .map(|i| {
+                PartitionSummary::compute(i as PartitionId, &locals[i], cut.partition(i as u32))
+            })
             .collect();
         let all: Vec<u32> = (0..30).collect();
         let on_the_fly = giraph_pp_set_reachability(

@@ -31,7 +31,11 @@ pub fn giraph_set_reachability(
 ) -> GiraphOutcome {
     let start = Instant::now();
     let n = graph.num_vertices();
-    assert_eq!(partitioning.num_vertices(), n, "partitioning must cover the graph");
+    assert_eq!(
+        partitioning.num_vertices(),
+        n,
+        "partitioning must cover the graph"
+    );
 
     // Dense source ids keep the per-vertex state small.
     let mut source_index: Vec<VertexId> = sources.to_vec();

@@ -118,7 +118,10 @@ impl GraphBuilder {
         while self.labels.len() < self.num_vertices {
             self.labels.push(String::new());
         }
-        (DiGraph::from_edges(self.num_vertices, &self.edges), self.labels)
+        (
+            DiGraph::from_edges(self.num_vertices, &self.edges),
+            self.labels,
+        )
     }
 }
 

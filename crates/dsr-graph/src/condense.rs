@@ -109,10 +109,22 @@ mod tests {
         // Two interleaved cycles plus cross edges.
         let g = DiGraph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (1, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (1, 4),
+            ],
         );
         let c = condense(&g);
-        assert!(topological_order(&c.dag).is_some(), "condensation must be a DAG");
+        assert!(
+            topological_order(&c.dag).is_some(),
+            "condensation must be a DAG"
+        );
         assert_eq!(c.num_vertices(), 2);
     }
 

@@ -33,10 +33,10 @@ pub mod topo;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use io::{read_edge_list, read_edge_list_file, write_edge_list, write_edge_list_file};
 pub use closure::TransitiveClosure;
 pub use condense::{condense, CondensedGraph};
 pub use csr::{DiGraph, EdgeIter, NeighborIter};
+pub use io::{read_edge_list, read_edge_list_file, write_edge_list, write_edge_list_file};
 pub use scc::{tarjan_scc, SccResult};
 pub use subgraph::{InducedSubgraph, VertexMapping};
 pub use topo::topological_order;

@@ -64,7 +64,7 @@ impl SccResult {
         graph.edges().all(|(u, v)| {
             let cu = self.component_of(u);
             let cv = self.component_of(v);
-            cu == cv || cu > cv
+            cu >= cv
         })
     }
 }

@@ -32,7 +32,10 @@ impl GraphStats {
     pub fn compute(graph: &DiGraph) -> Self {
         let n = graph.num_vertices();
         let scc = tarjan_scc(graph);
-        let max_out_degree = (0..n).map(|v| graph.out_degree(v as u32)).max().unwrap_or(0);
+        let max_out_degree = (0..n)
+            .map(|v| graph.out_degree(v as u32))
+            .max()
+            .unwrap_or(0);
         let max_in_degree = (0..n).map(|v| graph.in_degree(v as u32)).max().unwrap_or(0);
         GraphStats {
             num_vertices: n,

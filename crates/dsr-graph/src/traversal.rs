@@ -110,11 +110,7 @@ pub fn is_reachable(graph: &DiGraph, source: VertexId, target: VertexId) -> bool
 /// Early-exit DFS restricted to a set of interesting targets: returns which
 /// of `targets` are reachable from `source`, stopping once all have been
 /// found.
-pub fn reachable_targets(
-    graph: &DiGraph,
-    source: VertexId,
-    targets: &[VertexId],
-) -> Vec<VertexId> {
+pub fn reachable_targets(graph: &DiGraph, source: VertexId, targets: &[VertexId]) -> Vec<VertexId> {
     let n = graph.num_vertices();
     let mut is_target = vec![false; n];
     for &t in targets {

@@ -98,7 +98,11 @@ impl Cut {
     }
 
     /// Cut edges whose *target* lies in partition `i` (incoming cut edges).
-    pub fn incoming_edges(&self, partitioning: &Partitioning, i: PartitionId) -> Vec<(VertexId, VertexId)> {
+    pub fn incoming_edges(
+        &self,
+        partitioning: &Partitioning,
+        i: PartitionId,
+    ) -> Vec<(VertexId, VertexId)> {
         self.edges
             .iter()
             .copied()
@@ -107,7 +111,11 @@ impl Cut {
     }
 
     /// Cut edges whose *source* lies in partition `i` (outgoing cut edges).
-    pub fn outgoing_edges(&self, partitioning: &Partitioning, i: PartitionId) -> Vec<(VertexId, VertexId)> {
+    pub fn outgoing_edges(
+        &self,
+        partitioning: &Partitioning,
+        i: PartitionId,
+    ) -> Vec<(VertexId, VertexId)> {
         self.edges
             .iter()
             .copied()

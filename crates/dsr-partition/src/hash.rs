@@ -18,7 +18,9 @@ pub struct HashPartitioner {
 
 impl Default for HashPartitioner {
     fn default() -> Self {
-        HashPartitioner { seed: 0x5851_f42d_4c95_7f2d }
+        HashPartitioner {
+            seed: 0x5851_f42d_4c95_7f2d,
+        }
     }
 }
 
@@ -65,14 +67,20 @@ mod tests {
         assert_eq!(p1, p2);
         let sizes = p1.sizes();
         assert_eq!(sizes.len(), 5);
-        assert!(sizes.iter().all(|&s| s > 0), "every partition gets vertices");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every partition gets vertices"
+        );
     }
 
     #[test]
     fn reasonably_balanced() {
         let g = DiGraph::empty(10_000);
         let p = HashPartitioner::default().partition(&g, 8);
-        assert!(p.balance() < 1.15, "hash partitioning should be near-balanced");
+        assert!(
+            p.balance() < 1.15,
+            "hash partitioning should be near-balanced"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! contracts every matched pair into a single coarse vertex.
 
 use dsr_graph::{DiGraph, VertexId};
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 
 /// Undirected weighted graph used during coarsening.
 #[derive(Debug, Clone)]
@@ -143,10 +143,8 @@ fn contract_matching(graph: &WeightedGraph, rng: &mut SmallRng) -> (WeightedGrap
         // Pick the unmatched neighbor connected by the heaviest edge.
         let mut best: Option<(VertexId, u64)> = None;
         for &(w, weight) in graph.neighbors(v) {
-            if w != v && mate[w as usize] == UNMATCHED {
-                if best.map_or(true, |(_, bw)| weight > bw) {
-                    best = Some((w, weight));
-                }
+            if w != v && mate[w as usize] == UNMATCHED && best.is_none_or(|(_, bw)| weight > bw) {
+                best = Some((w, weight));
             }
         }
         match best {

@@ -8,8 +8,8 @@
 use std::collections::BinaryHeap;
 
 use dsr_graph::VertexId;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 
 use crate::types::PartitionId;
 
@@ -53,9 +53,7 @@ pub fn initial_partition(
         if assignment[v as usize] != UNASSIGNED {
             continue;
         }
-        if load[p as usize] + graph.vertex_weight(v) > max_weight
-            && load[p as usize] > 0
-        {
+        if load[p as usize] + graph.vertex_weight(v) > max_weight && load[p as usize] > 0 {
             continue;
         }
         assignment[v as usize] = p;

@@ -77,7 +77,10 @@ mod tests {
     use crate::types::Partitioner;
 
     fn ring(n: u32) -> DiGraph {
-        DiGraph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+        DiGraph::from_edges(
+            n as usize,
+            &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]

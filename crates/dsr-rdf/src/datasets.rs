@@ -115,7 +115,11 @@ pub fn named_query(name: &str) -> Option<Query> {
         "L1" => Query {
             name: "L1".into(),
             patterns: vec![
-                Pattern::plain(Term::var("x"), "rdf:type", Term::constant("ub:ResearchGroup")),
+                Pattern::plain(
+                    Term::var("x"),
+                    "rdf:type",
+                    Term::constant("ub:ResearchGroup"),
+                ),
                 Pattern::star(Term::var("x"), "ub:subOrganizationOf", Term::var("y")),
                 Pattern::plain(Term::var("y"), "rdf:type", Term::constant("ub:University")),
             ],
@@ -124,7 +128,11 @@ pub fn named_query(name: &str) -> Option<Query> {
         "L2" => Query {
             name: "L2".into(),
             patterns: vec![
-                Pattern::plain(Term::var("x"), "rdf:type", Term::constant("ub:FullProfessor")),
+                Pattern::plain(
+                    Term::var("x"),
+                    "rdf:type",
+                    Term::constant("ub:FullProfessor"),
+                ),
                 Pattern::plain(Term::var("x"), "ub:headOf", Term::var("d")),
                 Pattern::star(Term::var("d"), "ub:subOrganizationOf", Term::var("y")),
                 Pattern::plain(Term::var("y"), "rdf:type", Term::constant("ub:University")),
@@ -134,10 +142,18 @@ pub fn named_query(name: &str) -> Option<Query> {
         "L3" => Query {
             name: "L3".into(),
             patterns: vec![
-                Pattern::plain(Term::var("r1"), "rdf:type", Term::constant("ub:ResearchGroup")),
+                Pattern::plain(
+                    Term::var("r1"),
+                    "rdf:type",
+                    Term::constant("ub:ResearchGroup"),
+                ),
                 Pattern::star(Term::var("r1"), "ub:subOrganizationOf", Term::var("y")),
                 Pattern::plain(Term::var("y"), "rdf:type", Term::constant("ub:University")),
-                Pattern::plain(Term::var("r2"), "rdf:type", Term::constant("ub:ResearchGroup")),
+                Pattern::plain(
+                    Term::var("r2"),
+                    "rdf:type",
+                    Term::constant("ub:ResearchGroup"),
+                ),
                 Pattern::star(Term::var("r2"), "ub:subOrganizationOf", Term::var("y")),
             ],
         },
@@ -222,10 +238,14 @@ pub fn named_query(name: &str) -> Option<Query> {
 /// The transitive-path predicates used by the benchmark queries (these are
 /// the subgraphs the path resolvers index).
 pub fn path_predicates(store: &TripleStore) -> Vec<u32> {
-    ["ub:subOrganizationOf", "fb:location.location.containedby", "fb:people.person.sibling_s"]
-        .iter()
-        .filter_map(|p| store.lookup(p))
-        .collect()
+    [
+        "ub:subOrganizationOf",
+        "fb:location.location.containedby",
+        "fb:people.person.sibling_s",
+    ]
+    .iter()
+    .filter_map(|p| store.lookup(p))
+    .collect()
 }
 
 #[cfg(test)]
@@ -267,7 +287,11 @@ mod tests {
             let q = named_query(name).unwrap();
             let with_dsr = evaluate(&store, &q, &dsr);
             let with_bfs = evaluate(&store, &q, &bfs);
-            assert_eq!(with_dsr.len(), with_bfs.len(), "{name} result count differs");
+            assert_eq!(
+                with_dsr.len(),
+                with_bfs.len(),
+                "{name} result count differs"
+            );
             assert!(!with_dsr.is_empty(), "{name} should have results");
         }
     }
@@ -282,7 +306,11 @@ mod tests {
             let q = named_query(name).unwrap();
             let with_dsr = evaluate(&store, &q, &dsr);
             let with_bfs = evaluate(&store, &q, &bfs);
-            assert_eq!(with_dsr.len(), with_bfs.len(), "{name} result count differs");
+            assert_eq!(
+                with_dsr.len(),
+                with_bfs.len(),
+                "{name} result count differs"
+            );
         }
         // F1 must have results (every person has a birth place in a state).
         assert!(!evaluate(&store, &named_query("F1").unwrap(), &dsr).is_empty());

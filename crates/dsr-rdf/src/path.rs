@@ -51,12 +51,13 @@ impl PredicateGraph {
     fn build(store: &TripleStore, predicate: TermId) -> Self {
         let mut vertex_of: HashMap<TermId, VertexId> = HashMap::new();
         let mut term_of: Vec<TermId> = Vec::new();
-        let intern = |t: TermId, term_of: &mut Vec<TermId>, vertex_of: &mut HashMap<TermId, VertexId>| {
-            *vertex_of.entry(t).or_insert_with(|| {
-                term_of.push(t);
-                (term_of.len() - 1) as VertexId
-            })
-        };
+        let intern =
+            |t: TermId, term_of: &mut Vec<TermId>, vertex_of: &mut HashMap<TermId, VertexId>| {
+                *vertex_of.entry(t).or_insert_with(|| {
+                    term_of.push(t);
+                    (term_of.len() - 1) as VertexId
+                })
+            };
         let mut edges = Vec::new();
         for &(s, o) in store.pairs_of(predicate) {
             let vs = intern(s, &mut term_of, &mut vertex_of);
@@ -166,7 +167,9 @@ impl PathResolver for BfsPathResolver {
         let mut out = reflexive_pairs(sources, targets);
         if let Some(pg) = self.graphs.get(&predicate) {
             for &s in sources {
-                let Some(&vs) = pg.vertex_of.get(&s) else { continue };
+                let Some(&vs) = pg.vertex_of.get(&s) else {
+                    continue;
+                };
                 let reach = bfs_reachable(&pg.graph, vs, Direction::Forward);
                 for &t in targets {
                     if let Some(&vt) = pg.vertex_of.get(&t) {

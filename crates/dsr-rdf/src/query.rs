@@ -104,11 +104,7 @@ pub fn evaluate(store: &TripleStore, query: &Query, paths: &dyn PathResolver) ->
     bindings
 }
 
-fn term_candidates(
-    store: &TripleStore,
-    term: &Term,
-    binding: &Binding,
-) -> Option<Option<TermId>> {
+fn term_candidates(store: &TripleStore, term: &Term, binding: &Binding) -> Option<Option<TermId>> {
     // Returns Some(Some(id)) when the term is fixed, Some(None) when it is
     // an unbound variable, None when a constant is unknown to the store
     // (no solutions possible).
@@ -144,7 +140,9 @@ fn apply_pattern(
 ) -> Vec<Binding> {
     match &pattern.predicate {
         PredicateExpr::Plain(p) => {
-            let Some(pid) = store.lookup(p) else { return Vec::new() };
+            let Some(pid) = store.lookup(p) else {
+                return Vec::new();
+            };
             let mut out = Vec::new();
             for binding in &bindings {
                 let Some(subject) = term_candidates(store, &pattern.subject, binding) else {
@@ -154,14 +152,14 @@ fn apply_pattern(
                     continue;
                 };
                 for &(s, o) in store.pairs_of(pid) {
-                    if subject.map_or(false, |fixed| fixed != s) {
+                    if subject.is_some_and(|fixed| fixed != s) {
                         continue;
                     }
-                    if object.map_or(false, |fixed| fixed != o) {
+                    if object.is_some_and(|fixed| fixed != o) {
                         continue;
                     }
-                    if let Some(next) = extend(binding, &pattern.subject, s)
-                        .and_then(|b| extend(&b, &pattern.object, o).map(|mut nb| {
+                    if let Some(next) = extend(binding, &pattern.subject, s).and_then(|b| {
+                        extend(&b, &pattern.object, o).map(|mut nb| {
                             // extend() clones from the intermediate binding,
                             // so re-apply the subject binding explicitly.
                             if let Term::Var(name) = &pattern.subject {
@@ -171,8 +169,8 @@ fn apply_pattern(
                                 nb.insert(name.clone(), o);
                             }
                             nb
-                        }))
-                    {
+                        })
+                    }) {
                         out.push(next);
                     }
                 }
@@ -280,7 +278,8 @@ fn apply_pattern(
 }
 
 fn dedup_bindings(bindings: Vec<Binding>) -> Vec<Binding> {
-    let mut seen: std::collections::HashSet<Vec<(String, TermId)>> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<Vec<(String, TermId)>> =
+        std::collections::HashSet::new();
     let mut out = Vec::new();
     for b in bindings {
         let mut key: Vec<(String, TermId)> = b.iter().map(|(k, v)| (k.clone(), *v)).collect();

@@ -97,7 +97,9 @@ impl FerrariReachability {
                 let low = dag
                     .out_neighbors(v)
                     .iter()
-                    .filter(|&&w| post_id[w as usize] != u32::MAX && tree_low[w as usize] != u32::MAX)
+                    .filter(|&&w| {
+                        post_id[w as usize] != u32::MAX && tree_low[w as usize] != u32::MAX
+                    })
                     .map(|&w| tree_low[w as usize])
                     .min()
                     .unwrap_or(next_post)
@@ -248,7 +250,7 @@ fn normalize(mut set: Vec<Interval>, max_intervals: usize) -> Vec<Interval> {
         let left = &mut merged[best - 1];
         left.hi = right.hi;
         left.exact = false; // the gap may contain non-descendants
-        // (also if either side was approximate the union stays approximate)
+                            // (also if either side was approximate the union stays approximate)
     }
     merged
 }
@@ -374,9 +376,21 @@ mod tests {
     #[test]
     fn normalize_merges_and_caps() {
         let set = vec![
-            Interval { lo: 0, hi: 1, exact: true },
-            Interval { lo: 2, hi: 3, exact: true },
-            Interval { lo: 10, hi: 11, exact: true },
+            Interval {
+                lo: 0,
+                hi: 1,
+                exact: true,
+            },
+            Interval {
+                lo: 2,
+                hi: 3,
+                exact: true,
+            },
+            Interval {
+                lo: 10,
+                hi: 11,
+                exact: true,
+            },
         ];
         let merged = normalize(set.clone(), 8);
         assert_eq!(merged.len(), 2);

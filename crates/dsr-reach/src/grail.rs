@@ -259,6 +259,9 @@ mod tests {
         let idx = GrailReachability::with_dimensions(&g, 1, 42);
         let dfs = DfsReachability::new(Arc::new(g));
         let all: Vec<u32> = (0..8).collect();
-        assert_eq!(idx.set_reachability(&all, &all), dfs.set_reachability(&all, &all));
+        assert_eq!(
+            idx.set_reachability(&all, &all),
+            dfs.set_reachability(&all, &all)
+        );
     }
 }

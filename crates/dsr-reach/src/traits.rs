@@ -138,10 +138,7 @@ mod tests {
             }
         }
         let f = Fake;
-        assert_eq!(
-            f.set_reachability(&[2, 0], &[1]),
-            vec![(0, 1)]
-        );
+        assert_eq!(f.set_reachability(&[2, 0], &[1]), vec![(0, 1)]);
         assert_eq!(f.reachable_targets(0, &[1, 2]), vec![1, 2]);
         assert_eq!(f.index_bytes(), 0);
     }

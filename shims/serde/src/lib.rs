@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade crate. Exposes `Serialize` and
+//! `Deserialize` as no-op derive macros (see `serde_derive`) so that
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{Deserialize,
+//! Serialize}` compile without registry access. No serialization framework is
+//! provided — nothing in this workspace performs actual serde I/O.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros for the offline `serde` shim. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker on plain data structs; no
+//! code actually serializes through serde, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

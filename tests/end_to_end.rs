@@ -33,7 +33,9 @@ fn social_graph_analogue_with_ferrari_local_index() {
 
     let oracle = TransitiveClosure::build(&graph);
     assert_eq!(
-        engine.set_reachability(&query.sources, &query.targets).pairs,
+        engine
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
         oracle.set_reachability(&query.sources, &query.targets)
     );
 }
@@ -47,7 +49,12 @@ fn lubm_analogue_sparse_acyclic_queries() {
     let query = random_query(&graph, 100, 100, 13);
     let oracle = TransitiveClosure::build(&graph);
     let expected = oracle.set_reachability(&query.sources, &query.targets);
-    assert_eq!(engine.set_reachability(&query.sources, &query.targets).pairs, expected);
+    assert_eq!(
+        engine
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        expected
+    );
 }
 
 #[test]

@@ -32,8 +32,13 @@ fn all_engines_agree_on_small_web_graph() {
         GraphCentricVariant::GiraphPlusPlus,
         GraphCentricVariant::GiraphPlusPlusWithEquivalence,
     ] {
-        let out =
-            giraph_pp_set_reachability(&graph, &partitioning, &query.sources, &query.targets, variant);
+        let out = giraph_pp_set_reachability(
+            &graph,
+            &partitioning,
+            &query.sources,
+            &query.targets,
+            variant,
+        );
         assert_eq!(dsr.pairs, out.pairs, "DSR vs {variant:?}");
     }
 }
@@ -58,7 +63,10 @@ fn communication_profile_ordering() {
     );
 
     assert_eq!(dsr.pairs, giraph.pairs);
-    assert!(dsr.rounds <= 3, "DSR must stay within one data-exchange round");
+    assert!(
+        dsr.rounds <= 3,
+        "DSR must stay within one data-exchange round"
+    );
     assert!(
         giraph.supersteps > dsr.rounds,
         "vertex-centric Giraph iterates more rounds than DSR"

@@ -1,0 +1,88 @@
+//! Smoke test: a tiny two-partition graph must build and answer queries
+//! correctly through *every* [`LocalIndexKind`], so that a broken strategy
+//! can never silently regress (the benches and most tests default to DFS).
+
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_graph::{DiGraph, TransitiveClosure};
+use dsr_partition::Partitioning;
+use dsr_reach::LocalIndexKind;
+
+/// Two chains living in different partitions, connected by a cut edge in
+/// each direction plus a local cycle, so the compound graphs contain both
+/// forward and backward classes and a non-trivial SCC:
+///
+/// partition 0: 0 → 1 → 2        partition 1: 4 → 5 → 6 → 4 (cycle)
+/// cut edges:   2 → 4  and  6 → 3 (3 in partition 0, unreachable from 0..2)
+fn fixture() -> (DiGraph, Partitioning) {
+    let edges = [(0, 1), (1, 2), (2, 4), (4, 5), (5, 6), (6, 4), (6, 3)];
+    let graph = DiGraph::from_edges(8, &edges);
+    // Vertex 7 is isolated in partition 1: single-vertex/empty-boundary
+    // corner cases stay covered.
+    let assignment = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    (graph, Partitioning::new(assignment, 2))
+}
+
+#[test]
+fn every_local_index_kind_answers_correctly() {
+    let (graph, partitioning) = fixture();
+    let oracle = TransitiveClosure::build(&graph);
+    let all: Vec<u32> = (0..8).collect();
+    let expected = oracle.set_reachability(&all, &all);
+
+    for kind in LocalIndexKind::ALL {
+        let index = DsrIndex::build(&graph, partitioning.clone(), kind);
+        let engine = DsrEngine::new(&index);
+
+        let outcome = engine.set_reachability(&all, &all);
+        assert_eq!(
+            outcome.pairs,
+            expected,
+            "full-matrix mismatch with local index {}",
+            kind.name()
+        );
+        assert!(
+            outcome.rounds <= 3,
+            "{} exceeded scatter + exchange + gather",
+            kind.name()
+        );
+
+        for s in 0..8u32 {
+            for t in 0..8u32 {
+                assert_eq!(
+                    engine.is_reachable(s, t),
+                    oracle.reachable(s, t),
+                    "{} wrong on single pair ({s}, {t})",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_local_index_kind_handles_empty_and_isolated_queries() {
+    let (graph, partitioning) = fixture();
+    for kind in LocalIndexKind::ALL {
+        let index = DsrIndex::build(&graph, partitioning.clone(), kind);
+        let engine = DsrEngine::new(&index);
+        assert!(
+            engine.set_reachability(&[], &[3]).pairs.is_empty(),
+            "{}: empty source set",
+            kind.name()
+        );
+        assert!(
+            engine.set_reachability(&[3], &[]).pairs.is_empty(),
+            "{}: empty target set",
+            kind.name()
+        );
+        // The isolated vertex reaches only itself.
+        assert_eq!(
+            engine
+                .set_reachability(&[7], &[0, 1, 2, 3, 4, 5, 6, 7])
+                .pairs,
+            vec![(7, 7)],
+            "{}: isolated vertex",
+            kind.name()
+        );
+    }
+}
