@@ -1,0 +1,97 @@
+//! Criterion bench for the serving layer: batched vs. per-query execution
+//! of a 10k-query Zipf-skewed stream, plus the cached `QueryService` paths.
+//!
+//! The comparison backing the batching claim: `batched_256` executes the
+//! same 10,000 queries as `per_query` but amortizes the
+//! scatter/exchange/gather protocol over 256-query chunks (and fuses the
+//! per-slave local evaluation), so its wall-clock time and communication
+//! volume drop correspondingly.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsr_core::{DsrEngine, DsrIndex, SetQuery};
+use dsr_datagen::{query_stream, web_graph, ArrivalPattern, StreamConfig};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+use dsr_service::QueryService;
+
+const NUM_QUERIES: usize = 10_000;
+const BATCH: usize = 256;
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let graph = web_graph(600, 4.0, 12, 0.7, 0xBE);
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 4);
+    let index = Arc::new(DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs));
+    let stream = query_stream(
+        &graph,
+        &StreamConfig {
+            num_queries: NUM_QUERIES,
+            num_sources: 10,
+            num_targets: 10,
+            distinct: 64,
+            skew: 0.99,
+            pattern: ArrivalPattern::ClosedLoop,
+            seed: 0x7B,
+        },
+    );
+    let queries: Vec<SetQuery> = stream
+        .queries()
+        .map(|q| SetQuery::new(q.sources.clone(), q.targets.clone()))
+        .collect();
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(3);
+    group.bench_function("per_query_10k", |b| {
+        let engine = DsrEngine::new(&index);
+        b.iter(|| {
+            for q in &queries {
+                black_box(engine.set_reachability(&q.sources, &q.targets));
+            }
+        })
+    });
+    group.bench_function("batched_256_10k", |b| {
+        let engine = DsrEngine::new(&index);
+        b.iter(|| {
+            for chunk in queries.chunks(BATCH) {
+                black_box(engine.set_reachability_batch(chunk));
+            }
+        })
+    });
+    group.bench_function("service_cached_10k", |b| {
+        // A fresh service per sample so every sample pays the same cold
+        // misses; steady-state is all hits and would measure the hash map.
+        b.iter_with_setup(
+            || QueryService::new(Arc::clone(&index)),
+            |service| {
+                for q in &queries {
+                    black_box(service.query(&q.sources, &q.targets));
+                }
+                service
+            },
+        )
+    });
+    group.bench_function("service_8_clients_10k", |b| {
+        b.iter_with_setup(
+            || QueryService::new(Arc::clone(&index)),
+            |service| {
+                std::thread::scope(|scope| {
+                    for client in 0..8 {
+                        let service = &service;
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            for q in queries.iter().skip(client).step_by(8) {
+                                black_box(service.query(&q.sources, &q.targets));
+                            }
+                        });
+                    }
+                });
+                service
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

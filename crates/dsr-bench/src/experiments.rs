@@ -11,3 +11,4 @@ pub mod table4;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod throughput;

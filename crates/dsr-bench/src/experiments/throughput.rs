@@ -1,0 +1,316 @@
+//! Serving-layer throughput experiment.
+//!
+//! Not a table of the paper — the paper stops at per-query latency — but
+//! the direct consequence of its claim: with communication bounded at 3
+//! rounds per query, the way to serve heavy traffic is to amortize those
+//! rounds across a *batch* of queries and to cache repeated answers. This
+//! experiment replays a Zipf-skewed query stream (see
+//! [`dsr_datagen::workload::query_stream`]) in four execution modes over
+//! the same index:
+//!
+//! 1. `per_query` — the historical one-protocol-run-per-query path,
+//! 2. `batched` — [`DsrEngine::set_reachability_batch`] over fixed-size
+//!    chunks (3 communication rounds per chunk instead of per query),
+//! 3. `service_cached` — a [`QueryService`] with its LRU result cache,
+//! 4. `service_concurrent` — the same service hammered by 8 closed-loop
+//!    client threads.
+//!
+//! Besides the rendered table, the run writes a machine-readable
+//! `BENCH_throughput.json` (into `$DSR_BENCH_DIR` or the working
+//! directory) so CI can archive the per-PR throughput trajectory.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsr_cluster::CommStats;
+use dsr_core::{DsrEngine, DsrIndex, SetQuery};
+use dsr_datagen::{query_stream, ArrivalPattern, StreamConfig};
+use dsr_graph::DiGraph;
+use dsr_reach::LocalIndexKind;
+use dsr_service::QueryService;
+
+use crate::experiments::common;
+use crate::{secs, time, Table};
+
+/// Results of one execution mode.
+struct ModeResult {
+    name: &'static str,
+    queries: usize,
+    elapsed: Duration,
+    rounds: u64,
+    messages: u64,
+    bytes: u64,
+    cache_hits: Option<u64>,
+}
+
+impl ModeResult {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the experiment, renders the table and writes `BENCH_throughput.json`.
+pub fn run(fast: bool) -> String {
+    let (graph_name, graph): (&str, DiGraph) = if fast {
+        // Small deterministic web graph so the CI bench-smoke job finishes
+        // in seconds.
+        ("web-3k", dsr_datagen::web_graph(800, 4.0, 16, 0.7, 0xBE))
+    } else {
+        ("NotreDame", common::dataset("NotreDame"))
+    };
+    let slaves = if fast { 3 } else { common::DEFAULT_SLAVES };
+    let num_queries = if fast { 512 } else { 10_000 };
+    let distinct = if fast { 24 } else { 256 };
+    let batch_size = if fast { 64 } else { 256 };
+
+    let partitioning = common::partition(&graph, slaves);
+    let index = Arc::new(DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs));
+    let stream = query_stream(
+        &graph,
+        &StreamConfig {
+            num_queries,
+            num_sources: 10,
+            num_targets: 10,
+            distinct,
+            skew: 0.99,
+            pattern: ArrivalPattern::ClosedLoop,
+            seed: 0x7B,
+        },
+    );
+    let queries: Vec<SetQuery> = stream
+        .queries()
+        .map(|q| SetQuery::new(q.sources.clone(), q.targets.clone()))
+        .collect();
+
+    // --- Mode 1: per-query protocol runs. -------------------------------
+    let engine = DsrEngine::new(&index);
+    let per_query_stats = CommStats::new();
+    let (per_query_results, per_query_time) = time(|| {
+        queries
+            .iter()
+            .map(|q| engine.set_reachability_with_stats(&q.sources, &q.targets, &per_query_stats))
+            .collect::<Vec<_>>()
+    });
+    let (rounds, messages, bytes) = per_query_stats.snapshot();
+    let per_query = ModeResult {
+        name: "per_query",
+        queries: queries.len(),
+        elapsed: per_query_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: None,
+    };
+
+    // --- Mode 2: batched protocol runs. ---------------------------------
+    let batched_stats = CommStats::new();
+    let (batched_results, batched_time) = time(|| {
+        queries
+            .chunks(batch_size)
+            .flat_map(|chunk| engine.set_reachability_batch_with_stats(chunk, &batched_stats))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        per_query_results, batched_results,
+        "batched execution must agree with per-query execution"
+    );
+    let (rounds, messages, bytes) = batched_stats.snapshot();
+    let batched = ModeResult {
+        name: "batched",
+        queries: queries.len(),
+        elapsed: batched_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: None,
+    };
+
+    // --- Mode 3: cached service, single closed-loop client. -------------
+    let service = QueryService::new(Arc::clone(&index));
+    let (_, service_time) = time(|| {
+        for q in &queries {
+            std::hint::black_box(service.query(&q.sources, &q.targets));
+        }
+    });
+    let (rounds, messages, bytes) = service.comm_stats().snapshot();
+    let service_cached = ModeResult {
+        name: "service_cached",
+        queries: queries.len(),
+        elapsed: service_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: Some(service.cache_stats().hits()),
+    };
+    let hit_rate = service.cache_stats().hit_rate();
+
+    // --- Mode 4: cached service, 8 closed-loop clients. -----------------
+    let concurrent_service = QueryService::new(Arc::clone(&index));
+    let num_clients = 8;
+    let (_, concurrent_time) = time(|| {
+        std::thread::scope(|scope| {
+            for client in 0..num_clients {
+                let service = &concurrent_service;
+                let queries = &queries;
+                scope.spawn(move || {
+                    for q in queries.iter().skip(client).step_by(num_clients) {
+                        std::hint::black_box(service.query(&q.sources, &q.targets));
+                    }
+                });
+            }
+        });
+    });
+    let (rounds, messages, bytes) = concurrent_service.comm_stats().snapshot();
+    let service_concurrent = ModeResult {
+        name: "service_concurrent",
+        queries: queries.len(),
+        elapsed: concurrent_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: Some(concurrent_service.cache_stats().hits()),
+    };
+
+    let modes = [per_query, batched, service_cached, service_concurrent];
+
+    // --- Render. --------------------------------------------------------
+    let mut table = Table::new(
+        &format!(
+            "Throughput: {num_queries} queries (10x10, {distinct} distinct, zipf 0.99) on {graph_name}, {slaves} slaves"
+        ),
+        &[
+            "Mode",
+            "Time (s)",
+            "QPS",
+            "Rounds",
+            "Messages",
+            "Comm (KB)",
+            "Cache hits",
+        ],
+    );
+    for mode in &modes {
+        table.row(vec![
+            mode.name.to_string(),
+            secs(mode.elapsed),
+            format!("{:.0}", mode.qps()),
+            mode.rounds.to_string(),
+            mode.messages.to_string(),
+            format!("{:.1}", mode.bytes as f64 / 1024.0),
+            mode.cache_hits
+                .map_or_else(|| "-".to_string(), |h| h.to_string()),
+        ]);
+    }
+    let mut out = table.render();
+
+    let json = render_json(
+        fast,
+        graph_name,
+        &graph,
+        slaves,
+        &stream_summary(num_queries, distinct, batch_size),
+        &modes,
+        hit_rate,
+    );
+    match write_json(&json) {
+        Ok(path) => out.push_str(&format!("\nwrote {path}\n")),
+        Err(err) => out.push_str(&format!("\nfailed to write BENCH_throughput.json: {err}\n")),
+    }
+    out
+}
+
+struct StreamSummary {
+    num_queries: usize,
+    distinct: usize,
+    batch_size: usize,
+}
+
+fn stream_summary(num_queries: usize, distinct: usize, batch_size: usize) -> StreamSummary {
+    StreamSummary {
+        num_queries,
+        distinct,
+        batch_size,
+    }
+}
+
+fn render_json(
+    fast: bool,
+    graph_name: &str,
+    graph: &DiGraph,
+    slaves: usize,
+    stream: &StreamSummary,
+    modes: &[ModeResult],
+    hit_rate: f64,
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"throughput\",\n");
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{\"name\": \"{graph_name}\", \"vertices\": {}, \"edges\": {}, \"slaves\": {slaves}}},\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ));
+    json.push_str(&format!(
+        "  \"workload\": {{\"num_queries\": {}, \"distinct\": {}, \"skew\": 0.99, \"sources\": 10, \"targets\": 10, \"batch_size\": {}}},\n",
+        stream.num_queries, stream.distinct, stream.batch_size
+    ));
+    json.push_str(&format!("  \"cache_hit_rate\": {hit_rate:.4},\n"));
+    let batched_speedup = modes[0].elapsed.as_secs_f64() / modes[1].elapsed.as_secs_f64().max(1e-9);
+    let cached_speedup = modes[0].elapsed.as_secs_f64() / modes[2].elapsed.as_secs_f64().max(1e-9);
+    json.push_str(&format!(
+        "  \"speedup\": {{\"batched_vs_per_query\": {batched_speedup:.3}, \"cached_vs_per_query\": {cached_speedup:.3}}},\n"
+    ));
+    json.push_str("  \"modes\": [\n");
+    for (i, mode) in modes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"rounds\": {}, \"messages\": {}, \"bytes\": {}{}}}{}\n",
+            mode.name,
+            mode.queries,
+            mode.elapsed.as_secs_f64(),
+            mode.qps(),
+            mode.rounds,
+            mode.messages,
+            mode.bytes,
+            mode.cache_hits
+                .map_or_else(String::new, |h| format!(", \"cache_hits\": {h}")),
+            if i + 1 == modes.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn write_json(json: &str) -> std::io::Result<String> {
+    let dir = std::env::var("DSR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_table_and_json() {
+        let out = run(true);
+        assert!(out.contains("per_query"));
+        assert!(out.contains("batched"));
+        assert!(out.contains("service_cached"));
+        assert!(out.contains("service_concurrent"));
+        assert!(
+            out.contains("BENCH_throughput.json"),
+            "json path reported:\n{out}"
+        );
+        // The file was written where the experiment says it was.
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("wrote "))
+            .expect("wrote line present");
+        let path = line.trim_start_matches("wrote ");
+        let json = std::fs::read_to_string(path).expect("json readable");
+        assert!(json.contains("\"experiment\": \"throughput\""));
+        assert!(json.contains("\"batched_vs_per_query\""));
+        assert!(json.contains("\"cache_hits\""));
+    }
+}

@@ -58,10 +58,20 @@ pub fn geometric_mean(durations: &[Duration]) -> f64 {
     (log_sum / durations.len() as f64).exp()
 }
 
-/// The experiment identifiers accepted by the binary, in paper order.
-pub const EXPERIMENT_IDS: [&str; 10] = [
-    "table2", "table3", "figure5", "figure6", "figure7", "table4", "figure8", "table5", "table6",
+/// The experiment identifiers accepted by the binary, in paper order,
+/// followed by the beyond-the-paper serving experiments.
+pub const EXPERIMENT_IDS: [&str; 11] = [
+    "table2",
+    "table3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table4",
+    "figure8",
+    "table5",
+    "table6",
     "table7",
+    "throughput",
 ];
 
 /// Runs one experiment by id. `fast` shrinks datasets/steps so the whole
@@ -78,6 +88,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Option<String> {
         "figure6" => experiments::figure6::run(fast),
         "figure7" => experiments::figure7::run(fast),
         "figure8" => experiments::figure8::run(fast),
+        "throughput" => experiments::throughput::run(fast),
         _ => return None,
     };
     Some(out)

@@ -21,10 +21,12 @@
 
 pub mod message;
 pub mod network;
+pub mod pool;
 pub mod stats;
 pub mod worker;
 
 pub use message::MessageSize;
 pub use network::Network;
-pub use stats::CommStats;
+pub use pool::{global_pool, SlavePool};
+pub use stats::{CacheStats, CommStats};
 pub use worker::run_on_slaves;

@@ -57,6 +57,21 @@ impl CommStats {
         self.bytes() as f64 / 1024.0
     }
 
+    /// Bulk-adds `rounds` rounds and `messages` messages totalling `bytes`
+    /// bytes (used to fold one query's counters into a long-lived
+    /// aggregate).
+    pub fn add(&self, rounds: u64, messages: u64, bytes: u64) {
+        self.rounds.fetch_add(rounds, Ordering::Relaxed);
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds another collector's counters into this one.
+    pub fn merge(&self, other: &CommStats) {
+        let (rounds, messages, bytes) = other.snapshot();
+        self.add(rounds, messages, bytes);
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.rounds.store(0, Ordering::Relaxed);
@@ -80,6 +95,98 @@ impl Clone for CommStats {
     }
 }
 
+/// Thread-safe hit/miss counters for a query-result cache.
+///
+/// The serving layer (`dsr-service`) keys a bounded LRU cache on normalized
+/// query signatures; these counters surface its effectiveness alongside the
+/// communication counters of [`CommStats`] so experiments can report cache
+/// hit rates next to bytes shipped.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an insertion of a freshly computed result.
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an LRU eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a full cache invalidation (index swap).
+    pub fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Number of evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of full invalidations so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +203,10 @@ mod tests {
         assert_eq!(s.bytes(), 400);
         assert!((s.kilobytes() - 400.0 / 1024.0).abs() < 1e-9);
         assert_eq!(s.snapshot(), (1, 4, 400));
+        let aggregate = CommStats::new();
+        aggregate.add(2, 2, 50);
+        aggregate.merge(&s);
+        assert_eq!(aggregate.snapshot(), (3, 6, 450));
         s.reset();
         assert_eq!(s.snapshot(), (0, 0, 0));
     }
@@ -118,6 +229,27 @@ mod tests {
         }
         assert_eq!(s.messages(), 8000);
         assert_eq!(s.bytes(), 80_000);
+    }
+
+    #[test]
+    fn cache_stats_counting() {
+        let c = CacheStats::new();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.record_hit();
+        c.record_hit();
+        c.record_hit();
+        c.record_miss();
+        c.record_insertion();
+        c.record_eviction();
+        c.record_invalidation();
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.insertions(), 1);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.invalidations(), 1);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-9);
+        c.reset();
+        assert_eq!((c.hits(), c.misses(), c.insertions()), (0, 0, 0));
     }
 
     #[test]

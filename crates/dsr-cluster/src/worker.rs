@@ -1,47 +1,30 @@
 //! Parallel execution of per-slave tasks.
 //!
-//! [`run_on_slaves`] executes one closure per slave on its own thread and
-//! collects the results in slave order — the "local evaluation … at all
-//! slaves i = 1..k in parallel" steps of Algorithms 1 and 2.
+//! [`run_on_slaves`] executes one closure per slave and collects the results
+//! in slave order — the "local evaluation … at all slaves i = 1..k in
+//! parallel" steps of Algorithms 1 and 2. Historically each call spawned
+//! `num_slaves` fresh OS threads; it is now a thin wrapper over the
+//! process-wide persistent [`SlavePool`](crate::SlavePool) (see
+//! [`crate::pool`]), so call sites keep their signature while a serving
+//! workload stops paying per-query thread spawn.
 
-/// Runs `task(slave_id)` for every slave `0..num_slaves` in parallel and
-/// returns the results in slave order.
+use crate::pool::global_pool;
+
+/// Runs `task(slave_id)` for every slave `0..num_slaves` in parallel on the
+/// process-wide [`SlavePool`](crate::SlavePool) and returns the results in
+/// slave order.
 ///
 /// The closure receives the slave id. Panics in any task are propagated to
 /// the caller (a crashed slave is a crashed query, exactly like an MPI
-/// abort).
+/// abort). `num_slaves == 0` returns an empty vector and `num_slaves == 1`
+/// runs the task inline on the calling thread, identical to the historical
+/// spawn-per-call implementation.
 pub fn run_on_slaves<R, F>(num_slaves: usize, task: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if num_slaves == 0 {
-        return Vec::new();
-    }
-    if num_slaves == 1 {
-        // Avoid thread overhead in the single-slave (centralized) setting.
-        return vec![task(0)];
-    }
-    let mut results: Vec<Option<R>> = (0..num_slaves).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_slaves);
-        for (slave, slot) in results.iter_mut().enumerate() {
-            let task = &task;
-            handles.push(scope.spawn(move || {
-                *slot = Some(task(slave));
-            }));
-        }
-        for handle in handles {
-            // Propagate panics from slave tasks.
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("slave task completed"))
-        .collect()
+    global_pool().run(num_slaves, task)
 }
 
 #[cfg(test)]

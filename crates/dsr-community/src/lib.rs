@@ -1,7 +1,7 @@
 //! Community detection for the Section 4.5.B application.
 //!
 //! The paper detects communities on LiveJournal and Twitter with the
-//! iterative algorithm by Blondel et al. [3] ("Louvain") and then runs DSR
+//! iterative algorithm by Blondel et al. \[3\] ("Louvain") and then runs DSR
 //! queries between the members of two communities (Table 7). This crate
 //! implements the Louvain method from scratch: greedy local moving that
 //! maximizes modularity, followed by graph aggregation, repeated until the

@@ -1,7 +1,7 @@
 //! Baseline DSR evaluation strategies the paper compares against.
 //!
 //! * [`FanBaseline`] ("DSR-Fan", Section 3.2) — the generalization of Fan
-//!   et al. [9] to source/target sets: every query builds a *dynamic
+//!   et al. \[9\] to source/target sets: every query builds a *dynamic
 //!   dependency graph* at the master from per-partition Boolean
 //!   reachability formulas (represented here directly as dependency edges)
 //!   and resolves the query on it.

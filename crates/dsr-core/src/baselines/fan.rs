@@ -161,7 +161,7 @@ impl FanBaseline {
         }
     }
 
-    /// Single-pair convenience wrapper (the original algorithm of [9]).
+    /// Single-pair convenience wrapper (the original algorithm of \[9\]).
     pub fn is_reachable(&self, source: VertexId, target: VertexId) -> bool {
         !self.set_reachability(&[source], &[target]).pairs.is_empty()
     }

@@ -1,7 +1,7 @@
 //! DSR-Naïve: one independent distributed reachability query per pair
 //! (Section 3.1).
 //!
-//! The naïve extension of Fan et al. [9] to sets evaluates `s ; t` for
+//! The naïve extension of Fan et al. \[9\] to sets evaluates `s ; t` for
 //! every `(s, t) ∈ S × T` separately, rebuilding a (small) dependency graph
 //! for every pair and reusing nothing across pairs. Table 2 reports the
 //! *average* dependency-graph size over the pairs, and Table 3 shows the

@@ -1,4 +1,6 @@
-//! Distributed query evaluation — Algorithms 1 and 2 of the paper.
+//! Distributed query evaluation — Algorithms 1 and 2 of the paper, with a
+//! batched execution path that amortizes the communication rounds across
+//! many queries.
 //!
 //! A DSR query `S ; T` is evaluated in the three steps of Algorithm 2:
 //!
@@ -17,6 +19,21 @@
 //!    expands each received class to a representative member and resolves
 //!    reachability to its own targets; results are gathered at the master.
 //!
+//! # Batched execution
+//!
+//! The paper's evaluation fires thousands of queries against one static
+//! index. Executing them one at a time pays the scatter/exchange/gather
+//! rounds *per query*; [`DsrEngine::set_reachability_batch`] instead runs
+//! the protocol **once for a whole batch**: the scatter ships every query's
+//! sources in one message per slave, step 1 fuses the local evaluation of
+//! all queries into a single multi-source reachability call per slave, the
+//! exchange ships one buffer per slave pair tagged with query ids, and step
+//! 3 shares the class-representative expansion across queries. A `B`-query
+//! batch therefore performs exactly the same **3 communication rounds**
+//! (scatter + exchange + gather) as a single query, instead of `3 B`.
+//! The single-query entry points are thin wrappers over a batch of one, so
+//! there is exactly one protocol implementation to maintain.
+//!
 //! Communication is accounted through [`dsr_cluster::CommStats`]; the
 //! protocol never needs more than the single exchange round of step 2 plus
 //! the scatter/gather of the query itself, matching the paper's guarantee.
@@ -31,6 +48,36 @@ use dsr_partition::PartitionId;
 
 use crate::index::DsrIndex;
 
+/// A set-reachability query `S ; T` as submitted to the engine or the
+/// serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetQuery {
+    /// Source vertices `S`.
+    pub sources: Vec<VertexId>,
+    /// Target vertices `T`.
+    pub targets: Vec<VertexId>,
+}
+
+impl SetQuery {
+    /// Creates a query from source and target sets.
+    pub fn new(sources: Vec<VertexId>, targets: Vec<VertexId>) -> Self {
+        SetQuery { sources, targets }
+    }
+
+    /// Normalized `(sources, targets)` signature: both sides sorted and
+    /// deduplicated. Two queries with equal signatures have equal answers,
+    /// which is what the serving layer keys its result cache on.
+    pub fn signature(&self) -> (Vec<VertexId>, Vec<VertexId>) {
+        let mut sources = self.sources.clone();
+        sources.sort_unstable();
+        sources.dedup();
+        let mut targets = self.targets.clone();
+        targets.sort_unstable();
+        targets.dedup();
+        (sources, targets)
+    }
+}
+
 /// Result of a DSR query together with its cost profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOutcome {
@@ -43,6 +90,24 @@ pub struct QueryOutcome {
     /// Total bytes exchanged.
     pub bytes: u64,
     /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// Result of a batched DSR evaluation: per-query answers plus the cost of
+/// the single scatter/exchange/gather sequence that produced all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Per input query: all reachable `(source, target)` pairs, sorted and
+    /// deduplicated. `results[i]` answers `queries[i]`.
+    pub results: Vec<Vec<(VertexId, VertexId)>>,
+    /// Communication rounds used by the whole batch (3 whenever at least
+    /// one query is non-empty).
+    pub rounds: u64,
+    /// Number of messages exchanged for the whole batch.
+    pub messages: u64,
+    /// Total bytes exchanged for the whole batch.
+    pub bytes: u64,
+    /// Wall-clock evaluation time of the whole batch.
     pub elapsed: Duration,
 }
 
@@ -67,25 +132,55 @@ impl MessageSize for SourceMessage {
     }
 }
 
+/// Exchange payload between one slave pair: per active query, the source
+/// buffers of that query (step 2 of the batched protocol).
+type BatchBuffer = Vec<(u32, Vec<SourceMessage>)>;
+
+/// Gather payload from one slave: per active query, its resolved pairs.
+type GatherMessage = Vec<(u32, Vec<(VertexId, VertexId)>)>;
+
+/// A query of the batch that actually participates in the distributed
+/// protocol (non-empty source and target sets), pre-partitioned at the
+/// master before the scatter.
+struct ActiveQuery {
+    /// Index into the caller's `queries` slice.
+    original: usize,
+    /// Per partition: this query's sources living there (sorted, distinct).
+    sources_by_partition: Vec<Vec<VertexId>>,
+    /// The full target list (sorted, distinct).
+    targets: Vec<VertexId>,
+    /// Per partition: this query's targets that are in-boundaries there
+    /// (these require concrete entry information in the exchanged buffers).
+    boundary_targets_of: Vec<Vec<VertexId>>,
+}
+
 /// Query engine over a prebuilt [`DsrIndex`].
 pub struct DsrEngine<'a> {
     index: &'a DsrIndex,
 }
 
-enum RouteKind {
-    /// A target that can be fully resolved at the source slave.
-    FinalTarget(VertexId),
-    /// An in-virtual vertex of a remote partition.
+/// Routing role of one compound vertex during batched step 1. A single
+/// compound vertex can play several roles at once (e.g. a remote
+/// in-boundary that is both a query target and an entry point for other
+/// in-boundary targets of its partition), and roles of different queries
+/// share the same vertex, so every id maps to a list of routes.
+enum BatchRoute {
+    /// A target of one query that can be fully resolved at the source slave.
+    FinalTarget(u32, VertexId),
+    /// An in-virtual vertex of a remote partition; applies to every query
+    /// whose sources reach it.
     ForwardClass(PartitionId, u32),
     /// A concrete in-boundary of a remote partition, used as an entry point
-    /// for resolving in-boundary targets of that partition.
-    Entry(PartitionId, VertexId),
+    /// for resolving one query's in-boundary targets of that partition.
+    Entry(u32, PartitionId, VertexId),
 }
 
 struct StepOneOutput {
-    final_pairs: Vec<(VertexId, VertexId)>,
+    /// Pairs fully resolved at the source slave, tagged with the active
+    /// query index.
+    final_pairs: Vec<(u32, VertexId, VertexId)>,
     /// Outgoing buffers, one per destination partition.
-    outgoing: Vec<Option<Vec<SourceMessage>>>,
+    outgoing: Vec<Option<BatchBuffer>>,
 }
 
 impl<'a> DsrEngine<'a> {
@@ -135,130 +230,179 @@ impl<'a> DsrEngine<'a> {
         targets: &[VertexId],
         stats: &CommStats,
     ) -> Vec<(VertexId, VertexId)> {
+        let query = SetQuery::new(sources.to_vec(), targets.to_vec());
+        self.set_reachability_batch_with_stats(std::slice::from_ref(&query), stats)
+            .pop()
+            .expect("batch of one yields one result")
+    }
+
+    /// Batched Algorithm 2: answers every query in `queries` with a single
+    /// scatter/exchange/gather sequence (3 communication rounds total, not
+    /// 3 per query). See the module docs for how the per-slave work is
+    /// fused across queries.
+    pub fn set_reachability_batch(&self, queries: &[SetQuery]) -> BatchOutcome {
+        let stats = CommStats::new();
+        let start = Instant::now();
+        let results = self.set_reachability_batch_with_stats(queries, &stats);
+        let (rounds, messages, bytes) = stats.snapshot();
+        BatchOutcome {
+            results,
+            rounds,
+            messages,
+            bytes,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Batched Algorithm 2 with an externally provided statistics collector.
+    /// Returns one (sorted, deduplicated) pair list per input query.
+    pub fn set_reachability_batch_with_stats(
+        &self,
+        queries: &[SetQuery],
+        stats: &CommStats,
+    ) -> Vec<Vec<(VertexId, VertexId)>> {
         let index = self.index;
         let k = index.num_partitions();
-        if sources.is_empty() || targets.is_empty() {
-            return Vec::new();
+        let mut results: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); queries.len()];
+
+        // ---- Master: normalize and partition every query. ------------------
+        // Queries with an empty side have an empty answer and do not
+        // participate in the protocol (matching the single-query early
+        // return, which records no communication at all).
+        let active: Vec<ActiveQuery> = queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.sources.is_empty() && !q.targets.is_empty())
+            .map(|(original, q)| {
+                let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+                for &s in &q.sources {
+                    sources_by_partition[index.partition_of(s) as usize].push(s);
+                }
+                for list in &mut sources_by_partition {
+                    list.sort_unstable();
+                    list.dedup();
+                }
+                let mut targets = q.targets.clone();
+                targets.sort_unstable();
+                targets.dedup();
+                let mut boundary_targets_of: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+                for &t in &targets {
+                    let p = index.partition_of(t) as usize;
+                    if index.cut.partition(p as PartitionId).is_in_boundary(t) {
+                        boundary_targets_of[p].push(t);
+                    }
+                }
+                ActiveQuery {
+                    original,
+                    sources_by_partition,
+                    targets,
+                    boundary_targets_of,
+                }
+            })
+            .collect();
+        if active.is_empty() {
+            return results;
         }
 
-        // ---- Master: partition the query and scatter it. -------------------
-        let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-        for &s in sources {
-            sources_by_partition[index.partition_of(s) as usize].push(s);
-        }
-        for list in &mut sources_by_partition {
-            list.sort_unstable();
-            list.dedup();
-        }
-        let mut target_list: Vec<VertexId> = targets.to_vec();
-        target_list.sort_unstable();
-        target_list.dedup();
-
+        // ---- Scatter: one round, one message per slave carrying every
+        // query's local sources plus its target list. ------------------------
         stats.record_round();
-        for list in &sources_by_partition {
-            stats.record_message(list.byte_size() + target_list.byte_size());
+        for i in 0..k {
+            let bytes: usize = active
+                .iter()
+                .map(|q| 4 + q.sources_by_partition[i].byte_size() + q.targets.byte_size())
+                .sum();
+            stats.record_message(bytes);
         }
 
-        // Which remote partitions have in-boundary targets (these require
-        // concrete entry information in the exchanged buffers).
-        let mut boundary_targets_of: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-        for &t in &target_list {
-            let p = index.partition_of(t) as usize;
-            if index.cut.partition(p as PartitionId).is_in_boundary(t) {
-                boundary_targets_of[p].push(t);
-            }
-        }
+        // ---- Step 1: fused local evaluation at every slave. ----------------
+        let step_one: Vec<StepOneOutput> =
+            run_on_slaves(k, |i| self.step_one_batch(i as PartitionId, &active));
 
-        // ---- Step 1: local evaluation at every slave. ----------------------
-        let step_one: Vec<StepOneOutput> = run_on_slaves(k, |i| {
-            self.step_one(
-                i as PartitionId,
-                &sources_by_partition[i],
-                &target_list,
-                &boundary_targets_of,
-            )
-        });
-
-        // ---- Step 2: one all-to-all exchange round. ------------------------
+        // ---- Step 2: one all-to-all exchange round for the whole batch. ----
         let network = Network::new(k, stats);
-        let mut outgoing: Vec<Vec<Option<Vec<SourceMessage>>>> = Vec::with_capacity(k);
-        let mut final_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut outgoing: Vec<Vec<Option<BatchBuffer>>> = Vec::with_capacity(k);
+        let mut final_pairs: Vec<(u32, VertexId, VertexId)> = Vec::new();
         for out in step_one {
             final_pairs.extend(out.final_pairs);
             outgoing.push(out.outgoing);
         }
         let incoming = network.all_to_all(outgoing);
 
-        // ---- Step 3: final local evaluation at every slave. ----------------
-        let step_three: Vec<Vec<(VertexId, VertexId)>> = run_on_slaves(k, |j| {
-            self.step_three(j as PartitionId, &incoming[j], &target_list)
+        // ---- Step 3: fused final local evaluation at every slave. ----------
+        let step_three: Vec<GatherMessage> = run_on_slaves(k, |j| {
+            self.step_three_batch(j as PartitionId, &incoming[j], &active)
         });
 
-        // ---- Gather results at the master. ---------------------------------
-        let gathered = network.gather(
-            step_three
-                .iter()
-                .map(|pairs| pairs.iter().map(|&(s, t)| (s, t)).collect::<Vec<_>>())
-                .collect(),
-        );
-        for pairs in gathered {
-            final_pairs.extend(pairs);
+        // ---- Gather results at the master (one round). ---------------------
+        let gathered = network.gather(step_three);
+        for (a, s, t) in final_pairs {
+            results[active[a as usize].original].push((s, t));
         }
-        final_pairs.sort_unstable();
-        final_pairs.dedup();
-        final_pairs
+        for message in gathered {
+            for (a, pairs) in message {
+                results[active[a as usize].original].extend(pairs);
+            }
+        }
+        for pairs in &mut results {
+            pairs.sort_unstable();
+            pairs.dedup();
+        }
+        results
     }
 
-    /// Step 1 at slave `i`: resolve local sources against local targets,
-    /// remote boundary targets and the forward list, and assemble the
-    /// outgoing buffers.
-    fn step_one(
-        &self,
-        i: PartitionId,
-        local_sources: &[VertexId],
-        targets: &[VertexId],
-        boundary_targets_of: &[Vec<VertexId>],
-    ) -> StepOneOutput {
+    /// Step 1 at slave `i`, fused across every active query: one
+    /// multi-source reachability call over the union of all queries' local
+    /// sources and the union of all routing targets, followed by per-query
+    /// attribution of the reachable pairs.
+    fn step_one_batch(&self, i: PartitionId, active: &[ActiveQuery]) -> StepOneOutput {
         let index = self.index;
         let k = index.num_partitions();
         let mut output = StepOneOutput {
             final_pairs: Vec::new(),
             outgoing: (0..k).map(|_| None).collect(),
         };
-        if local_sources.is_empty() {
+
+        // Union of local sources across queries, with per-source attribution
+        // of the queries it belongs to.
+        let mut queries_of_source: HashMap<VertexId, Vec<u32>> = HashMap::new();
+        for (a, q) in active.iter().enumerate() {
+            for &s in &q.sources_by_partition[i as usize] {
+                queries_of_source.entry(s).or_default().push(a as u32);
+            }
+        }
+        if queries_of_source.is_empty() {
             return output;
         }
         let comp = &index.compounds[i as usize];
         let local_index = &index.local_indexes[i as usize];
 
-        // Routing targets: compound ids + what they mean. A single compound
-        // vertex can play several roles at once (e.g. a remote in-boundary
-        // that is both a query target and an entry point for other
-        // in-boundary targets of its partition), so every id maps to a list
-        // of kinds.
+        // Routing targets: compound ids + their roles across all queries.
         let mut route_ids: Vec<VertexId> = Vec::new();
-        let mut route_kinds: HashMap<VertexId, Vec<RouteKind>> = HashMap::new();
+        let mut route_kinds: HashMap<VertexId, Vec<BatchRoute>> = HashMap::new();
 
-        for &t in targets {
-            let pt = index.partition_of(t);
-            if pt == i {
-                let id = comp.compound_id(t).expect("local target is represented");
-                route_kinds
-                    .entry(id)
-                    .or_default()
-                    .push(RouteKind::FinalTarget(t));
-                route_ids.push(id);
-            } else {
-                let boundaries = index.cut.partition(pt);
-                if boundaries.is_in_boundary(t) || boundaries.is_out_boundary(t) {
-                    let id = comp
-                        .compound_id(t)
-                        .expect("remote boundary target is represented");
+        for (a, q) in active.iter().enumerate() {
+            for &t in &q.targets {
+                let pt = index.partition_of(t);
+                if pt == i {
+                    let id = comp.compound_id(t).expect("local target is represented");
                     route_kinds
                         .entry(id)
                         .or_default()
-                        .push(RouteKind::FinalTarget(t));
+                        .push(BatchRoute::FinalTarget(a as u32, t));
                     route_ids.push(id);
+                } else {
+                    let boundaries = index.cut.partition(pt);
+                    if boundaries.is_in_boundary(t) || boundaries.is_out_boundary(t) {
+                        let id = comp
+                            .compound_id(t)
+                            .expect("remote boundary target is represented");
+                        route_kinds
+                            .entry(id)
+                            .or_default()
+                            .push(BatchRoute::FinalTarget(a as u32, t));
+                        route_ids.push(id);
+                    }
                 }
             }
         }
@@ -266,70 +410,90 @@ impl<'a> DsrEngine<'a> {
             if j == i {
                 continue;
             }
+            // Forward virtuals are query-independent: any query whose source
+            // reaches one ships the class to partition j.
             for (class, id) in comp.forward_virtuals_of(j) {
                 route_kinds
                     .entry(id)
                     .or_default()
-                    .push(RouteKind::ForwardClass(j, class));
+                    .push(BatchRoute::ForwardClass(j, class));
                 route_ids.push(id);
             }
-            // Concrete entry points are only needed when partition j has
-            // in-boundary targets.
-            if !boundary_targets_of[j as usize].is_empty() {
-                for &c in &index.summaries[j as usize].in_boundaries {
-                    let id = comp.compound_id(c).expect("in-boundary is represented");
-                    route_kinds
-                        .entry(id)
-                        .or_default()
-                        .push(RouteKind::Entry(j, c));
-                    route_ids.push(id);
+            // Concrete entry points are only needed by queries with
+            // in-boundary targets in partition j.
+            for (a, q) in active.iter().enumerate() {
+                if !q.boundary_targets_of[j as usize].is_empty() {
+                    for &c in &index.summaries[j as usize].in_boundaries {
+                        let id = comp.compound_id(c).expect("in-boundary is represented");
+                        route_kinds
+                            .entry(id)
+                            .or_default()
+                            .push(BatchRoute::Entry(a as u32, j, c));
+                        route_ids.push(id);
+                    }
                 }
             }
         }
         route_ids.sort_unstable();
         route_ids.dedup();
 
-        let source_ids: Vec<VertexId> = local_sources
+        let mut source_globals: Vec<VertexId> = queries_of_source.keys().copied().collect();
+        source_globals.sort_unstable();
+        let source_ids: Vec<VertexId> = source_globals
             .iter()
             .map(|&s| comp.compound_id(s).expect("local source is represented"))
             .collect();
 
+        // The fused local evaluation: one call covering every query.
         let reachable = local_index.set_reachability(&source_ids, &route_ids);
 
-        // Per-source accumulation of classes/entries for every destination.
-        let mut per_destination: Vec<HashMap<VertexId, SourceMessage>> =
+        // Per-(query, source) accumulation of classes/entries per destination.
+        let mut per_destination: Vec<HashMap<(u32, VertexId), SourceMessage>> =
             (0..k).map(|_| HashMap::new()).collect();
+        let push_payload = |per_destination: &mut Vec<HashMap<(u32, VertexId), SourceMessage>>,
+                            a: u32,
+                            j: PartitionId,
+                            s: VertexId,
+                            class: Option<u32>,
+                            entry: Option<VertexId>| {
+            let message = per_destination[j as usize]
+                .entry((a, s))
+                .or_insert_with(|| SourceMessage {
+                    source: s,
+                    classes: Vec::new(),
+                    entries: Vec::new(),
+                });
+            if let Some(class) = class {
+                message.classes.push(class);
+            }
+            if let Some(entry) = entry {
+                message.entries.push(entry);
+            }
+        };
         for (s_comp, t_comp) in reachable {
             let s_global = comp
                 .global_id(s_comp)
                 .expect("sources are concrete vertices");
+            let of_source = &queries_of_source[&s_global];
             let kinds = route_kinds
                 .get(&t_comp)
-                .expect("every routing target has at least one kind");
+                .expect("every routing target has at least one role");
             for kind in kinds {
-                match kind {
-                    RouteKind::FinalTarget(t) => output.final_pairs.push((s_global, *t)),
-                    RouteKind::ForwardClass(j, class) => {
-                        per_destination[*j as usize]
-                            .entry(s_global)
-                            .or_insert_with(|| SourceMessage {
-                                source: s_global,
-                                classes: Vec::new(),
-                                entries: Vec::new(),
-                            })
-                            .classes
-                            .push(*class);
+                match *kind {
+                    BatchRoute::FinalTarget(a, t) => {
+                        if of_source.binary_search(&a).is_ok() {
+                            output.final_pairs.push((a, s_global, t));
+                        }
                     }
-                    RouteKind::Entry(j, c) => {
-                        per_destination[*j as usize]
-                            .entry(s_global)
-                            .or_insert_with(|| SourceMessage {
-                                source: s_global,
-                                classes: Vec::new(),
-                                entries: Vec::new(),
-                            })
-                            .entries
-                            .push(*c);
+                    BatchRoute::ForwardClass(j, class) => {
+                        for &a in of_source {
+                            push_payload(&mut per_destination, a, j, s_global, Some(class), None);
+                        }
+                    }
+                    BatchRoute::Entry(a, j, c) => {
+                        if of_source.binary_search(&a).is_ok() {
+                            push_payload(&mut per_destination, a, j, s_global, None, Some(c));
+                        }
                     }
                 }
             }
@@ -338,74 +502,104 @@ impl<'a> DsrEngine<'a> {
             if messages.is_empty() || j == i as usize {
                 continue;
             }
-            let mut buffer: Vec<SourceMessage> = messages.into_values().collect();
-            buffer.sort_unstable_by_key(|m| m.source);
-            for m in &mut buffer {
-                m.classes.sort_unstable();
-                m.classes.dedup();
-                m.entries.sort_unstable();
-                m.entries.dedup();
+            let mut entries: Vec<((u32, VertexId), SourceMessage)> = messages.into_iter().collect();
+            entries.sort_unstable_by_key(|&((a, s), _)| (a, s));
+            let mut buffer: BatchBuffer = Vec::new();
+            for ((a, _), mut message) in entries {
+                message.classes.sort_unstable();
+                message.classes.dedup();
+                message.entries.sort_unstable();
+                message.entries.dedup();
+                match buffer.last_mut() {
+                    Some((query, list)) if *query == a => list.push(message),
+                    _ => buffer.push((a, vec![message])),
+                }
             }
             output.outgoing[j] = Some(buffer);
         }
         output
     }
 
-    /// Step 3 at slave `j`: expand the received classes/entries against the
-    /// local targets.
-    fn step_three(
+    /// Step 3 at slave `j`, fused across queries: expand the received
+    /// classes/entries against each query's local targets. The expensive
+    /// pieces — the class-representative reachability and the backward BFS
+    /// per in-boundary target — are computed once and shared by every query
+    /// that needs them.
+    fn step_three_batch(
         &self,
         j: PartitionId,
-        incoming: &[Option<Vec<SourceMessage>>],
-        targets: &[VertexId],
-    ) -> Vec<(VertexId, VertexId)> {
+        incoming: &[Option<BatchBuffer>],
+        active: &[ActiveQuery],
+    ) -> GatherMessage {
         let index = self.index;
         let comp = &index.compounds[j as usize];
         let local_index = &index.local_indexes[j as usize];
         let summary = &index.summaries[j as usize];
         let local = &index.locals[j as usize];
 
-        // Local targets of this partition, split into interior targets
-        // (resolved through class representatives — exact because
-        // forward-equivalent boundaries agree on reachability to
-        // Vi − Ii ∪ Oi) and in-boundary targets (resolved through the
-        // concrete entry vertices).
-        let mut interior_targets: Vec<VertexId> = Vec::new();
-        let mut boundary_targets: Vec<VertexId> = Vec::new();
-        for &t in targets {
-            if index.partition_of(t) != j {
-                continue;
-            }
-            if index.cut.partition(j).is_in_boundary(t) {
-                boundary_targets.push(t);
-            } else {
-                interior_targets.push(t);
+        // Regroup the incoming buffers per active query.
+        let mut messages_of_query: HashMap<u32, Vec<&SourceMessage>> = HashMap::new();
+        for buffer in incoming.iter().flatten() {
+            for (a, messages) in buffer {
+                messages_of_query
+                    .entry(*a)
+                    .or_default()
+                    .extend(messages.iter());
             }
         }
-        if incoming.iter().all(Option::is_none) {
+        if messages_of_query.is_empty() {
             return Vec::new();
         }
 
-        let interior_compound: Vec<VertexId> = interior_targets
+        // Local targets per query, split into interior targets (resolved
+        // through class representatives — exact because forward-equivalent
+        // boundaries agree on reachability to Vi − Ii ∪ Oi) and in-boundary
+        // targets (resolved through the concrete entry vertices).
+        struct QueryTargets {
+            interior: HashSet<VertexId>,
+            boundary: Vec<VertexId>,
+        }
+        let mut targets_of_query: HashMap<u32, QueryTargets> = HashMap::new();
+        let mut union_interior: Vec<VertexId> = Vec::new();
+        for &a in messages_of_query.keys() {
+            let q = &active[a as usize];
+            let mut interior = HashSet::new();
+            let mut boundary = Vec::new();
+            for &t in &q.targets {
+                if index.partition_of(t) != j {
+                    continue;
+                }
+                if index.cut.partition(j).is_in_boundary(t) {
+                    boundary.push(t);
+                } else {
+                    interior.insert(t);
+                    union_interior.push(t);
+                }
+            }
+            targets_of_query.insert(a, QueryTargets { interior, boundary });
+        }
+        union_interior.sort_unstable();
+        union_interior.dedup();
+        let union_interior_compound: Vec<VertexId> = union_interior
             .iter()
             .map(|&t| comp.compound_id(t).expect("local target"))
             .collect();
 
-        // Batched class expansion: every class mentioned by any incoming
-        // buffer is expanded to its representative, and a single
-        // set-reachability call over all representatives resolves their
-        // reachable interior targets (this lets MS-BFS/FERRARI share work
-        // across classes instead of one traversal per class).
-        let mut mentioned_classes: Vec<u32> = incoming
-            .iter()
-            .flatten()
-            .flat_map(|buffer| buffer.iter())
+        // Shared class expansion: every class mentioned by any incoming
+        // buffer (of any query) is expanded to its representative, and a
+        // single set-reachability call over all representatives resolves
+        // their reachable interior targets across the whole batch (this lets
+        // MS-BFS/FERRARI share work across classes *and* queries instead of
+        // one traversal per class per query).
+        let mut mentioned_classes: Vec<u32> = messages_of_query
+            .values()
+            .flat_map(|messages| messages.iter())
             .flat_map(|message| message.classes.iter().copied())
             .collect();
         mentioned_classes.sort_unstable();
         mentioned_classes.dedup();
-        let mut class_cache: HashMap<u32, Vec<VertexId>> = HashMap::new();
-        if !interior_compound.is_empty() && !mentioned_classes.is_empty() {
+        let mut class_reaches: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        if !union_interior_compound.is_empty() && !mentioned_classes.is_empty() {
             let rep_compound: Vec<VertexId> = mentioned_classes
                 .iter()
                 .map(|&class| {
@@ -414,59 +608,70 @@ impl<'a> DsrEngine<'a> {
                 })
                 .collect();
             let mut by_rep: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
-            for (rep, t) in local_index.set_reachability(&rep_compound, &interior_compound) {
+            for (rep, t) in local_index.set_reachability(&rep_compound, &union_interior_compound) {
                 by_rep
                     .entry(rep)
                     .or_default()
                     .push(comp.global_id(t).expect("interior target is concrete"));
             }
             for (&class, &rep) in mentioned_classes.iter().zip(rep_compound.iter()) {
-                class_cache.insert(class, by_rep.get(&rep).cloned().unwrap_or_default());
+                class_reaches.insert(class, by_rep.get(&rep).cloned().unwrap_or_default());
             }
         }
-        // Per boundary target: the set of local vertices that reach it
-        // *within* the local subgraph.
+
+        // Shared backward BFS per distinct in-boundary target across all
+        // queries: the set of local vertices that reach it *within* the
+        // local subgraph.
         let mut boundary_reachers: HashMap<VertexId, HashSet<VertexId>> = HashMap::new();
-        for &t in &boundary_targets {
-            let local_t = local.mapping.local(t).expect("boundary target is local");
-            let reaches = bfs_reachable(&local.graph, local_t, Direction::Backward);
-            let set: HashSet<VertexId> = reaches
-                .iter()
-                .enumerate()
-                .filter(|&(_, &r)| r)
-                .map(|(v, _)| local.mapping.global(v as VertexId))
-                .collect();
-            boundary_reachers.insert(t, set);
+        for targets in targets_of_query.values() {
+            for &t in &targets.boundary {
+                boundary_reachers.entry(t).or_insert_with(|| {
+                    let local_t = local.mapping.local(t).expect("boundary target is local");
+                    let reaches = bfs_reachable(&local.graph, local_t, Direction::Backward);
+                    reaches
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &r)| r)
+                        .map(|(v, _)| local.mapping.global(v as VertexId))
+                        .collect()
+                });
+            }
         }
 
-        let mut results = Vec::new();
-        for buffer in incoming.iter().flatten() {
-            for message in buffer {
+        let mut gather: GatherMessage = Vec::new();
+        let mut query_ids: Vec<u32> = messages_of_query.keys().copied().collect();
+        query_ids.sort_unstable();
+        for a in query_ids {
+            let messages = &messages_of_query[&a];
+            let targets = &targets_of_query[&a];
+            let mut results: Vec<(VertexId, VertexId)> = Vec::new();
+            for message in messages {
                 for &class in &message.classes {
-                    let reached = class_cache.entry(class).or_insert_with(|| {
-                        let rep = summary.forward_representative(class);
-                        let rep_comp = comp.compound_id(rep).expect("representative is local");
-                        local_index
-                            .reachable_targets(rep_comp, &interior_compound)
-                            .into_iter()
-                            .map(|c| comp.global_id(c).expect("interior target is concrete"))
-                            .collect()
-                    });
-                    for &t in reached.iter() {
-                        results.push((message.source, t));
+                    if let Some(reached) = class_reaches.get(&class) {
+                        for &t in reached {
+                            // The shared expansion covers the union of all
+                            // queries' interior targets; keep only this
+                            // query's.
+                            if targets.interior.contains(&t) {
+                                results.push((message.source, t));
+                            }
+                        }
                     }
                 }
-                for &t in &boundary_targets {
+                for &t in &targets.boundary {
                     let reachers = &boundary_reachers[&t];
                     if message.entries.iter().any(|c| reachers.contains(c)) {
                         results.push((message.source, t));
                     }
                 }
             }
+            results.sort_unstable();
+            results.dedup();
+            if !results.is_empty() {
+                gather.push((a, results));
+            }
         }
-        results.sort_unstable();
-        results.dedup();
-        results
+        gather
     }
 }
 
@@ -622,5 +827,72 @@ mod tests {
         // carry content (all-to-all has nothing to ship).
         assert!(engine.is_reachable(0, 17));
         assert_eq!(outcome.pairs, vec![(0, 17), (1, 17)]);
+    }
+
+    #[test]
+    fn batch_matches_per_query_execution() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let queries = vec![
+            SetQuery::new(vec![0, 2, 7], vec![17, 10, 4]),
+            SetQuery::new(vec![], vec![1]),
+            SetQuery::new((0..19).collect(), (0..19).collect()),
+            SetQuery::new(vec![17], vec![0]),
+            SetQuery::new(vec![4, 4, 5], vec![1, 1, 0]),
+        ];
+        let batch = engine.set_reachability_batch(&queries);
+        assert_eq!(batch.results.len(), queries.len());
+        for (q, result) in queries.iter().zip(&batch.results) {
+            assert_eq!(
+                *result,
+                engine.set_reachability(&q.sources, &q.targets).pairs,
+                "batched answer diverges for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_rounds() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let queries: Vec<SetQuery> = (0..16)
+            .map(|q| {
+                SetQuery::new(
+                    vec![q % 19, (q + 3) % 19],
+                    vec![(q + 11) % 19, (q + 7) % 19],
+                )
+            })
+            .collect();
+        let batch = engine.set_reachability_batch(&queries);
+        // One scatter + one exchange + one gather for the whole batch.
+        assert_eq!(batch.rounds, 3);
+        // Per-query execution pays the three rounds for every query.
+        let per_query_rounds: u64 = queries
+            .iter()
+            .map(|q| engine.set_reachability(&q.sources, &q.targets).rounds)
+            .sum();
+        assert_eq!(per_query_rounds, 3 * queries.len() as u64);
+    }
+
+    #[test]
+    fn batch_of_empty_queries_is_free() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let engine = DsrEngine::new(&index);
+        let batch = engine.set_reachability_batch(&[
+            SetQuery::new(vec![], vec![1]),
+            SetQuery::new(vec![1], vec![]),
+        ]);
+        assert_eq!(batch.results, vec![Vec::new(), Vec::new()]);
+        assert_eq!(batch.rounds, 0);
+        assert_eq!(batch.messages, 0);
+    }
+
+    #[test]
+    fn signature_normalizes() {
+        let q = SetQuery::new(vec![3, 1, 3], vec![5, 5, 2]);
+        assert_eq!(q.signature(), (vec![1, 3], vec![2, 5]));
     }
 }

@@ -23,7 +23,7 @@
 //! * [`DsrEngine`] — Algorithms 1 and 2 executed over the simulated
 //!   cluster, with communication accounting,
 //! * [`baselines`] — DSR-Naïve (Section 3.1) and DSR-Fan (Section 3.2,
-//!   the generalization of Fan et al. [9] with a per-query dynamic
+//!   the generalization of Fan et al. \[9\] with a per-query dynamic
 //!   dependency graph).
 //!
 //! # Quick start
@@ -51,7 +51,7 @@ pub mod summary;
 pub mod updates;
 
 pub use compound::CompoundGraph;
-pub use engine::{DsrEngine, QueryOutcome};
+pub use engine::{BatchOutcome, DsrEngine, QueryOutcome, SetQuery};
 pub use index::{DsrIndex, IndexBuildStats};
 pub use summary::PartitionSummary;
 pub use updates::UpdateOutcome;

@@ -6,8 +6,8 @@
 //! available offline, so this crate generates structural analogues at
 //! laptop scale:
 //!
-//! * [`erdos_renyi`] — uniform random digraphs (baseline workloads),
-//! * [`rmat`] — power-law R-MAT graphs standing in for the social graphs
+//! * [`mod@erdos_renyi`] — uniform random digraphs (baseline workloads),
+//! * [`mod@rmat`] — power-law R-MAT graphs standing in for the social graphs
 //!   (LiveJournal, Twitter): heavy-tailed degrees and one giant SCC,
 //! * [`web`] — bow-tie style web graphs standing in for the SNAP web crawls
 //!   (Amazon, BerkStan, Google, NotreDame, Stanford): hierarchical host
@@ -35,4 +35,7 @@ pub use lubm::{lubm_like, LubmGraph};
 pub use rmat::rmat;
 pub use social::{social_network, SocialGraph};
 pub use web::web_graph;
-pub use workload::{random_query, QueryWorkload};
+pub use workload::{
+    query_stream, random_query, ArrivalPattern, QueryStream, QueryWorkload, StreamConfig,
+    TimedQuery,
+};

@@ -5,11 +5,20 @@
 //! vertices from all datasets … thus resulting in 100 reachability
 //! comparisons", Section 4.1). [`QueryWorkload`] reproduces that setup with
 //! configurable sizes (10×10 up to 10k×10k for Figure 5(d)(h)(l)(p)).
+//!
+//! For the serving-layer experiments, [`query_stream`] generates whole
+//! *query streams*: a pool of distinct queries with Zipf-skewed popularity
+//! (real query logs repeat a few hot queries, which is what makes result
+//! caching worthwhile) and either closed-loop arrivals (the next query is
+//! issued as soon as the previous one completes) or open-loop Poisson
+//! arrivals at a configurable rate.
+
+use std::time::Duration;
 
 use dsr_graph::{DiGraph, VertexId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A set-reachability query: source set `S` and target set `T`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +80,155 @@ pub fn random_queries(
         .collect()
 }
 
+/// How the queries of a stream arrive at the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Closed loop: a client issues its next query the moment the previous
+    /// one completes. All offsets are zero; throughput is limited by the
+    /// service.
+    ClosedLoop,
+    /// Open loop: queries arrive as a Poisson process at `rate_per_sec`
+    /// (exponential inter-arrival times), independent of completion times.
+    OpenLoop {
+        /// Mean arrival rate in queries per second (must be positive).
+        rate_per_sec: f64,
+    },
+}
+
+/// Configuration for [`query_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Total number of query arrivals in the stream.
+    pub num_queries: usize,
+    /// `|S|` of every query in the pool.
+    pub num_sources: usize,
+    /// `|T|` of every query in the pool.
+    pub num_targets: usize,
+    /// Number of distinct queries in the pool the stream draws from.
+    pub distinct: usize,
+    /// Zipf skew exponent over pool ranks: popularity of rank `r` is
+    /// proportional to `1 / (r + 1)^skew`. `0.0` means uniform popularity;
+    /// `0.99` approximates the YCSB default.
+    pub skew: f64,
+    /// Arrival pattern (closed or open loop).
+    pub pattern: ArrivalPattern,
+    /// Seed for both pool generation and arrival sampling.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            num_queries: 1000,
+            num_sources: 10,
+            num_targets: 10,
+            distinct: 100,
+            skew: 0.99,
+            pattern: ArrivalPattern::ClosedLoop,
+            seed: 0xD5,
+        }
+    }
+}
+
+/// One arrival of a query stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedQuery {
+    /// Arrival time relative to the start of the stream (zero for every
+    /// closed-loop arrival).
+    pub offset: Duration,
+    /// Index into [`QueryStream::pool`] of the query being issued.
+    pub pool_index: usize,
+}
+
+/// A stream of query arrivals over a pool of distinct queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStream {
+    /// The distinct queries, ordered by popularity rank (entry 0 is the
+    /// hottest).
+    pub pool: Vec<QueryWorkload>,
+    /// The arrivals in time order.
+    pub arrivals: Vec<TimedQuery>,
+}
+
+impl QueryStream {
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the stream has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The queries in arrival order.
+    pub fn queries(&self) -> impl Iterator<Item = &QueryWorkload> + '_ {
+        self.arrivals.iter().map(|a| &self.pool[a.pool_index])
+    }
+
+    /// Number of arrivals per pool entry (index = popularity rank).
+    pub fn popularity_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.pool.len()];
+        for arrival in &self.arrivals {
+            counts[arrival.pool_index] += 1;
+        }
+        counts
+    }
+}
+
+/// Generates a deterministic query stream over `graph`.
+///
+/// The pool holds `config.distinct` distinct random queries (each with
+/// `num_sources × num_targets` comparisons, like [`random_query`]); arrivals
+/// pick pool entries with Zipf(`skew`) popularity and are timestamped
+/// according to `config.pattern`. The same seed always yields the same
+/// stream.
+pub fn query_stream(graph: &DiGraph, config: &StreamConfig) -> QueryStream {
+    assert!(config.distinct > 0, "pool must hold at least one query");
+    assert!(config.skew >= 0.0, "negative skew is not meaningful");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let pool: Vec<QueryWorkload> = (0..config.distinct)
+        .map(|i| {
+            random_query(
+                graph,
+                config.num_sources,
+                config.num_targets,
+                config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            )
+        })
+        .collect();
+
+    // Zipf popularity over ranks: cumulative weights + inverse-CDF sampling.
+    let cumulative: Vec<f64> = pool
+        .iter()
+        .enumerate()
+        .scan(0.0f64, |acc, (rank, _)| {
+            *acc += 1.0 / ((rank + 1) as f64).powf(config.skew);
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty pool");
+
+    let mut arrivals = Vec::with_capacity(config.num_queries);
+    let mut clock = 0.0f64;
+    for _ in 0..config.num_queries {
+        let u: f64 = rng.gen::<f64>() * total;
+        let pool_index = cumulative.partition_point(|&c| c <= u).min(pool.len() - 1);
+        let offset = match config.pattern {
+            ArrivalPattern::ClosedLoop => Duration::ZERO,
+            ArrivalPattern::OpenLoop { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "open-loop rate must be positive");
+                // Exponential inter-arrival: -ln(1 - u) / rate.
+                let u: f64 = rng.gen::<f64>();
+                clock += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate_per_sec;
+                Duration::from_secs_f64(clock)
+            }
+        };
+        arrivals.push(TimedQuery { offset, pool_index });
+    }
+    QueryStream { pool, arrivals }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +269,112 @@ mod tests {
     fn oversized_query_panics() {
         let g = DiGraph::empty(5);
         random_query(&g, 10, 2, 0);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let g = DiGraph::empty(60);
+        let config = StreamConfig {
+            num_queries: 200,
+            distinct: 16,
+            ..StreamConfig::default()
+        };
+        assert_eq!(query_stream(&g, &config), query_stream(&g, &config));
+        let other = StreamConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        };
+        assert_ne!(query_stream(&g, &config), query_stream(&g, &other));
+    }
+
+    #[test]
+    fn closed_loop_has_zero_offsets_and_full_length() {
+        let g = DiGraph::empty(40);
+        let stream = query_stream(
+            &g,
+            &StreamConfig {
+                num_queries: 100,
+                num_sources: 5,
+                num_targets: 5,
+                distinct: 8,
+                ..StreamConfig::default()
+            },
+        );
+        assert_eq!(stream.len(), 100);
+        assert!(!stream.is_empty());
+        assert_eq!(stream.pool.len(), 8);
+        assert!(stream.arrivals.iter().all(|a| a.offset == Duration::ZERO));
+        assert!(stream.queries().all(|q| q.num_comparisons() == 25));
+        assert_eq!(stream.popularity_histogram().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn open_loop_offsets_are_nondecreasing_and_rate_scaled() {
+        let g = DiGraph::empty(40);
+        let stream = query_stream(
+            &g,
+            &StreamConfig {
+                num_queries: 500,
+                distinct: 4,
+                pattern: ArrivalPattern::OpenLoop {
+                    rate_per_sec: 1000.0,
+                },
+                ..StreamConfig::default()
+            },
+        );
+        let offsets: Vec<Duration> = stream.arrivals.iter().map(|a| a.offset).collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        // 500 arrivals at ~1000/s should span roughly half a second; allow a
+        // generous band since the shim RNG is not statistically tuned.
+        let span = offsets.last().unwrap().as_secs_f64();
+        assert!(span > 0.1 && span < 2.5, "span {span} out of band");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_popularity() {
+        let g = DiGraph::empty(50);
+        let skewed = query_stream(
+            &g,
+            &StreamConfig {
+                num_queries: 2000,
+                distinct: 20,
+                skew: 1.2,
+                ..StreamConfig::default()
+            },
+        );
+        let histogram = skewed.popularity_histogram();
+        // Rank 0 must clearly dominate the tail under heavy skew.
+        assert!(
+            histogram[0] > 4 * histogram[19].max(1),
+            "rank 0 ({}) should dwarf rank 19 ({})",
+            histogram[0],
+            histogram[19]
+        );
+        // Uniform (skew 0) spreads arrivals much more evenly.
+        let uniform = query_stream(
+            &g,
+            &StreamConfig {
+                num_queries: 2000,
+                distinct: 20,
+                skew: 0.0,
+                ..StreamConfig::default()
+            },
+        );
+        let uniform_hist = uniform.popularity_histogram();
+        assert!(uniform_hist.iter().all(|&c| c > 0), "all ranks drawn");
+        assert!(histogram[0] > 2 * uniform_hist[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_pool_panics() {
+        let g = DiGraph::empty(10);
+        query_stream(
+            &g,
+            &StreamConfig {
+                distinct: 0,
+                ..StreamConfig::default()
+            },
+        );
     }
 }

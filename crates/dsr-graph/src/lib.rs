@@ -7,7 +7,7 @@
 //! * [`DiGraph`] — a compact CSR (compressed sparse row) directed graph with
 //!   both forward and reverse adjacency, built through [`GraphBuilder`].
 //! * [`scc`] — Tarjan's strongly-connected-component algorithm (iterative,
-//!   stack-safe for deep graphs) and DAG condensation ([`condense`]).
+//!   stack-safe for deep graphs) and DAG condensation ([`mod@condense`]).
 //! * [`traversal`] — BFS/DFS forward and backward traversals and reachable
 //!   set computation.
 //! * [`topo`] — topological ordering of DAGs.

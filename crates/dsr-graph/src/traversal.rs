@@ -1,6 +1,6 @@
 //! Graph traversals: BFS / DFS reachability in both directions.
 //!
-//! These are the "plain DFS search [6]" building blocks that the paper uses
+//! These are the "plain DFS search \[6\]" building blocks that the paper uses
 //! as the default local search strategy (`DSR-DFS`), and the backward
 //! traversal used when `|T| < |S|` (Section 3.3.2, "Forward vs. Backward
 //! Processing").

@@ -5,7 +5,7 @@
 //!
 //! * **hash partitioning** ("random sharding") — assign every vertex to a
 //!   partition by hashing its id; fast but produces large cuts, and
-//! * **METIS [17]** — a multilevel min-k-cut heuristic that keeps partitions
+//! * **METIS \[17\]** — a multilevel min-k-cut heuristic that keeps partitions
 //!   balanced while minimizing the number of cut edges.
 //!
 //! METIS is not available offline, so this crate implements a

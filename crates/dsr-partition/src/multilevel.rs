@@ -1,16 +1,16 @@
 //! METIS-like multilevel min-k-cut partitioner.
 //!
-//! The paper partitions all data graphs with METIS [17] to minimize the cut
+//! The paper partitions all data graphs with METIS \[17\] to minimize the cut
 //! and hence the number of boundary vertices (Section 3.3.1, "Min-k-Cut
 //! Partitioning"). METIS itself is a native library that is not available
 //! offline, so this module implements the same three-phase multilevel
 //! scheme from scratch:
 //!
-//! 1. **Coarsening** ([`coarsen`]) — repeatedly contract a heavy-edge
+//! 1. **Coarsening** ([`mod@coarsen`]) — repeatedly contract a heavy-edge
 //!    matching of the (undirected, weighted) graph until it is small.
-//! 2. **Initial partitioning** ([`initial`]) — greedy region growing over
+//! 2. **Initial partitioning** ([`mod@initial`]) — greedy region growing over
 //!    the coarsest graph.
-//! 3. **Uncoarsening + refinement** ([`refine`]) — project the partition
+//! 3. **Uncoarsening + refinement** ([`mod@refine`]) — project the partition
 //!    back level by level and improve it with boundary Kernighan–Lin /
 //!    Fiduccia–Mattheyses style vertex moves under a balance constraint.
 //!

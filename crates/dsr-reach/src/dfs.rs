@@ -1,6 +1,6 @@
 //! Index-free strategies: plain DFS and plain BFS.
 //!
-//! "DSR-DFS uses a standard DFS strategy [6] for processing a DSR query,
+//! "DSR-DFS uses a standard DFS strategy \[6\] for processing a DSR query,
 //! where no additional index is built over the compound graphs" — Section
 //! 4.4.A. One traversal is performed per source, with early exit once all
 //! requested targets have been found.

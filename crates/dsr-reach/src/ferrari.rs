@@ -1,4 +1,4 @@
-//! FERRARI-like interval reachability index (Seufert et al. [28]).
+//! FERRARI-like interval reachability index (Seufert et al. \[28\]).
 //!
 //! The original FERRARI assigns every vertex a set of identifier intervals
 //! that over-approximates its descendant set: *exact* intervals contain only

@@ -1,4 +1,4 @@
-//! GRAIL-style randomized interval labelling (Yildirim et al. [36]).
+//! GRAIL-style randomized interval labelling (Yildirim et al. \[36\]).
 //!
 //! GRAIL assigns every vertex `d` independent interval labels, each derived
 //! from a random depth-first traversal of the DAG: label `i` of vertex `v`
@@ -11,7 +11,7 @@
 //! target.
 //!
 //! This is the third family of centralized indexes the paper cites
-//! ([36] GRAIL, besides FERRARI [28] and the equivalence-set index [12]) and
+//! (\[36\] GRAIL, besides FERRARI \[28\] and the equivalence-set index \[12\]) and
 //! completes the "any centralized reachability index can be plugged in"
 //! claim of Section 3.3.2.
 

@@ -7,12 +7,12 @@
 //!
 //! * [`DfsReachability`] — plain DFS per source ("DSR-DFS", the default),
 //! * [`MsBfsReachability`] — bit-parallel multi-source BFS in the spirit of
-//!   Then et al. [30] ("DSR-MSBFS"),
+//!   Then et al. \[30\] ("DSR-MSBFS"),
 //! * [`FerrariReachability`] — an interval-labelling index in the spirit of
-//!   FERRARI [28] ("DSR-FERRARI"), with exact and approximate intervals and
+//!   FERRARI \[28\] ("DSR-FERRARI"), with exact and approximate intervals and
 //!   a guided fallback search,
 //! * [`GrailReachability`] — a GRAIL-style randomized interval labelling
-//!   (Yildirim et al. [36], cited in the paper's related work),
+//!   (Yildirim et al. \[36\], cited in the paper's related work),
 //! * [`ClosureReachability`] — a full transitive closure, used as the exact
 //!   oracle in tests.
 //!

@@ -1,4 +1,4 @@
-//! Bit-parallel multi-source BFS ("the more the merrier", Then et al. [30]).
+//! Bit-parallel multi-source BFS ("the more the merrier", Then et al. \[30\]).
 //!
 //! Sources are processed in batches of 64. Every vertex carries a 64-bit
 //! mask of the sources that have reached it (`seen`), and each BFS level

@@ -1,0 +1,195 @@
+//! Bounded LRU cache for query results.
+//!
+//! Keys are normalized query signatures ([`SetQuery::signature`]): both
+//! vertex sets sorted and deduplicated, so `S = [3, 1, 3]` and `S = [1, 3]`
+//! share an entry. Values are `Arc`-shared pair lists, so a hit never copies
+//! the (potentially large) answer.
+//!
+//! [`SetQuery::signature`]: dsr_core::SetQuery::signature
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsr_graph::VertexId;
+
+/// Normalized `(sources, targets)` cache key.
+pub type QueryKey = (Vec<VertexId>, Vec<VertexId>);
+
+/// Shared, immutable answer to a set-reachability query.
+pub type CachedPairs = Arc<Vec<(VertexId, VertexId)>>;
+
+struct CacheEntry {
+    value: CachedPairs,
+    /// Logical timestamp of the last hit or insertion; the entry with the
+    /// smallest timestamp is the least recently used.
+    last_used: u64,
+}
+
+/// A bounded LRU map from query signatures to query answers.
+///
+/// Lookups and insertions are `O(1)` (hash map); evictions scan for the
+/// minimal timestamp, which is `O(capacity)` but only runs when the cache
+/// is full — serving-layer capacities are small enough (thousands) that the
+/// scan is cheaper than maintaining an intrusive list, and the whole
+/// structure stays obviously correct under the service's mutex.
+pub struct QueryCache {
+    capacity: usize,
+    entries: HashMap<QueryKey, CacheEntry>,
+    tick: u64,
+    /// Bumped on every invalidation; the service uses it to discard results
+    /// computed against an index that was swapped out mid-flight.
+    generation: u64,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.entries.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Creates an empty cache holding at most `capacity` entries (at least
+    /// one).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            generation: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks up a signature, marking the entry as most recently used.
+    pub fn get(&mut self, key: &QueryKey) -> Option<CachedPairs> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.value)
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one if the cache is full. Returns `true` if an eviction happened.
+    pub fn insert(&mut self, key: QueryKey, value: CachedPairs) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.value = value;
+            entry.last_used = tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            {
+                self.entries.remove(&lru);
+                evicted = true;
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Drops every entry and bumps the generation (index swap / update).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &[u32], t: &[u32]) -> QueryKey {
+        (s.to_vec(), t.to_vec())
+    }
+
+    fn pairs(p: &[(u32, u32)]) -> CachedPairs {
+        Arc::new(p.to_vec())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = QueryCache::new(4);
+        assert!(cache.get(&key(&[1], &[2])).is_none());
+        cache.insert(key(&[1], &[2]), pairs(&[(1, 2)]));
+        assert_eq!(*cache.get(&key(&[1], &[2])).unwrap(), vec![(1, 2)]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = QueryCache::new(2);
+        cache.insert(key(&[1], &[1]), pairs(&[]));
+        cache.insert(key(&[2], &[2]), pairs(&[]));
+        // Touch [1] so [2] becomes the LRU entry.
+        assert!(cache.get(&key(&[1], &[1])).is_some());
+        let evicted = cache.insert(key(&[3], &[3]), pairs(&[]));
+        assert!(evicted);
+        assert!(cache.get(&key(&[2], &[2])).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(&[1], &[1])).is_some());
+        assert!(cache.get(&key(&[3], &[3])).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut cache = QueryCache::new(1);
+        cache.insert(key(&[1], &[1]), pairs(&[]));
+        let evicted = cache.insert(key(&[1], &[1]), pairs(&[(1, 1)]));
+        assert!(!evicted);
+        assert_eq!(*cache.get(&key(&[1], &[1])).unwrap(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_generation() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(key(&[1], &[1]), pairs(&[]));
+        let before = cache.generation();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.generation(), before + 1);
+        assert!(cache.get(&key(&[1], &[1])).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cache = QueryCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+    }
+}

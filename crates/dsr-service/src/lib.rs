@@ -1,0 +1,58 @@
+//! Concurrent query-serving layer over a [`DsrIndex`].
+//!
+//! The paper's evaluation (Tables 3–5) fires thousands of set-reachability
+//! queries against a static index. This crate turns the one-query-at-a-time
+//! engine of `dsr-core` into a serving substrate:
+//!
+//! * [`QueryService`] owns an `Arc<DsrIndex>` and answers queries from any
+//!   number of client threads concurrently. Per-slave work runs on the
+//!   process-wide persistent [`SlavePool`](dsr_cluster::SlavePool) (long-
+//!   lived workers fed via a job queue), so a query costs queue pushes
+//!   rather than thread spawns.
+//! * [`QueryService::query_batch`] executes a whole batch of queries with a
+//!   **single** scatter/exchange/gather sequence (3 communication rounds
+//!   total instead of 3 per query) via
+//!   [`DsrEngine::set_reachability_batch`](dsr_core::DsrEngine::set_reachability_batch).
+//! * A bounded LRU [`QueryCache`] keyed on normalized `(sources, targets)`
+//!   signatures short-circuits repeated queries; hit/miss/eviction counters
+//!   are surfaced through [`CacheStats`](dsr_cluster::CacheStats).
+//! * Index updates flow through [`QueryService::update_in_place`] (the
+//!   incremental path of Section 3.3.3) or
+//!   [`QueryService::install_index`] (offline rebuild + swap); both
+//!   invalidate the cache, and [`QueryService::query_uncached`] bypasses it
+//!   entirely for read-your-writes checks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dsr_core::{DsrIndex, SetQuery};
+//! use dsr_graph::DiGraph;
+//! use dsr_partition::{Partitioner, HashPartitioner};
+//! use dsr_reach::LocalIndexKind;
+//! use dsr_service::QueryService;
+//!
+//! let graph = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+//! let partitioning = HashPartitioner::default().partition(&graph, 2);
+//! let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs);
+//! let service = QueryService::new(Arc::new(index));
+//!
+//! // Single queries (cached) …
+//! assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
+//! assert_eq!(service.cache_stats().hits() + service.cache_stats().misses(), 1);
+//!
+//! // … and batches: 3 communication rounds for the whole batch.
+//! let reply = service.query_batch(&[
+//!     SetQuery::new(vec![0], vec![3]),
+//!     SetQuery::new(vec![1], vec![4, 5]),
+//! ]);
+//! assert!(reply.rounds <= 3);
+//! ```
+//!
+//! [`DsrIndex`]: dsr_core::DsrIndex
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CachedPairs, QueryCache, QueryKey};
+pub use service::{BatchReply, QueryService, ServiceConfig};

@@ -1,0 +1,465 @@
+//! The concurrent query service.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use dsr_cluster::{CacheStats, CommStats};
+use dsr_core::{DsrEngine, DsrIndex, SetQuery};
+use dsr_graph::VertexId;
+
+use crate::cache::{CachedPairs, QueryCache, QueryKey};
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of cached query results (clamped to at least 1).
+    pub cache_capacity: usize,
+    /// Whether the result cache is consulted at all. Disabling it turns
+    /// every [`QueryService::query`] into [`QueryService::query_uncached`].
+    pub cache_enabled: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            cache_enabled: true,
+        }
+    }
+}
+
+/// Outcome of a batched service call.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// One answer per input query, in input order. Answers are `Arc`-shared
+    /// with the cache, so repeated queries cost no copies.
+    pub results: Vec<CachedPairs>,
+    /// How many of the input queries were answered from the cache.
+    pub cache_hits: usize,
+    /// How many distinct queries were actually executed (cache misses after
+    /// in-batch deduplication).
+    pub executed: usize,
+    /// Communication rounds of the single batched execution (0 when every
+    /// query hit the cache).
+    pub rounds: u64,
+    /// Messages exchanged by the batched execution.
+    pub messages: u64,
+    /// Bytes exchanged by the batched execution.
+    pub bytes: u64,
+    /// Wall-clock time of the whole call (probe + execution + insert).
+    pub elapsed: Duration,
+}
+
+/// A thread-safe query-serving front end over a shared [`DsrIndex`].
+///
+/// The service owns an `Arc<DsrIndex>` and can be hammered from any number
+/// of client threads concurrently: queries borrow the index immutably and
+/// the per-slave work runs on the process-wide persistent
+/// [`SlavePool`](dsr_cluster::SlavePool), so concurrent queries interleave
+/// at slave-task granularity instead of serializing or spawning threads.
+///
+/// # Caching and updates
+///
+/// Results are cached in a bounded LRU keyed on the normalized
+/// `(sources, targets)` signature, with hit/miss counters surfaced through
+/// [`CacheStats`]. The cache is coupled to the index by a generation
+/// counter:
+///
+/// * [`QueryService::install_index`] swaps in a new index, clears the cache
+///   and bumps the generation, so no stale answer survives an index swap —
+///   in-flight queries that started against the old index will compute the
+///   old answer but are **not** inserted into the cache (their generation
+///   check fails).
+/// * [`QueryService::update_in_place`] applies an incremental update
+///   (`DsrIndex::insert_edges` / `delete_edges`, Section 3.3.3 of the
+///   paper) directly to the owned index when no other `Arc` clones are
+///   outstanding, then invalidates the cache the same way.
+/// * [`QueryService::query_uncached`] bypasses the cache entirely — the
+///   escape hatch for callers that must observe the latest index state
+///   without touching cached entries (e.g. read-your-writes checks right
+///   after an update).
+pub struct QueryService {
+    index: RwLock<Arc<DsrIndex>>,
+    cache: Mutex<QueryCache>,
+    cache_enabled: bool,
+    stats: CacheStats,
+    comm: CommStats,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("cache_enabled", &self.cache_enabled)
+            .field("cache", &self.cache.lock().expect("cache poisoned"))
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Creates a service over `index` with the default configuration.
+    pub fn new(index: Arc<DsrIndex>) -> Self {
+        Self::with_config(index, ServiceConfig::default())
+    }
+
+    /// Creates a service over `index` with an explicit configuration.
+    pub fn with_config(index: Arc<DsrIndex>, config: ServiceConfig) -> Self {
+        QueryService {
+            index: RwLock::new(index),
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            cache_enabled: config.cache_enabled,
+            stats: CacheStats::new(),
+            comm: CommStats::new(),
+        }
+    }
+
+    /// A clone of the currently installed index.
+    pub fn index(&self) -> Arc<DsrIndex> {
+        Arc::clone(&self.index.read().expect("index lock poisoned"))
+    }
+
+    /// Cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Aggregate communication counters across every query this service has
+    /// executed (cache hits add nothing — that is the point of the cache).
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Number of currently cached results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Answers `S ; T`, consulting the result cache.
+    pub fn query(&self, sources: &[VertexId], targets: &[VertexId]) -> CachedPairs {
+        if !self.cache_enabled {
+            return Arc::new(self.query_uncached(sources, targets));
+        }
+        let key = SetQuery::new(sources.to_vec(), targets.to_vec()).signature();
+        let generation = {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            if let Some(hit) = cache.get(&key) {
+                self.stats.record_hit();
+                return hit;
+            }
+            cache.generation()
+        };
+        self.stats.record_miss();
+        let index = self.index();
+        let engine = DsrEngine::new(&index);
+        let outcome = engine.set_reachability(&key.0, &key.1);
+        self.comm
+            .add(outcome.rounds, outcome.messages, outcome.bytes);
+        let value = Arc::new(outcome.pairs);
+        self.insert_if_current(generation, key, Arc::clone(&value));
+        value
+    }
+
+    /// Answers `S ; T` without touching the cache (no lookup, no insert).
+    ///
+    /// This is the documented bypass path for post-update reads: it always
+    /// evaluates against the currently installed index.
+    pub fn query_uncached(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Vec<(VertexId, VertexId)> {
+        let index = self.index();
+        let engine = DsrEngine::new(&index);
+        let outcome = engine.set_reachability(sources, targets);
+        self.comm
+            .add(outcome.rounds, outcome.messages, outcome.bytes);
+        outcome.pairs
+    }
+
+    /// Answers a whole batch of queries with a single
+    /// scatter/exchange/gather sequence for all cache misses.
+    ///
+    /// The batch is first probed against the cache; identical signatures
+    /// within the batch are deduplicated so each distinct miss is executed
+    /// exactly once. The remaining misses run through
+    /// [`DsrEngine::set_reachability_batch`], which performs 3 communication
+    /// rounds total regardless of the number of queries.
+    pub fn query_batch(&self, queries: &[SetQuery]) -> BatchReply {
+        let start = Instant::now();
+        let keys: Vec<QueryKey> = queries.iter().map(SetQuery::signature).collect();
+        let mut results: Vec<Option<CachedPairs>> = vec![None; queries.len()];
+
+        // Probe the cache and deduplicate misses in one pass (hash-indexed,
+        // so the work under the cache lock stays linear in the batch size).
+        let mut miss_keys: Vec<QueryKey> = Vec::new();
+        let mut miss_index: HashMap<&QueryKey, usize> = HashMap::new();
+        let mut miss_of: Vec<usize> = Vec::new(); // unfilled slot -> miss index
+        let mut cache_hits = 0usize;
+        let generation = {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (qi, key) in keys.iter().enumerate() {
+                if self.cache_enabled {
+                    if let Some(hit) = cache.get(key) {
+                        self.stats.record_hit();
+                        cache_hits += 1;
+                        results[qi] = Some(hit);
+                        continue;
+                    }
+                    self.stats.record_miss();
+                }
+                match miss_index.get(key) {
+                    Some(&mi) => miss_of.push(mi),
+                    None => {
+                        miss_index.insert(key, miss_keys.len());
+                        miss_of.push(miss_keys.len());
+                        miss_keys.push(key.clone());
+                    }
+                }
+            }
+            cache.generation()
+        };
+        drop(miss_index);
+
+        // Execute every distinct miss in one batched protocol run.
+        let (rounds, messages, bytes) = if miss_keys.is_empty() {
+            (0, 0, 0)
+        } else {
+            let index = self.index();
+            let engine = DsrEngine::new(&index);
+            let miss_queries: Vec<SetQuery> = miss_keys
+                .iter()
+                .map(|(s, t)| SetQuery::new(s.clone(), t.clone()))
+                .collect();
+            let outcome = engine.set_reachability_batch(&miss_queries);
+            self.comm
+                .add(outcome.rounds, outcome.messages, outcome.bytes);
+            let values: Vec<CachedPairs> = outcome.results.into_iter().map(Arc::new).collect();
+            if self.cache_enabled {
+                for (key, value) in miss_keys.iter().zip(&values) {
+                    self.insert_if_current(generation, key.clone(), Arc::clone(value));
+                }
+            }
+            let mut miss_iter = miss_of.iter();
+            for slot in results.iter_mut().filter(|slot| slot.is_none()) {
+                let mi = *miss_iter.next().expect("one miss index per unfilled slot");
+                *slot = Some(Arc::clone(&values[mi]));
+            }
+            (outcome.rounds, outcome.messages, outcome.bytes)
+        };
+
+        BatchReply {
+            results: results
+                .into_iter()
+                .map(|slot| slot.expect("every query answered"))
+                .collect(),
+            cache_hits,
+            executed: miss_keys.len(),
+            rounds,
+            messages,
+            bytes,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Swaps in a new index and invalidates the cache.
+    ///
+    /// Use this after rebuilding an index offline (or applying updates to a
+    /// privately owned one). Queries started before the swap finish against
+    /// the old index but cannot pollute the cache (generation check).
+    pub fn install_index(&self, index: Arc<DsrIndex>) {
+        {
+            let mut slot = self.index.write().expect("index lock poisoned");
+            *slot = index;
+        }
+        self.invalidate_cache();
+    }
+
+    /// Applies an incremental update (e.g. [`DsrIndex::insert_edges`] /
+    /// [`DsrIndex::delete_edges`]) directly to the owned index, then
+    /// invalidates the cache.
+    ///
+    /// Returns `None` — without running `mutate` — when other `Arc` clones
+    /// of the index are still outstanding (e.g. a caller holding
+    /// [`QueryService::index`]): the service cannot mutate state that
+    /// concurrent readers may be traversing. Rebuild-and-
+    /// [`install_index`](QueryService::install_index) is the fallback path.
+    pub fn update_in_place<R>(&self, mutate: impl FnOnce(&mut DsrIndex) -> R) -> Option<R> {
+        let result = {
+            let mut slot = self.index.write().expect("index lock poisoned");
+            let index = Arc::get_mut(&mut slot)?;
+            mutate(index)
+        };
+        self.invalidate_cache();
+        Some(result)
+    }
+
+    /// Clears the cache and bumps its generation.
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().expect("cache poisoned").invalidate();
+        self.stats.record_invalidation();
+    }
+
+    /// Inserts a computed result unless the cache generation moved while it
+    /// was being computed (an index swap would make the entry stale).
+    fn insert_if_current(&self, generation: u64, key: QueryKey, value: CachedPairs) {
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        if cache.generation() != generation {
+            return;
+        }
+        if cache.insert(key, value) {
+            self.stats.record_eviction();
+        }
+        self.stats.record_insertion();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsr_graph::DiGraph;
+    use dsr_partition::Partitioning;
+    use dsr_reach::LocalIndexKind;
+
+    fn chain_service() -> QueryService {
+        // 0 -> 1 -> 2 -> 3 -> 4 -> 5 across two partitions.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        QueryService::new(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)))
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let service = chain_service();
+        let first = service.query(&[0], &[5]);
+        assert_eq!(*first, vec![(0, 5)]);
+        assert_eq!(service.cache_stats().misses(), 1);
+        let second = service.query(&[0], &[5]);
+        assert!(Arc::ptr_eq(&first, &second), "hit returns the shared Arc");
+        assert_eq!(service.cache_stats().hits(), 1);
+        // A hit performs no communication: the aggregate counters only hold
+        // the first (miss) execution.
+        assert_eq!(service.comm_stats().rounds(), 3);
+    }
+
+    #[test]
+    fn normalization_unifies_equivalent_queries() {
+        let service = chain_service();
+        service.query(&[0, 1, 0], &[5, 4]);
+        service.query(&[1, 0], &[4, 5, 5]);
+        assert_eq!(service.cache_stats().hits(), 1);
+        assert_eq!(service.cache_stats().misses(), 1);
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn uncached_bypass_does_not_touch_cache() {
+        let service = chain_service();
+        assert_eq!(service.query_uncached(&[0], &[5]), vec![(0, 5)]);
+        assert_eq!(service.cache_stats().hits(), 0);
+        assert_eq!(service.cache_stats().misses(), 0);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses() {
+        let service = chain_service();
+        service.query(&[0], &[5]);
+        let reply = service.query_batch(&[
+            SetQuery::new(vec![0], vec![5]),    // hit
+            SetQuery::new(vec![1], vec![4]),    // miss
+            SetQuery::new(vec![1, 1], vec![4]), // same signature: deduplicated
+            SetQuery::new(vec![5], vec![0]),    // miss, empty answer
+        ]);
+        assert_eq!(reply.cache_hits, 1);
+        assert_eq!(reply.executed, 2, "in-batch duplicates run once");
+        assert_eq!(*reply.results[0], vec![(0, 5)]);
+        assert_eq!(*reply.results[1], vec![(1, 4)]);
+        assert!(Arc::ptr_eq(&reply.results[1], &reply.results[2]));
+        assert!(reply.results[3].is_empty());
+        assert_eq!(
+            reply.rounds, 3,
+            "one scatter/exchange/gather for the misses"
+        );
+    }
+
+    #[test]
+    fn all_hit_batch_is_communication_free() {
+        let service = chain_service();
+        service.query(&[0], &[5]);
+        let reply = service.query_batch(&[SetQuery::new(vec![0], vec![5])]);
+        assert_eq!(reply.cache_hits, 1);
+        assert_eq!(reply.executed, 0);
+        assert_eq!((reply.rounds, reply.messages, reply.bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn update_in_place_invalidates_cache() {
+        let service = chain_service();
+        assert!(service.query(&[5], &[0]).is_empty());
+        let outcome = service
+            .update_in_place(|index| index.insert_edge(5, 0))
+            .expect("no outstanding index clones");
+        assert!(outcome.rebuilt_compounds);
+        assert_eq!(service.cache_len(), 0, "update invalidated the cache");
+        assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn update_in_place_refuses_shared_index() {
+        let service = chain_service();
+        let pinned = service.index();
+        assert!(service
+            .update_in_place(|index| index.insert_edge(5, 0))
+            .is_none());
+        drop(pinned);
+        assert!(service
+            .update_in_place(|index| index.insert_edge(5, 0))
+            .is_some());
+    }
+
+    #[test]
+    fn install_index_swaps_and_invalidates() {
+        let service = chain_service();
+        assert!(service.query(&[5], &[0]).is_empty());
+        // Rebuild with a back edge and install.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        service.install_index(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)));
+        assert_eq!(service.cache_stats().invalidations(), 1);
+        assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let p = Partitioning::new(vec![0, 0, 1], 2);
+        let service = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                cache_capacity: 8,
+                cache_enabled: false,
+            },
+        );
+        service.query(&[0], &[2]);
+        service.query(&[0], &[2]);
+        assert_eq!(service.cache_len(), 0);
+        assert_eq!(service.cache_stats().hits(), 0);
+    }
+
+    #[test]
+    fn eviction_counter_moves_on_tiny_cache() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        let service = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                cache_capacity: 1,
+                cache_enabled: true,
+            },
+        );
+        service.query(&[0], &[3]);
+        service.query(&[1], &[3]);
+        assert_eq!(service.cache_stats().evictions(), 1);
+        assert_eq!(service.cache_len(), 1);
+    }
+}

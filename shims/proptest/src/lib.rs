@@ -199,7 +199,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive length bounds for [`vec`], mirroring `proptest::collection::SizeRange`.
+    /// Inclusive length bounds for [`vec()`], mirroring `proptest::collection::SizeRange`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -14,7 +14,8 @@
 //! - [`giraph`] — vertex-centric and graph-centric comparison engines
 //! - [`rdf`] — triple store and SPARQL-style property-path evaluation
 //! - [`community`] — Louvain community detection workload
-//! - [`bench`] — experiment harness backing the paper's tables and figures
+//! - [`service`] — concurrent query serving: batching, worker pool, LRU result cache
+//! - [`mod@bench`] — experiment harness backing the paper's tables and figures
 
 pub use dsr_bench as bench;
 pub use dsr_cluster as cluster;
@@ -26,3 +27,4 @@ pub use dsr_graph as graph;
 pub use dsr_partition as partition;
 pub use dsr_rdf as rdf;
 pub use dsr_reach as reach;
+pub use dsr_service as service;
