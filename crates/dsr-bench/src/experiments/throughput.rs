@@ -5,24 +5,29 @@
 //! rounds per query, the way to serve heavy traffic is to amortize those
 //! rounds across a *batch* of queries and to cache repeated answers. This
 //! experiment replays a Zipf-skewed query stream (see
-//! [`dsr_datagen::workload::query_stream`]) in four execution modes over
+//! [`dsr_datagen::workload::query_stream`]) in five execution modes over
 //! the same index:
 //!
 //! 1. `per_query` — the historical one-protocol-run-per-query path,
 //! 2. `batched` — [`DsrEngine::set_reachability_batch`] over fixed-size
 //!    chunks (3 communication rounds per chunk instead of per query),
-//! 3. `service_cached` — a [`QueryService`] with its LRU result cache,
-//! 4. `service_concurrent` — the same service hammered by 8 closed-loop
+//! 3. `batched_wire` — the same batched runs over the serializing
+//!    [`WireTransport`]: every message wire-encoded, shipped through OS
+//!    pipes and decoded, so the mode measures the overhead of a real byte
+//!    substrate (and its reported bytes are *measured*, not estimated),
+//! 4. `service_cached` — a [`QueryService`] with its LRU result cache,
+//! 5. `service_concurrent` — the same service hammered by 8 closed-loop
 //!    client threads.
 //!
 //! Besides the rendered table, the run writes a machine-readable
 //! `BENCH_throughput.json` (into `$DSR_BENCH_DIR` or the working
-//! directory) so CI can archive the per-PR throughput trajectory.
+//! directory) so CI can archive the per-PR throughput trajectory — now
+//! including the measured wire bytes per communication round.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsr_cluster::CommStats;
+use dsr_cluster::{CommStats, Transport, WireTransport};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
 use dsr_datagen::{query_stream, ArrivalPattern, StreamConfig};
 use dsr_graph::DiGraph;
@@ -35,6 +40,7 @@ use crate::{secs, time, Table};
 /// Results of one execution mode.
 struct ModeResult {
     name: &'static str,
+    transport: &'static str,
     queries: usize,
     elapsed: Duration,
     rounds: u64,
@@ -94,6 +100,7 @@ pub fn run(fast: bool) -> String {
     let (rounds, messages, bytes) = per_query_stats.snapshot();
     let per_query = ModeResult {
         name: "per_query",
+        transport: "in-process",
         queries: queries.len(),
         elapsed: per_query_time,
         rounds,
@@ -117,6 +124,7 @@ pub fn run(fast: bool) -> String {
     let (rounds, messages, bytes) = batched_stats.snapshot();
     let batched = ModeResult {
         name: "batched",
+        transport: "in-process",
         queries: queries.len(),
         elapsed: batched_time,
         rounds,
@@ -125,7 +133,39 @@ pub fn run(fast: bool) -> String {
         cache_hits: None,
     };
 
-    // --- Mode 3: cached service, single closed-loop client. -------------
+    // --- Mode 3: batched protocol runs over the serializing wire
+    // transport (encode → OS pipe → decode for every message). -----------
+    let wire = WireTransport::new();
+    let wire_engine = DsrEngine::with_transport(&index, &wire);
+    let wire_stats = CommStats::new();
+    let (wire_results, wire_time) = time(|| {
+        queries
+            .chunks(batch_size)
+            .flat_map(|chunk| wire_engine.set_reachability_batch_with_stats(chunk, &wire_stats))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        batched_results, wire_results,
+        "wire transport must produce byte-identical answers"
+    );
+    let (rounds, messages, bytes) = wire_stats.snapshot();
+    assert_eq!(
+        (rounds, messages, bytes),
+        batched_stats.snapshot(),
+        "measured wire bytes must equal the in-process accounting"
+    );
+    let batched_wire = ModeResult {
+        name: "batched_wire",
+        transport: wire.name(),
+        queries: queries.len(),
+        elapsed: wire_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: None,
+    };
+
+    // --- Mode 4: cached service, single closed-loop client. -------------
     let service = QueryService::new(Arc::clone(&index));
     let (_, service_time) = time(|| {
         for q in &queries {
@@ -135,6 +175,7 @@ pub fn run(fast: bool) -> String {
     let (rounds, messages, bytes) = service.comm_stats().snapshot();
     let service_cached = ModeResult {
         name: "service_cached",
+        transport: "in-process",
         queries: queries.len(),
         elapsed: service_time,
         rounds,
@@ -144,7 +185,7 @@ pub fn run(fast: bool) -> String {
     };
     let hit_rate = service.cache_stats().hit_rate();
 
-    // --- Mode 4: cached service, 8 closed-loop clients. -----------------
+    // --- Mode 5: cached service, 8 closed-loop clients. -----------------
     let concurrent_service = QueryService::new(Arc::clone(&index));
     let num_clients = 8;
     let (_, concurrent_time) = time(|| {
@@ -163,6 +204,7 @@ pub fn run(fast: bool) -> String {
     let (rounds, messages, bytes) = concurrent_service.comm_stats().snapshot();
     let service_concurrent = ModeResult {
         name: "service_concurrent",
+        transport: "in-process",
         queries: queries.len(),
         elapsed: concurrent_time,
         rounds,
@@ -171,7 +213,13 @@ pub fn run(fast: bool) -> String {
         cache_hits: Some(concurrent_service.cache_stats().hits()),
     };
 
-    let modes = [per_query, batched, service_cached, service_concurrent];
+    let modes = [
+        per_query,
+        batched,
+        batched_wire,
+        service_cached,
+        service_concurrent,
+    ];
 
     // --- Render. --------------------------------------------------------
     let mut table = Table::new(
@@ -180,6 +228,7 @@ pub fn run(fast: bool) -> String {
         ),
         &[
             "Mode",
+            "Transport",
             "Time (s)",
             "QPS",
             "Rounds",
@@ -191,6 +240,7 @@ pub fn run(fast: bool) -> String {
     for mode in &modes {
         table.row(vec![
             mode.name.to_string(),
+            mode.transport.to_string(),
             secs(mode.elapsed),
             format!("{:.0}", mode.qps()),
             mode.rounds.to_string(),
@@ -255,16 +305,37 @@ fn render_json(
         stream.num_queries, stream.distinct, stream.batch_size
     ));
     json.push_str(&format!("  \"cache_hit_rate\": {hit_rate:.4},\n"));
-    let batched_speedup = modes[0].elapsed.as_secs_f64() / modes[1].elapsed.as_secs_f64().max(1e-9);
-    let cached_speedup = modes[0].elapsed.as_secs_f64() / modes[2].elapsed.as_secs_f64().max(1e-9);
+    // Look modes up by name so inserting or reordering a mode cannot
+    // silently attribute one mode's numbers to another in the archived JSON.
+    let mode = |name: &str| {
+        modes
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("mode {name} present"))
+    };
+    let per_query_secs = mode("per_query").elapsed.as_secs_f64();
+    let batched_secs = mode("batched").elapsed.as_secs_f64();
+    let batched_speedup = per_query_secs / batched_secs.max(1e-9);
+    let cached_speedup = per_query_secs / mode("service_cached").elapsed.as_secs_f64().max(1e-9);
     json.push_str(&format!(
         "  \"speedup\": {{\"batched_vs_per_query\": {batched_speedup:.3}, \"cached_vs_per_query\": {cached_speedup:.3}}},\n"
+    ));
+    // Measured serialized traffic of the wire-transport mode: bytes per
+    // communication round actually shipped through the pipes, plus the
+    // slowdown relative to the zero-copy in-process backend.
+    let wire_mode = mode("batched_wire");
+    let wire_bytes_per_round = wire_mode.bytes as f64 / wire_mode.rounds.max(1) as f64;
+    let wire_overhead = wire_mode.elapsed.as_secs_f64() / batched_secs.max(1e-9);
+    json.push_str(&format!(
+        "  \"wire\": {{\"bytes_per_round\": {wire_bytes_per_round:.1}, \"rounds\": {}, \"bytes\": {}, \"overhead_vs_in_process\": {wire_overhead:.3}}},\n",
+        wire_mode.rounds, wire_mode.bytes
     ));
     json.push_str("  \"modes\": [\n");
     for (i, mode) in modes.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"rounds\": {}, \"messages\": {}, \"bytes\": {}{}}}{}\n",
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"rounds\": {}, \"messages\": {}, \"bytes\": {}{}}}{}\n",
             mode.name,
+            mode.transport,
             mode.queries,
             mode.elapsed.as_secs_f64(),
             mode.qps(),
@@ -296,6 +367,7 @@ mod tests {
         let out = run(true);
         assert!(out.contains("per_query"));
         assert!(out.contains("batched"));
+        assert!(out.contains("batched_wire"));
         assert!(out.contains("service_cached"));
         assert!(out.contains("service_concurrent"));
         assert!(
@@ -312,5 +384,10 @@ mod tests {
         assert!(json.contains("\"experiment\": \"throughput\""));
         assert!(json.contains("\"batched_vs_per_query\""));
         assert!(json.contains("\"cache_hits\""));
+        assert!(
+            json.contains("\"wire\": {\"bytes_per_round\":"),
+            "measured wire bytes/round reported:\n{json}"
+        );
+        assert!(json.contains("\"transport\": \"wire\""));
     }
 }

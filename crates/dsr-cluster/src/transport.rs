@@ -1,0 +1,784 @@
+//! Pluggable communication substrate behind the scatter/exchange/gather
+//! protocol.
+//!
+//! The engine's 3-round protocol (query scatter, one all-to-all data
+//! exchange, result gather) is written against the [`Transport`] trait and
+//! works with two backends:
+//!
+//! * [`InProcess`] — the default: messages are **moved** between in-process
+//!   buffers (zero copies, zero serialization) and their size is accounted
+//!   through [`MessageSize`]. This preserves the historical simulated-network
+//!   semantics.
+//! * [`WireTransport`] — every message is encoded into the compact framed
+//!   byte format of [`crate::wire`] (length-prefixed frames, varint ids,
+//!   delta-encoded sorted runs), shipped through **real OS pipes** and
+//!   decoded on the receiving side. [`CommStats`] records the measured
+//!   length of the bytes that crossed the pipe, so communication volume is
+//!   no longer an estimate, and any type that cannot survive an
+//!   encode/decode round trip breaks loudly instead of silently working
+//!   because the value never left the process.
+//!
+//! Both backends debug-assert that `MessageSize::byte_size` equals the
+//! encoded length of every message they move, which keeps the two sets of
+//! statistics byte-identical.
+//!
+//! The all-to-all exchange takes **sparse per-destination send lists**
+//! (`outgoing[src]` = list of `(dst, message)`), not the dense
+//! `num_nodes × num_nodes` `Option` matrix of the historical `Network`
+//! type: a k-partition query that only ships data between a few slave pairs
+//! allocates proportional to the messages it sends, not to `k²`.
+//!
+//! [`TransportKind`] selects a backend at runtime (e.g. from the
+//! `DSR_TRANSPORT` environment variable — the hook the test matrix and CI
+//! use to run the whole suite over both substrates), and [`DynTransport`]
+//! is the corresponding enum-dispatched backend for callers that pick a
+//! transport at construction time, such as the query service.
+
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+use crate::message::MessageSize;
+use crate::stats::CommStats;
+use crate::wire::{self, Wire};
+
+/// Environment variable read by [`TransportKind::from_env`].
+pub const TRANSPORT_ENV: &str = "DSR_TRANSPORT";
+
+/// Everything a message needs to cross a [`Transport`]: a wire codec, an
+/// exact size, and the ability to move between threads.
+pub trait WireMessage: Wire + MessageSize + Send {}
+
+impl<T: Wire + MessageSize + Send> WireMessage for T {}
+
+/// A communication substrate for the master/slaves cluster.
+///
+/// All three collectives record one communication round plus one message
+/// per payload that crosses node boundaries (a node never pays for data it
+/// sends to itself, mirroring how MPI ranks short-circuit local sends).
+/// The master counts as a node distinct from every slave, as in the paper's
+/// "5 slaves and 1 master" setup.
+///
+/// Transports are `Sync`: one instance is shared by the engine's parallel
+/// slave tasks and, in the serving layer, by any number of client threads.
+pub trait Transport: Sync {
+    /// Human-readable backend name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend delivers messages by moving them in place
+    /// (no serialization). Callers that would otherwise clone one payload
+    /// per recipient (e.g. the index build broadcasting each partition
+    /// summary to every peer) may skip materializing the copies and
+    /// account the traffic directly — the recorded statistics must be
+    /// identical either way.
+    fn is_zero_copy(&self) -> bool {
+        false
+    }
+
+    /// Master → slaves: delivers `messages[i]` to slave `i`. Records one
+    /// round and one message per slave.
+    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M>;
+
+    /// Slaves → master: delivers one message per slave, in slave order.
+    /// Records one round and one message per slave.
+    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M>;
+
+    /// All-to-all exchange over sparse send lists: `outgoing[src]` holds
+    /// `(dst, message)` pairs. Returns `incoming` where `incoming[dst]`
+    /// holds `(src, message)` pairs sorted by `src` (ties keep send order).
+    ///
+    /// Records one round plus one message per cross-node payload; a node
+    /// sending to itself is delivered for free.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != num_nodes` or any destination is out of
+    /// range.
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Vec<Vec<(usize, M)>>;
+}
+
+impl<T: Transport + ?Sized> Transport for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn is_zero_copy(&self) -> bool {
+        (**self).is_zero_copy()
+    }
+
+    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        (**self).scatter(messages, stats)
+    }
+
+    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        (**self).gather(messages, stats)
+    }
+
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Vec<Vec<(usize, M)>> {
+        (**self).all_to_all(num_nodes, outgoing, stats)
+    }
+}
+
+/// Debug-time drift check: `byte_size` must equal the encoded length. Both
+/// backends run it on every message, so an estimate that drifts from the
+/// codec fails the test suite instead of skewing the reported volumes.
+fn debug_assert_exact_size<M: WireMessage>(message: &M) {
+    if cfg!(debug_assertions) {
+        let encoded = wire::encode_to_vec(message);
+        assert_eq!(
+            encoded.len(),
+            message.byte_size(),
+            "MessageSize::byte_size drifted from the wire encoding"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend.
+// ---------------------------------------------------------------------------
+
+/// Zero-copy in-process backend: messages are moved, never serialized;
+/// sizes come from [`MessageSize`]. The default transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InProcess;
+
+impl Transport for InProcess {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn is_zero_copy(&self) -> bool {
+        true
+    }
+
+    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        stats.record_round();
+        for message in &messages {
+            debug_assert_exact_size(message);
+            stats.record_message(message.byte_size());
+        }
+        messages
+    }
+
+    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        stats.record_round();
+        for message in &messages {
+            debug_assert_exact_size(message);
+            stats.record_message(message.byte_size());
+        }
+        messages
+    }
+
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Vec<Vec<(usize, M)>> {
+        assert_eq!(outgoing.len(), num_nodes, "one send list per node");
+        stats.record_round();
+        let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
+        // Iterating sources in ascending order keeps each destination's
+        // inbox sorted by source without an explicit sort.
+        for (src, sends) in outgoing.into_iter().enumerate() {
+            for (dst, message) in sends {
+                assert!(dst < num_nodes, "destination {dst} out of range");
+                if src != dst {
+                    debug_assert_exact_size(&message);
+                    stats.record_message(message.byte_size());
+                }
+                incoming[dst].push((src, message));
+            }
+        }
+        incoming
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire backend.
+// ---------------------------------------------------------------------------
+
+/// One directed byte channel (an anonymous OS pipe).
+struct Link {
+    tx: Mutex<std::io::PipeWriter>,
+    rx: Mutex<std::io::PipeReader>,
+}
+
+impl Link {
+    fn new() -> Link {
+        let (rx, tx) = std::io::pipe().expect("create wire-transport pipe");
+        Link {
+            tx: Mutex::new(tx),
+            rx: Mutex::new(rx),
+        }
+    }
+}
+
+/// The pipe mesh: one directed link per slave pair plus master lanes. Grown
+/// lazily to the largest node count seen, so one transport serves indexes
+/// of any size.
+struct Links {
+    /// `mesh[src][dst]`, diagonal unused (self-sends never hit a pipe).
+    mesh: Vec<Vec<Link>>,
+    /// Master → slave lanes (scatter).
+    to_slave: Vec<Link>,
+    /// Slave → master lanes (gather).
+    from_slave: Vec<Link>,
+}
+
+impl Links {
+    fn ensure(&mut self, num_nodes: usize) {
+        while self.to_slave.len() < num_nodes {
+            self.to_slave.push(Link::new());
+            self.from_slave.push(Link::new());
+        }
+        for row in &mut self.mesh {
+            while row.len() < num_nodes {
+                row.push(Link::new());
+            }
+        }
+        while self.mesh.len() < num_nodes {
+            self.mesh
+                .push((0..num_nodes).map(|_| Link::new()).collect());
+        }
+    }
+}
+
+/// Serialized-bytes backend: every message is wire-encoded, written into a
+/// real OS pipe, and decoded on the receiving side.
+///
+/// The pipe mesh is created once and reused across collectives; collectives
+/// are internally serialized (one at a time per transport), so a single
+/// `WireTransport` can safely be shared by concurrent query threads — they
+/// take turns on the wire, exactly like queries sharing one physical NIC.
+pub struct WireTransport {
+    links: Mutex<Links>,
+}
+
+impl std::fmt::Debug for WireTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireTransport").finish_non_exhaustive()
+    }
+}
+
+impl Default for WireTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireTransport {
+    /// Creates a transport with an empty pipe mesh; links are created on
+    /// first use and reused afterwards.
+    pub fn new() -> Self {
+        WireTransport {
+            links: Mutex::new(Links {
+                mesh: Vec::new(),
+                to_slave: Vec::new(),
+                from_slave: Vec::new(),
+            }),
+        }
+    }
+
+    fn encode_and_count<M: WireMessage>(message: &M, stats: &CommStats) -> Vec<u8> {
+        let encoded = wire::encode_to_vec(message);
+        debug_assert_eq!(
+            encoded.len(),
+            message.byte_size(),
+            "MessageSize::byte_size drifted from the wire encoding"
+        );
+        // The measured length of the bytes that will cross the pipe.
+        stats.record_message(encoded.len());
+        encoded
+    }
+}
+
+/// Writes `frames` as a varint frame count followed by varint-length-prefixed
+/// payloads, then flushes.
+fn write_frames(writer: &mut impl Write, frames: &[Vec<u8>]) {
+    let mut header = Vec::with_capacity(wire::MAX_VARINT_LEN);
+    wire::put_varint(&mut header, frames.len() as u64);
+    writer.write_all(&header).expect("write frame count");
+    for frame in frames {
+        header.clear();
+        wire::put_varint(&mut header, frame.len() as u64);
+        writer.write_all(&header).expect("write frame length");
+        writer.write_all(frame).expect("write frame payload");
+    }
+    writer.flush().expect("flush wire frames");
+}
+
+/// Reads one varint from a byte stream, with the same overflow policy as
+/// [`WireReader::varint`](crate::wire::WireReader::varint): bits beyond the
+/// 64th fail loudly instead of being silently shifted out.
+fn read_stream_varint(reader: &mut impl Read) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte).expect("read varint byte");
+        assert!(
+            shift < 63 || byte[0] & 0x7F <= 1,
+            "wire varint overflow in frame header"
+        );
+        value |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+        assert!(shift < 64, "wire varint overflow in frame header");
+    }
+}
+
+/// Reads the frame sequence written by [`write_frames`].
+fn read_frames(reader: &mut impl Read) -> Vec<Vec<u8>> {
+    let count = read_stream_varint(reader);
+    let mut frames = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let len = read_stream_varint(reader) as usize;
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload).expect("read frame payload");
+        frames.push(payload);
+    }
+    frames
+}
+
+fn decode_message<M: WireMessage>(payload: &[u8]) -> M {
+    wire::decode_exact(payload).expect("decode wire message")
+}
+
+impl Transport for WireTransport {
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+
+    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        stats.record_round();
+        let k = messages.len();
+        let mut links = self.links.lock().expect("wire links poisoned");
+        links.ensure(k);
+        let links = &*links;
+        let encoded: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| Self::encode_and_count(m, stats))
+            .collect();
+        drop(messages);
+        let mut delivered: Vec<Option<M>> = (0..k).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            // One receiving thread per slave; the master writes from the
+            // calling thread. Dedicated readers keep every pipe drained, so
+            // a scatter larger than the pipe buffer cannot deadlock.
+            let readers: Vec<_> = (0..k)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut rx = links.to_slave[i].rx.lock().expect("pipe reader poisoned");
+                        let frames = read_frames(&mut *rx);
+                        assert_eq!(frames.len(), 1, "scatter delivers one frame per slave");
+                        decode_message::<M>(&frames[0])
+                    })
+                })
+                .collect();
+            for (i, frame) in encoded.iter().enumerate() {
+                let mut tx = links.to_slave[i].tx.lock().expect("pipe writer poisoned");
+                write_frames(&mut *tx, std::slice::from_ref(frame));
+            }
+            for (slot, reader) in delivered.iter_mut().zip(readers) {
+                *slot = Some(reader.join().expect("scatter reader thread"));
+            }
+        });
+        delivered
+            .into_iter()
+            .map(|m| m.expect("scatter delivered"))
+            .collect()
+    }
+
+    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        stats.record_round();
+        let k = messages.len();
+        let mut links = self.links.lock().expect("wire links poisoned");
+        links.ensure(k);
+        let links = &*links;
+        let encoded: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| Self::encode_and_count(m, stats))
+            .collect();
+        drop(messages);
+        let mut gathered: Vec<M> = Vec::with_capacity(k);
+        std::thread::scope(|scope| {
+            // One sending thread per slave; the master reads in slave order
+            // from the calling thread and drains each lane as it goes.
+            for (i, frame) in encoded.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut tx = links.from_slave[i].tx.lock().expect("pipe writer poisoned");
+                    write_frames(&mut *tx, std::slice::from_ref(frame));
+                });
+            }
+            for i in 0..k {
+                let mut rx = links.from_slave[i].rx.lock().expect("pipe reader poisoned");
+                let frames = read_frames(&mut *rx);
+                assert_eq!(frames.len(), 1, "gather delivers one frame per slave");
+                gathered.push(decode_message::<M>(&frames[0]));
+            }
+        });
+        gathered
+    }
+
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Vec<Vec<(usize, M)>> {
+        assert_eq!(outgoing.len(), num_nodes, "one send list per node");
+        stats.record_round();
+        let mut links = self.links.lock().expect("wire links poisoned");
+        links.ensure(num_nodes);
+        let links = &*links;
+
+        // Encode every cross-node message; self-sends skip the pipes (and
+        // the stats), exactly like the in-process backend.
+        let mut frames: Vec<Vec<Vec<Vec<u8>>>> = (0..num_nodes)
+            .map(|_| (0..num_nodes).map(|_| Vec::new()).collect())
+            .collect();
+        let mut self_sends: Vec<Vec<M>> = (0..num_nodes).map(|_| Vec::new()).collect();
+        for (src, sends) in outgoing.into_iter().enumerate() {
+            for (dst, message) in sends {
+                assert!(dst < num_nodes, "destination {dst} out of range");
+                if dst == src {
+                    self_sends[src].push(message);
+                } else {
+                    frames[src][dst].push(Self::encode_and_count(&message, stats));
+                }
+            }
+        }
+
+        let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
+        std::thread::scope(|scope| {
+            // One writer thread per source and one reader thread per
+            // destination. Readers are always draining, so a writer blocked
+            // on a full pipe is eventually unblocked — no deadlock however
+            // large the exchange.
+            for (src, row) in frames.iter().enumerate() {
+                scope.spawn(move || {
+                    for (dst, payloads) in row.iter().enumerate() {
+                        if dst == src {
+                            continue;
+                        }
+                        let mut tx = links.mesh[src][dst].tx.lock().expect("pipe poisoned");
+                        write_frames(&mut *tx, payloads);
+                    }
+                });
+            }
+            let readers: Vec<_> = (0..num_nodes)
+                .map(|dst| {
+                    scope.spawn(move || {
+                        let mut received: Vec<(usize, M)> = Vec::new();
+                        for src in 0..num_nodes {
+                            if src == dst {
+                                continue;
+                            }
+                            let mut rx = links.mesh[src][dst].rx.lock().expect("pipe poisoned");
+                            for payload in read_frames(&mut *rx) {
+                                received.push((src, decode_message::<M>(&payload)));
+                            }
+                        }
+                        received
+                    })
+                })
+                .collect();
+            for (dst, reader) in readers.into_iter().enumerate() {
+                incoming[dst] = reader.join().expect("all-to-all reader thread");
+            }
+        });
+
+        // Merge self-sends at their sorted position (readers collected the
+        // cross-node messages in ascending source order already).
+        for (node, messages) in self_sends.into_iter().enumerate() {
+            let at = incoming[node].partition_point(|&(src, _)| src < node);
+            for (offset, message) in messages.into_iter().enumerate() {
+                incoming[node].insert(at + offset, (node, message));
+            }
+        }
+        incoming
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime selection.
+// ---------------------------------------------------------------------------
+
+/// Which transport backend to use; selectable from the environment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Zero-copy in-process moves (the default).
+    #[default]
+    InProcess,
+    /// Serialized framed bytes over OS pipes.
+    Wire,
+}
+
+impl TransportKind {
+    /// Reads the `DSR_TRANSPORT` environment variable: `wire` selects
+    /// [`WireTransport`], `in-process` (or unset) selects [`InProcess`].
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a misconfigured CI matrix should
+    /// fail loudly, not silently test the default backend twice.
+    pub fn from_env() -> Self {
+        match std::env::var(TRANSPORT_ENV) {
+            Err(_) => TransportKind::InProcess,
+            Ok(value) => match value.to_ascii_lowercase().as_str() {
+                "" | "in-process" | "in_process" | "inprocess" => TransportKind::InProcess,
+                "wire" => TransportKind::Wire,
+                other => panic!("unrecognized {TRANSPORT_ENV} value: {other:?}"),
+            },
+        }
+    }
+
+    /// Instantiates the selected backend.
+    pub fn create(self) -> DynTransport {
+        match self {
+            TransportKind::InProcess => DynTransport::InProcess(InProcess),
+            TransportKind::Wire => DynTransport::Wire(WireTransport::new()),
+        }
+    }
+}
+
+/// Enum-dispatched transport for callers that select a backend at runtime
+/// (service construction, the `DSR_TRANSPORT` test matrix).
+#[derive(Debug)]
+pub enum DynTransport {
+    /// See [`InProcess`].
+    InProcess(InProcess),
+    /// See [`WireTransport`].
+    Wire(WireTransport),
+}
+
+impl DynTransport {
+    /// The backend selected by the `DSR_TRANSPORT` environment variable.
+    pub fn from_env() -> Self {
+        TransportKind::from_env().create()
+    }
+
+    /// The kind of backend this is.
+    pub fn kind(&self) -> TransportKind {
+        match self {
+            DynTransport::InProcess(_) => TransportKind::InProcess,
+            DynTransport::Wire(_) => TransportKind::Wire,
+        }
+    }
+}
+
+impl Transport for DynTransport {
+    fn name(&self) -> &'static str {
+        match self {
+            DynTransport::InProcess(t) => t.name(),
+            DynTransport::Wire(t) => t.name(),
+        }
+    }
+
+    fn is_zero_copy(&self) -> bool {
+        match self {
+            DynTransport::InProcess(t) => t.is_zero_copy(),
+            DynTransport::Wire(t) => t.is_zero_copy(),
+        }
+    }
+
+    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        match self {
+            DynTransport::InProcess(t) => t.scatter(messages, stats),
+            DynTransport::Wire(t) => t.scatter(messages, stats),
+        }
+    }
+
+    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+        match self {
+            DynTransport::InProcess(t) => t.gather(messages, stats),
+            DynTransport::Wire(t) => t.gather(messages, stats),
+        }
+    }
+
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Vec<Vec<(usize, M)>> {
+        match self {
+            DynTransport::InProcess(t) => t.all_to_all(num_nodes, outgoing, stats),
+            DynTransport::Wire(t) => t.all_to_all(num_nodes, outgoing, stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the same exchange on both backends and checks they agree on
+    /// payloads *and* statistics.
+    fn both_backends(test: impl Fn(&DynTransport)) {
+        test(&DynTransport::InProcess(InProcess));
+        test(&DynTransport::Wire(WireTransport::new()));
+    }
+
+    #[test]
+    fn all_to_all_routes_and_counts() {
+        both_backends(|transport| {
+            let stats = CommStats::new();
+            // Node i sends (i, j) to node j, skipping 2 -> 2.
+            let outgoing: Vec<Vec<(usize, Vec<u32>)>> = (0..3)
+                .map(|i| {
+                    (0..3)
+                        .filter(|&j| !(i == 2 && j == 2))
+                        .map(|j| (j, vec![i as u32, j as u32]))
+                        .collect()
+                })
+                .collect();
+            let incoming = transport.all_to_all(3, outgoing, &stats);
+            assert_eq!(incoming[1][0], (0, vec![0, 1]));
+            assert_eq!(incoming[0][2], (2, vec![2, 0]));
+            // Inboxes are sorted by source, self-sends included in place.
+            for (dst, inbox) in incoming.iter().enumerate() {
+                let sources: Vec<usize> = inbox.iter().map(|&(src, _)| src).collect();
+                let expected: Vec<usize> = (0..3).filter(|&s| !(s == 2 && dst == 2)).collect();
+                assert_eq!(sources, expected, "inbox of {dst} ({})", transport.name());
+            }
+            assert_eq!(stats.rounds(), 1);
+            // 8 messages total, 6 of them cross-node, 3 bytes each
+            // (varint count + two one-byte ids).
+            assert_eq!(stats.messages(), 6);
+            assert_eq!(stats.bytes(), 6 * 3);
+        });
+    }
+
+    #[test]
+    fn gather_counts_each_slave() {
+        both_backends(|transport| {
+            let stats = CommStats::new();
+            let gathered = transport.gather(vec![1u32, 2, 3, 4], &stats);
+            assert_eq!(gathered, vec![1, 2, 3, 4]);
+            assert_eq!(stats.messages(), 4);
+            assert_eq!(stats.bytes(), 4);
+            assert_eq!(stats.rounds(), 1);
+        });
+    }
+
+    #[test]
+    fn scatter_delivers_in_order() {
+        both_backends(|transport| {
+            let stats = CommStats::new();
+            let messages: Vec<Vec<u32>> = (0..4).map(|i| vec![i, i + 10, 300]).collect();
+            let delivered = transport.scatter(messages.clone(), &stats);
+            assert_eq!(delivered, messages);
+            assert_eq!(stats.rounds(), 1);
+            assert_eq!(stats.messages(), 4);
+            // 1 count byte + 1 + 1 + 2 bytes per message.
+            assert_eq!(stats.bytes(), 4 * 5);
+        });
+    }
+
+    #[test]
+    fn backends_agree_on_stats() {
+        type SendLists = Vec<Vec<(usize, Vec<(u32, u32)>)>>;
+        let outgoing = |k: usize| -> SendLists {
+            (0..k)
+                .map(|i| {
+                    (0..k)
+                        .filter(|&j| (i + j) % 2 == 0)
+                        .map(|j| (j, vec![(i as u32, j as u32), (1000, 2000)]))
+                        .collect()
+                })
+                .collect()
+        };
+        let in_process = CommStats::new();
+        let wire = CommStats::new();
+        let a = InProcess.all_to_all(5, outgoing(5), &in_process);
+        let b = WireTransport::new().all_to_all(5, outgoing(5), &wire);
+        assert_eq!(a, b, "payloads agree");
+        assert_eq!(in_process.snapshot(), wire.snapshot(), "stats agree");
+    }
+
+    #[test]
+    fn wire_survives_exchanges_larger_than_the_pipe_buffer() {
+        // Default pipe capacity on Linux is 64 KiB; ship ~1 MiB per
+        // direction between two nodes to prove the writer/reader threading
+        // cannot deadlock on full pipes.
+        let transport = WireTransport::new();
+        let stats = CommStats::new();
+        let big: Vec<u32> = (0..300_000u32).collect();
+        let outgoing = vec![vec![(1usize, big.clone())], vec![(0usize, big.clone())]];
+        let incoming = transport.all_to_all(2, outgoing, &stats);
+        assert_eq!(incoming[0], vec![(1usize, big.clone())]);
+        assert_eq!(incoming[1], vec![(0usize, big)]);
+        assert!(stats.bytes() > 2 * 64 * 1024);
+    }
+
+    #[test]
+    fn wire_mesh_grows_across_calls() {
+        let transport = WireTransport::new();
+        let stats = CommStats::new();
+        for k in [2usize, 5, 3] {
+            let outgoing: Vec<Vec<(usize, u32)>> =
+                (0..k).map(|i| vec![((i + 1) % k, i as u32)]).collect();
+            let incoming = transport.all_to_all(k, outgoing, &stats);
+            for dst in 0..k {
+                let expected_src = (dst + k - 1) % k;
+                assert_eq!(incoming[dst], vec![(expected_src, expected_src as u32)]);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_transport_is_shareable_across_threads() {
+        let transport = WireTransport::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let transport = &transport;
+                scope.spawn(move || {
+                    for round in 0..8u32 {
+                        let stats = CommStats::new();
+                        let payload = vec![t, round];
+                        let outgoing = vec![vec![(1usize, payload.clone())], Vec::new()];
+                        let incoming = transport.all_to_all(2, outgoing, &stats);
+                        assert_eq!(incoming[1], vec![(0usize, payload)]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn kind_selection() {
+        assert_eq!(TransportKind::default(), TransportKind::InProcess);
+        assert_eq!(
+            TransportKind::InProcess.create().kind(),
+            TransportKind::InProcess
+        );
+        assert_eq!(TransportKind::Wire.create().kind(), TransportKind::Wire);
+        assert_eq!(TransportKind::Wire.create().name(), "wire");
+        assert_eq!(InProcess.name(), "in-process");
+    }
+
+    #[test]
+    #[should_panic(expected = "one send list per node")]
+    fn wrong_shape_panics() {
+        let stats = CommStats::new();
+        InProcess.all_to_all(2, vec![vec![(0usize, 1u32)]], &stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_destination_panics() {
+        let stats = CommStats::new();
+        InProcess.all_to_all(2, vec![vec![(5usize, 1u32)], Vec::new()], &stats);
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{run_on_slaves, CommStats, MessageSize, Network};
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport};
 use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
 use dsr_partition::{Cut, PartitionId, Partitioning};
 use dsr_reach::{LocalReachability, MsBfsReachability};
@@ -79,7 +79,9 @@ impl FanBaseline {
             };
         }
 
-        // Master scatters the query.
+        // Master scatters the query (in-process transport: the baseline is
+        // only ever compared against DSR on round/byte counts, which the
+        // exact MessageSize accounting provides without serializing).
         let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         let mut targets_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         for &s in sources {
@@ -88,25 +90,19 @@ impl FanBaseline {
         for &t in targets {
             targets_by_partition[self.partitioning.partition_of(t) as usize].push(t);
         }
-        stats.record_round();
-        for i in 0..k {
-            stats.record_message(
-                sources_by_partition[i].byte_size() + targets_by_partition[i].byte_size(),
-            );
-        }
+        let scatter: Vec<(Vec<VertexId>, Vec<VertexId>)> = sources_by_partition
+            .into_iter()
+            .zip(targets_by_partition)
+            .collect();
+        let delivered = InProcess.scatter(scatter, &stats);
 
         // Each slave: local reachability from (Si ∪ Ii) to (Oi ∪ Ti).
         let local_pairs: Vec<Vec<(VertexId, VertexId)>> = run_on_slaves(k, |i| {
-            self.local_formulas(
-                i as PartitionId,
-                &sources_by_partition[i],
-                &targets_by_partition[i],
-            )
+            self.local_formulas(i as PartitionId, &delivered[i].0, &delivered[i].1)
         });
 
         // One gather round to the master.
-        let network = Network::new(k, &stats);
-        let gathered = network.gather(local_pairs);
+        let gathered = InProcess.gather(local_pairs, &stats);
 
         // Master: dependency graph = local reachability pairs + cut edges.
         let mut adjacency: HashMap<VertexId, Vec<VertexId>> = HashMap::new();

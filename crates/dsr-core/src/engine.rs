@@ -34,19 +34,29 @@
 //! The single-query entry points are thin wrappers over a batch of one, so
 //! there is exactly one protocol implementation to maintain.
 //!
-//! Communication is accounted through [`dsr_cluster::CommStats`]; the
-//! protocol never needs more than the single exchange round of step 2 plus
-//! the scatter/gather of the query itself, matching the paper's guarantee.
+//! # Transports
+//!
+//! The protocol is generic over the [`Transport`] that moves its messages
+//! (see [`crate::protocol`] for the message types). [`DsrEngine::new`]
+//! uses the zero-copy [`InProcess`] backend; [`DsrEngine::with_transport`]
+//! accepts any other backend — in particular
+//! [`WireTransport`](dsr_cluster::WireTransport), which serializes every
+//! scatter/exchange/gather payload into framed bytes, ships them through
+//! real OS pipes and decodes them on the receiving side. Both backends
+//! return byte-identical answers and byte-identical [`CommStats`]: the
+//! in-process size accounting is debug-asserted against the wire codec on
+//! every message.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{run_on_slaves, CommStats, MessageSize, Network};
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport};
 use dsr_graph::traversal::{bfs_reachable, Direction};
 use dsr_graph::VertexId;
 use dsr_partition::PartitionId;
 
 use crate::index::DsrIndex;
+use crate::protocol::{BatchBuffer, GatherMessage, ScatterMessage, ScatterQuery, SourceMessage};
 
 /// A set-reachability query `S ; T` as submitted to the engine or the
 /// serving layer.
@@ -111,52 +121,12 @@ pub struct BatchOutcome {
     pub elapsed: Duration,
 }
 
-/// The per-source buffer shipped from a source slave to a target slave in
-/// step 2 of Algorithm 2.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct SourceMessage {
-    /// The (global) source vertex.
-    source: VertexId,
-    /// Forward-equivalence classes of the destination partition reached
-    /// from `source`.
-    classes: Vec<u32>,
-    /// Concrete in-boundary vertices of the destination partition reached
-    /// from `source`; only populated when the query's target set contains
-    /// in-boundary vertices of that partition.
-    entries: Vec<VertexId>,
-}
-
-impl MessageSize for SourceMessage {
-    fn byte_size(&self) -> usize {
-        4 + self.classes.byte_size() + self.entries.byte_size()
-    }
-}
-
-/// Exchange payload between one slave pair: per active query, the source
-/// buffers of that query (step 2 of the batched protocol).
-type BatchBuffer = Vec<(u32, Vec<SourceMessage>)>;
-
-/// Gather payload from one slave: per active query, its resolved pairs.
-type GatherMessage = Vec<(u32, Vec<(VertexId, VertexId)>)>;
-
-/// A query of the batch that actually participates in the distributed
-/// protocol (non-empty source and target sets), pre-partitioned at the
-/// master before the scatter.
-struct ActiveQuery {
-    /// Index into the caller's `queries` slice.
-    original: usize,
-    /// Per partition: this query's sources living there (sorted, distinct).
-    sources_by_partition: Vec<Vec<VertexId>>,
-    /// The full target list (sorted, distinct).
-    targets: Vec<VertexId>,
-    /// Per partition: this query's targets that are in-boundaries there
-    /// (these require concrete entry information in the exchanged buffers).
-    boundary_targets_of: Vec<Vec<VertexId>>,
-}
-
-/// Query engine over a prebuilt [`DsrIndex`].
-pub struct DsrEngine<'a> {
+/// Query engine over a prebuilt [`DsrIndex`], generic over the message
+/// [`Transport`] (in-process moves by default, serialized wire bytes via
+/// [`DsrEngine::with_transport`]).
+pub struct DsrEngine<'a, T: Transport = InProcess> {
     index: &'a DsrIndex,
+    transport: T,
 }
 
 /// Routing role of one compound vertex during batched step 1. A single
@@ -179,14 +149,31 @@ struct StepOneOutput {
     /// Pairs fully resolved at the source slave, tagged with the active
     /// query index.
     final_pairs: Vec<(u32, VertexId, VertexId)>,
-    /// Outgoing buffers, one per destination partition.
-    outgoing: Vec<Option<BatchBuffer>>,
+    /// Outgoing buffers: sparse `(destination, buffer)` send list.
+    outgoing: Vec<(usize, BatchBuffer)>,
 }
 
 impl<'a> DsrEngine<'a> {
-    /// Creates an engine over `index`.
+    /// Creates an engine over `index` using the default zero-copy
+    /// [`InProcess`] transport.
     pub fn new(index: &'a DsrIndex) -> Self {
-        DsrEngine { index }
+        DsrEngine {
+            index,
+            transport: InProcess,
+        }
+    }
+}
+
+impl<'a, T: Transport> DsrEngine<'a, T> {
+    /// Creates an engine over `index` that moves every protocol message
+    /// through `transport`.
+    pub fn with_transport(index: &'a DsrIndex, transport: T) -> Self {
+        DsrEngine { index, transport }
+    }
+
+    /// The transport this engine ships its messages through.
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Algorithm 1: single-pair reachability. When source and target live in
@@ -265,83 +252,68 @@ impl<'a> DsrEngine<'a> {
         let k = index.num_partitions();
         let mut results: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); queries.len()];
 
-        // ---- Master: normalize and partition every query. ------------------
-        // Queries with an empty side have an empty answer and do not
-        // participate in the protocol (matching the single-query early
-        // return, which records no communication at all).
-        let active: Vec<ActiveQuery> = queries
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| !q.sources.is_empty() && !q.targets.is_empty())
-            .map(|(original, q)| {
-                let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-                for &s in &q.sources {
-                    sources_by_partition[index.partition_of(s) as usize].push(s);
-                }
-                for list in &mut sources_by_partition {
-                    list.sort_unstable();
-                    list.dedup();
-                }
-                let mut targets = q.targets.clone();
-                targets.sort_unstable();
-                targets.dedup();
-                let mut boundary_targets_of: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-                for &t in &targets {
-                    let p = index.partition_of(t) as usize;
-                    if index.cut.partition(p as PartitionId).is_in_boundary(t) {
-                        boundary_targets_of[p].push(t);
-                    }
-                }
-                ActiveQuery {
-                    original,
-                    sources_by_partition,
-                    targets,
-                    boundary_targets_of,
-                }
-            })
-            .collect();
-        if active.is_empty() {
+        // ---- Master: normalize and partition every query into per-slave
+        // scatter payloads. Queries with an empty side have an empty answer
+        // and do not participate in the protocol (matching the single-query
+        // early return, which records no communication at all). ------------
+        let mut original_of: Vec<usize> = Vec::new();
+        let mut scatter: Vec<ScatterMessage> = (0..k).map(|_| Vec::new()).collect();
+        for (original, q) in queries.iter().enumerate() {
+            if q.sources.is_empty() || q.targets.is_empty() {
+                continue;
+            }
+            original_of.push(original);
+            let mut sources_by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+            for &s in &q.sources {
+                sources_by_partition[index.partition_of(s) as usize].push(s);
+            }
+            let mut targets = q.targets.clone();
+            targets.sort_unstable();
+            targets.dedup();
+            for (i, mut sources) in sources_by_partition.into_iter().enumerate() {
+                sources.sort_unstable();
+                sources.dedup();
+                scatter[i].push(ScatterQuery {
+                    sources,
+                    targets: targets.clone(),
+                });
+            }
+        }
+        if original_of.is_empty() {
             return results;
         }
 
         // ---- Scatter: one round, one message per slave carrying every
         // query's local sources plus its target list. ------------------------
-        stats.record_round();
-        for i in 0..k {
-            let bytes: usize = active
-                .iter()
-                .map(|q| 4 + q.sources_by_partition[i].byte_size() + q.targets.byte_size())
-                .sum();
-            stats.record_message(bytes);
-        }
+        let delivered = self.transport.scatter(scatter, stats);
 
-        // ---- Step 1: fused local evaluation at every slave. ----------------
+        // ---- Step 1: fused local evaluation at every slave, over the
+        // queries exactly as the transport delivered them. -------------------
         let step_one: Vec<StepOneOutput> =
-            run_on_slaves(k, |i| self.step_one_batch(i as PartitionId, &active));
+            run_on_slaves(k, |i| self.step_one_batch(i as PartitionId, &delivered[i]));
 
         // ---- Step 2: one all-to-all exchange round for the whole batch. ----
-        let network = Network::new(k, stats);
-        let mut outgoing: Vec<Vec<Option<BatchBuffer>>> = Vec::with_capacity(k);
+        let mut outgoing: Vec<Vec<(usize, BatchBuffer)>> = Vec::with_capacity(k);
         let mut final_pairs: Vec<(u32, VertexId, VertexId)> = Vec::new();
         for out in step_one {
             final_pairs.extend(out.final_pairs);
             outgoing.push(out.outgoing);
         }
-        let incoming = network.all_to_all(outgoing);
+        let incoming = self.transport.all_to_all(k, outgoing, stats);
 
         // ---- Step 3: fused final local evaluation at every slave. ----------
         let step_three: Vec<GatherMessage> = run_on_slaves(k, |j| {
-            self.step_three_batch(j as PartitionId, &incoming[j], &active)
+            self.step_three_batch(j as PartitionId, &incoming[j], &delivered[j])
         });
 
         // ---- Gather results at the master (one round). ---------------------
-        let gathered = network.gather(step_three);
+        let gathered = self.transport.gather(step_three, stats);
         for (a, s, t) in final_pairs {
-            results[active[a as usize].original].push((s, t));
+            results[original_of[a as usize]].push((s, t));
         }
         for message in gathered {
             for (a, pairs) in message {
-                results[active[a as usize].original].extend(pairs);
+                results[original_of[a as usize]].extend(pairs);
             }
         }
         for pairs in &mut results {
@@ -354,20 +326,21 @@ impl<'a> DsrEngine<'a> {
     /// Step 1 at slave `i`, fused across every active query: one
     /// multi-source reachability call over the union of all queries' local
     /// sources and the union of all routing targets, followed by per-query
-    /// attribution of the reachable pairs.
-    fn step_one_batch(&self, i: PartitionId, active: &[ActiveQuery]) -> StepOneOutput {
+    /// attribution of the reachable pairs. `queries` is the scatter payload
+    /// this slave received, indexed by active-query id.
+    fn step_one_batch(&self, i: PartitionId, queries: &[ScatterQuery]) -> StepOneOutput {
         let index = self.index;
         let k = index.num_partitions();
         let mut output = StepOneOutput {
             final_pairs: Vec::new(),
-            outgoing: (0..k).map(|_| None).collect(),
+            outgoing: Vec::new(),
         };
 
         // Union of local sources across queries, with per-source attribution
         // of the queries it belongs to.
         let mut queries_of_source: HashMap<VertexId, Vec<u32>> = HashMap::new();
-        for (a, q) in active.iter().enumerate() {
-            for &s in &q.sources_by_partition[i as usize] {
+        for (a, q) in queries.iter().enumerate() {
+            for &s in &q.sources {
                 queries_of_source.entry(s).or_default().push(a as u32);
             }
         }
@@ -377,11 +350,28 @@ impl<'a> DsrEngine<'a> {
         let comp = &index.compounds[i as usize];
         let local_index = &index.local_indexes[i as usize];
 
+        // Per query: remote partitions holding at least one of its
+        // in-boundary targets (these need concrete entry information in the
+        // exchanged buffers).
+        let boundary_partitions: Vec<Vec<bool>> = queries
+            .iter()
+            .map(|q| {
+                let mut has = vec![false; k];
+                for &t in &q.targets {
+                    let p = index.partition_of(t);
+                    if index.cut.partition(p).is_in_boundary(t) {
+                        has[p as usize] = true;
+                    }
+                }
+                has
+            })
+            .collect();
+
         // Routing targets: compound ids + their roles across all queries.
         let mut route_ids: Vec<VertexId> = Vec::new();
         let mut route_kinds: HashMap<VertexId, Vec<BatchRoute>> = HashMap::new();
 
-        for (a, q) in active.iter().enumerate() {
+        for (a, q) in queries.iter().enumerate() {
             for &t in &q.targets {
                 let pt = index.partition_of(t);
                 if pt == i {
@@ -421,8 +411,8 @@ impl<'a> DsrEngine<'a> {
             }
             // Concrete entry points are only needed by queries with
             // in-boundary targets in partition j.
-            for (a, q) in active.iter().enumerate() {
-                if !q.boundary_targets_of[j as usize].is_empty() {
+            for (a, _) in queries.iter().enumerate() {
+                if boundary_partitions[a][j as usize] {
                     for &c in &index.summaries[j as usize].in_boundaries {
                         let id = comp.compound_id(c).expect("in-boundary is represented");
                         route_kinds
@@ -515,7 +505,7 @@ impl<'a> DsrEngine<'a> {
                     _ => buffer.push((a, vec![message])),
                 }
             }
-            output.outgoing[j] = Some(buffer);
+            output.outgoing.push((j, buffer));
         }
         output
     }
@@ -524,12 +514,13 @@ impl<'a> DsrEngine<'a> {
     /// classes/entries against each query's local targets. The expensive
     /// pieces — the class-representative reachability and the backward BFS
     /// per in-boundary target — are computed once and shared by every query
-    /// that needs them.
+    /// that needs them. `incoming` is the sparse `(source, buffer)` inbox of
+    /// the exchange round; `queries` is this slave's scatter payload.
     fn step_three_batch(
         &self,
         j: PartitionId,
-        incoming: &[Option<BatchBuffer>],
-        active: &[ActiveQuery],
+        incoming: &[(usize, BatchBuffer)],
+        queries: &[ScatterQuery],
     ) -> GatherMessage {
         let index = self.index;
         let comp = &index.compounds[j as usize];
@@ -539,7 +530,7 @@ impl<'a> DsrEngine<'a> {
 
         // Regroup the incoming buffers per active query.
         let mut messages_of_query: HashMap<u32, Vec<&SourceMessage>> = HashMap::new();
-        for buffer in incoming.iter().flatten() {
+        for (_, buffer) in incoming {
             for (a, messages) in buffer {
                 messages_of_query
                     .entry(*a)
@@ -562,7 +553,7 @@ impl<'a> DsrEngine<'a> {
         let mut targets_of_query: HashMap<u32, QueryTargets> = HashMap::new();
         let mut union_interior: Vec<VertexId> = Vec::new();
         for &a in messages_of_query.keys() {
-            let q = &active[a as usize];
+            let q = &queries[a as usize];
             let mut interior = HashSet::new();
             let mut boundary = Vec::new();
             for &t in &q.targets {
@@ -678,6 +669,7 @@ impl<'a> DsrEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsr_cluster::WireTransport;
     use dsr_graph::{DiGraph, TransitiveClosure};
     use dsr_partition::{HashPartitioner, Partitioner, Partitioning};
     use dsr_reach::LocalIndexKind;
@@ -888,6 +880,47 @@ mod tests {
         assert_eq!(batch.results, vec![Vec::new(), Vec::new()]);
         assert_eq!(batch.rounds, 0);
         assert_eq!(batch.messages, 0);
+    }
+
+    #[test]
+    fn wire_transport_matches_in_process() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let in_process = DsrEngine::new(&index);
+        let wire = WireTransport::new();
+        let wired = DsrEngine::with_transport(&index, &wire);
+        assert_eq!(wired.transport().name(), "wire");
+        let queries = vec![
+            SetQuery::new(vec![0, 2, 7], vec![17, 10, 4]),
+            SetQuery::new((0..19).collect(), (0..19).collect()),
+            SetQuery::new(vec![17], vec![0]),
+            SetQuery::new(vec![], vec![3]),
+        ];
+        let a = in_process.set_reachability_batch(&queries);
+        let b = wired.set_reachability_batch(&queries);
+        // Byte-identical answers, identical protocol cost: the wire backend
+        // records measured bytes, the in-process backend exact sizes.
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(b.rounds, 3);
+    }
+
+    #[test]
+    fn wire_transport_matches_oracle_single_queries() {
+        let (g, p) = figure1();
+        let oracle = TransitiveClosure::build(&g);
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let wire = WireTransport::new();
+        let engine = DsrEngine::with_transport(&index, &wire);
+        let all: Vec<u32> = (0..19).collect();
+        assert_eq!(
+            engine.set_reachability(&all, &all).pairs,
+            oracle.set_reachability(&all, &all)
+        );
+        assert!(engine.is_reachable(0, 17));
+        assert!(!engine.is_reachable(17, 0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsr_cluster::run_on_slaves;
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, MessageSize, Transport};
 use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
 use dsr_partition::{Cut, PartitionId, Partitioning};
 use dsr_reach::{build_index, LocalIndexKind, LocalReachability};
@@ -41,6 +41,13 @@ pub struct IndexBuildStats {
     pub total_boundary_pairs: usize,
     /// Total number of compacted transit edges actually stored.
     pub total_transit_edges: usize,
+    /// Messages shipped by the summary-exchange round of the build (every
+    /// slave sends its [`PartitionSummary`] to every other slave before the
+    /// compound graphs can be assembled).
+    pub summary_messages: u64,
+    /// Bytes shipped by the summary-exchange round (exact wire size; the
+    /// `Wire` transport records the measured encoded length).
+    pub summary_bytes: u64,
 }
 
 impl IndexBuildStats {
@@ -92,12 +99,35 @@ impl DsrIndex {
     }
 
     /// Builds the DSR index, optionally disabling the equivalence-set
-    /// optimization (Table 4's "Non-Opt." configuration).
+    /// optimization (Table 4's "Non-Opt." configuration). Uses the
+    /// zero-copy [`InProcess`] transport for the summary exchange.
     pub fn build_with_options(
         graph: &DiGraph,
         partitioning: Partitioning,
         kind: LocalIndexKind,
         use_equivalence: bool,
+    ) -> Self {
+        Self::build_with_transport(graph, partitioning, kind, use_equivalence, &InProcess)
+    }
+
+    /// Builds the DSR index, moving the build-time summary exchange through
+    /// `transport`.
+    ///
+    /// Compound graphs need every other partition's summary, so the build
+    /// performs one all-to-all round in which every slave ships its
+    /// [`PartitionSummary`] to every peer. Under the
+    /// [`WireTransport`](dsr_cluster::WireTransport) backend the summaries
+    /// are wire-encoded, piped and decoded — each slave assembles its
+    /// compound graph from the summaries *as received*, so a lossy codec
+    /// breaks the build instead of being papered over by shared memory. The
+    /// round's cost lands in [`IndexBuildStats::summary_messages`] /
+    /// [`IndexBuildStats::summary_bytes`].
+    pub fn build_with_transport<T: Transport>(
+        graph: &DiGraph,
+        partitioning: Partitioning,
+        kind: LocalIndexKind,
+        use_equivalence: bool,
+        transport: &T,
     ) -> Self {
         assert_eq!(
             graph.num_vertices(),
@@ -120,16 +150,59 @@ impl DsrIndex {
                 use_equivalence,
             )
         });
-        // Compound graphs need every other partition's summary (one round of
-        // summary exchange in a real deployment).
-        let compounds: Vec<CompoundGraph> = run_on_slaves(k, |i| {
-            CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId)
-        });
+
+        // Summary exchange: every slave ships its summary to every peer and
+        // builds its compound graph from the summaries it received.
+        let comm = CommStats::new();
+        let compounds: Vec<CompoundGraph> = if k <= 1 || transport.is_zero_copy() {
+            // A zero-copy backend would deliver the summaries unchanged, so
+            // every slave reads the shared slice directly; account the
+            // exchange without materializing k − 1 clones per summary (the
+            // recorded volume is identical to the materialized path).
+            if k > 1 {
+                comm.record_round();
+                for summary in &summaries {
+                    comm.record_messages((k - 1) as u64, ((k - 1) * summary.byte_size()) as u64);
+                }
+            }
+            run_on_slaves(k, |i| {
+                CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId)
+            })
+        } else {
+            let outgoing: Vec<Vec<(usize, PartitionSummary)>> = summaries
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (0..k).filter(|&j| j != i).map(|j| (j, s.clone())).collect())
+                .collect();
+            let incoming = transport.all_to_all(k, outgoing, &comm);
+            let views: Vec<Vec<PartitionSummary>> = incoming
+                .into_iter()
+                .enumerate()
+                .map(|(i, received)| {
+                    let mut received = received.into_iter();
+                    (0..k)
+                        .map(|p| {
+                            if p == i {
+                                summaries[i].clone()
+                            } else {
+                                let (src, summary) =
+                                    received.next().expect("summary from every peer");
+                                debug_assert_eq!(src, p, "summaries arrive in partition order");
+                                summary
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            run_on_slaves(k, |i| {
+                CompoundGraph::build(&locals[i], &cut, &views[i], i as PartitionId)
+            })
+        };
         let local_indexes: Vec<Box<dyn LocalReachability>> = run_on_slaves(k, |i| {
             build_index(kind, Arc::new(compounds[i].graph.clone()))
         });
 
-        let stats = Self::collect_stats(start.elapsed(), &summaries, &compounds);
+        let stats = Self::collect_stats(start.elapsed(), &summaries, &compounds, &comm);
         DsrIndex {
             partitioning,
             cut,
@@ -146,6 +219,7 @@ impl DsrIndex {
         build_time: Duration,
         summaries: &[PartitionSummary],
         compounds: &[CompoundGraph],
+        summary_comm: &CommStats,
     ) -> IndexBuildStats {
         IndexBuildStats {
             build_time,
@@ -158,6 +232,8 @@ impl DsrIndex {
             total_backward_classes: summaries.iter().map(|s| s.num_backward_classes()).sum(),
             total_boundary_pairs: summaries.iter().map(|s| s.boundary_pairs).sum(),
             total_transit_edges: summaries.iter().map(|s| s.transit.len()).sum(),
+            summary_messages: summary_comm.messages(),
+            summary_bytes: summary_comm.bytes(),
         }
     }
 
@@ -188,7 +264,17 @@ impl DsrIndex {
         });
         self.compounds = compounds;
         self.local_indexes = local_indexes;
-        self.stats = Self::collect_stats(self.stats.build_time, &self.summaries, &self.compounds);
+        // The in-place rebuild reuses the summaries already resident at
+        // every slave, so no new summary exchange happens; carry the
+        // original round's cost forward.
+        let comm = CommStats::new();
+        comm.add(0, self.stats.summary_messages, self.stats.summary_bytes);
+        self.stats = Self::collect_stats(
+            self.stats.build_time,
+            &self.summaries,
+            &self.compounds,
+            &comm,
+        );
     }
 }
 

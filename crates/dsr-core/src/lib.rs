@@ -21,7 +21,13 @@
 //!   pluggable local reachability indexes, build statistics) with
 //!   incremental update support (Section 3.3.3),
 //! * [`DsrEngine`] — Algorithms 1 and 2 executed over the simulated
-//!   cluster, with communication accounting,
+//!   cluster, with communication accounting; generic over the
+//!   [`Transport`](dsr_cluster::Transport) that moves its messages
+//!   (zero-copy in-process by default, serialized bytes over OS pipes via
+//!   [`WireTransport`](dsr_cluster::WireTransport)),
+//! * [`protocol`] — the wire message types of the scatter/exchange/gather
+//!   rounds and the build-time summary exchange, each with a
+//!   [`Wire`](dsr_cluster::Wire) codec and an exact byte size,
 //! * [`baselines`] — DSR-Naïve (Section 3.1) and DSR-Fan (Section 3.2,
 //!   the generalization of Fan et al. \[9\] with a per-query dynamic
 //!   dependency graph).
@@ -47,6 +53,7 @@ pub mod baselines;
 pub mod compound;
 pub mod engine;
 pub mod index;
+pub mod protocol;
 pub mod summary;
 pub mod updates;
 

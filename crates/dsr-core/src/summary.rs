@@ -28,8 +28,8 @@ use dsr_reach::{LocalReachability, MsBfsReachability};
 use std::sync::Arc;
 
 /// Summary of one partition, shared with every other slave when building
-/// the compound graphs.
-#[derive(Debug, Clone)]
+/// the compound graphs (see [`crate::protocol`] for its wire codec).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionSummary {
     /// The partition this summary describes.
     pub partition: PartitionId,

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{CacheStats, CommStats};
+use dsr_cluster::{CacheStats, CommStats, DynTransport, TransportKind};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
 use dsr_graph::VertexId;
 
@@ -18,6 +18,12 @@ pub struct ServiceConfig {
     /// Whether the result cache is consulted at all. Disabling it turns
     /// every [`QueryService::query`] into [`QueryService::query_uncached`].
     pub cache_enabled: bool,
+    /// Which communication backend the service's engine runs over:
+    /// [`TransportKind::InProcess`] (zero-copy moves, the default) or
+    /// [`TransportKind::Wire`] (serialized framed bytes through OS pipes).
+    /// The backend is instantiated once at construction and shared by every
+    /// query this service executes.
+    pub transport: TransportKind,
 }
 
 impl Default for ServiceConfig {
@@ -25,6 +31,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             cache_enabled: true,
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -83,6 +90,7 @@ pub struct QueryService {
     index: RwLock<Arc<DsrIndex>>,
     cache: Mutex<QueryCache>,
     cache_enabled: bool,
+    transport: DynTransport,
     stats: CacheStats,
     comm: CommStats,
 }
@@ -108,6 +116,7 @@ impl QueryService {
             index: RwLock::new(index),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             cache_enabled: config.cache_enabled,
+            transport: config.transport.create(),
             stats: CacheStats::new(),
             comm: CommStats::new(),
         }
@@ -116,6 +125,11 @@ impl QueryService {
     /// A clone of the currently installed index.
     pub fn index(&self) -> Arc<DsrIndex> {
         Arc::clone(&self.index.read().expect("index lock poisoned"))
+    }
+
+    /// Which transport backend this service executes queries over.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
     }
 
     /// Cache hit/miss/eviction counters.
@@ -150,7 +164,7 @@ impl QueryService {
         };
         self.stats.record_miss();
         let index = self.index();
-        let engine = DsrEngine::new(&index);
+        let engine = DsrEngine::with_transport(&index, &self.transport);
         let outcome = engine.set_reachability(&key.0, &key.1);
         self.comm
             .add(outcome.rounds, outcome.messages, outcome.bytes);
@@ -169,7 +183,7 @@ impl QueryService {
         targets: &[VertexId],
     ) -> Vec<(VertexId, VertexId)> {
         let index = self.index();
-        let engine = DsrEngine::new(&index);
+        let engine = DsrEngine::with_transport(&index, &self.transport);
         let outcome = engine.set_reachability(sources, targets);
         self.comm
             .add(outcome.rounds, outcome.messages, outcome.bytes);
@@ -225,7 +239,7 @@ impl QueryService {
             (0, 0, 0)
         } else {
             let index = self.index();
-            let engine = DsrEngine::new(&index);
+            let engine = DsrEngine::with_transport(&index, &self.transport);
             let miss_queries: Vec<SetQuery> = miss_keys
                 .iter()
                 .map(|(s, t)| SetQuery::new(s.clone(), t.clone()))
@@ -438,12 +452,44 @@ mod tests {
             ServiceConfig {
                 cache_capacity: 8,
                 cache_enabled: false,
+                transport: TransportKind::InProcess,
             },
         );
         service.query(&[0], &[2]);
         service.query(&[0], &[2]);
         assert_eq!(service.cache_len(), 0);
         assert_eq!(service.cache_stats().hits(), 0);
+    }
+
+    #[test]
+    fn wire_transport_service_agrees_with_in_process() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let index = Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs));
+        let in_process = QueryService::new(Arc::clone(&index));
+        let wired = QueryService::with_config(
+            Arc::clone(&index),
+            ServiceConfig {
+                transport: TransportKind::Wire,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(wired.transport_kind(), TransportKind::Wire);
+        let queries = [
+            SetQuery::new(vec![0, 1], vec![4, 5]),
+            SetQuery::new(vec![5], vec![0]),
+            SetQuery::new(vec![2], vec![3]),
+        ];
+        let a = in_process.query_batch(&queries);
+        let b = wired.query_batch(&queries);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(**x, **y, "wire answers must be byte-identical");
+        }
+        // Identical protocol cost: measured wire bytes == exact sizes.
+        assert_eq!(
+            in_process.comm_stats().snapshot(),
+            wired.comm_stats().snapshot()
+        );
     }
 
     #[test]
@@ -455,6 +501,7 @@ mod tests {
             ServiceConfig {
                 cache_capacity: 1,
                 cache_enabled: true,
+                transport: TransportKind::InProcess,
             },
         );
         service.query(&[0], &[3]);

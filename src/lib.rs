@@ -16,6 +16,12 @@
 //! - [`community`] — Louvain community detection workload
 //! - [`service`] — concurrent query serving: batching, worker pool, LRU result cache
 //! - [`mod@bench`] — experiment harness backing the paper's tables and figures
+//!
+//! [`testing`] holds the `DSR_TRANSPORT` test-matrix helpers that run the
+//! integration suites over either communication backend (zero-copy
+//! in-process or serialized wire bytes).
+
+pub mod testing;
 
 pub use dsr_bench as bench;
 pub use dsr_cluster as cluster;

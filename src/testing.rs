@@ -1,0 +1,43 @@
+//! Transport test-matrix helpers.
+//!
+//! The integration suites (`tests/engines_agree.rs`, `tests/end_to_end.rs`)
+//! and the examples build their indexes and engines through these helpers,
+//! which read the `DSR_TRANSPORT` environment variable
+//! ([`dsr_cluster::TransportKind::from_env`]): unset or `in-process` runs
+//! the zero-copy default, `wire` routes every protocol message — including
+//! the build-time summary exchange — through the serializing
+//! [`WireTransport`](dsr_cluster::WireTransport). CI runs the suites under
+//! both values, so every answer has been produced at least once from
+//! messages that were actually encoded, piped and decoded:
+//!
+//! ```sh
+//! cargo test -q                                              # in-process
+//! DSR_TRANSPORT=wire cargo test -q --test engines_agree --test end_to_end
+//! ```
+
+use dsr_cluster::DynTransport;
+use dsr_core::{DsrEngine, DsrIndex};
+use dsr_graph::DiGraph;
+use dsr_partition::Partitioning;
+use dsr_reach::LocalIndexKind;
+
+/// The transport backend selected by `DSR_TRANSPORT` (default: in-process).
+pub fn transport_from_env() -> DynTransport {
+    DynTransport::from_env()
+}
+
+/// Builds a [`DsrIndex`] whose summary-exchange round goes through the
+/// `DSR_TRANSPORT`-selected backend.
+pub fn build_index_from_env(
+    graph: &DiGraph,
+    partitioning: Partitioning,
+    kind: LocalIndexKind,
+) -> DsrIndex {
+    DsrIndex::build_with_transport(graph, partitioning, kind, true, &transport_from_env())
+}
+
+/// Creates an engine over `index` running on the `DSR_TRANSPORT`-selected
+/// backend.
+pub fn engine_from_env(index: &DsrIndex) -> DsrEngine<'_, DynTransport> {
+    DsrEngine::with_transport(index, transport_from_env())
+}

@@ -1,7 +1,12 @@
 //! End-to-end integration test: generated dataset → partitioning → DSR
 //! index → distributed query, checked against the centralized oracle.
+//!
+//! Index and engine construction go through [`dsr::testing`], so
+//! `DSR_TRANSPORT=wire` reruns every scenario with serialized framed
+//! messages over OS pipes instead of in-process moves (the CI test matrix
+//! runs both).
 
-use dsr_core::{DsrEngine, DsrIndex};
+use dsr::testing::{build_index_from_env, engine_from_env};
 use dsr_datagen::{dataset_by_name, random_query};
 use dsr_graph::TransitiveClosure;
 use dsr_partition::{HashPartitioner, MultilevelPartitioner, Partitioner};
@@ -11,8 +16,8 @@ use dsr_reach::LocalIndexKind;
 fn web_graph_analogue_end_to_end() {
     let graph = dataset_by_name("NotreDame").unwrap().graph;
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
-    let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs);
-    let engine = DsrEngine::new(&index);
+    let index = build_index_from_env(&graph, partitioning, LocalIndexKind::Dfs);
+    let engine = engine_from_env(&index);
     let query = random_query(&graph, 10, 10, 7);
 
     let oracle = TransitiveClosure::build(&graph);
@@ -27,8 +32,8 @@ fn web_graph_analogue_end_to_end() {
 fn social_graph_analogue_with_ferrari_local_index() {
     let graph = dataset_by_name("LiveJ-20M").unwrap().graph;
     let partitioning = HashPartitioner::default().partition(&graph, 4);
-    let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::Ferrari);
-    let engine = DsrEngine::new(&index);
+    let index = build_index_from_env(&graph, partitioning, LocalIndexKind::Ferrari);
+    let engine = engine_from_env(&index);
     let query = random_query(&graph, 20, 20, 11);
 
     let oracle = TransitiveClosure::build(&graph);
@@ -44,8 +49,8 @@ fn social_graph_analogue_with_ferrari_local_index() {
 fn lubm_analogue_sparse_acyclic_queries() {
     let graph = dataset_by_name("LUBM-500M").unwrap().graph;
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
-    let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::MsBfs);
-    let engine = DsrEngine::new(&index);
+    let index = build_index_from_env(&graph, partitioning, LocalIndexKind::MsBfs);
+    let engine = engine_from_env(&index);
     let query = random_query(&graph, 100, 100, 13);
     let oracle = TransitiveClosure::build(&graph);
     let expected = oracle.set_reachability(&query.sources, &query.targets);
@@ -61,7 +66,7 @@ fn lubm_analogue_sparse_acyclic_queries() {
 fn index_statistics_are_plausible() {
     let graph = dataset_by_name("Stanford").unwrap().graph;
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
-    let index = DsrIndex::build(&graph, partitioning, LocalIndexKind::Dfs);
+    let index = build_index_from_env(&graph, partitioning, LocalIndexKind::Dfs);
     let stats = &index.stats;
     assert_eq!(stats.compound_edges.len(), 5);
     assert!(stats.max_dag_edges() <= stats.max_compound_edges());
@@ -69,4 +74,8 @@ fn index_statistics_are_plausible() {
     assert!(stats.total_backward_classes <= stats.total_out_boundaries);
     assert!(stats.total_transit_edges <= stats.total_boundary_pairs.max(1));
     assert!(stats.total_bytes > 0);
+    // The build's summary exchange is accounted: 5 slaves ship their
+    // summary to 4 peers each.
+    assert_eq!(stats.summary_messages, 20);
+    assert!(stats.summary_bytes > 0);
 }

@@ -1,8 +1,13 @@
 //! Cross-engine agreement: DSR, DSR-Fan, DSR-Naïve, Giraph, Giraph++ and
 //! Giraph++wEq must return identical result sets on the same queries.
+//!
+//! The DSR index and engine are built through [`dsr::testing`], so setting
+//! `DSR_TRANSPORT=wire` reruns this whole suite with every protocol message
+//! (and the build-time summary exchange) serialized through OS pipes — the
+//! CI test matrix exercises both backends.
 
+use dsr::testing::{build_index_from_env, engine_from_env};
 use dsr_core::baselines::{FanBaseline, NaiveBaseline};
-use dsr_core::{DsrEngine, DsrIndex};
 use dsr_datagen::{dataset_by_name, random_query};
 use dsr_giraph::{giraph_pp_set_reachability, giraph_set_reachability, GraphCentricVariant};
 use dsr_partition::{MultilevelPartitioner, Partitioner};
@@ -14,8 +19,8 @@ fn all_engines_agree_on_small_web_graph() {
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
     let query = random_query(&graph, 8, 8, 3);
 
-    let index = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs);
-    let dsr = DsrEngine::new(&index).set_reachability(&query.sources, &query.targets);
+    let index = build_index_from_env(&graph, partitioning.clone(), LocalIndexKind::Dfs);
+    let dsr = engine_from_env(&index).set_reachability(&query.sources, &query.targets);
 
     let fan = FanBaseline::new(&graph, partitioning.clone())
         .set_reachability(&query.sources, &query.targets);
@@ -51,8 +56,8 @@ fn communication_profile_ordering() {
     let partitioning = MultilevelPartitioner::default().partition(&graph, 5);
     let query = random_query(&graph, 10, 10, 5);
 
-    let index = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs);
-    let dsr = DsrEngine::new(&index).set_reachability(&query.sources, &query.targets);
+    let index = build_index_from_env(&graph, partitioning.clone(), LocalIndexKind::Dfs);
+    let dsr = engine_from_env(&index).set_reachability(&query.sources, &query.targets);
     let giraph = giraph_set_reachability(&graph, &partitioning, &query.sources, &query.targets);
     let gpp = giraph_pp_set_reachability(
         &graph,

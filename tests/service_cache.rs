@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use dsr_cluster::TransportKind;
 use dsr_core::{DsrIndex, SetQuery};
 use dsr_graph::{DiGraph, TransitiveClosure};
 use dsr_partition::Partitioning;
@@ -149,6 +150,7 @@ fn tiny_cache_evicts_but_stays_correct() {
         ServiceConfig {
             cache_capacity: 2,
             cache_enabled: true,
+            transport: TransportKind::InProcess,
         },
     );
     for round in 0..3 {
