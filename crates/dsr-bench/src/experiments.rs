@@ -12,3 +12,4 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod throughput;
+pub mod updates;

@@ -1,0 +1,394 @@
+//! Differential-update experiment (the Figure 6 shape, measured on the
+//! wire).
+//!
+//! Where the `figure6` experiment reports wall-clock update times per
+//! dataset, this experiment measures what the differential pipeline
+//! actually *ships*: every update batch flows through
+//! [`DsrIndex::apply_updates_with_transport`], so the reported
+//! rounds/messages/bytes are the measured wire size of the
+//! `SummaryDelta` refresh messages — the same units as query
+//! communication. Three workloads:
+//!
+//! 1. **bulk** — insert the held-back 20% of the edges in one batch and
+//!    compare against a full index rebuild (the paper's headline claim:
+//!    bulk insertion costs a fraction of a rebuild);
+//! 2. **progressive** — the same edges in many small batches, the worst
+//!    case for per-batch overhead;
+//! 3. **interleaved** — a live [`QueryService`] alternating query batches
+//!    with [`QueryService::apply_updates`] batches from a consistent
+//!    [`update_stream`], exercising coalescing and generation-correct
+//!    cache invalidation under load.
+//!
+//! The bulk workload additionally re-runs under the serializing
+//! [`WireTransport`] and asserts that its [`UpdateStats`] are
+//! **byte-identical** to the in-process run — update cost cannot drift
+//! from what a real byte substrate would ship.
+//!
+//! The run writes `BENCH_updates.json` (into `$DSR_BENCH_DIR` or the
+//! working directory); the bench-smoke CI job archives it next to
+//! `BENCH_throughput.json`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsr_cluster::{InProcess, UpdateStats, WireTransport};
+use dsr_core::{DsrEngine, DsrIndex, SetQuery, UpdateOp};
+use dsr_datagen::{query_stream, update_stream, EdgeOp, StreamConfig, UpdateStreamConfig};
+use dsr_graph::DiGraph;
+use dsr_partition::Partitioning;
+use dsr_reach::LocalIndexKind;
+use dsr_service::{QueryService, ServiceConfig};
+
+use crate::experiments::common;
+use crate::{secs, time, Table};
+
+/// Measurements of one update workload.
+struct WorkloadResult {
+    name: &'static str,
+    transport: &'static str,
+    ops: usize,
+    batches: usize,
+    elapsed: Duration,
+    stats: UpdateStats,
+    refreshed: usize,
+    patched: usize,
+    /// Full-rebuild comparison time (bulk only).
+    rebuild: Option<Duration>,
+    /// Queries answered while updating (interleaved only).
+    queries: usize,
+    invalidations: u64,
+}
+
+impl WorkloadResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn op_of(edge_op: EdgeOp) -> UpdateOp {
+    match edge_op {
+        EdgeOp::Insert(u, v) => UpdateOp::Insert(u, v),
+        EdgeOp::Delete(u, v) => UpdateOp::Delete(u, v),
+    }
+}
+
+/// Runs the experiment, renders the table and writes `BENCH_updates.json`.
+pub fn run(fast: bool) -> String {
+    let (graph_name, graph): (&str, DiGraph) = if fast {
+        ("web-2k", dsr_datagen::web_graph(600, 4.0, 12, 0.7, 0xDE))
+    } else {
+        ("Stanford", common::dataset("Stanford"))
+    };
+    let slaves = if fast { 3 } else { common::DEFAULT_SLAVES };
+    let progressive_batches = if fast { 8 } else { 20 };
+    let interleaved_rounds = if fast { 8 } else { 32 };
+    let interleaved_ops_per_round = if fast { 16 } else { 64 };
+    let interleaved_queries_per_round = if fast { 16 } else { 64 };
+
+    let partitioning = common::partition(&graph, slaves);
+    let edges = graph.edge_vec();
+    let keep = (edges.len() as f64 * 0.8).round() as usize;
+    let base = DiGraph::from_edges(graph.num_vertices(), &edges[..keep]);
+    let tail: Vec<UpdateOp> = edges[keep..]
+        .iter()
+        .map(|&(u, v)| UpdateOp::Insert(u, v))
+        .collect();
+
+    // --- Workload 1: bulk insertion vs full rebuild. ---------------------
+    let mut index = build(&base, &partitioning);
+    let (outcome, bulk_time) = time(|| index.apply_updates_with_transport(&tail, &InProcess));
+    let (_, rebuild_time) = time(|| build(&graph, &partitioning));
+    assert_answers_match(&index, &build(&graph, &partitioning), &graph);
+    let bulk = WorkloadResult {
+        name: "bulk",
+        transport: "in-process",
+        ops: tail.len(),
+        batches: 1,
+        elapsed: bulk_time,
+        stats: outcome.stats,
+        refreshed: outcome.refreshed_summaries.len(),
+        patched: outcome.patched_compounds.len(),
+        rebuild: Some(rebuild_time),
+        queries: 0,
+        invalidations: 0,
+    };
+
+    // --- Workload 1b: the same bulk batch over the wire transport. -------
+    let mut wired_index = build(&base, &partitioning);
+    let wire = WireTransport::new();
+    let (wire_outcome, wire_time) = time(|| wired_index.apply_updates_with_transport(&tail, &wire));
+    assert_eq!(
+        wire_outcome.stats, outcome.stats,
+        "wire update stats must be byte-identical to the in-process run"
+    );
+    let bulk_wire = WorkloadResult {
+        name: "bulk_wire",
+        transport: "wire",
+        ops: tail.len(),
+        batches: 1,
+        elapsed: wire_time,
+        stats: wire_outcome.stats,
+        refreshed: wire_outcome.refreshed_summaries.len(),
+        patched: wire_outcome.patched_compounds.len(),
+        rebuild: None,
+        queries: 0,
+        invalidations: 0,
+    };
+
+    // --- Workload 2: progressive insertion in small batches. -------------
+    let mut index = build(&base, &partitioning);
+    let chunk = tail.len().div_ceil(progressive_batches).max(1);
+    let mut progressive_stats = UpdateStats::default();
+    let mut refreshed = 0usize;
+    let mut patched = 0usize;
+    let (batches, progressive_time) = time(|| {
+        let mut batches = 0usize;
+        for ops in tail.chunks(chunk) {
+            let outcome = index.apply_updates_with_transport(ops, &InProcess);
+            progressive_stats.merge(&outcome.stats);
+            refreshed += outcome.refreshed_summaries.len();
+            patched += outcome.patched_compounds.len();
+            batches += 1;
+        }
+        batches
+    });
+    assert_answers_match(&index, &build(&graph, &partitioning), &graph);
+    let progressive = WorkloadResult {
+        name: "progressive",
+        transport: "in-process",
+        ops: tail.len(),
+        batches,
+        elapsed: progressive_time,
+        stats: progressive_stats,
+        refreshed,
+        patched,
+        rebuild: None,
+        queries: 0,
+        invalidations: 0,
+    };
+
+    // --- Workload 3: interleaved queries and updates on a live service. --
+    let service = QueryService::with_config(
+        Arc::new(build(&graph, &partitioning)),
+        ServiceConfig::default(),
+    );
+    let stream = update_stream(
+        &graph,
+        &UpdateStreamConfig {
+            num_ops: interleaved_rounds * interleaved_ops_per_round,
+            insert_fraction: 0.6,
+            seed: 0xF6,
+        },
+    );
+    let queries = query_stream(
+        &graph,
+        &StreamConfig {
+            num_queries: interleaved_rounds * interleaved_queries_per_round,
+            num_sources: 8,
+            num_targets: 8,
+            distinct: 24,
+            skew: 0.99,
+            pattern: dsr_datagen::ArrivalPattern::ClosedLoop,
+            seed: 0x1A,
+        },
+    );
+    let query_batches: Vec<Vec<SetQuery>> = queries
+        .queries()
+        .map(|q| SetQuery::new(q.sources.clone(), q.targets.clone()))
+        .collect::<Vec<_>>()
+        .chunks(interleaved_queries_per_round)
+        .map(<[SetQuery]>::to_vec)
+        .collect();
+    let mut answered = 0usize;
+    let (_, interleaved_time) = time(|| {
+        for (round, ops) in stream.chunks(interleaved_ops_per_round).enumerate() {
+            let ops: Vec<UpdateOp> = ops.iter().map(|&op| op_of(op)).collect();
+            service
+                .apply_updates(&ops)
+                .expect("service owns its index exclusively");
+            if let Some(batch) = query_batches.get(round) {
+                answered += service.query_batch(batch).results.len();
+            }
+        }
+    });
+    let interleaved = WorkloadResult {
+        name: "interleaved",
+        transport: "in-process",
+        ops: stream.len(),
+        batches: interleaved_rounds,
+        elapsed: interleaved_time,
+        stats: service.update_stats(),
+        refreshed: 0,
+        patched: 0,
+        rebuild: None,
+        queries: answered,
+        invalidations: service.cache_stats().invalidations(),
+    };
+
+    let workloads = [bulk, bulk_wire, progressive, interleaved];
+
+    // --- Render. ---------------------------------------------------------
+    let mut table = Table::new(
+        &format!(
+            "Differential updates: {graph_name} ({} vertices, {} edges), {slaves} slaves",
+            graph.num_vertices(),
+            graph.num_edges()
+        ),
+        &[
+            "Workload",
+            "Transport",
+            "Ops",
+            "Batches",
+            "Time (s)",
+            "Ops/s",
+            "Rounds",
+            "Messages",
+            "Update KB",
+            "Notes",
+        ],
+    );
+    for w in &workloads {
+        let mut notes = Vec::new();
+        if let Some(rebuild) = w.rebuild {
+            notes.push(format!("full rebuild {}s", secs(rebuild)));
+        }
+        if w.queries > 0 {
+            notes.push(format!(
+                "{} queries, {} invalidations",
+                w.queries, w.invalidations
+            ));
+        }
+        table.row(vec![
+            w.name.to_string(),
+            w.transport.to_string(),
+            w.ops.to_string(),
+            w.batches.to_string(),
+            secs(w.elapsed),
+            format!("{:.0}", w.ops_per_sec()),
+            w.stats.update_rounds.to_string(),
+            w.stats.update_messages.to_string(),
+            format!("{:.1}", w.stats.update_bytes as f64 / 1024.0),
+            notes.join("; "),
+        ]);
+    }
+    let mut out = table.render();
+
+    let json = render_json(fast, graph_name, &graph, slaves, &workloads);
+    match write_json(&json) {
+        Ok(path) => out.push_str(&format!("\nwrote {path}\n")),
+        Err(err) => out.push_str(&format!("\nfailed to write BENCH_updates.json: {err}\n")),
+    }
+    out
+}
+
+fn build(graph: &DiGraph, partitioning: &Partitioning) -> DsrIndex {
+    DsrIndex::build(graph, partitioning.clone(), LocalIndexKind::Dfs)
+}
+
+/// The incrementally maintained index must answer exactly like a fresh
+/// build over the final graph.
+fn assert_answers_match(updated: &DsrIndex, fresh: &DsrIndex, graph: &DiGraph) {
+    let query = common::standard_query(graph, 10, 10, 0xF6);
+    assert_eq!(
+        DsrEngine::new(updated)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        DsrEngine::new(fresh)
+            .set_reachability(&query.sources, &query.targets)
+            .pairs,
+        "differentially updated index must match a fresh rebuild"
+    );
+}
+
+fn render_json(
+    fast: bool,
+    graph_name: &str,
+    graph: &DiGraph,
+    slaves: usize,
+    workloads: &[WorkloadResult],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"updates\",\n");
+    json.push_str(&format!("  \"fast\": {fast},\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{\"name\": \"{graph_name}\", \"vertices\": {}, \"edges\": {}, \"slaves\": {slaves}}},\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ));
+    let find = |name: &str| {
+        workloads
+            .iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("workload {name} present"))
+    };
+    let bulk = find("bulk");
+    let rebuild_secs = bulk.rebuild.expect("bulk records rebuild").as_secs_f64();
+    json.push_str(&format!(
+        "  \"figure6_shape\": {{\"bulk_update_seconds\": {:.6}, \"full_rebuild_seconds\": {:.6}, \"update_vs_rebuild\": {:.4}}},\n",
+        bulk.elapsed.as_secs_f64(),
+        rebuild_secs,
+        bulk.elapsed.as_secs_f64() / rebuild_secs.max(1e-9)
+    ));
+    let wire = find("bulk_wire");
+    json.push_str(&format!(
+        "  \"wire\": {{\"seconds\": {:.6}, \"overhead_vs_in_process\": {:.3}, \"stats_identical\": true}},\n",
+        wire.elapsed.as_secs_f64(),
+        wire.elapsed.as_secs_f64() / bulk.elapsed.as_secs_f64().max(1e-9)
+    ));
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"ops\": {}, \"batches\": {}, \"seconds\": {:.6}, \"ops_per_sec\": {:.1}, \"update_rounds\": {}, \"update_messages\": {}, \"update_bytes\": {}, \"refreshed_summaries\": {}, \"patched_compounds\": {}, \"queries\": {}, \"cache_invalidations\": {}}}{}\n",
+            w.name,
+            w.transport,
+            w.ops,
+            w.batches,
+            w.elapsed.as_secs_f64(),
+            w.ops_per_sec(),
+            w.stats.update_rounds,
+            w.stats.update_messages,
+            w.stats.update_bytes,
+            w.refreshed,
+            w.patched,
+            w.queries,
+            w.invalidations,
+            if i + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn write_json(json: &str) -> std::io::Result<String> {
+    let dir = std::env::var("DSR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_updates.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_table_and_json() {
+        let out = run(true);
+        assert!(out.contains("bulk"));
+        assert!(out.contains("bulk_wire"));
+        assert!(out.contains("progressive"));
+        assert!(out.contains("interleaved"));
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("wrote "))
+            .expect("wrote line present");
+        let path = line.trim_start_matches("wrote ");
+        let json = std::fs::read_to_string(path).expect("json readable");
+        assert!(json.contains("\"experiment\": \"updates\""));
+        assert!(json.contains("\"figure6_shape\""));
+        assert!(json.contains("\"update_vs_rebuild\""));
+        assert!(json.contains("\"stats_identical\": true"));
+        assert!(json.contains("\"transport\": \"wire\""));
+        assert!(json.contains("\"cache_invalidations\""));
+    }
+}

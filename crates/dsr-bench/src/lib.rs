@@ -60,7 +60,7 @@ pub fn geometric_mean(durations: &[Duration]) -> f64 {
 
 /// The experiment identifiers accepted by the binary, in paper order,
 /// followed by the beyond-the-paper serving experiments.
-pub const EXPERIMENT_IDS: [&str; 11] = [
+pub const EXPERIMENT_IDS: [&str; 12] = [
     "table2",
     "table3",
     "figure5",
@@ -72,6 +72,7 @@ pub const EXPERIMENT_IDS: [&str; 11] = [
     "table6",
     "table7",
     "throughput",
+    "updates",
 ];
 
 /// Runs one experiment by id. `fast` shrinks datasets/steps so the whole
@@ -89,6 +90,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Option<String> {
         "figure7" => experiments::figure7::run(fast),
         "figure8" => experiments::figure8::run(fast),
         "throughput" => experiments::throughput::run(fast),
+        "updates" => experiments::updates::run(fast),
         _ => return None,
     };
     Some(out)

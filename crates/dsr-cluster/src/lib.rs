@@ -39,9 +39,10 @@ pub mod worker;
 
 pub use message::MessageSize;
 pub use pool::{global_pool, SlavePool};
-pub use stats::{CacheStats, CommStats};
+pub use stats::{CacheStats, CommStats, UpdateStats};
 pub use transport::{
-    DynTransport, InProcess, Transport, TransportKind, WireMessage, WireTransport, TRANSPORT_ENV,
+    DynTransport, InProcess, ParseTransportError, Transport, TransportKind, WireMessage,
+    WireTransport, TRANSPORT_ENV,
 };
 pub use wire::{Wire, WireError, WireReader};
 pub use worker::run_on_slaves;

@@ -95,6 +95,56 @@ impl Clone for CommStats {
     }
 }
 
+/// Communication cost of one differential index refresh (Section 3.3.3).
+///
+/// Incremental updates ship `SummaryDelta` refresh messages (defined in
+/// `dsr-core::protocol`) through the same [`Transport`](crate::Transport)
+/// as queries, so their cost is *measured* wire bytes — the quantities
+/// behind the paper's Figure 6 — rather than an estimate. `update_rounds`
+/// is `0` when an update batch turned out to be communication-free
+/// (duplicates, reachability-preserving local insertions) and `1` when a
+/// refresh exchange ran.
+///
+/// The struct is a plain value snapshot (unlike the atomic [`CommStats`]):
+/// one is returned per update batch and aggregates are folded with
+/// [`UpdateStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Communication rounds of the refresh exchange (0 or 1 per batch).
+    pub update_rounds: u64,
+    /// Refresh messages shipped (one per affected-partition delta per
+    /// receiving peer).
+    pub update_messages: u64,
+    /// Exact wire bytes of the shipped deltas (byte-identical between the
+    /// in-process and wire backends).
+    pub update_bytes: u64,
+}
+
+impl UpdateStats {
+    /// Snapshot of a [`CommStats`] collector that recorded one refresh
+    /// exchange.
+    pub fn from_comm(comm: &CommStats) -> Self {
+        let (update_rounds, update_messages, update_bytes) = comm.snapshot();
+        UpdateStats {
+            update_rounds,
+            update_messages,
+            update_bytes,
+        }
+    }
+
+    /// Folds another batch's counters into this aggregate.
+    pub fn merge(&mut self, other: &UpdateStats) {
+        self.update_rounds += other.update_rounds;
+        self.update_messages += other.update_messages;
+        self.update_bytes += other.update_bytes;
+    }
+
+    /// Whether the update shipped anything at all.
+    pub fn is_zero(&self) -> bool {
+        *self == UpdateStats::default()
+    }
+}
+
 /// Thread-safe hit/miss counters for a query-result cache.
 ///
 /// The serving layer (`dsr-service`) keys a bounded LRU cache on normalized
@@ -250,6 +300,29 @@ mod tests {
         assert!((c.hit_rate() - 0.75).abs() < 1e-9);
         c.reset();
         assert_eq!((c.hits(), c.misses(), c.insertions()), (0, 0, 0));
+    }
+
+    #[test]
+    fn update_stats_snapshot_and_merge() {
+        let comm = CommStats::new();
+        assert!(UpdateStats::from_comm(&comm).is_zero());
+        comm.record_round();
+        comm.record_messages(4, 120);
+        let batch = UpdateStats::from_comm(&comm);
+        assert_eq!(
+            batch,
+            UpdateStats {
+                update_rounds: 1,
+                update_messages: 4,
+                update_bytes: 120,
+            }
+        );
+        let mut total = UpdateStats::default();
+        total.merge(&batch);
+        total.merge(&batch);
+        assert_eq!(total.update_messages, 8);
+        assert_eq!(total.update_bytes, 240);
+        assert!(!total.is_zero());
     }
 
     #[test]

@@ -525,21 +525,78 @@ pub enum TransportKind {
     Wire,
 }
 
+/// Error returned when parsing a [`TransportKind`] from a string fails.
+///
+/// The message lists the accepted values, so a typo in a CI matrix or a
+/// service configuration file reports the fix alongside the failure.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ParseTransportError {
+    value: String,
+}
+
+impl ParseTransportError {
+    /// The rejected input.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl std::fmt::Display for ParseTransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized transport {:?}; valid values: {}",
+            self.value,
+            TransportKind::VALID_NAMES.join(", ")
+        )
+    }
+}
+
+// `expect`/`unwrap` render `Debug`, so make it as readable as `Display`:
+// the valid-values listing must survive into the panic message.
+impl std::fmt::Debug for ParseTransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ParseTransportError {}
+
+impl std::str::FromStr for TransportKind {
+    type Err = ParseTransportError;
+
+    /// Parses a backend name. Accepted values (case-insensitive): empty or
+    /// `in-process`/`in_process`/`inprocess` for [`InProcess`], `wire` for
+    /// [`WireTransport`]. The error lists the valid values.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "" | "in-process" | "in_process" | "inprocess" => Ok(TransportKind::InProcess),
+            "wire" => Ok(TransportKind::Wire),
+            _ => Err(ParseTransportError {
+                value: s.to_string(),
+            }),
+        }
+    }
+}
+
 impl TransportKind {
+    /// Canonical names accepted by the [`FromStr`](std::str::FromStr)
+    /// parser (spelling variants of `in-process` are also recognized).
+    pub const VALID_NAMES: [&'static str; 2] = ["in-process", "wire"];
+
     /// Reads the `DSR_TRANSPORT` environment variable: `wire` selects
     /// [`WireTransport`], `in-process` (or unset) selects [`InProcess`].
+    /// The value goes through the [`FromStr`](std::str::FromStr) parser
+    /// that `ServiceConfig::from_env` and the experiment binaries reuse.
     ///
     /// # Panics
     /// Panics on an unrecognized value — a misconfigured CI matrix should
-    /// fail loudly, not silently test the default backend twice.
+    /// fail loudly (listing the valid values), not silently test the
+    /// default backend twice.
     pub fn from_env() -> Self {
         match std::env::var(TRANSPORT_ENV) {
             Err(_) => TransportKind::InProcess,
-            Ok(value) => match value.to_ascii_lowercase().as_str() {
-                "" | "in-process" | "in_process" | "inprocess" => TransportKind::InProcess,
-                "wire" => TransportKind::Wire,
-                other => panic!("unrecognized {TRANSPORT_ENV} value: {other:?}"),
-            },
+            Ok(value) => value.parse().expect("invalid DSR_TRANSPORT"),
         }
     }
 
@@ -754,6 +811,22 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn kind_parsing() {
+        for ok in ["", "in-process", "In_Process", "INPROCESS"] {
+            assert_eq!(ok.parse::<TransportKind>(), Ok(TransportKind::InProcess));
+        }
+        assert_eq!("Wire".parse::<TransportKind>(), Ok(TransportKind::Wire));
+        let err = "tcp".parse::<TransportKind>().unwrap_err();
+        assert_eq!(err.value(), "tcp");
+        let message = err.to_string();
+        assert!(message.contains("in-process"), "lists valid values");
+        assert!(message.contains("wire"), "lists valid values");
+        // The Debug rendering (what `.expect` prints) carries the same
+        // guidance.
+        assert_eq!(format!("{err:?}"), message);
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub struct DsrIndex {
     pub local_indexes: Vec<Box<dyn LocalReachability>>,
     /// Which local strategy the index was built with.
     pub kind: LocalIndexKind,
+    /// Whether the equivalence-set optimization was enabled at build time
+    /// (incremental summary refreshes recompute with the same setting).
+    pub use_equivalence: bool,
     /// Build statistics.
     pub stats: IndexBuildStats,
 }
@@ -211,6 +214,7 @@ impl DsrIndex {
             compounds,
             local_indexes,
             kind,
+            use_equivalence,
             stats,
         }
     }
@@ -247,34 +251,52 @@ impl DsrIndex {
         self.partitioning.partition_of(v)
     }
 
-    /// Rebuilds the compound graphs and local indexes from the current
-    /// summaries/cut/locals. Used by the incremental update path after a
-    /// summary has been refreshed.
-    pub(crate) fn rebuild_compounds(&mut self) {
-        let k = self.num_partitions();
-        let summaries = &self.summaries;
-        let cut = &self.cut;
-        let locals = &self.locals;
-        let compounds: Vec<CompoundGraph> = run_on_slaves(k, |i| {
-            CompoundGraph::build(&locals[i], cut, summaries, i as PartitionId)
-        });
+    /// Deep-copies the index, rebuilding the (non-clonable) local
+    /// reachability indexes over cloned compound graphs.
+    ///
+    /// This is the clone-on-write fallback of the serving layer: when the
+    /// index `Arc` is shared with concurrent readers, updates can be
+    /// applied to a fork and the fork swapped in, instead of either
+    /// blocking or silently dropping the update. Forking costs one local
+    /// index build per partition but **no** summary computation and no
+    /// communication.
+    pub fn fork(&self) -> DsrIndex {
         let kind = self.kind;
-        let local_indexes: Vec<Box<dyn LocalReachability>> = run_on_slaves(k, |i| {
+        let compounds = self.compounds.clone();
+        let local_indexes: Vec<Box<dyn LocalReachability>> = run_on_slaves(compounds.len(), |i| {
             build_index(kind, Arc::new(compounds[i].graph.clone()))
         });
-        self.compounds = compounds;
-        self.local_indexes = local_indexes;
-        // The in-place rebuild reuses the summaries already resident at
-        // every slave, so no new summary exchange happens; carry the
-        // original round's cost forward.
-        let comm = CommStats::new();
-        comm.add(0, self.stats.summary_messages, self.stats.summary_bytes);
-        self.stats = Self::collect_stats(
-            self.stats.build_time,
-            &self.summaries,
-            &self.compounds,
-            &comm,
-        );
+        DsrIndex {
+            partitioning: self.partitioning.clone(),
+            cut: self.cut.clone(),
+            locals: self.locals.clone(),
+            summaries: self.summaries.clone(),
+            compounds,
+            local_indexes,
+            kind,
+            use_equivalence: self.use_equivalence,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Re-derives the per-compound and per-summary statistics entries after
+    /// an incremental update patched `patched` compounds (summary-derived
+    /// totals are always cheap sums and are refreshed wholesale).
+    pub(crate) fn refresh_stats_after_update(&mut self, patched: &[PartitionId]) {
+        for &p in patched {
+            let compound = &self.compounds[p as usize];
+            self.stats.compound_edges[p as usize] = compound.num_edges();
+            self.stats.dag_edges[p as usize] = compound.dag_edges();
+        }
+        self.stats.total_bytes = self.compounds.iter().map(|c| c.byte_size()).sum();
+        let summaries = &self.summaries;
+        self.stats.total_in_boundaries = summaries.iter().map(|s| s.in_boundaries.len()).sum();
+        self.stats.total_out_boundaries = summaries.iter().map(|s| s.out_boundaries.len()).sum();
+        self.stats.total_forward_classes = summaries.iter().map(|s| s.num_forward_classes()).sum();
+        self.stats.total_backward_classes =
+            summaries.iter().map(|s| s.num_backward_classes()).sum();
+        self.stats.total_boundary_pairs = summaries.iter().map(|s| s.boundary_pairs).sum();
+        self.stats.total_transit_edges = summaries.iter().map(|s| s.transit.len()).sum();
     }
 }
 

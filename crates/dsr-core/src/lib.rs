@@ -19,7 +19,10 @@
 //!   virtual vertices and transit edges for all remote partitions,
 //! * [`DsrIndex`] — the full per-cluster index (summaries, compound graphs,
 //!   pluggable local reachability indexes, build statistics) with
-//!   incremental update support (Section 3.3.3),
+//!   **differential** incremental updates (Section 3.3.3, [`updates`]):
+//!   only affected partitions refresh, refresh traffic ships as
+//!   [`SummaryDelta`] messages through the transport, and compound graphs
+//!   are patched in place from the decoded deltas,
 //! * [`DsrEngine`] — Algorithms 1 and 2 executed over the simulated
 //!   cluster, with communication accounting; generic over the
 //!   [`Transport`](dsr_cluster::Transport) that moves its messages
@@ -57,8 +60,8 @@ pub mod protocol;
 pub mod summary;
 pub mod updates;
 
-pub use compound::CompoundGraph;
+pub use compound::{CompoundGraph, CompoundPatch};
 pub use engine::{BatchOutcome, DsrEngine, QueryOutcome, SetQuery};
 pub use index::{DsrIndex, IndexBuildStats};
-pub use summary::PartitionSummary;
-pub use updates::UpdateOutcome;
+pub use summary::{ClassReplacement, PartitionSummary, SummaryDelta};
+pub use updates::{coalesce_updates, UpdateOp, UpdateOutcome};

@@ -28,6 +28,16 @@
 //! The index build additionally exchanges [`PartitionSummary`] messages
 //! all-to-all (every slave needs every other partition's summary to build
 //! its compound graph), so the summary carries a codec too.
+//!
+//! Incremental updates (Section 3.3.3) add a fourth message:
+//! [`SummaryDelta`], the differential refresh an affected partition ships
+//! to every peer after an edge insertion/deletion batch. It carries only
+//! what changed — owned cut-edge splices, a wholesale
+//! [`ClassReplacement`] when the equivalence grouping moved, or a sorted
+//! transit diff when only the class-to-class relation changed — so the
+//! update cost recorded in
+//! [`UpdateStats`](dsr_cluster::UpdateStats) is the measured wire size of
+//! the deltas, not of rebuilt summaries.
 
 use std::collections::HashMap;
 
@@ -35,7 +45,7 @@ use dsr_cluster::wire::{get_sorted_ids, put_sorted_ids, sorted_ids_size, varint_
 use dsr_cluster::{MessageSize, Wire, WireError, WireReader};
 use dsr_graph::VertexId;
 
-use crate::summary::PartitionSummary;
+use crate::summary::{ClassReplacement, PartitionSummary, SummaryDelta};
 
 /// One active query as delivered to one slave by the scatter round: the
 /// slave's local sources and the query's full target list (both sorted and
@@ -166,6 +176,88 @@ impl Wire for PartitionSummary {
             transit,
             boundary_pairs,
         })
+    }
+}
+
+/// Shared helper: encodes a class list as a varint count followed by one
+/// delta-encoded sorted id run per class.
+fn put_classes(buf: &mut Vec<u8>, classes: &[Vec<VertexId>]) {
+    dsr_cluster::wire::put_varint(buf, classes.len() as u64);
+    for class in classes {
+        put_sorted_ids(buf, class);
+    }
+}
+
+fn get_classes(reader: &mut WireReader<'_>) -> Result<Vec<Vec<VertexId>>, WireError> {
+    let count = reader.length()?;
+    let mut classes = Vec::with_capacity(count);
+    for _ in 0..count {
+        classes.push(get_sorted_ids(reader)?);
+    }
+    Ok(classes)
+}
+
+fn classes_size(classes: &[Vec<VertexId>]) -> usize {
+    varint_size(classes.len() as u64) + classes.iter().map(|c| sorted_ids_size(c)).sum::<usize>()
+}
+
+impl Wire for ClassReplacement {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_classes(buf, &self.forward_classes);
+        put_classes(buf, &self.backward_classes);
+        self.transit.encode_into(buf);
+    }
+
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ClassReplacement {
+            forward_classes: get_classes(reader)?,
+            backward_classes: get_classes(reader)?,
+            transit: Vec::<(u32, u32)>::decode_from(reader)?,
+        })
+    }
+}
+
+impl MessageSize for ClassReplacement {
+    fn byte_size(&self) -> usize {
+        classes_size(&self.forward_classes)
+            + classes_size(&self.backward_classes)
+            + self.transit.byte_size()
+    }
+}
+
+impl Wire for SummaryDelta {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.partition.encode_into(buf);
+        self.added_cut_edges.encode_into(buf);
+        self.removed_cut_edges.encode_into(buf);
+        self.classes.encode_into(buf);
+        self.added_transit.encode_into(buf);
+        self.removed_transit.encode_into(buf);
+        self.boundary_pairs.encode_into(buf);
+    }
+
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SummaryDelta {
+            partition: u32::decode_from(reader)?,
+            added_cut_edges: Vec::decode_from(reader)?,
+            removed_cut_edges: Vec::decode_from(reader)?,
+            classes: Option::decode_from(reader)?,
+            added_transit: Vec::decode_from(reader)?,
+            removed_transit: Vec::decode_from(reader)?,
+            boundary_pairs: Option::decode_from(reader)?,
+        })
+    }
+}
+
+impl MessageSize for SummaryDelta {
+    fn byte_size(&self) -> usize {
+        self.partition.byte_size()
+            + self.added_cut_edges.byte_size()
+            + self.removed_cut_edges.byte_size()
+            + self.classes.byte_size()
+            + self.added_transit.byte_size()
+            + self.removed_transit.byte_size()
+            + self.boundary_pairs.byte_size()
     }
 }
 
@@ -327,6 +419,54 @@ mod tests {
     }
 
     #[test]
+    fn summary_delta_roundtrip_edge_cases() {
+        // The empty delta (never shipped, but the codec must not care).
+        check(&SummaryDelta {
+            partition: 0,
+            added_cut_edges: vec![],
+            removed_cut_edges: vec![],
+            classes: None,
+            added_transit: vec![],
+            removed_transit: vec![],
+            boundary_pairs: None,
+        });
+        // Cut-splice-only delta.
+        check(&SummaryDelta {
+            partition: 7,
+            added_cut_edges: vec![(0, u32::MAX), (5, 9)],
+            removed_cut_edges: vec![(1, 2)],
+            classes: None,
+            added_transit: vec![],
+            removed_transit: vec![],
+            boundary_pairs: None,
+        });
+        // Full class replacement plus a pair-count move.
+        check(&SummaryDelta {
+            partition: u32::MAX,
+            added_cut_edges: vec![],
+            removed_cut_edges: vec![],
+            classes: Some(ClassReplacement {
+                forward_classes: vec![vec![1, 2], vec![u32::MAX]],
+                backward_classes: vec![],
+                transit: vec![(0, 0), (1, 0)],
+            }),
+            added_transit: vec![],
+            removed_transit: vec![],
+            boundary_pairs: Some(u64::MAX),
+        });
+        // Transit-diff-only delta under unchanged class ids.
+        check(&SummaryDelta {
+            partition: 3,
+            added_cut_edges: vec![],
+            removed_cut_edges: vec![],
+            classes: None,
+            added_transit: vec![(0, 1)],
+            removed_transit: vec![(2, 2), (3, 0)],
+            boundary_pairs: Some(0),
+        });
+    }
+
+    #[test]
     fn summary_decode_rebuilds_class_maps() {
         let summary = summary_from_classes(
             vec![vec![10, 11], vec![12]],
@@ -389,6 +529,52 @@ mod tests {
                 0..5,
             )) {
                 check(&message);
+            }
+
+            #[test]
+            fn summary_delta_roundtrip_prop(
+                partition in 0u32..=u32::MAX,
+                added_cut in proptest::collection::vec((0u32..1000, 0u32..1000), 0..6),
+                removed_cut in proptest::collection::vec((0u32..1000, 0u32..1000), 0..6),
+                replace in proptest::option::of((
+                    proptest::collection::vec(arb_ids(), 0..4),
+                    proptest::collection::vec(arb_ids(), 0..4),
+                    proptest::collection::vec((0u32..4, 0u32..4), 0..6),
+                )),
+                transit_diffs in (
+                    proptest::collection::vec((0u32..8, 0u32..8), 0..5),
+                    proptest::collection::vec((0u32..8, 0u32..8), 0..5),
+                ),
+                pairs in proptest::option::of(0u64..10_000),
+            ) {
+                let sort = |mut edges: Vec<(u32, u32)>| {
+                    edges.sort_unstable();
+                    edges.dedup();
+                    edges
+                };
+                // When classes are replaced the transit diff lists are
+                // empty by construction; mirror that invariant here.
+                let (classes, added_transit, removed_transit) = match replace {
+                    Some((forward, backward, transit)) => (
+                        Some(ClassReplacement {
+                            forward_classes: forward,
+                            backward_classes: backward,
+                            transit: sort(transit),
+                        }),
+                        Vec::new(),
+                        Vec::new(),
+                    ),
+                    None => (None, sort(transit_diffs.0), sort(transit_diffs.1)),
+                };
+                check(&SummaryDelta {
+                    partition,
+                    added_cut_edges: sort(added_cut),
+                    removed_cut_edges: sort(removed_cut),
+                    classes,
+                    added_transit,
+                    removed_transit,
+                    boundary_pairs: pairs,
+                });
             }
 
             #[test]

@@ -152,6 +152,172 @@ impl PartitionSummary {
     }
 }
 
+/// Wholesale replacement of a partition's equivalence-class structure,
+/// carried inside a [`SummaryDelta`] when an update changed the grouping
+/// itself (and therefore re-keyed the class ids).
+///
+/// Boundary lists are *not* shipped: in-boundaries are exactly the union of
+/// the forward class members (and out-boundaries of the backward members),
+/// so receivers re-derive them, keeping the message minimal and the two
+/// views impossible to de-synchronize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReplacement {
+    /// The new forward-equivalence classes (each sorted, classes disjoint).
+    pub forward_classes: Vec<Vec<VertexId>>,
+    /// The new backward-equivalence classes.
+    pub backward_classes: Vec<Vec<VertexId>>,
+    /// The full new transit relation — the old transit edges die with the
+    /// old class ids.
+    pub transit: Vec<(u32, u32)>,
+}
+
+/// Differential refresh of one partition's summary (Section 3.3.3).
+///
+/// Instead of re-broadcasting the whole [`PartitionSummary`] after an
+/// update, the affected slave ships only what changed:
+///
+/// * the cut edges it owns (source endpoint in this partition) that were
+///   inserted or deleted — every compound graph splices them in directly;
+/// * a [`ClassReplacement`] when the equivalence grouping changed, or a
+///   sorted added/removed transit-edge diff when only the class-to-class
+///   transit relation moved under unchanged class ids;
+/// * the new concrete boundary-pair count when it moved (a statistics-only
+///   field; it never touches compound structure).
+///
+/// An empty delta (see [`SummaryDelta::is_empty`]) is never shipped — a
+/// duplicate edge or a reachability-preserving local insertion costs zero
+/// messages. [`SummaryDelta::apply_to`] reconstructs the partition's new
+/// summary from the receiver's old replica, and
+/// [`CompoundGraph::apply_patches`](crate::CompoundGraph::apply_patches)
+/// patches the receiver's compound graph in place from the decoded delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDelta {
+    /// The partition this delta refreshes.
+    pub partition: PartitionId,
+    /// Inserted cut edges whose source endpoint lies in this partition
+    /// (sorted).
+    pub added_cut_edges: Vec<(VertexId, VertexId)>,
+    /// Deleted cut edges whose source endpoint lies in this partition
+    /// (sorted).
+    pub removed_cut_edges: Vec<(VertexId, VertexId)>,
+    /// Wholesale class replacement when the grouping changed; `None` when
+    /// the equivalence classes are unchanged.
+    pub classes: Option<ClassReplacement>,
+    /// Transit edges added under unchanged class ids (empty when `classes`
+    /// is `Some` — the replacement carries the full new relation).
+    pub added_transit: Vec<(u32, u32)>,
+    /// Transit edges removed under unchanged class ids.
+    pub removed_transit: Vec<(u32, u32)>,
+    /// New concrete boundary-pair count, when it changed.
+    pub boundary_pairs: Option<u64>,
+}
+
+impl SummaryDelta {
+    /// Computes the delta that turns `old` into `new`, attaching the cut
+    /// edges this partition owns.
+    pub fn diff(
+        old: &PartitionSummary,
+        new: &PartitionSummary,
+        added_cut_edges: Vec<(VertexId, VertexId)>,
+        removed_cut_edges: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        debug_assert_eq!(old.partition, new.partition, "delta spans one partition");
+        let mut delta = SummaryDelta {
+            partition: new.partition,
+            added_cut_edges,
+            removed_cut_edges,
+            classes: None,
+            added_transit: Vec::new(),
+            removed_transit: Vec::new(),
+            boundary_pairs: None,
+        };
+        if old.forward_classes != new.forward_classes
+            || old.backward_classes != new.backward_classes
+        {
+            delta.classes = Some(ClassReplacement {
+                forward_classes: new.forward_classes.clone(),
+                backward_classes: new.backward_classes.clone(),
+                transit: new.transit.clone(),
+            });
+        } else if old.transit != new.transit {
+            delta.added_transit = sorted_difference(&new.transit, &old.transit);
+            delta.removed_transit = sorted_difference(&old.transit, &new.transit);
+        }
+        if old.boundary_pairs != new.boundary_pairs {
+            delta.boundary_pairs = Some(new.boundary_pairs as u64);
+        }
+        delta
+    }
+
+    /// Whether this delta carries nothing at all (and must not be shipped).
+    pub fn is_empty(&self) -> bool {
+        self.added_cut_edges.is_empty()
+            && self.removed_cut_edges.is_empty()
+            && self.classes.is_none()
+            && self.added_transit.is_empty()
+            && self.removed_transit.is_empty()
+            && self.boundary_pairs.is_none()
+    }
+
+    /// Whether applying this delta changes compound-graph *structure* at a
+    /// receiving slave (a pure `boundary_pairs` move is statistics-only).
+    pub fn changes_compound(&self) -> bool {
+        !self.added_cut_edges.is_empty()
+            || !self.removed_cut_edges.is_empty()
+            || self.classes.is_some()
+            || !self.added_transit.is_empty()
+            || !self.removed_transit.is_empty()
+    }
+
+    /// Reconstructs the partition's new summary from the receiver's old
+    /// replica. This is the receiving side of the refresh exchange: the
+    /// decoded delta plus the old summary yields exactly the summary the
+    /// sending slave recomputed.
+    pub fn apply_to(&self, old: &PartitionSummary) -> PartitionSummary {
+        debug_assert_eq!(old.partition, self.partition, "delta spans one partition");
+        let mut new = old.clone();
+        if let Some(replacement) = &self.classes {
+            new.forward_classes = replacement.forward_classes.clone();
+            new.backward_classes = replacement.backward_classes.clone();
+            new.transit = replacement.transit.clone();
+            let flatten = |classes: &[Vec<VertexId>]| {
+                let mut members: Vec<VertexId> = classes.iter().flatten().copied().collect();
+                members.sort_unstable();
+                members
+            };
+            new.in_boundaries = flatten(&new.forward_classes);
+            new.out_boundaries = flatten(&new.backward_classes);
+            let class_map = |classes: &[Vec<VertexId>]| {
+                let mut map = HashMap::new();
+                for (index, class) in classes.iter().enumerate() {
+                    for &member in class {
+                        map.insert(member, index as u32);
+                    }
+                }
+                map
+            };
+            new.forward_class_of = class_map(&new.forward_classes);
+            new.backward_class_of = class_map(&new.backward_classes);
+        } else if !self.added_transit.is_empty() || !self.removed_transit.is_empty() {
+            new.transit = sorted_difference(&old.transit, &self.removed_transit);
+            new.transit.extend_from_slice(&self.added_transit);
+            new.transit.sort_unstable();
+        }
+        if let Some(pairs) = self.boundary_pairs {
+            new.boundary_pairs = pairs as usize;
+        }
+        new
+    }
+}
+
+/// Elements of sorted `a` that are not in sorted `b`.
+fn sorted_difference(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    a.iter()
+        .copied()
+        .filter(|x| b.binary_search(x).is_err())
+        .collect()
+}
+
 #[derive(Clone, Copy)]
 enum Direction {
     Forward,
@@ -445,6 +611,54 @@ mod tests {
         assert_eq!(s.num_backward_classes(), 0);
         assert!(s.transit.is_empty());
         assert_eq!(s.boundary_pairs, 0);
+    }
+
+    #[test]
+    fn delta_diff_roundtrips_through_apply() {
+        let old = summary_for(1);
+        // Pretend the partition lost its out-boundary and gained a class:
+        // diff against a structurally different summary and re-apply.
+        let mut new = summary_for(1);
+        new.forward_classes = vec![vec![6], vec![7], vec![8]];
+        new.forward_class_of = [(6, 0), (7, 1), (8, 2)].into_iter().collect();
+        new.transit = vec![(0, 0), (2, 0)];
+        new.boundary_pairs = 2;
+        let delta = SummaryDelta::diff(&old, &new, vec![(9, 42)], vec![]);
+        assert!(!delta.is_empty());
+        assert!(delta.classes.is_some(), "grouping changed: replacement");
+        assert!(delta.added_transit.is_empty());
+        assert_eq!(delta.boundary_pairs, Some(2));
+        assert_eq!(delta.apply_to(&old), new);
+    }
+
+    #[test]
+    fn delta_transit_only_change_ships_sorted_diffs() {
+        let old = summary_for(1);
+        let mut new = old.clone();
+        new.transit = vec![(0, 0)]; // old transit has 2 edges
+        let delta = SummaryDelta::diff(&old, &new, vec![], vec![]);
+        assert!(delta.classes.is_none(), "grouping unchanged");
+        assert!(delta.added_transit.is_empty());
+        assert_eq!(
+            delta.removed_transit.len(),
+            old.transit.len() - 1,
+            "only the dropped transit edges ship"
+        );
+        assert_eq!(delta.apply_to(&old), new);
+    }
+
+    #[test]
+    fn identical_summaries_produce_an_empty_delta() {
+        let s = summary_for(2);
+        let delta = SummaryDelta::diff(&s, &s, vec![], vec![]);
+        assert!(delta.is_empty());
+        assert!(!delta.changes_compound());
+        assert_eq!(delta.apply_to(&s), s);
+        // Cut-only deltas are non-empty but class-free.
+        let cut_only = SummaryDelta::diff(&s, &s, vec![(13, 1)], vec![]);
+        assert!(!cut_only.is_empty());
+        assert!(cut_only.changes_compound());
+        assert!(cut_only.classes.is_none());
     }
 
     #[test]

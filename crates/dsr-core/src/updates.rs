@@ -1,171 +1,515 @@
-//! Incremental index maintenance (Section 3.3.3).
+//! Incremental index maintenance (Section 3.3.3) — the differential
+//! update pipeline.
 //!
-//! Insertions and deletions are applied against the per-partition state
-//! held by the [`DsrIndex`]:
+//! An update batch ([`UpdateOp`] insertions and deletions) flows through
+//! four stages:
 //!
-//! * a **local edge insertion** whose endpoints already belong to the same
-//!   SCC of the local subgraph changes nothing about boundary reachability
-//!   — only the local subgraph and its compound graph are refreshed;
-//! * any other local insertion, and every cut-edge insertion or deletion,
-//!   triggers a recomputation of the affected partitions' summaries
-//!   (equivalence classes and transit relation) followed by a rebuild of
-//!   the compound graphs at every slave (the paper's "communicate the new
-//!   boundary connections to all other partitions and merge them in");
-//! * **deletions** always recompute the affected summaries — the paper
-//!   notes that deletions cost roughly as much as rebuilding the affected
-//!   local boundary information, and the same holds here.
+//! 1. **Staging & classification.** Ops are applied in order against a
+//!    staged view of each partition's local subgraph and of the cut, so
+//!    batched and sequential application classify every edge identically.
+//!    Duplicate insertions and deletions of absent edges are full no-ops.
+//!    A local insertion `(u, v)` whose source already reaches its target is
+//!    *reachability-preserving* — it cannot change any reachability pair,
+//!    so its partition's summary stays valid (the paper's "same-SCC edges
+//!    can be safely ignored", strengthened to the exact criterion `u ⇝ v`).
+//!    Symmetrically, a local deletion after which `u` still reaches `v`
+//!    preserves every reachability pair (any path through the deleted edge
+//!    reroutes via the surviving `u ⇝ v` path).
+//! 2. **Local refresh.** Only partitions whose local reachability changed,
+//!    or whose boundary sets changed, recompute their summary — in
+//!    parallel, like the build.
+//! 3. **Differential exchange.** Each affected partition diffs its new
+//!    summary against the old one and ships a [`SummaryDelta`] (changed
+//!    equivalence classes, transit diffs, owned cut-edge splices) to every
+//!    peer through the [`Transport`] — never a full summary, and nothing
+//!    at all when the diff is empty. The round's measured wire cost lands
+//!    in [`UpdateStats`].
+//! 4. **Compound patching.** Every slave patches its compound graph *in
+//!    place* from the decoded deltas
+//!    ([`CompoundGraph::apply_patches`](crate::CompoundGraph::apply_patches))
+//!    and rebuilds only its local reachability index; untouched slaves do
+//!    no work whatsoever.
 //!
-//! Batch variants ([`DsrIndex::insert_edges`] / [`DsrIndex::delete_edges`])
-//! apply many edges before refreshing summaries once; the Figure 6
-//! bulk/progressive update experiments use them.
+//! Batch variants ([`DsrIndex::insert_edges`] / [`DsrIndex::delete_edges`] /
+//! [`DsrIndex::apply_updates`]) classify and refresh once for the whole
+//! batch; the Figure 6 bulk/progressive update experiments use them.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsr_graph::{is_reachable, DiGraph, InducedSubgraph, VertexId};
-use dsr_partition::PartitionId;
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport, UpdateStats};
+use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
+use dsr_partition::{PartitionBoundaries, PartitionId};
+use dsr_reach::{build_index, LocalReachability};
 
+use crate::compound::CompoundPatch;
 use crate::index::DsrIndex;
-use crate::summary::PartitionSummary;
+use crate::summary::{PartitionSummary, SummaryDelta};
 
-/// What an incremental update did and how long it took.
+/// One edge-level update of the indexed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Insert the edge `(u, v)`. Inserting an existing edge is a no-op.
+    Insert(VertexId, VertexId),
+    /// Delete the edge `(u, v)`. Deleting an absent edge is a no-op.
+    Delete(VertexId, VertexId),
+}
+
+impl UpdateOp {
+    /// The endpoints this op touches.
+    pub fn edge(&self) -> (VertexId, VertexId) {
+        match *self {
+            UpdateOp::Insert(u, v) | UpdateOp::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, UpdateOp::Insert(_, _))
+    }
+}
+
+/// Collapses back-to-back operations on the same edge to the last one.
+///
+/// Edge updates are set operations — after `insert(e); delete(e)` the edge
+/// is absent no matter what came before — so only the **last** op per edge
+/// determines the final graph. The returned batch preserves the relative
+/// order of those last occurrences and yields the same final index state
+/// and the same query answers as the uncoalesced batch (transient
+/// insert-then-delete churn is elided, which is the point).
+pub fn coalesce_updates(ops: &[UpdateOp]) -> Vec<UpdateOp> {
+    let mut last_index: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        last_index.insert(op.edge(), i);
+    }
+    ops.iter()
+        .enumerate()
+        .filter(|(i, op)| last_index[&op.edge()] == *i)
+        .map(|(_, &op)| op)
+        .collect()
+}
+
+/// What an incremental update did and what it cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateOutcome {
     /// Partitions whose summaries (equivalence classes/transit) were
-    /// recomputed.
+    /// recomputed. Reachability-preserving local edges and duplicates
+    /// refresh nothing.
     pub refreshed_summaries: Vec<PartitionId>,
-    /// Whether the compound graphs were rebuilt at every slave.
+    /// Partitions whose compound graphs were patched (differentially — no
+    /// compound is ever rebuilt from all summaries on the update path).
+    pub patched_compounds: Vec<PartitionId>,
+    /// Whether any compound graph changed at all.
     pub rebuilt_compounds: bool,
+    /// Measured communication cost of the refresh exchange: the wire bytes
+    /// of the shipped [`SummaryDelta`]s, byte-identical between the
+    /// in-process and wire transports.
+    pub stats: UpdateStats,
     /// Wall-clock time of the update.
     pub elapsed: Duration,
 }
 
+/// Staged view of one partition's local subgraph during classification:
+/// the base graph plus the batch's earlier (net) additions and removals.
+#[derive(Default)]
+struct StagedLocal {
+    added: HashSet<(VertexId, VertexId)>,
+    removed: HashSet<(VertexId, VertexId)>,
+    /// Adjacency of `added`, for the overlay BFS.
+    overlay: HashMap<VertexId, Vec<VertexId>>,
+}
+
+impl StagedLocal {
+    fn any(&self) -> bool {
+        !self.added.is_empty() || !self.removed.is_empty()
+    }
+
+    /// Whether the edge is present in the staged graph.
+    fn present(&self, graph: &DiGraph, u: VertexId, v: VertexId) -> bool {
+        if self.added.contains(&(u, v)) {
+            return true;
+        }
+        graph.has_edge(u, v) && !self.removed.contains(&(u, v))
+    }
+
+    fn add(&mut self, graph: &DiGraph, u: VertexId, v: VertexId) {
+        if self.removed.remove(&(u, v)) {
+            return; // the base graph already holds it
+        }
+        debug_assert!(
+            !graph.has_edge(u, v),
+            "add is only called for edges absent from the staged graph"
+        );
+        if self.added.insert((u, v)) {
+            self.overlay.entry(u).or_default().push(v);
+        }
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) {
+        if self.added.remove(&(u, v)) {
+            if let Some(targets) = self.overlay.get_mut(&u) {
+                targets.retain(|&t| t != v);
+            }
+            return;
+        }
+        self.removed.insert((u, v));
+    }
+
+    /// BFS over the staged graph (base minus `removed` plus `added`).
+    fn reaches(&self, graph: &DiGraph, from: VertexId, to: VertexId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; graph.num_vertices()];
+        let mut queue = VecDeque::new();
+        visited[from as usize] = true;
+        queue.push_back(from);
+        while let Some(x) = queue.pop_front() {
+            let step = |y: VertexId, visited: &mut Vec<bool>, queue: &mut VecDeque<VertexId>| {
+                if !visited[y as usize] {
+                    visited[y as usize] = true;
+                    queue.push_back(y);
+                }
+            };
+            for &y in graph.out_neighbors(x) {
+                if !self.removed.contains(&(x, y)) {
+                    if y == to {
+                        return true;
+                    }
+                    step(y, &mut visited, &mut queue);
+                }
+            }
+            if let Some(extra) = self.overlay.get(&x) {
+                for &y in extra {
+                    if y == to {
+                        return true;
+                    }
+                    step(y, &mut visited, &mut queue);
+                }
+            }
+        }
+        false
+    }
+}
+
 impl DsrIndex {
-    /// Inserts a single edge; see [`DsrIndex::insert_edges`].
+    /// Inserts a single edge; see [`DsrIndex::apply_updates`].
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateOutcome {
-        self.insert_edges(&[(u, v)])
+        self.apply_updates(&[UpdateOp::Insert(u, v)])
     }
 
-    /// Deletes a single edge; see [`DsrIndex::delete_edges`].
+    /// Deletes a single edge; see [`DsrIndex::apply_updates`].
     pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> UpdateOutcome {
-        self.delete_edges(&[(u, v)])
+        self.apply_updates(&[UpdateOp::Delete(u, v)])
     }
 
-    /// Inserts a batch of edges into the indexed graph and incrementally
+    /// Inserts a batch of edges into the indexed graph and differentially
     /// refreshes the index.
     pub fn insert_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateOutcome {
-        let start = Instant::now();
-        let mut affected: HashSet<PartitionId> = HashSet::new();
-        let mut new_local_edges: Vec<Vec<(VertexId, VertexId)>> =
-            vec![Vec::new(); self.num_partitions()];
-        let mut any_change = false;
-
-        for &(u, v) in edges {
-            let pu = self.partition_of(u);
-            let pv = self.partition_of(v);
-            any_change = true;
-            if pu == pv {
-                let local = &self.locals[pu as usize];
-                let lu = local.mapping.local(u).expect("endpoint is local");
-                let lv = local.mapping.local(v).expect("endpoint is local");
-                // Same-SCC insertions do not change any reachability
-                // information (paper: "can be safely ignored").
-                let same_scc =
-                    is_reachable(&local.graph, lu, lv) && is_reachable(&local.graph, lv, lu);
-                new_local_edges[pu as usize].push((lu, lv));
-                if !same_scc {
-                    affected.insert(pu);
-                }
-            } else {
-                // New cut edge.
-                if !self.cut.edges.contains(&(u, v)) {
-                    self.cut.edges.push((u, v));
-                    self.cut.edges.sort_unstable();
-                }
-                insert_sorted(&mut self.cut.boundaries[pu as usize].out_boundaries, u);
-                insert_sorted(&mut self.cut.boundaries[pv as usize].in_boundaries, v);
-                affected.insert(pu);
-                affected.insert(pv);
-            }
-        }
-
-        // Refresh local subgraphs that gained edges.
-        for (p, extra) in new_local_edges.iter().enumerate() {
-            if !extra.is_empty() {
-                self.rebuild_local(p as PartitionId, |edges| {
-                    edges.extend_from_slice(extra);
-                });
-            }
-        }
-        self.finish_update(start, affected, any_change)
+        let ops: Vec<UpdateOp> = edges.iter().map(|&(u, v)| UpdateOp::Insert(u, v)).collect();
+        self.apply_updates(&ops)
     }
 
-    /// Deletes a batch of edges from the indexed graph and refreshes the
-    /// index. Edges that are not present are ignored.
+    /// Deletes a batch of edges from the indexed graph and differentially
+    /// refreshes the index. Edges that are not present are ignored.
     pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateOutcome {
-        let start = Instant::now();
-        let mut affected: HashSet<PartitionId> = HashSet::new();
-        let mut removed_local: Vec<Vec<(VertexId, VertexId)>> =
-            vec![Vec::new(); self.num_partitions()];
-        let mut boundary_recheck: HashSet<PartitionId> = HashSet::new();
-        let mut any_change = false;
+        let ops: Vec<UpdateOp> = edges.iter().map(|&(u, v)| UpdateOp::Delete(u, v)).collect();
+        self.apply_updates(&ops)
+    }
 
-        for &(u, v) in edges {
+    /// Applies a mixed batch of insertions and deletions with the default
+    /// zero-copy [`InProcess`] transport for the refresh exchange.
+    pub fn apply_updates(&mut self, ops: &[UpdateOp]) -> UpdateOutcome {
+        self.apply_updates_with_transport(ops, &InProcess)
+    }
+
+    /// Applies a mixed batch of insertions and deletions, shipping the
+    /// refresh deltas through `transport`.
+    ///
+    /// This is the whole differential pipeline described in the
+    /// [module docs](crate::updates): stage & classify, refresh only
+    /// affected summaries, diff them into [`SummaryDelta`]s, exchange the
+    /// deltas all-to-all through the transport (measured in the returned
+    /// [`UpdateStats`]), and patch each slave's compound graph in place
+    /// from the decoded deltas.
+    ///
+    /// # Panics
+    /// Panics if an op references a vertex outside the indexed graph.
+    pub fn apply_updates_with_transport<T: Transport>(
+        &mut self,
+        ops: &[UpdateOp],
+        transport: &T,
+    ) -> UpdateOutcome {
+        let start = Instant::now();
+        let k = self.num_partitions();
+
+        // ---- Stage 1: classify ops in order against the staged state, so
+        // one batch and the equivalent op-at-a-time sequence agree exactly.
+        let mut staged: Vec<StagedLocal> = (0..k).map(|_| StagedLocal::default()).collect();
+        let mut added_cut: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+        let mut removed_cut: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+        let mut reach_changed = vec![false; k];
+        let mut cut_touched = vec![false; k];
+
+        for &op in ops {
+            let (u, v) = op.edge();
             let pu = self.partition_of(u);
             let pv = self.partition_of(v);
             if pu == pv {
-                let local = &self.locals[pu as usize];
+                let p = pu as usize;
+                let local = &self.locals[p];
                 let lu = local.mapping.local(u).expect("endpoint is local");
                 let lv = local.mapping.local(v).expect("endpoint is local");
-                if local.graph.has_edge(lu, lv) {
-                    removed_local[pu as usize].push((lu, lv));
-                    affected.insert(pu);
-                    any_change = true;
+                let st = &mut staged[p];
+                match op {
+                    UpdateOp::Insert(..) => {
+                        if st.present(&local.graph, lu, lv) {
+                            continue; // duplicate: full no-op
+                        }
+                        // `u ⇝ v` already: the new edge adds no pairs.
+                        let preserving = st.reaches(&local.graph, lu, lv);
+                        st.add(&local.graph, lu, lv);
+                        reach_changed[p] |= !preserving;
+                    }
+                    UpdateOp::Delete(..) => {
+                        if !st.present(&local.graph, lu, lv) {
+                            continue; // absent: full no-op
+                        }
+                        st.remove(lu, lv);
+                        // `u ⇝ v` still holds: every path through the
+                        // deleted edge reroutes, no pair is lost.
+                        let preserving = st.reaches(&local.graph, lu, lv);
+                        reach_changed[p] |= !preserving;
+                    }
                 }
-            } else if let Ok(pos) = self.cut.edges.binary_search(&(u, v)) {
-                self.cut.edges.remove(pos);
-                affected.insert(pu);
-                affected.insert(pv);
-                boundary_recheck.insert(pu);
-                boundary_recheck.insert(pv);
-                any_change = true;
-            }
-        }
-
-        // Re-derive boundary membership for partitions that lost cut edges.
-        for &p in &boundary_recheck {
-            let mut in_b = Vec::new();
-            let mut out_b = Vec::new();
-            for &(u, v) in &self.cut.edges {
-                if self.partition_of(u) == p {
-                    out_b.push(u);
-                }
-                if self.partition_of(v) == p {
-                    in_b.push(v);
-                }
-            }
-            in_b.sort_unstable();
-            in_b.dedup();
-            out_b.sort_unstable();
-            out_b.dedup();
-            self.cut.boundaries[p as usize].in_boundaries = in_b;
-            self.cut.boundaries[p as usize].out_boundaries = out_b;
-        }
-
-        // Refresh local subgraphs that lost edges.
-        for (p, removed) in removed_local.iter().enumerate() {
-            if !removed.is_empty() {
-                let to_remove: Vec<(VertexId, VertexId)> = removed.clone();
-                self.rebuild_local(p as PartitionId, move |edges| {
-                    for rm in &to_remove {
-                        if let Some(pos) = edges.iter().position(|e| e == rm) {
-                            edges.swap_remove(pos);
+            } else {
+                let in_base = self.cut.edges.binary_search(&(u, v)).is_ok();
+                let present =
+                    (in_base && !removed_cut.contains(&(u, v))) || added_cut.contains(&(u, v));
+                match op {
+                    UpdateOp::Insert(..) => {
+                        if present {
+                            continue; // duplicate cut edge: full no-op
+                        }
+                        if in_base {
+                            removed_cut.remove(&(u, v));
+                        } else {
+                            added_cut.insert((u, v));
                         }
                     }
-                });
+                    UpdateOp::Delete(..) => {
+                        if !present {
+                            continue; // absent cut edge: full no-op
+                        }
+                        if added_cut.contains(&(u, v)) {
+                            added_cut.remove(&(u, v));
+                        } else {
+                            removed_cut.insert((u, v));
+                        }
+                    }
+                }
+                cut_touched[pu as usize] = true;
+                cut_touched[pv as usize] = true;
             }
         }
-        self.finish_update(start, affected, any_change)
+
+        // ---- Stage 2: apply the staged changes to locals and cut.
+        let mut added_local: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); k];
+        let mut removed_local: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); k];
+        let mut local_changed = vec![false; k];
+        for p in 0..k {
+            if !staged[p].any() {
+                continue;
+            }
+            local_changed[p] = true;
+            let mut added: Vec<_> = staged[p].added.iter().copied().collect();
+            added.sort_unstable();
+            let mut removed: Vec<_> = staged[p].removed.iter().copied().collect();
+            removed.sort_unstable();
+            let removed_set: HashSet<(VertexId, VertexId)> = removed.iter().copied().collect();
+            self.rebuild_local(p as PartitionId, |edges| {
+                edges.retain(|e| !removed_set.contains(e));
+                edges.extend_from_slice(&added);
+            });
+            added_local[p] = added;
+            removed_local[p] = removed;
+        }
+
+        let mut boundary_changed = vec![false; k];
+        if !added_cut.is_empty() || !removed_cut.is_empty() {
+            for &(u, v) in &removed_cut {
+                if let Ok(pos) = self.cut.edges.binary_search(&(u, v)) {
+                    self.cut.edges.remove(pos);
+                }
+            }
+            for &(u, v) in &added_cut {
+                if let Err(pos) = self.cut.edges.binary_search(&(u, v)) {
+                    self.cut.edges.insert(pos, (u, v));
+                }
+            }
+            // Re-derive boundary membership for partitions whose cut edges
+            // moved; a summary refresh is only needed when the boundary
+            // sets actually changed.
+            for p in 0..k {
+                if !cut_touched[p] {
+                    continue;
+                }
+                let mut derived = PartitionBoundaries::default();
+                for &(u, v) in &self.cut.edges {
+                    if self.partition_of(u) == p as PartitionId {
+                        derived.out_boundaries.push(u);
+                    }
+                    if self.partition_of(v) == p as PartitionId {
+                        derived.in_boundaries.push(v);
+                    }
+                }
+                derived.in_boundaries.sort_unstable();
+                derived.in_boundaries.dedup();
+                derived.out_boundaries.sort_unstable();
+                derived.out_boundaries.dedup();
+                if self.cut.boundaries[p] != derived {
+                    self.cut.boundaries[p] = derived;
+                    boundary_changed[p] = true;
+                }
+            }
+        }
+
+        // ---- Stage 3: refresh only the affected summaries, in parallel.
+        let refreshed: Vec<PartitionId> = (0..k)
+            .filter(|&p| reach_changed[p] || boundary_changed[p])
+            .map(|p| p as PartitionId)
+            .collect();
+        let old_summaries: HashMap<PartitionId, PartitionSummary> = refreshed
+            .iter()
+            .map(|&p| (p, self.summaries[p as usize].clone()))
+            .collect();
+        if !refreshed.is_empty() {
+            let locals = &self.locals;
+            let cut = &self.cut;
+            let use_equivalence = self.use_equivalence;
+            let targets = &refreshed;
+            let recomputed: Vec<PartitionSummary> = run_on_slaves(targets.len(), |i| {
+                let p = targets[i];
+                PartitionSummary::compute_with_options(
+                    p,
+                    &locals[p as usize],
+                    cut.partition(p),
+                    use_equivalence,
+                )
+            });
+            for (p, summary) in refreshed.iter().zip(recomputed) {
+                self.summaries[*p as usize] = summary;
+            }
+        }
+
+        // ---- Stage 4: diff into deltas; ship only non-empty ones.
+        let mut deltas: Vec<Option<SummaryDelta>> = (0..k)
+            .map(|p| {
+                let p = p as PartitionId;
+                let owned = |edges: &BTreeSet<(VertexId, VertexId)>| {
+                    edges
+                        .iter()
+                        .filter(|&&(u, _)| self.partition_of(u) == p)
+                        .copied()
+                        .collect::<Vec<_>>()
+                };
+                let owned_added = owned(&added_cut);
+                let owned_removed = owned(&removed_cut);
+                let new = &self.summaries[p as usize];
+                let old = old_summaries.get(&p).unwrap_or(new);
+                let delta = SummaryDelta::diff(old, new, owned_added, owned_removed);
+                (!delta.is_empty()).then_some(delta)
+            })
+            .collect();
+
+        let comm = CommStats::new();
+        let mut received: Vec<Vec<(usize, SummaryDelta)>> = (0..k).map(|_| Vec::new()).collect();
+        if k > 1 && deltas.iter().any(Option::is_some) {
+            let outgoing: Vec<Vec<(usize, SummaryDelta)>> = deltas
+                .iter()
+                .enumerate()
+                .map(|(p, delta)| match delta {
+                    Some(delta) => (0..k)
+                        .filter(|&j| j != p)
+                        .map(|j| (j, delta.clone()))
+                        .collect(),
+                    None => Vec::new(),
+                })
+                .collect();
+            received = transport.all_to_all(k, outgoing, &comm);
+        }
+
+        // ---- Stage 5: patch each slave's compound graph from the deltas
+        // it received (decoded by the transport) plus its own local
+        // knowledge, then rebuild only the patched local indexes.
+        let mut patched: Vec<PartitionId> = Vec::new();
+        for (i, incoming) in received.iter().enumerate() {
+            // The slave's own delta contributes its cut splice (a compound
+            // graph never holds its own partition's classes).
+            let own = deltas[i]
+                .take()
+                .filter(SummaryDelta::changes_compound)
+                .map(|delta| {
+                    let p = i as PartitionId;
+                    let old = old_summaries.get(&p).unwrap_or(&self.summaries[i]).clone();
+                    (delta, old, self.summaries[i].clone())
+                });
+            let mut patch_data: Vec<(SummaryDelta, PartitionSummary, PartitionSummary)> =
+                own.into_iter().collect();
+            for (src, delta) in incoming {
+                if !delta.changes_compound() {
+                    continue;
+                }
+                let p = *src as PartitionId;
+                let old = old_summaries
+                    .get(&p)
+                    .unwrap_or(&self.summaries[*src])
+                    .clone();
+                // The receiver reconstructs the sender's new summary from
+                // the decoded delta alone — under the wire transport a
+                // lossy codec diverges here instead of being papered over.
+                let new = delta.apply_to(&old);
+                debug_assert_eq!(
+                    new, self.summaries[*src],
+                    "decoded delta must reconstruct the refreshed summary"
+                );
+                patch_data.push((delta.clone(), old, new));
+            }
+            if patch_data.is_empty() && !local_changed[i] {
+                continue;
+            }
+            let patches: Vec<CompoundPatch<'_>> = patch_data
+                .iter()
+                .map(|(delta, old, new)| CompoundPatch { delta, old, new })
+                .collect();
+            self.compounds[i].apply_patches(&patches, &added_local[i], &removed_local[i]);
+            patched.push(i as PartitionId);
+        }
+
+        if !patched.is_empty() {
+            let kind = self.kind;
+            let compounds = &self.compounds;
+            let targets = &patched;
+            let rebuilt: Vec<Box<dyn LocalReachability>> = run_on_slaves(targets.len(), |i| {
+                build_index(kind, Arc::new(compounds[targets[i] as usize].graph.clone()))
+            });
+            for (p, index) in patched.iter().zip(rebuilt) {
+                self.local_indexes[*p as usize] = index;
+            }
+            self.refresh_stats_after_update(&patched);
+        } else if !refreshed.is_empty() {
+            // Statistics-only refresh (e.g. a boundary-pair count moved).
+            self.refresh_stats_after_update(&[]);
+        }
+
+        UpdateOutcome {
+            refreshed_summaries: refreshed,
+            rebuilt_compounds: !patched.is_empty(),
+            patched_compounds: patched,
+            stats: UpdateStats::from_comm(&comm),
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Rebuilds the local induced subgraph of `partition` after applying
@@ -183,51 +527,73 @@ impl DsrIndex {
             mapping: local.mapping.clone(),
         };
     }
-
-    fn finish_update(
-        &mut self,
-        start: Instant,
-        affected: HashSet<PartitionId>,
-        any_change: bool,
-    ) -> UpdateOutcome {
-        let mut refreshed: Vec<PartitionId> = affected.into_iter().collect();
-        refreshed.sort_unstable();
-        for &p in &refreshed {
-            self.summaries[p as usize] =
-                PartitionSummary::compute(p, &self.locals[p as usize], self.cut.partition(p));
-        }
-        if any_change {
-            self.rebuild_compounds();
-        }
-        UpdateOutcome {
-            refreshed_summaries: refreshed,
-            rebuilt_compounds: any_change,
-            elapsed: start.elapsed(),
-        }
-    }
-}
-
-fn insert_sorted(list: &mut Vec<VertexId>, value: VertexId) {
-    if let Err(pos) = list.binary_search(&value) {
-        list.insert(pos, value);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compound::CompoundGraph;
     use crate::engine::DsrEngine;
+    use dsr_cluster::WireTransport;
     use dsr_graph::TransitiveClosure;
-    use dsr_partition::{Partitioner, Partitioning};
+    use dsr_partition::{HashPartitioner, Partitioner, Partitioning};
     use dsr_reach::LocalIndexKind;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
 
     fn chain_graph() -> (DiGraph, Partitioning) {
         // 0 -> 1 -> 2 | 3 -> 4 -> 5 (two partitions, no connection yet)
         let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
         let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
         (g, p)
+    }
+
+    /// Canonical, id-layout-independent view of a compound graph's edges:
+    /// every endpoint is labeled by its global id or its
+    /// `(partition, class)` virtual identity. Patched and freshly built
+    /// compounds must agree on this set exactly.
+    fn canonical_edges(gc: &CompoundGraph) -> BTreeSet<(String, String)> {
+        let mut labels: HashMap<VertexId, String> = HashMap::new();
+        for (id, global) in gc.global_of.iter().enumerate() {
+            if let Some(g) = global {
+                labels.insert(id as VertexId, format!("g{g}"));
+            }
+        }
+        for (&(j, class), &id) in &gc.forward_virtual {
+            labels.insert(id, format!("f{j}.{class}"));
+        }
+        for (&(j, class), &id) in &gc.backward_virtual {
+            labels.insert(id, format!("b{j}.{class}"));
+        }
+        gc.graph
+            .edges()
+            .map(|(u, v)| {
+                (
+                    labels.get(&u).expect("edge endpoint labeled").clone(),
+                    labels.get(&v).expect("edge endpoint labeled").clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Asserts the core invariant of the differential pipeline: every
+    /// patched compound graph is structurally identical (modulo vertex-id
+    /// layout) to one freshly built from the index's current summaries.
+    fn assert_compounds_match_fresh_build(index: &DsrIndex) {
+        for i in 0..index.num_partitions() {
+            let fresh = CompoundGraph::build(
+                &index.locals[i],
+                &index.cut,
+                &index.summaries,
+                i as PartitionId,
+            );
+            assert_eq!(
+                canonical_edges(&index.compounds[i]),
+                canonical_edges(&fresh),
+                "patched compound {i} must equal a fresh build"
+            );
+        }
     }
 
     #[test]
@@ -241,9 +607,11 @@ mod tests {
         let outcome = index.insert_edge(2, 3);
         assert!(outcome.rebuilt_compounds);
         assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
+        assert_eq!(outcome.stats.update_rounds, 1);
         let engine = DsrEngine::new(&index);
         assert!(engine.is_reachable(0, 5));
         assert!(!engine.is_reachable(5, 0));
+        assert_compounds_match_fresh_build(&index);
     }
 
     #[test]
@@ -253,17 +621,107 @@ mod tests {
         index.insert_edge(2, 0); // creates a cycle 0 -> 1 -> 2 -> 0
         let engine = DsrEngine::new(&index);
         assert!(engine.is_reachable(2, 1));
+        assert_compounds_match_fresh_build(&index);
     }
 
     #[test]
-    fn same_scc_insertion_skips_summary_refresh() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3)]);
-        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+    fn reachability_preserving_insertion_skips_summary_refresh() {
+        // 0 -> 1 -> 2 -> 0 is one SCC inside partition 0; the chord (0, 2)
+        // adds no reachability pair, so no summary is refreshed and no
+        // delta is shipped — but the owning compound still records the
+        // edge.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
         let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
-        // 0 and 1 are already mutually reachable: adding 1 -> 0 again (or a
-        // parallel edge inside the SCC) must not refresh any summary.
-        let outcome = index.insert_edge(0, 1);
+        let outcome = index.insert_edge(0, 2);
         assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.stats.is_zero(), "nothing crosses the network");
+        assert_eq!(outcome.patched_compounds, vec![0], "only the owner");
+        assert!(index.locals[0].graph.has_edge(0, 2));
+        assert_compounds_match_fresh_build(&index);
+    }
+
+    #[test]
+    fn duplicate_local_edge_insertion_is_a_full_noop() {
+        let (g, p) = chain_graph();
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let outcome = index.insert_edge(0, 1); // already present
+        assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.patched_compounds.is_empty());
+        assert!(!outcome.rebuilt_compounds);
+        assert!(outcome.stats.is_zero());
+        // In-batch duplicates collapse too.
+        let outcome = index.insert_edges(&[(0, 1), (0, 1), (3, 4)]);
+        assert!(outcome.refreshed_summaries.is_empty());
+        assert!(!outcome.rebuilt_compounds);
+    }
+
+    #[test]
+    fn duplicate_cut_edge_insertion_is_a_full_noop() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let cut_before = index.cut.clone();
+        let outcome = index.insert_edge(2, 3); // existing cut edge
+        assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.patched_compounds.is_empty());
+        assert!(!outcome.rebuilt_compounds);
+        assert!(outcome.stats.is_zero());
+        // Boundary lists must not have been touched (the historical bug
+        // re-inserted into both sorted boundary lists and re-marked both
+        // partitions as affected).
+        assert_eq!(index.cut, cut_before);
+        let engine = DsrEngine::new(&index);
+        assert_eq!(engine.set_reachability(&[0], &[5]).pairs, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn cut_edge_insertion_ships_only_the_two_affected_deltas() {
+        // Three partitions; inserting one cut edge between partitions 0
+        // and 1 must refresh exactly those two summaries and ship exactly
+        // their two deltas to each of the (k - 1) peers.
+        let g = DiGraph::from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let outcome = index.insert_edge(2, 3);
+        assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
+        assert_eq!(outcome.stats.update_rounds, 1);
+        assert_eq!(
+            outcome.stats.update_messages, 4,
+            "two non-empty deltas, each to k - 1 = 2 peers"
+        );
+        assert!(outcome.stats.update_bytes > 0);
+        assert_compounds_match_fresh_build(&index);
+    }
+
+    #[test]
+    fn update_stats_are_byte_identical_across_transports() {
+        let build = || {
+            let g = DiGraph::from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)]);
+            let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+            DsrIndex::build(&g, p, LocalIndexKind::Dfs)
+        };
+        let ops = [
+            UpdateOp::Insert(2, 3), // cut edge
+            UpdateOp::Insert(5, 6), // cut edge
+            UpdateOp::Insert(2, 0), // local, creates an SCC
+            UpdateOp::Delete(4, 5), // local deletion
+        ];
+        let mut in_process = build();
+        let a = in_process.apply_updates_with_transport(&ops, &InProcess);
+        let mut wired = build();
+        let b = wired.apply_updates_with_transport(&ops, &WireTransport::new());
+        assert_eq!(a.stats, b.stats, "measured wire bytes match accounting");
+        assert_eq!(a.refreshed_summaries, b.refreshed_summaries);
+        assert_eq!(a.patched_compounds, b.patched_compounds);
+        let all: Vec<u32> = (0..9).collect();
+        assert_eq!(
+            DsrEngine::new(&in_process)
+                .set_reachability(&all, &all)
+                .pairs,
+            DsrEngine::new(&wired).set_reachability(&all, &all).pairs,
+        );
+        assert_compounds_match_fresh_build(&wired);
     }
 
     #[test]
@@ -282,6 +740,7 @@ mod tests {
         // Boundaries must have been cleared.
         assert!(index.cut.partition(0).out_boundaries.is_empty());
         assert!(index.cut.partition(1).in_boundaries.is_empty());
+        assert_compounds_match_fresh_build(&index);
     }
 
     #[test]
@@ -291,6 +750,70 @@ mod tests {
         let outcome = index.delete_edge(0, 5);
         assert!(!outcome.rebuilt_compounds);
         assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.stats.is_zero());
+    }
+
+    #[test]
+    fn reachability_preserving_deletion_skips_summary_refresh() {
+        // 0 -> 1 -> 2 plus the chord (0, 2): deleting the chord loses no
+        // reachability pair.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let outcome = index.delete_edge(0, 2);
+        assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.stats.is_zero());
+        assert_eq!(outcome.patched_compounds, vec![0]);
+        assert_compounds_match_fresh_build(&index);
+        let engine = DsrEngine::new(&index);
+        assert!(engine.is_reachable(0, 2));
+    }
+
+    #[test]
+    fn sustained_boundary_churn_does_not_grow_compounds_unboundedly() {
+        // Alternately creating and destroying the same cut edge replaces
+        // partition classes every batch, releasing and re-allocating
+        // virtual/boundary slots. Compaction must keep the vertex tables
+        // proportional to the live compound, not to historical churn.
+        let (g, p) = chain_graph();
+        let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        index.insert_edge(2, 3);
+        let after_first: Vec<usize> = index.compounds.iter().map(|c| c.num_vertices()).collect();
+        for _ in 0..50 {
+            index.delete_edge(2, 3);
+            index.insert_edge(2, 3);
+        }
+        for (i, c) in index.compounds.iter().enumerate() {
+            assert!(
+                c.num_vertices() <= after_first[i] + 4,
+                "compound {i} grew from {} to {} vertices under churn",
+                after_first[i],
+                c.num_vertices()
+            );
+        }
+        assert_compounds_match_fresh_build(&index);
+        let engine = DsrEngine::new(&index);
+        assert!(engine.is_reachable(0, 5));
+    }
+
+    #[test]
+    fn coalescing_keeps_the_last_op_per_edge() {
+        let ops = [
+            UpdateOp::Insert(0, 1),
+            UpdateOp::Insert(2, 3),
+            UpdateOp::Delete(0, 1),
+            UpdateOp::Insert(4, 5),
+            UpdateOp::Insert(0, 1),
+        ];
+        assert_eq!(
+            coalesce_updates(&ops),
+            vec![
+                UpdateOp::Insert(2, 3),
+                UpdateOp::Insert(4, 5),
+                UpdateOp::Insert(0, 1),
+            ]
+        );
+        assert!(coalesce_updates(&[]).is_empty());
     }
 
     #[test]
@@ -305,7 +828,7 @@ mod tests {
             edges.sort_unstable();
             edges.dedup();
             let g = DiGraph::from_edges(n, &edges);
-            let p = dsr_partition::HashPartitioner::default().partition(&g, 3);
+            let p = HashPartitioner::default().partition(&g, 3);
             let mut index = DsrIndex::build(&g, p.clone(), LocalIndexKind::Dfs);
 
             // Apply a mix of insertions and deletions.
@@ -323,6 +846,7 @@ mod tests {
                     let (u, v) = current.swap_remove(idx);
                     index.delete_edge(u, v);
                 }
+                assert_compounds_match_fresh_build(&index);
             }
             let updated_graph = DiGraph::from_edges(n, &current);
             let oracle = TransitiveClosure::build(&updated_graph);
@@ -333,6 +857,120 @@ mod tests {
                 oracle.set_reachability(&all, &all),
                 "index after incremental updates must match a fresh oracle"
             );
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_edges(n: u32, len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+            proptest::collection::vec((0..n, 0..n), 0..len)
+                .prop_map(|edges| edges.into_iter().filter(|(u, v)| u != v).collect())
+        }
+
+        proptest! {
+            /// The satellite regression: one batched `insert_edges` call
+            /// and the equivalent sequence of single `insert_edge` calls
+            /// must agree on which summaries were refreshed *and* on every
+            /// query answer — including batches with duplicates and edges
+            /// that already exist.
+            #[test]
+            fn batched_inserts_equal_sequential_inserts(
+                base in arb_edges(12, 30),
+                batch in arb_edges(12, 10),
+            ) {
+                let n = 12usize;
+                let g = DiGraph::from_edges(n, &base);
+                let p = HashPartitioner::default().partition(&g, 3);
+                let mut batched = DsrIndex::build(&g, p.clone(), LocalIndexKind::Dfs);
+                let mut sequential = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+
+                let outcome = batched.insert_edges(&batch);
+                let mut sequential_refreshed: BTreeSet<PartitionId> = BTreeSet::new();
+                for &(u, v) in &batch {
+                    sequential_refreshed
+                        .extend(sequential.insert_edge(u, v).refreshed_summaries);
+                }
+                let batched_refreshed: BTreeSet<PartitionId> =
+                    outcome.refreshed_summaries.iter().copied().collect();
+                prop_assert_eq!(batched_refreshed, sequential_refreshed);
+
+                // Identical answers, and both match the oracle.
+                let mut final_edges = base.clone();
+                final_edges.extend_from_slice(&batch);
+                final_edges.sort_unstable();
+                final_edges.dedup();
+                let oracle =
+                    TransitiveClosure::build(&DiGraph::from_edges(n, &final_edges));
+                let all: Vec<u32> = (0..n as u32).collect();
+                let expected = oracle.set_reachability(&all, &all);
+                prop_assert_eq!(
+                    &DsrEngine::new(&batched).set_reachability(&all, &all).pairs,
+                    &expected
+                );
+                prop_assert_eq!(
+                    &DsrEngine::new(&sequential).set_reachability(&all, &all).pairs,
+                    &expected
+                );
+            }
+
+            /// Mixed insert/delete batches: the differentially maintained
+            /// index answers exactly like a transitive-closure oracle over
+            /// the final edge set, and every compound graph equals a fresh
+            /// build from the current summaries.
+            #[test]
+            fn mixed_update_batches_match_the_oracle(
+                base in arb_edges(10, 25),
+                script in proptest::collection::vec(
+                    ((0u32..10, 0u32..10), proptest::bool::ANY),
+                    0..12,
+                ),
+            ) {
+                let n = 10usize;
+                let mut base = base;
+                base.sort_unstable();
+                base.dedup();
+                let g = DiGraph::from_edges(n, &base);
+                let p = HashPartitioner::default().partition(&g, 2);
+                let mut index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+
+                let mut current: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+                let ops: Vec<UpdateOp> = script
+                    .into_iter()
+                    .filter(|((u, v), _)| u != v)
+                    .map(|((u, v), insert)| {
+                        if insert {
+                            current.insert((u, v));
+                            UpdateOp::Insert(u, v)
+                        } else {
+                            current.remove(&(u, v));
+                            UpdateOp::Delete(u, v)
+                        }
+                    })
+                    .collect();
+                index.apply_updates(&ops);
+                assert_compounds_match_fresh_build(&index);
+
+                let final_edges: Vec<(u32, u32)> = current.into_iter().collect();
+                let oracle =
+                    TransitiveClosure::build(&DiGraph::from_edges(n, &final_edges));
+                let all: Vec<u32> = (0..n as u32).collect();
+                prop_assert_eq!(
+                    DsrEngine::new(&index).set_reachability(&all, &all).pairs,
+                    oracle.set_reachability(&all, &all)
+                );
+
+                // Coalescing the same script yields the same final state.
+                let g2 = DiGraph::from_edges(n, &base);
+                let p2 = HashPartitioner::default().partition(&g2, 2);
+                let mut coalesced = DsrIndex::build(&g2, p2, LocalIndexKind::Dfs);
+                coalesced.apply_updates(&coalesce_updates(&ops));
+                prop_assert_eq!(
+                    DsrEngine::new(&coalesced).set_reachability(&all, &all).pairs,
+                    DsrEngine::new(&index).set_reachability(&all, &all).pairs
+                );
+            }
         }
     }
 }

@@ -36,6 +36,6 @@ pub use rmat::rmat;
 pub use social::{social_network, SocialGraph};
 pub use web::web_graph;
 pub use workload::{
-    query_stream, random_query, ArrivalPattern, QueryStream, QueryWorkload, StreamConfig,
-    TimedQuery,
+    query_stream, random_query, update_stream, ArrivalPattern, EdgeOp, QueryStream, QueryWorkload,
+    StreamConfig, TimedQuery, UpdateStreamConfig,
 };

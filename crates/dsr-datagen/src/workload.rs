@@ -229,6 +229,88 @@ pub fn query_stream(graph: &DiGraph, config: &StreamConfig) -> QueryStream {
     QueryStream { pool, arrivals }
 }
 
+/// One edge-level update of a synthetic update stream.
+///
+/// The variant layout deliberately mirrors `dsr_core::UpdateOp` — this
+/// crate sits below `dsr-core` in the dependency DAG, so consumers map the
+/// ops with a one-line `match` (see the `updates` experiment in
+/// `dsr-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Insert the edge `(u, v)`.
+    Insert(VertexId, VertexId),
+    /// Delete the edge `(u, v)`.
+    Delete(VertexId, VertexId),
+}
+
+/// Configuration for [`update_stream`].
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Total number of update operations in the stream.
+    pub num_ops: usize,
+    /// Fraction of operations that are insertions (the rest are deletions
+    /// of currently live edges). Clamped to `[0, 1]`.
+    pub insert_fraction: f64,
+    /// Seed; the same seed always yields the same stream.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        UpdateStreamConfig {
+            num_ops: 1000,
+            insert_fraction: 0.5,
+            seed: 0xF6,
+        }
+    }
+}
+
+/// Generates a deterministic stream of edge updates against `graph`.
+///
+/// The stream is *consistent*: deletions always target an edge that is live
+/// at that point of the stream (an original edge or an earlier insertion),
+/// and insertions always add an edge that is absent, so replaying the
+/// stream against an index yields no-op-free updates. When no live edge is
+/// left to delete, an insertion is emitted instead.
+pub fn update_stream(graph: &DiGraph, config: &UpdateStreamConfig) -> Vec<EdgeOp> {
+    let n = graph.num_vertices() as VertexId;
+    assert!(n >= 2, "update streams need at least two vertices");
+    let insert_fraction = config.insert_fraction.clamp(0.0, 1.0);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut live: Vec<(VertexId, VertexId)> = graph.edge_vec();
+    let mut live_set: std::collections::HashSet<(VertexId, VertexId)> =
+        live.iter().copied().collect();
+
+    let max_edges = n as usize * (n as usize - 1);
+    let mut ops = Vec::with_capacity(config.num_ops);
+    for _ in 0..config.num_ops {
+        // An insertion needs a free (u, v) slot, a deletion a live edge;
+        // fall back to the other op when one side is exhausted (a complete
+        // graph cannot grow, an empty one cannot shrink).
+        let saturated = live.len() >= max_edges;
+        let want_insert = (rng.gen::<f64>() < insert_fraction && !saturated) || live.is_empty();
+        if want_insert {
+            // Rejection-sample a currently absent edge.
+            let edge = loop {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && !live_set.contains(&(u, v)) {
+                    break (u, v);
+                }
+            };
+            live.push(edge);
+            live_set.insert(edge);
+            ops.push(EdgeOp::Insert(edge.0, edge.1));
+        } else {
+            let at = rng.gen_range(0..live.len());
+            let edge = live.swap_remove(at);
+            live_set.remove(&edge);
+            ops.push(EdgeOp::Delete(edge.0, edge.1));
+        }
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +457,85 @@ mod tests {
                 distinct: 0,
                 ..StreamConfig::default()
             },
+        );
+    }
+
+    #[test]
+    fn update_stream_is_consistent_and_deterministic() {
+        let g = DiGraph::from_edges(20, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let config = UpdateStreamConfig {
+            num_ops: 200,
+            insert_fraction: 0.4,
+            seed: 11,
+        };
+        let ops = update_stream(&g, &config);
+        assert_eq!(ops.len(), 200);
+        assert_eq!(ops, update_stream(&g, &config), "same seed, same stream");
+        // Replay: every delete hits a live edge, every insert an absent one.
+        let mut live: std::collections::HashSet<(u32, u32)> = g.edge_vec().into_iter().collect();
+        for op in &ops {
+            match *op {
+                EdgeOp::Insert(u, v) => {
+                    assert_ne!(u, v);
+                    assert!(live.insert((u, v)), "insert of an absent edge");
+                }
+                EdgeOp::Delete(u, v) => {
+                    assert!(live.remove(&(u, v)), "delete of a live edge");
+                }
+            }
+        }
+        let inserts = ops
+            .iter()
+            .filter(|op| matches!(op, EdgeOp::Insert(..)))
+            .count();
+        assert!(inserts > 40 && inserts < 140, "roughly the asked mix");
+    }
+
+    #[test]
+    fn update_stream_saturated_graph_falls_back_to_deletions() {
+        // Two vertices: only (0,1) and (1,0) exist. An insert-only stream
+        // must not spin forever once both are live — it deletes instead.
+        let g = DiGraph::from_edges(2, &[]);
+        let ops = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                num_ops: 10,
+                insert_fraction: 1.0,
+                seed: 7,
+            },
+        );
+        assert_eq!(ops.len(), 10);
+        let mut live: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for op in &ops {
+            match *op {
+                EdgeOp::Insert(u, v) => assert!(live.insert((u, v))),
+                EdgeOp::Delete(u, v) => assert!(live.remove(&(u, v))),
+            }
+        }
+        assert!(
+            ops.iter().any(|op| matches!(op, EdgeOp::Delete(..))),
+            "saturation forces deletions"
+        );
+    }
+
+    #[test]
+    fn update_stream_all_deletions_drains_then_inserts() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2)]);
+        let ops = update_stream(
+            &g,
+            &UpdateStreamConfig {
+                num_ops: 4,
+                insert_fraction: 0.0,
+                seed: 3,
+            },
+        );
+        assert!(
+            matches!(ops[0], EdgeOp::Delete(..)) && matches!(ops[1], EdgeOp::Delete(..)),
+            "live edges drain first"
+        );
+        assert!(
+            matches!(ops[2], EdgeOp::Insert(..)),
+            "falls back to an insertion once the graph is empty"
         );
     }
 }

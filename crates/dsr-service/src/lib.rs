@@ -16,11 +16,18 @@
 //! * A bounded LRU [`QueryCache`] keyed on normalized `(sources, targets)`
 //!   signatures short-circuits repeated queries; hit/miss/eviction counters
 //!   are surfaced through [`CacheStats`](dsr_cluster::CacheStats).
-//! * Index updates flow through [`QueryService::update_in_place`] (the
-//!   incremental path of Section 3.3.3) or
-//!   [`QueryService::install_index`] (offline rebuild + swap); both
-//!   invalidate the cache, and [`QueryService::query_uncached`] bypasses it
-//!   entirely for read-your-writes checks.
+//! * Index updates flow through [`QueryService::apply_updates`] — the
+//!   differential pipeline of Section 3.3.3: back-to-back batches are
+//!   coalesced, only affected partitions refresh, and the summary deltas
+//!   ship through the service's transport (cost surfaced by
+//!   [`QueryService::update_stats`]) — or through the lower-level
+//!   [`QueryService::update_in_place`] / [`QueryService::install_index`]
+//!   (offline rebuild + swap). All of them invalidate the cache
+//!   generation-correctly; a shared index either fails with the explicit
+//!   [`UpdateError::IndexShared`] or, with
+//!   [`ServiceConfig::clone_on_write`], forks and swaps.
+//!   [`QueryService::query_uncached`] bypasses the cache entirely for
+//!   read-your-writes checks.
 //!
 //! # Quick start
 //!
@@ -55,4 +62,4 @@ pub mod cache;
 pub mod service;
 
 pub use cache::{CachedPairs, QueryCache, QueryKey};
-pub use service::{BatchReply, QueryService, ServiceConfig};
+pub use service::{BatchReply, QueryService, ServiceConfig, UpdateError};

@@ -4,11 +4,35 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{CacheStats, CommStats, DynTransport, TransportKind};
-use dsr_core::{DsrEngine, DsrIndex, SetQuery};
+use dsr_cluster::{CacheStats, CommStats, DynTransport, TransportKind, UpdateStats};
+use dsr_core::{coalesce_updates, DsrEngine, DsrIndex, SetQuery, UpdateOp, UpdateOutcome};
 use dsr_graph::VertexId;
 
 use crate::cache::{CachedPairs, QueryCache, QueryKey};
+
+/// Why an in-place update could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Other `Arc` clones of the index are outstanding (a caller holding
+    /// [`QueryService::index`]), so mutating in place would race with
+    /// concurrent readers. Either drop the outstanding clones, enable
+    /// [`ServiceConfig::clone_on_write`], or rebuild offline and
+    /// [`install_index`](QueryService::install_index).
+    IndexShared,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::IndexShared => f.write_str(
+                "index Arc is shared with outstanding readers; drop the clones, enable \
+                 clone_on_write, or rebuild and install_index",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -22,8 +46,16 @@ pub struct ServiceConfig {
     /// [`TransportKind::InProcess`] (zero-copy moves, the default) or
     /// [`TransportKind::Wire`] (serialized framed bytes through OS pipes).
     /// The backend is instantiated once at construction and shared by every
-    /// query this service executes.
+    /// query this service executes — and by the refresh exchange of every
+    /// update applied through [`QueryService::apply_updates`].
     pub transport: TransportKind,
+    /// Fallback for updates while the index `Arc` is shared: when `true`,
+    /// [`QueryService::update_in_place`] / [`QueryService::apply_updates`]
+    /// fork the index ([`DsrIndex::fork`]), apply the update to the fork
+    /// and atomically swap it in instead of returning
+    /// [`UpdateError::IndexShared`]. Costs one local-index rebuild per
+    /// partition; off by default.
+    pub clone_on_write: bool,
 }
 
 impl Default for ServiceConfig {
@@ -32,6 +64,20 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_enabled: true,
             transport: TransportKind::InProcess,
+            clone_on_write: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration with the transport selected by the
+    /// `DSR_TRANSPORT` environment variable, parsed by the shared
+    /// [`FromStr`](std::str::FromStr) impl of [`TransportKind`] (an invalid
+    /// value fails loudly, listing the accepted names).
+    pub fn from_env() -> Self {
+        ServiceConfig {
+            transport: TransportKind::from_env(),
+            ..ServiceConfig::default()
         }
     }
 }
@@ -90,9 +136,13 @@ pub struct QueryService {
     index: RwLock<Arc<DsrIndex>>,
     cache: Mutex<QueryCache>,
     cache_enabled: bool,
+    clone_on_write: bool,
     transport: DynTransport,
     stats: CacheStats,
     comm: CommStats,
+    /// Aggregate refresh-exchange cost of every update batch applied
+    /// through this service (rounds/messages/bytes of shipped deltas).
+    updates_comm: CommStats,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -116,9 +166,11 @@ impl QueryService {
             index: RwLock::new(index),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             cache_enabled: config.cache_enabled,
+            clone_on_write: config.clone_on_write,
             transport: config.transport.create(),
             stats: CacheStats::new(),
             comm: CommStats::new(),
+            updates_comm: CommStats::new(),
         }
     }
 
@@ -292,19 +344,97 @@ impl QueryService {
     /// [`DsrIndex::delete_edges`]) directly to the owned index, then
     /// invalidates the cache.
     ///
-    /// Returns `None` — without running `mutate` — when other `Arc` clones
-    /// of the index are still outstanding (e.g. a caller holding
-    /// [`QueryService::index`]): the service cannot mutate state that
-    /// concurrent readers may be traversing. Rebuild-and-
-    /// [`install_index`](QueryService::install_index) is the fallback path.
-    pub fn update_in_place<R>(&self, mutate: impl FnOnce(&mut DsrIndex) -> R) -> Option<R> {
-        let result = {
+    /// When other `Arc` clones of the index are outstanding (e.g. a caller
+    /// holding [`QueryService::index`]), the service cannot mutate state
+    /// that concurrent readers may be traversing:
+    ///
+    /// * with [`ServiceConfig::clone_on_write`] enabled, the index is
+    ///   forked, `mutate` runs on the fork, and the fork is atomically
+    ///   swapped in (readers keep their old snapshot);
+    /// * otherwise the call fails with [`UpdateError::IndexShared`]
+    ///   **without running `mutate`** — explicitly, so updates can no
+    ///   longer be dropped silently.
+    ///
+    /// Cache invalidation is generation-correct on both paths: queries
+    /// that started against the pre-update index cannot insert stale
+    /// answers after the invalidation.
+    pub fn update_in_place<R>(
+        &self,
+        mutate: impl FnOnce(&mut DsrIndex) -> R,
+    ) -> Result<R, UpdateError> {
+        // An arbitrary mutation's effect is unknowable: conservatively
+        // treat every call as a change.
+        self.update_index(mutate, |_| true)
+    }
+
+    /// Shared implementation of the in-place/fork update paths. `changed`
+    /// inspects the mutation's result: when it reports `false` the index
+    /// is unchanged, so the cache survives and (on the clone-on-write
+    /// path) the untouched fork is discarded instead of swapped in.
+    fn update_index<R>(
+        &self,
+        mutate: impl FnOnce(&mut DsrIndex) -> R,
+        changed: impl FnOnce(&R) -> bool,
+    ) -> Result<R, UpdateError> {
+        let (result, did_change) = {
             let mut slot = self.index.write().expect("index lock poisoned");
-            let index = Arc::get_mut(&mut slot)?;
-            mutate(index)
+            match Arc::get_mut(&mut slot) {
+                Some(index) => {
+                    let result = mutate(index);
+                    let did_change = changed(&result);
+                    (result, did_change)
+                }
+                None if self.clone_on_write => {
+                    let mut fork = slot.fork();
+                    let result = mutate(&mut fork);
+                    let did_change = changed(&result);
+                    if did_change {
+                        *slot = Arc::new(fork);
+                    }
+                    (result, did_change)
+                }
+                None => return Err(UpdateError::IndexShared),
+            }
         };
-        self.invalidate_cache();
-        Some(result)
+        if did_change {
+            self.invalidate_cache();
+        }
+        Ok(result)
+    }
+
+    /// Applies a batch of edge updates through the differential pipeline
+    /// (Section 3.3.3): back-to-back operations on the same edge are
+    /// coalesced to the last one ([`coalesce_updates`]), only affected
+    /// partitions refresh their summaries, and the refresh deltas ship
+    /// through this service's transport — their measured cost accumulates
+    /// in [`QueryService::update_stats`].
+    ///
+    /// Shares [`QueryService::update_in_place`]'s ownership semantics
+    /// (including the [`ServiceConfig::clone_on_write`] fallback) and its
+    /// generation-correct cache invalidation — with one refinement: a
+    /// batch that turns out to be a complete no-op (duplicates,
+    /// already-absent deletions) leaves the result cache untouched, so
+    /// idempotent replays cannot collapse the hit rate.
+    pub fn apply_updates(&self, ops: &[UpdateOp]) -> Result<UpdateOutcome, UpdateError> {
+        let ops = coalesce_updates(ops);
+        let outcome = self.update_index(
+            |index| index.apply_updates_with_transport(&ops, &self.transport),
+            |outcome| outcome.rebuilt_compounds,
+        )?;
+        self.updates_comm.add(
+            outcome.stats.update_rounds,
+            outcome.stats.update_messages,
+            outcome.stats.update_bytes,
+        );
+        Ok(outcome)
+    }
+
+    /// Aggregate communication cost of every update batch applied through
+    /// [`QueryService::apply_updates`]: measured wire bytes of the shipped
+    /// summary deltas, reported in the same units as
+    /// [`QueryService::comm_stats`].
+    pub fn update_stats(&self) -> UpdateStats {
+        UpdateStats::from_comm(&self.updates_comm)
     }
 
     /// Clears the cache and bumps its generation.
@@ -419,16 +549,113 @@ mod tests {
     }
 
     #[test]
-    fn update_in_place_refuses_shared_index() {
+    fn update_in_place_refuses_shared_index_with_explicit_error() {
         let service = chain_service();
         let pinned = service.index();
-        assert!(service
-            .update_in_place(|index| index.insert_edge(5, 0))
-            .is_none());
+        assert_eq!(
+            service
+                .update_in_place(|index| index.insert_edge(5, 0))
+                .unwrap_err(),
+            UpdateError::IndexShared
+        );
+        // The error is a real std::error::Error with actionable text.
+        let err: Box<dyn std::error::Error> = Box::new(UpdateError::IndexShared);
+        assert!(err.to_string().contains("clone_on_write"));
         drop(pinned);
         assert!(service
             .update_in_place(|index| index.insert_edge(5, 0))
-            .is_some());
+            .is_ok());
+    }
+
+    #[test]
+    fn clone_on_write_applies_updates_while_shared() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let service = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                clone_on_write: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let pinned = service.index();
+        let outcome = service
+            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .expect("clone-on-write path applies the update");
+        assert!(outcome.rebuilt_compounds);
+        // Readers holding the old snapshot still see the old graph …
+        assert!(DsrEngine::new(&pinned)
+            .set_reachability(&[5], &[0])
+            .pairs
+            .is_empty());
+        // … while the service serves the updated fork.
+        assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn noop_update_batches_leave_the_cache_intact() {
+        let service = chain_service();
+        service.query(&[0], &[5]);
+        assert_eq!(service.cache_len(), 1);
+        // Re-inserting an existing edge is a full no-op: the hot cache
+        // must survive (idempotent replays cannot collapse the hit rate).
+        let outcome = service
+            .apply_updates(&[UpdateOp::Insert(0, 1)])
+            .expect("index exclusively owned");
+        assert!(!outcome.rebuilt_compounds);
+        assert_eq!(service.cache_len(), 1, "no-op does not invalidate");
+        assert_eq!(service.cache_stats().invalidations(), 0);
+        // A real update still invalidates.
+        service
+            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .expect("index exclusively owned");
+        assert_eq!(service.cache_len(), 0);
+        assert_eq!(service.cache_stats().invalidations(), 1);
+    }
+
+    #[test]
+    fn noop_update_on_a_shared_index_does_not_swap_the_fork() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let service = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                clone_on_write: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let pinned = service.index();
+        let outcome = service
+            .apply_updates(&[UpdateOp::Insert(0, 1)]) // duplicate: no-op
+            .expect("clone-on-write path");
+        assert!(!outcome.rebuilt_compounds);
+        assert!(
+            Arc::ptr_eq(&pinned, &service.index()),
+            "untouched fork is discarded, not installed"
+        );
+    }
+
+    #[test]
+    fn apply_updates_coalesces_and_records_stats() {
+        let service = chain_service();
+        // Insert-then-delete of the same edge coalesces to the delete of
+        // an absent edge: a full no-op, zero messages.
+        let outcome = service
+            .apply_updates(&[UpdateOp::Insert(5, 0), UpdateOp::Delete(5, 0)])
+            .expect("index exclusively owned");
+        assert!(outcome.refreshed_summaries.is_empty());
+        assert!(outcome.stats.is_zero());
+        assert!(service.update_stats().is_zero());
+        // A real cut-edge insertion ships its two deltas and accumulates.
+        let outcome = service
+            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .expect("index exclusively owned");
+        assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
+        let total = service.update_stats();
+        assert_eq!(total.update_rounds, 1);
+        assert_eq!(total.update_messages, 2, "two deltas, one peer each");
+        assert!(total.update_bytes > 0);
+        assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
     }
 
     #[test]
@@ -452,7 +679,7 @@ mod tests {
             ServiceConfig {
                 cache_capacity: 8,
                 cache_enabled: false,
-                transport: TransportKind::InProcess,
+                ..ServiceConfig::default()
             },
         );
         service.query(&[0], &[2]);
@@ -501,7 +728,7 @@ mod tests {
             ServiceConfig {
                 cache_capacity: 1,
                 cache_enabled: true,
-                transport: TransportKind::InProcess,
+                ..ServiceConfig::default()
             },
         );
         service.query(&[0], &[3]);

@@ -39,10 +39,11 @@ fn main() {
         let end = (inserted + batch_size).min(edges.len());
         let outcome = index.insert_edges(&edges[inserted..end]);
         println!(
-            "inserted {:>5} edges: {:?} ({} summaries refreshed)",
+            "inserted {:>5} edges: {:?} ({} summaries refreshed, {} delta bytes shipped)",
             end - inserted,
             outcome.elapsed,
-            outcome.refreshed_summaries.len()
+            outcome.refreshed_summaries.len(),
+            outcome.stats.update_bytes
         );
         inserted = end;
     }

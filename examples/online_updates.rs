@@ -1,0 +1,156 @@
+//! Online updates on a live query service: interleave query batches with
+//! differential update batches ([`QueryService::apply_updates`]) and watch
+//! what each update actually ships.
+//!
+//! Demonstrates the whole serving-side update story:
+//!
+//! * coalescing — insert-then-delete churn within one batch costs nothing;
+//! * differential refresh — only affected partitions recompute, only their
+//!   `SummaryDelta`s cross the (`DSR_TRANSPORT`-selected) transport, and
+//!   the measured bytes land in [`QueryService::update_stats`];
+//! * generation-correct cache invalidation — stale answers disappear, hot
+//!   queries re-warm;
+//! * explicit shared-index handling — with a pinned `Arc` the update fails
+//!   loudly, and the clone-on-write config turns that into a fork + swap.
+//!
+//! ```text
+//! cargo run --release --example online_updates
+//! DSR_TRANSPORT=wire cargo run --release --example online_updates
+//! ```
+
+use std::sync::Arc;
+
+use dsr::testing::build_index_from_env;
+use dsr_core::{SetQuery, UpdateOp};
+use dsr_datagen::{
+    query_stream, update_stream, web_graph, EdgeOp, StreamConfig, UpdateStreamConfig,
+};
+use dsr_partition::{MultilevelPartitioner, Partitioner};
+use dsr_reach::LocalIndexKind;
+use dsr_service::{QueryService, ServiceConfig, UpdateError};
+
+fn main() {
+    // 1. A live service over a web-graph analogue, transport from
+    //    DSR_TRANSPORT (shared parser with the CI matrix).
+    let graph = web_graph(800, 4.0, 16, 0.7, 0xAB);
+    let partitioning = MultilevelPartitioner::default().partition(&graph, 4);
+    let index = build_index_from_env(&graph, partitioning, LocalIndexKind::Dfs);
+    let service = QueryService::with_config(Arc::new(index), ServiceConfig::from_env());
+    println!(
+        "service up: {} vertices, {} edges, 4 slaves, transport = {:?}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        service.transport_kind()
+    );
+
+    // 2. Workloads: a hot query stream and a consistent update stream.
+    let queries: Vec<SetQuery> = query_stream(
+        &graph,
+        &StreamConfig {
+            num_queries: 512,
+            distinct: 16,
+            ..StreamConfig::default()
+        },
+    )
+    .queries()
+    .map(|q| SetQuery::new(q.sources.clone(), q.targets.clone()))
+    .collect();
+    let updates: Vec<UpdateOp> = update_stream(
+        &graph,
+        &UpdateStreamConfig {
+            num_ops: 256,
+            insert_fraction: 0.6,
+            seed: 0x5E,
+        },
+    )
+    .into_iter()
+    .map(|op| match op {
+        EdgeOp::Insert(u, v) => UpdateOp::Insert(u, v),
+        EdgeOp::Delete(u, v) => UpdateOp::Delete(u, v),
+    })
+    .collect();
+
+    // 3. Interleave: a query batch, then an update batch, eight rounds.
+    for (round, (query_chunk, update_chunk)) in
+        queries.chunks(64).zip(updates.chunks(32)).enumerate()
+    {
+        let reply = service.query_batch(query_chunk);
+        let outcome = service
+            .apply_updates(update_chunk)
+            .expect("service owns its index");
+        println!(
+            "round {round}: {} queries ({} cache hits) | {} update ops -> \
+             {} summaries refreshed, {} compounds patched, {} delta bytes",
+            reply.results.len(),
+            reply.cache_hits,
+            update_chunk.len(),
+            outcome.refreshed_summaries.len(),
+            outcome.patched_compounds.len(),
+            outcome.stats.update_bytes,
+        );
+    }
+    let totals = service.update_stats();
+    println!(
+        "update totals: {} rounds, {} messages, {:.1} KB shipped; cache invalidated {} times",
+        totals.update_rounds,
+        totals.update_messages,
+        totals.update_bytes as f64 / 1024.0,
+        service.cache_stats().invalidations(),
+    );
+
+    // 4. Coalescing: transient churn inside one batch ships nothing. Pick
+    //    an edge that is definitely absent from the *current* index (the
+    //    original graph plus every applied update) so the coalesced delete
+    //    is a true no-op.
+    let live: std::collections::HashSet<(u32, u32)> = graph
+        .edge_vec()
+        .into_iter()
+        .chain(updates.iter().filter_map(|op| match *op {
+            UpdateOp::Insert(u, v) => Some((u, v)),
+            UpdateOp::Delete(_, _) => None,
+        }))
+        .collect();
+    let u = 0u32;
+    let v = (1..graph.num_vertices() as u32)
+        .find(|&v| !live.contains(&(u, v)))
+        .expect("some edge is absent");
+    let churn = [UpdateOp::Insert(u, v), UpdateOp::Delete(u, v)];
+    let outcome = service
+        .apply_updates(&churn)
+        .expect("service owns its index");
+    assert!(outcome.stats.is_zero());
+    println!("insert+delete of the same edge in one batch: 0 bytes shipped (coalesced)");
+
+    // 5. Shared-index handling: a pinned Arc makes in-place updates fail
+    //    loudly instead of dropping silently …
+    let pinned = service.index();
+    match service.apply_updates(&[UpdateOp::Insert(1, 2)]) {
+        Err(UpdateError::IndexShared) => {
+            println!("update while index is pinned: refused with UpdateError::IndexShared")
+        }
+        other => panic!("expected IndexShared, got {other:?}"),
+    }
+    drop(pinned);
+
+    // … and clone_on_write turns the refusal into fork + atomic swap.
+    // Use the guaranteed-absent edge so the update is real (a no-op would
+    // discard the untouched fork and leave the shared snapshot in place).
+    let cow = QueryService::with_config(
+        service.index(),
+        ServiceConfig {
+            clone_on_write: true,
+            ..ServiceConfig::from_env()
+        },
+    );
+    let pinned = cow.index();
+    let outcome = cow
+        .apply_updates(&[UpdateOp::Insert(u, v)])
+        .expect("clone-on-write forks instead of refusing");
+    assert!(!Arc::ptr_eq(&pinned, &cow.index()), "fork swapped in");
+    println!(
+        "same insert with clone_on_write: applied on a fork ({} compounds patched), \
+         old snapshot still pinned by the reader",
+        outcome.patched_compounds.len()
+    );
+    drop(pinned);
+}

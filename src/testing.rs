@@ -1,22 +1,25 @@
 //! Transport test-matrix helpers.
 //!
-//! The integration suites (`tests/engines_agree.rs`, `tests/end_to_end.rs`)
-//! and the examples build their indexes and engines through these helpers,
-//! which read the `DSR_TRANSPORT` environment variable
+//! The integration suites (`tests/engines_agree.rs`, `tests/end_to_end.rs`,
+//! `tests/updates_consistency.rs`) and the examples build their indexes,
+//! engines and update batches through these helpers, which read the
+//! `DSR_TRANSPORT` environment variable
 //! ([`dsr_cluster::TransportKind::from_env`]): unset or `in-process` runs
 //! the zero-copy default, `wire` routes every protocol message — including
-//! the build-time summary exchange — through the serializing
+//! the build-time summary exchange and the differential update refresh —
+//! through the serializing
 //! [`WireTransport`](dsr_cluster::WireTransport). CI runs the suites under
 //! both values, so every answer has been produced at least once from
 //! messages that were actually encoded, piped and decoded:
 //!
 //! ```sh
 //! cargo test -q                                              # in-process
-//! DSR_TRANSPORT=wire cargo test -q --test engines_agree --test end_to_end
+//! DSR_TRANSPORT=wire cargo test -q --test engines_agree --test end_to_end \
+//!     --test updates_consistency
 //! ```
 
 use dsr_cluster::DynTransport;
-use dsr_core::{DsrEngine, DsrIndex};
+use dsr_core::{DsrEngine, DsrIndex, UpdateOp, UpdateOutcome};
 use dsr_graph::DiGraph;
 use dsr_partition::Partitioning;
 use dsr_reach::LocalIndexKind;
@@ -40,4 +43,25 @@ pub fn build_index_from_env(
 /// backend.
 pub fn engine_from_env(index: &DsrIndex) -> DsrEngine<'_, DynTransport> {
     DsrEngine::with_transport(index, transport_from_env())
+}
+
+/// Applies an update batch whose refresh deltas ship through the
+/// `DSR_TRANSPORT`-selected backend (the differential pipeline of
+/// Section 3.3.3).
+pub fn apply_updates_from_env(index: &mut DsrIndex, ops: &[UpdateOp]) -> UpdateOutcome {
+    index.apply_updates_with_transport(ops, &transport_from_env())
+}
+
+/// Convenience wrapper: inserts `edges` through
+/// [`apply_updates_from_env`].
+pub fn insert_edges_from_env(index: &mut DsrIndex, edges: &[(u32, u32)]) -> UpdateOutcome {
+    let ops: Vec<UpdateOp> = edges.iter().map(|&(u, v)| UpdateOp::Insert(u, v)).collect();
+    apply_updates_from_env(index, &ops)
+}
+
+/// Convenience wrapper: deletes `edges` through
+/// [`apply_updates_from_env`].
+pub fn delete_edges_from_env(index: &mut DsrIndex, edges: &[(u32, u32)]) -> UpdateOutcome {
+    let ops: Vec<UpdateOp> = edges.iter().map(|&(u, v)| UpdateOp::Delete(u, v)).collect();
+    apply_updates_from_env(index, &ops)
 }

@@ -4,12 +4,11 @@
 
 use std::sync::Arc;
 
-use dsr_cluster::TransportKind;
-use dsr_core::{DsrIndex, SetQuery};
+use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 use dsr_graph::{DiGraph, TransitiveClosure};
 use dsr_partition::Partitioning;
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig};
+use dsr_service::{QueryService, ServiceConfig, UpdateError};
 
 /// Two 3-vertex chains on two slaves, no cross edge yet.
 fn disconnected_service() -> QueryService {
@@ -66,14 +65,45 @@ fn update_in_place_is_refused_while_index_is_shared() {
     let service = disconnected_service();
     let pinned = service.index();
     // A concurrent reader pins the index: in-place mutation must refuse
-    // (the rebuild + install_index path is the fallback).
-    assert!(service
-        .update_in_place(|index| index.insert_edge(2, 3))
-        .is_none());
+    // with an explicit error (clone_on_write or rebuild + install_index
+    // are the fallbacks) instead of silently dropping the update.
+    assert_eq!(
+        service
+            .update_in_place(|index| index.insert_edge(2, 3))
+            .unwrap_err(),
+        UpdateError::IndexShared
+    );
     drop(pinned);
     assert!(service
         .update_in_place(|index| index.insert_edge(2, 3))
-        .is_some());
+        .is_ok());
+}
+
+#[test]
+fn apply_updates_on_a_shared_index_forks_when_configured() {
+    let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+    let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+    let service = QueryService::with_config(
+        Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+        ServiceConfig {
+            clone_on_write: true,
+            ..ServiceConfig::default()
+        },
+    );
+    // Prime the cache, pin the index, then update while shared.
+    assert!(service.query(&[0], &[5]).is_empty());
+    let pinned = service.index();
+    let outcome = service
+        .apply_updates(&[UpdateOp::Insert(2, 3)])
+        .expect("clone-on-write fork applies the update");
+    assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
+    assert!(!Arc::ptr_eq(&pinned, &service.index()), "fork swapped in");
+    // Generation-correct invalidation: the stale empty answer is gone.
+    assert_eq!(service.cache_stats().invalidations(), 1);
+    assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
+    // The update's refresh traffic was measured.
+    assert!(service.update_stats().update_bytes > 0);
+    drop(pinned);
 }
 
 #[test]
@@ -150,7 +180,7 @@ fn tiny_cache_evicts_but_stays_correct() {
         ServiceConfig {
             cache_capacity: 2,
             cache_enabled: true,
-            transport: TransportKind::InProcess,
+            ..ServiceConfig::default()
         },
     );
     for round in 0..3 {
