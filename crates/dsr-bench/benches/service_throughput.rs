@@ -54,7 +54,7 @@ fn bench_service_throughput(c: &mut Criterion) {
         let engine = DsrEngine::new(&index);
         b.iter(|| {
             for chunk in queries.chunks(BATCH) {
-                black_box(engine.set_reachability_batch(chunk));
+                black_box(engine.set_reachability_batch(chunk).expect("in-process"));
             }
         })
     });

@@ -1,0 +1,246 @@
+//! Bench-regression gate: compares freshly generated `BENCH_*.json`
+//! artifacts against the committed baselines and **fails on any growth of
+//! a deterministic counter** (rounds, messages, wire bytes, refreshed
+//! summaries, …). Timing fields (seconds, QPS, speedups) are
+//! informational and never compared — wall-clock noise must not flake CI,
+//! but a protocol change that silently ships more bytes must fail it.
+//!
+//! ```text
+//! bench_diff --baseline . --fresh "$DSR_BENCH_DIR" [FILE...]
+//! ```
+//!
+//! Default files: `BENCH_throughput.json`, `BENCH_updates.json`. Array
+//! elements are matched by their `"name"` member (so adding a new mode is
+//! not a regression), and the `service_concurrent` mode is skipped
+//! entirely — its counters depend on cache races between client threads.
+//!
+//! A counter that *shrinks* is reported as an improvement with a reminder
+//! to refresh the committed baseline, and exits 0.
+//!
+//! Structural drift cannot evade the gate: baseline counters or named
+//! sections missing from the fresh output are reported, and the run fails
+//! if fewer than `--min-compared` counters (default 30) were actually
+//! compared — renaming every mode would otherwise reduce the gate to a
+//! vacuous "nothing grew".
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dsr_bench::json::{parse, Json};
+
+/// Counter keys that must be bit-for-bit reproducible in `--fast` runs.
+/// Everything else (timings, ratios) is informational.
+const DETERMINISTIC_COUNTERS: [&str; 13] = [
+    "rounds",
+    "messages",
+    "bytes",
+    "update_rounds",
+    "update_messages",
+    "update_bytes",
+    "refreshed_summaries",
+    "patched_compounds",
+    "summary_messages",
+    "summary_bytes",
+    "queries",
+    "ops",
+    "batches",
+];
+
+/// Array elements (matched by `"name"`) whose counters are scheduling-
+/// dependent and therefore never compared.
+const NONDETERMINISTIC_SECTIONS: [&str; 1] = ["service_concurrent"];
+
+struct Report {
+    regressions: Vec<String>,
+    improvements: Vec<String>,
+    /// Baseline counters/sections the fresh output no longer has.
+    missing: Vec<String>,
+    compared: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir = ".".to_string();
+    let mut fresh_dir = ".".to_string();
+    let mut min_compared = 30usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => match iter.next() {
+                Some(dir) => baseline_dir = dir.clone(),
+                None => return usage("--baseline needs a directory"),
+            },
+            "--fresh" => match iter.next() {
+                Some(dir) => fresh_dir = dir.clone(),
+                None => return usage("--fresh needs a directory"),
+            },
+            "--min-compared" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => min_compared = n,
+                None => return usage("--min-compared needs an integer"),
+            },
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        files = vec![
+            "BENCH_throughput.json".to_string(),
+            "BENCH_updates.json".to_string(),
+        ];
+    }
+
+    let mut report = Report {
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        missing: Vec::new(),
+        compared: 0,
+    };
+    for file in &files {
+        let baseline_path = Path::new(&baseline_dir).join(file);
+        let fresh_path = Path::new(&fresh_dir).join(file);
+        let baseline = match load(&baseline_path) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("bench_diff: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = match load(&fresh_path) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("bench_diff: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        compare(&baseline, &fresh, file, &mut report);
+    }
+
+    println!(
+        "bench_diff: {} deterministic counters compared across {} file(s)",
+        report.compared,
+        files.len()
+    );
+    for line in &report.improvements {
+        println!("  IMPROVED  {line}");
+    }
+    if !report.improvements.is_empty() {
+        println!("  (counters shrank — consider refreshing the committed BENCH_*.json baselines)");
+    }
+    for line in &report.missing {
+        println!("  MISSING   {line}");
+    }
+    for line in &report.regressions {
+        println!("  REGRESSED {line}");
+    }
+    let mut failed = false;
+    if !report.regressions.is_empty() {
+        eprintln!(
+            "bench_diff: {} counter(s) grew vs the committed baseline; either fix the \
+             regression or update the BENCH_*.json baselines in the same commit with an \
+             explanation",
+            report.regressions.len()
+        );
+        failed = true;
+    }
+    if report.compared < min_compared {
+        // Renamed modes / dropped sections silently shrink the comparison
+        // set; a vacuous "nothing grew" must not pass.
+        eprintln!(
+            "bench_diff: only {} counter(s) compared (< {min_compared}); the fresh output's \
+             structure drifted from the baselines — regenerate and commit new BENCH_*.json \
+             baselines (or lower --min-compared deliberately)",
+            report.compared
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("  OK — no counter grew");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("bench_diff: {err}");
+    }
+    eprintln!("usage: bench_diff --baseline DIR --fresh DIR [--min-compared N] [FILE...]");
+    eprintln!("       (default files: BENCH_throughput.json BENCH_updates.json)");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    parse(&text).map_err(|err| format!("{}: {err}", path.display()))
+}
+
+/// Walks baseline and fresh in lockstep, comparing deterministic counters
+/// wherever both sides have them.
+fn compare(baseline: &Json, fresh: &Json, path: &str, report: &mut Report) {
+    match (baseline, fresh) {
+        (Json::Obj(base_members), Json::Obj(_)) => {
+            if let Some(name) = baseline.name() {
+                if NONDETERMINISTIC_SECTIONS.contains(&name) {
+                    return;
+                }
+            }
+            for (key, base_value) in base_members {
+                let child_path = format!("{path}.{key}");
+                let Some(fresh_value) = fresh.get(key) else {
+                    // A removed field is structural drift: surface it, and
+                    // let the --min-compared floor catch wholesale loss.
+                    if DETERMINISTIC_COUNTERS.contains(&key.as_str()) {
+                        report.missing.push(child_path);
+                    }
+                    continue;
+                };
+                if let (Json::Num(a), Json::Num(b)) = (base_value, fresh_value) {
+                    if DETERMINISTIC_COUNTERS.contains(&key.as_str()) {
+                        report.compared += 1;
+                        if b > a {
+                            report
+                                .regressions
+                                .push(format!("{child_path}: {a} -> {b} (+{})", b - a));
+                        } else if b < a {
+                            report
+                                .improvements
+                                .push(format!("{child_path}: {a} -> {b} (-{})", a - b));
+                        }
+                    }
+                    continue;
+                }
+                compare(base_value, fresh_value, &child_path, report);
+            }
+        }
+        (Json::Arr(base_items), Json::Arr(fresh_items)) => {
+            for (index, base_item) in base_items.iter().enumerate() {
+                // Match by "name" when present (mode/workload lists), so
+                // reordering or inserting a mode cannot misattribute
+                // counters; fall back to positional matching.
+                let (label, fresh_item) = match base_item.name() {
+                    Some(name) => (
+                        format!("{path}[{name}]"),
+                        fresh_items.iter().find(|item| item.name() == Some(name)),
+                    ),
+                    None => (format!("{path}[{index}]"), fresh_items.get(index)),
+                };
+                match fresh_item {
+                    Some(fresh_item) => compare(base_item, fresh_item, &label, report),
+                    // A baseline mode/workload the fresh run no longer
+                    // emits: structural drift, surfaced (floor enforces).
+                    None => report.missing.push(label),
+                }
+            }
+        }
+        _ => {}
+    }
+}

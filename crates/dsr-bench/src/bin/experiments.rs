@@ -6,6 +6,13 @@
 //! experiments [--fast] table2 table3 figure5 ...
 //! experiments --list
 //! ```
+//!
+//! Each experiment runs under `catch_unwind`: a failed internal assertion
+//! (e.g. a cross-backend byte-identity check) is reported, the remaining
+//! experiments still run, and the process **exits nonzero** — so CI can
+//! never upload artifacts from a run whose invariants did not hold. The
+//! `BENCH_*.json` writers are atomic (temp file + rename) for the same
+//! reason: a partial JSON never appears at the final path.
 
 use std::process::ExitCode;
 
@@ -42,18 +49,40 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut failures: Vec<String> = Vec::new();
     for id in requested {
-        match run_experiment(&id, fast) {
-            Some(output) => {
-                println!("{output}");
-            }
-            None => {
+        // A panicking experiment (failed byte-identity assert, poisoned
+        // invariant) must not abort the whole run silently-successfully:
+        // record it, keep going, exit nonzero at the end.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_experiment(&id, fast)));
+        match outcome {
+            Ok(Some(output)) => println!("{output}"),
+            Ok(None) => {
                 eprintln!("unknown experiment '{id}'; use --list to see valid ids");
                 return ExitCode::FAILURE;
             }
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                eprintln!("experiment '{id}' FAILED: {message}");
+                failures.push(id);
+            }
         }
     }
-    ExitCode::SUCCESS
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} experiment(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn print_usage() {

@@ -53,6 +53,19 @@ pub fn large_datasets(fast: bool) -> Vec<&'static str> {
     }
 }
 
+/// Writes a `BENCH_*.json` artifact **atomically** into `$DSR_BENCH_DIR`
+/// (or the working directory): the content goes to a `.tmp` sibling first
+/// and is renamed into place, so a run that dies mid-experiment can never
+/// leave a truncated JSON at the final path for CI to upload.
+pub fn write_bench_json(file_name: &str, json: &str) -> std::io::Result<String> {
+    let dir = std::env::var("DSR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(file_name);
+    let tmp = std::path::Path::new(&dir).join(format!("{file_name}.tmp"));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path.display().to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

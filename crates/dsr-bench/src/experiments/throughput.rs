@@ -15,8 +15,12 @@
 //!    [`WireTransport`]: every message wire-encoded, shipped through OS
 //!    pipes and decoded, so the mode measures the overhead of a real byte
 //!    substrate (and its reported bytes are *measured*, not estimated),
-//! 4. `service_cached` — a [`QueryService`] with its LRU result cache,
-//! 5. `service_concurrent` — the same service hammered by 8 closed-loop
+//! 4. `batched_tcp` — the same batched runs over a loopback
+//!    [`TcpTransport`] cluster: every frame
+//!    takes the master → worker → worker → master route over real
+//!    sockets, asserting the deployment backend stays byte-identical,
+//! 5. `service_cached` — a [`QueryService`] with its LRU result cache,
+//! 6. `service_concurrent` — the same service hammered by 8 closed-loop
 //!    client threads.
 //!
 //! Besides the rendered table, the run writes a machine-readable
@@ -27,7 +31,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsr_cluster::{CommStats, Transport, WireTransport};
+use dsr_cluster::{CommStats, TcpTransport, Transport, WireTransport};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
 use dsr_datagen::{query_stream, ArrivalPattern, StreamConfig};
 use dsr_graph::DiGraph;
@@ -114,7 +118,11 @@ pub fn run(fast: bool) -> String {
     let (batched_results, batched_time) = time(|| {
         queries
             .chunks(batch_size)
-            .flat_map(|chunk| engine.set_reachability_batch_with_stats(chunk, &batched_stats))
+            .flat_map(|chunk| {
+                engine
+                    .set_reachability_batch_with_stats(chunk, &batched_stats)
+                    .expect("in-process transport never fails")
+            })
             .collect::<Vec<_>>()
     });
     assert_eq!(
@@ -141,7 +149,11 @@ pub fn run(fast: bool) -> String {
     let (wire_results, wire_time) = time(|| {
         queries
             .chunks(batch_size)
-            .flat_map(|chunk| wire_engine.set_reachability_batch_with_stats(chunk, &wire_stats))
+            .flat_map(|chunk| {
+                wire_engine
+                    .set_reachability_batch_with_stats(chunk, &wire_stats)
+                    .expect("wire transport never fails in-process")
+            })
             .collect::<Vec<_>>()
     });
     assert_eq!(
@@ -159,6 +171,42 @@ pub fn run(fast: bool) -> String {
         transport: wire.name(),
         queries: queries.len(),
         elapsed: wire_time,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: None,
+    };
+
+    // --- Mode 3b: batched protocol runs over a loopback TCP cluster
+    // (every frame crosses real sockets and worker endpoints). ------------
+    let tcp = TcpTransport::loopback();
+    let tcp_engine = DsrEngine::with_transport(&index, &tcp);
+    let tcp_stats = CommStats::new();
+    let (tcp_results, tcp_time) = time(|| {
+        queries
+            .chunks(batch_size)
+            .flat_map(|chunk| {
+                tcp_engine
+                    .set_reachability_batch_with_stats(chunk, &tcp_stats)
+                    .expect("loopback tcp cluster stays up for the run")
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        batched_results, tcp_results,
+        "tcp transport must produce byte-identical answers"
+    );
+    let (rounds, messages, bytes) = tcp_stats.snapshot();
+    assert_eq!(
+        (rounds, messages, bytes),
+        batched_stats.snapshot(),
+        "tcp bytes must equal the in-process accounting"
+    );
+    let batched_tcp = ModeResult {
+        name: "batched_tcp",
+        transport: tcp.name(),
+        queries: queries.len(),
+        elapsed: tcp_time,
         rounds,
         messages,
         bytes,
@@ -217,6 +265,7 @@ pub fn run(fast: bool) -> String {
         per_query,
         batched,
         batched_wire,
+        batched_tcp,
         service_cached,
         service_concurrent,
     ];
@@ -330,6 +379,14 @@ fn render_json(
         "  \"wire\": {{\"bytes_per_round\": {wire_bytes_per_round:.1}, \"rounds\": {}, \"bytes\": {}, \"overhead_vs_in_process\": {wire_overhead:.3}}},\n",
         wire_mode.rounds, wire_mode.bytes
     ));
+    // The TCP deployment backend: same deterministic counters (asserted
+    // byte-identical at run time), its own wall-clock overhead.
+    let tcp_mode = mode("batched_tcp");
+    let tcp_overhead = tcp_mode.elapsed.as_secs_f64() / batched_secs.max(1e-9);
+    json.push_str(&format!(
+        "  \"tcp\": {{\"rounds\": {}, \"bytes\": {}, \"overhead_vs_in_process\": {tcp_overhead:.3}, \"bytes_identical\": true}},\n",
+        tcp_mode.rounds, tcp_mode.bytes
+    ));
     json.push_str("  \"modes\": [\n");
     for (i, mode) in modes.iter().enumerate() {
         json.push_str(&format!(
@@ -352,10 +409,7 @@ fn render_json(
 }
 
 fn write_json(json: &str) -> std::io::Result<String> {
-    let dir = std::env::var("DSR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
-    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
-    std::fs::write(&path, json)?;
-    Ok(path.display().to_string())
+    common::write_bench_json("BENCH_throughput.json", json)
 }
 
 #[cfg(test)]
@@ -368,6 +422,7 @@ mod tests {
         assert!(out.contains("per_query"));
         assert!(out.contains("batched"));
         assert!(out.contains("batched_wire"));
+        assert!(out.contains("batched_tcp"));
         assert!(out.contains("service_cached"));
         assert!(out.contains("service_concurrent"));
         assert!(
@@ -389,5 +444,7 @@ mod tests {
             "measured wire bytes/round reported:\n{json}"
         );
         assert!(json.contains("\"transport\": \"wire\""));
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"bytes_identical\": true"));
     }
 }

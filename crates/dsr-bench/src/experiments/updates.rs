@@ -20,9 +20,10 @@
 //!    cache invalidation under load.
 //!
 //! The bulk workload additionally re-runs under the serializing
-//! [`WireTransport`] and asserts that its [`UpdateStats`] are
-//! **byte-identical** to the in-process run — update cost cannot drift
-//! from what a real byte substrate would ship.
+//! [`WireTransport`] **and** under a loopback
+//! [`TcpTransport`] cluster, asserting that
+//! both report [`UpdateStats`] **byte-identical** to the in-process run —
+//! update cost cannot drift from what a real byte substrate would ship.
 //!
 //! The run writes `BENCH_updates.json` (into `$DSR_BENCH_DIR` or the
 //! working directory); the bench-smoke CI job archives it next to
@@ -31,7 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsr_cluster::{InProcess, UpdateStats, WireTransport};
+use dsr_cluster::{InProcess, TcpTransport, UpdateStats, WireTransport};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery, UpdateOp};
 use dsr_datagen::{query_stream, update_stream, EdgeOp, StreamConfig, UpdateStreamConfig};
 use dsr_graph::DiGraph;
@@ -96,7 +97,11 @@ pub fn run(fast: bool) -> String {
 
     // --- Workload 1: bulk insertion vs full rebuild. ---------------------
     let mut index = build(&base, &partitioning);
-    let (outcome, bulk_time) = time(|| index.apply_updates_with_transport(&tail, &InProcess));
+    let (outcome, bulk_time) = time(|| {
+        index
+            .apply_updates_with_transport(&tail, &InProcess)
+            .expect("in-process transport never fails")
+    });
     let (_, rebuild_time) = time(|| build(&graph, &partitioning));
     assert_answers_match(&index, &build(&graph, &partitioning), &graph);
     let bulk = WorkloadResult {
@@ -116,7 +121,11 @@ pub fn run(fast: bool) -> String {
     // --- Workload 1b: the same bulk batch over the wire transport. -------
     let mut wired_index = build(&base, &partitioning);
     let wire = WireTransport::new();
-    let (wire_outcome, wire_time) = time(|| wired_index.apply_updates_with_transport(&tail, &wire));
+    let (wire_outcome, wire_time) = time(|| {
+        wired_index
+            .apply_updates_with_transport(&tail, &wire)
+            .expect("pipe transport never fails in-process")
+    });
     assert_eq!(
         wire_outcome.stats, outcome.stats,
         "wire update stats must be byte-identical to the in-process run"
@@ -135,6 +144,32 @@ pub fn run(fast: bool) -> String {
         invalidations: 0,
     };
 
+    // --- Workload 1c: the same bulk batch over a loopback TCP cluster. ---
+    let mut tcp_index = build(&base, &partitioning);
+    let tcp = TcpTransport::loopback();
+    let (tcp_outcome, tcp_time) = time(|| {
+        tcp_index
+            .apply_updates_with_transport(&tail, &tcp)
+            .expect("loopback tcp cluster stays up for the run")
+    });
+    assert_eq!(
+        tcp_outcome.stats, outcome.stats,
+        "tcp update stats must be byte-identical to the in-process run"
+    );
+    let bulk_tcp = WorkloadResult {
+        name: "bulk_tcp",
+        transport: "tcp",
+        ops: tail.len(),
+        batches: 1,
+        elapsed: tcp_time,
+        stats: tcp_outcome.stats,
+        refreshed: tcp_outcome.refreshed_summaries.len(),
+        patched: tcp_outcome.patched_compounds.len(),
+        rebuild: None,
+        queries: 0,
+        invalidations: 0,
+    };
+
     // --- Workload 2: progressive insertion in small batches. -------------
     let mut index = build(&base, &partitioning);
     let chunk = tail.len().div_ceil(progressive_batches).max(1);
@@ -144,7 +179,9 @@ pub fn run(fast: bool) -> String {
     let (batches, progressive_time) = time(|| {
         let mut batches = 0usize;
         for ops in tail.chunks(chunk) {
-            let outcome = index.apply_updates_with_transport(ops, &InProcess);
+            let outcome = index
+                .apply_updates_with_transport(ops, &InProcess)
+                .expect("in-process transport never fails");
             progressive_stats.merge(&outcome.stats);
             refreshed += outcome.refreshed_summaries.len();
             patched += outcome.patched_compounds.len();
@@ -207,7 +244,11 @@ pub fn run(fast: bool) -> String {
                 .apply_updates(&ops)
                 .expect("service owns its index exclusively");
             if let Some(batch) = query_batches.get(round) {
-                answered += service.query_batch(batch).results.len();
+                answered += service
+                    .query_batch(batch)
+                    .expect("in-process transport never fails")
+                    .results
+                    .len();
             }
         }
     });
@@ -225,7 +266,7 @@ pub fn run(fast: bool) -> String {
         invalidations: service.cache_stats().invalidations(),
     };
 
-    let workloads = [bulk, bulk_wire, progressive, interleaved];
+    let workloads = [bulk, bulk_wire, bulk_tcp, progressive, interleaved];
 
     // --- Render. ---------------------------------------------------------
     let mut table = Table::new(
@@ -336,6 +377,12 @@ fn render_json(
         wire.elapsed.as_secs_f64(),
         wire.elapsed.as_secs_f64() / bulk.elapsed.as_secs_f64().max(1e-9)
     ));
+    let tcp = find("bulk_tcp");
+    json.push_str(&format!(
+        "  \"tcp\": {{\"seconds\": {:.6}, \"overhead_vs_in_process\": {:.3}, \"stats_identical\": true}},\n",
+        tcp.elapsed.as_secs_f64(),
+        tcp.elapsed.as_secs_f64() / bulk.elapsed.as_secs_f64().max(1e-9)
+    ));
     json.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         json.push_str(&format!(
@@ -361,10 +408,7 @@ fn render_json(
 }
 
 fn write_json(json: &str) -> std::io::Result<String> {
-    let dir = std::env::var("DSR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
-    let path = std::path::Path::new(&dir).join("BENCH_updates.json");
-    std::fs::write(&path, json)?;
-    Ok(path.display().to_string())
+    common::write_bench_json("BENCH_updates.json", json)
 }
 
 #[cfg(test)]
@@ -376,6 +420,7 @@ mod tests {
         let out = run(true);
         assert!(out.contains("bulk"));
         assert!(out.contains("bulk_wire"));
+        assert!(out.contains("bulk_tcp"));
         assert!(out.contains("progressive"));
         assert!(out.contains("interleaved"));
         let line = out
@@ -389,6 +434,7 @@ mod tests {
         assert!(json.contains("\"update_vs_rebuild\""));
         assert!(json.contains("\"stats_identical\": true"));
         assert!(json.contains("\"transport\": \"wire\""));
+        assert!(json.contains("\"transport\": \"tcp\""));
         assert!(json.contains("\"cache_invalidations\""));
     }
 }

@@ -22,6 +22,7 @@
 //! — are the reproduction target, and EXPERIMENTS.md records them.
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 use std::time::{Duration, Instant};

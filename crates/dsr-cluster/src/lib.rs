@@ -20,9 +20,14 @@
 //! * [`WireTransport`] serializes every message into the compact framed
 //!   byte format of [`wire`] (varint ids, delta-encoded sorted runs),
 //!   ships it through real OS pipes, decodes it on the receiving side, and
-//!   records the measured byte count.
+//!   records the measured byte count;
+//! * [`TcpTransport`] moves the same frames through
+//!   **worker endpoints over TCP sockets** — self-hosted loopback workers
+//!   (`DSR_TRANSPORT=tcp`) or external `dsr-node` processes described by a
+//!   [`ClusterSpec`] — with a handshake, timeouts, and
+//!   typed [`TransportError`]s instead of panics when a worker fails.
 //!
-//! Both backends produce identical payloads and identical statistics (the
+//! All backends produce identical payloads and identical statistics (the
 //! size accounting is debug-asserted against the codec on every message),
 //! so round counts, message counts and byte volumes are faithful to the
 //! algorithms being simulated — the quantities behind the
@@ -30,16 +35,20 @@
 //! `DSR_TRANSPORT` environment variable (see [`TransportKind::from_env`])
 //! switches the whole test suite between backends.
 
+pub mod error;
 pub mod message;
 pub mod pool;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use error::TransportError;
 pub use message::MessageSize;
 pub use pool::{global_pool, SlavePool};
 pub use stats::{CacheStats, CommStats, UpdateStats};
+pub use tcp::{ClusterSpec, TcpTransport};
 pub use transport::{
     DynTransport, InProcess, ParseTransportError, Transport, TransportKind, WireMessage,
     WireTransport, TRANSPORT_ENV,

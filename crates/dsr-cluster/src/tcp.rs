@@ -1,0 +1,1522 @@
+//! TCP transport: the scatter/exchange/gather collectives over real
+//! sockets and real worker endpoints.
+//!
+//! This is the deployment backend of the reproduction. Where
+//! [`WireTransport`](crate::WireTransport) ships encoded frames through OS
+//! pipes inside one process, [`TcpTransport`] routes every frame through
+//! **worker endpoints** speaking a length-framed protocol over
+//! [`std::net::TcpStream`]:
+//!
+//! * **scatter / gather** — the master round-trips each slave's frame
+//!   through the worker hosting that partition (`ECHO` op), so every
+//!   payload is encoded, crosses a socket, and is decoded from the bytes
+//!   the worker actually returned.
+//! * **all-to-all** — each payload takes the realistic two-hop route
+//!   `master → worker(src) → worker(dst) → master`: workers forward frames
+//!   to each other over a lazily built **worker-to-worker mesh** of
+//!   directed TCP lanes, exactly like slaves exchanging Step-2 buffers in
+//!   the paper's MPI deployment. [`CommStats`] counts each logical message
+//!   once (at encode time), so the three backends report byte-identical
+//!   volumes.
+//!
+//! Two modes share all of this code:
+//!
+//! * [`TcpTransport::loopback`] self-hosts its workers as threads inside
+//!   the current process, each serving a real `127.0.0.1` socket. This is
+//!   what `DSR_TRANSPORT=tcp` uses, so the whole test matrix runs over
+//!   genuine sockets with zero orchestration.
+//! * [`TcpTransport::connect`] attaches to **external worker processes**
+//!   (the `dsr-node` binary) described by a [`ClusterSpec`]. Workers host
+//!   one or more partitions (`partition → partition % workers`).
+//!
+//! Failures are values, not panics: a worker dying mid-exchange, a
+//! handshake against a non-protocol peer, a timed-out read or an oversized
+//! frame all surface as a typed [`TransportError`] from the collective
+//! that observed them.
+//!
+//! # Protocol
+//!
+//! Every connection starts with a hello (`b"DSRT"`, protocol version,
+//! role). The master assigns each worker its id and the cluster topology
+//! (the peer address list); topology updates are re-sent when a loopback
+//! mesh grows. Frames are varint-length-prefixed byte strings with a hard
+//! [`MAX_FRAME_LEN`] sanity limit, checked **before** any allocation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::stats::CommStats;
+use crate::transport::{Transport, WireMessage};
+use crate::wire;
+
+/// Connection magic: four bytes every hello starts with.
+pub const MAGIC: [u8; 4] = *b"DSRT";
+
+/// Protocol version carried in every hello.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard upper bound on a single frame's announced length. A corrupt stream
+/// (or a peer that is not speaking the protocol) is rejected before the
+/// transport allocates a buffer for it.
+pub const MAX_FRAME_LEN: u64 = 256 * 1024 * 1024;
+
+const ROLE_MASTER: u64 = 0;
+const ROLE_PEER: u64 = 1;
+
+const OP_ECHO: u64 = 1;
+const OP_TOPOLOGY: u64 = 2;
+const OP_EXCHANGE: u64 = 3;
+const OP_SHUTDOWN: u64 = 4;
+
+// ---------------------------------------------------------------------------
+// Frame codec over byte streams.
+// ---------------------------------------------------------------------------
+
+/// Low-level framing failure, classified into [`TransportError`] by the
+/// caller (which knows the peer and the phase).
+#[derive(Debug)]
+pub(crate) enum FrameIoError {
+    /// The underlying read/write failed (includes clean EOF).
+    Io(std::io::Error),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A frame announced a length beyond [`MAX_FRAME_LEN`].
+    Oversized(u64),
+}
+
+impl FrameIoError {
+    fn classify(self, peer: &str, context: &str) -> TransportError {
+        match self {
+            FrameIoError::Io(source) => TransportError::from_io(peer, context, source),
+            FrameIoError::VarintOverflow => TransportError::Protocol {
+                peer: peer.to_string(),
+                reason: format!("varint overflow during {context}"),
+            },
+            FrameIoError::Oversized(announced) => TransportError::OversizedFrame {
+                announced,
+                limit: MAX_FRAME_LEN,
+            },
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameIoError {
+    fn from(err: std::io::Error) -> Self {
+        FrameIoError::Io(err)
+    }
+}
+
+/// Reads one LEB128 varint from a byte stream.
+pub(crate) fn read_varint(reader: &mut impl Read) -> Result<u64, FrameIoError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift == 63 && byte[0] & 0x7F > 1 {
+            return Err(FrameIoError::VarintOverflow);
+        }
+        value |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(FrameIoError::VarintOverflow);
+        }
+    }
+}
+
+/// Reads one varint-length-prefixed frame, rejecting announced lengths
+/// beyond [`MAX_FRAME_LEN`] *before* allocating.
+pub(crate) fn read_frame(reader: &mut impl Read) -> Result<Vec<u8>, FrameIoError> {
+    let len = read_varint(reader)?;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameIoError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Appends a varint-length-prefixed frame to `buf`.
+pub(crate) fn put_frame(buf: &mut Vec<u8>, frame: &[u8]) {
+    wire::put_varint(buf, frame.len() as u64);
+    buf.extend_from_slice(frame);
+}
+
+/// Appends a varint-length-prefixed UTF-8 string to `buf`.
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_frame(buf, s.as_bytes());
+}
+
+fn read_string(reader: &mut impl Read) -> Result<String, FrameIoError> {
+    let bytes = read_frame(reader)?;
+    String::from_utf8(bytes).map_err(|_| {
+        FrameIoError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "address is not UTF-8",
+        ))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cluster specification.
+// ---------------------------------------------------------------------------
+
+/// Describes a TCP cluster: the worker addresses and the socket policies.
+///
+/// Parsed from a minimal TOML subset ([`ClusterSpec::from_toml_str`] /
+/// [`ClusterSpec::from_file`]) or from the environment
+/// ([`ClusterSpec::from_env`]):
+///
+/// ```toml
+/// # cluster.toml — addresses in partition order; partition p is hosted by
+/// # worker p % len(workers).
+/// workers = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+/// connect_timeout_ms = 5000
+/// io_timeout_ms = 30000
+/// ```
+///
+/// Environment form: `DSR_CLUSTER_WORKERS=127.0.0.1:7101,127.0.0.1:7102`
+/// plus optional `DSR_CLUSTER_CONNECT_TIMEOUT_MS` /
+/// `DSR_CLUSTER_IO_TIMEOUT_MS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Worker addresses (`host:port`), in worker-id order.
+    pub workers: Vec<String>,
+    /// How long [`TcpTransport::connect`] waits for each worker socket.
+    pub connect_timeout: Duration,
+    /// Read/write timeout applied to every cluster socket; an exceeded
+    /// timeout surfaces as [`TransportError::Timeout`] instead of a hang.
+    pub io_timeout: Duration,
+}
+
+impl ClusterSpec {
+    /// A spec for `workers` with the default timeouts (5 s connect,
+    /// 30 s I/O).
+    pub fn new(workers: Vec<String>) -> Self {
+        ClusterSpec {
+            workers,
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Parses the TOML subset shown in the type docs: `key = value` lines,
+    /// string arrays, integers, `#` comments, and an optional `[cluster]`
+    /// section header. Unknown keys are rejected (a typo should fail, not
+    /// silently fall back to a default).
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        let mut workers: Option<Vec<String>> = None;
+        let mut connect_timeout_ms: Option<u64> = None;
+        let mut io_timeout_ms: Option<u64> = None;
+        for (number, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(at) => &raw[..at],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() || line == "[cluster]" {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", number + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "workers" => workers = Some(parse_string_array(value, number + 1)?),
+                "connect_timeout_ms" => {
+                    connect_timeout_ms = Some(parse_integer(value, number + 1)?)
+                }
+                "io_timeout_ms" => io_timeout_ms = Some(parse_integer(value, number + 1)?),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown key {other:?} (expected workers, \
+                         connect_timeout_ms or io_timeout_ms)",
+                        number + 1
+                    ))
+                }
+            }
+        }
+        let workers = workers.ok_or_else(|| "missing `workers = [...]`".to_string())?;
+        if workers.is_empty() {
+            return Err("`workers` must list at least one address".to_string());
+        }
+        let mut spec = ClusterSpec::new(workers);
+        if let Some(ms) = connect_timeout_ms {
+            spec.connect_timeout = Duration::from_millis(ms);
+        }
+        if let Some(ms) = io_timeout_ms {
+            spec.io_timeout = Duration::from_millis(ms);
+        }
+        Ok(spec)
+    }
+
+    /// Reads and parses a spec file (see [`ClusterSpec::from_toml_str`]).
+    pub fn from_file(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Builds a spec from `DSR_CLUSTER_WORKERS` (comma-separated
+    /// addresses); returns `None` when the variable is unset.
+    pub fn from_env() -> Option<Result<Self, String>> {
+        let workers = std::env::var("DSR_CLUSTER_WORKERS").ok()?;
+        let workers: Vec<String> = workers
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if workers.is_empty() {
+            return Some(Err("DSR_CLUSTER_WORKERS lists no addresses".to_string()));
+        }
+        let mut spec = ClusterSpec::new(workers);
+        for (var, slot) in [
+            ("DSR_CLUSTER_CONNECT_TIMEOUT_MS", &mut spec.connect_timeout),
+            ("DSR_CLUSTER_IO_TIMEOUT_MS", &mut spec.io_timeout),
+        ] {
+            if let Ok(value) = std::env::var(var) {
+                match value.parse::<u64>() {
+                    Ok(ms) => *slot = Duration::from_millis(ms),
+                    Err(_) => return Some(Err(format!("{var} must be an integer, got {value:?}"))),
+                }
+            }
+        }
+        Some(Ok(spec))
+    }
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {line}: expected a [\"...\"] array"))?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let unquoted = piece
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {line}: array items must be double-quoted strings"))?;
+        items.push(unquoted.to_string());
+    }
+    Ok(items)
+}
+
+fn parse_integer(value: &str, line: usize) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("line {line}: expected an integer, got {value:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Worker endpoint (shared by loopback threads and the dsr-node binary).
+// ---------------------------------------------------------------------------
+
+/// Options for [`serve_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Read/write timeout on peer-mesh sockets (and the handshake read).
+    pub io_timeout: Duration,
+    /// How long to wait for a master to connect before giving up
+    /// (`None` = forever, the right default for a standalone worker).
+    pub master_wait: Option<Duration>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            io_timeout: Duration::from_secs(30),
+            master_wait: None,
+        }
+    }
+}
+
+struct WorkerShared {
+    options: WorkerOptions,
+    /// Master connection slot, filled by the acceptor.
+    master: Mutex<Option<TcpStream>>,
+    master_cv: Condvar,
+    /// Incoming peer lanes by source worker id.
+    incoming: Mutex<HashMap<usize, TcpStream>>,
+    incoming_cv: Condvar,
+    /// Outgoing peer lanes by destination worker id.
+    outgoing: Mutex<HashMap<usize, TcpStream>>,
+    /// Assigned by the master hello.
+    state: Mutex<WorkerState>,
+    /// Set when the master session ended; tells the acceptor to exit.
+    done: std::sync::atomic::AtomicBool,
+}
+
+#[derive(Default)]
+struct WorkerState {
+    my_id: usize,
+    topology: Vec<String>,
+}
+
+/// Binds a listener for a worker. Separated from [`serve_worker`] so
+/// callers can report the bound address (e.g. when listening on port 0)
+/// before serving. A bind conflict returns an actionable error naming the
+/// address.
+pub fn bind_worker(listen: &str) -> Result<TcpListener, TransportError> {
+    TcpListener::bind(listen).map_err(|source| TransportError::Io {
+        context: format!("failed to bind worker listener on {listen}"),
+        source,
+    })
+}
+
+/// Serves **one master session** on `listener`: waits for a master hello,
+/// relays scatter/gather/exchange ops (forwarding exchange frames over the
+/// worker mesh) until the master shuts the session down or disconnects,
+/// then returns. The `dsr-node worker` command and the loopback workers of
+/// [`TcpTransport::loopback`] both run exactly this function.
+pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(), TransportError> {
+    let local = listener.local_addr().map_err(|source| TransportError::Io {
+        context: "worker listener has no local address".to_string(),
+        source,
+    })?;
+    let shared = Arc::new(WorkerShared {
+        options: options.clone(),
+        master: Mutex::new(None),
+        master_cv: Condvar::new(),
+        incoming: Mutex::new(HashMap::new()),
+        incoming_cv: Condvar::new(),
+        outgoing: Mutex::new(HashMap::new()),
+        state: Mutex::new(WorkerState::default()),
+        done: std::sync::atomic::AtomicBool::new(false),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, shared))
+    };
+
+    let result = (|| {
+        let master = wait_for_master(&shared)?;
+        relay_loop(&master, &shared)
+    })();
+
+    // Wake the acceptor (blocked in `accept`) so it can observe the ended
+    // session and exit; then release every cached lane.
+    shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = TcpStream::connect(local);
+    let _ = acceptor.join();
+    for (_, lane) in shared.outgoing.lock().expect("outgoing lanes").drain() {
+        let _ = lane.shutdown(Shutdown::Both);
+    }
+    result
+}
+
+fn wait_for_master(shared: &WorkerShared) -> Result<TcpStream, TransportError> {
+    let mut slot = shared.master.lock().expect("master slot");
+    loop {
+        if let Some(master) = slot.take() {
+            return Ok(master);
+        }
+        match shared.options.master_wait {
+            None => slot = shared.master_cv.wait(slot).expect("master slot"),
+            Some(limit) => {
+                let (next, timeout) = shared
+                    .master_cv
+                    .wait_timeout(slot, limit)
+                    .expect("master slot");
+                slot = next;
+                if timeout.timed_out() && slot.is_none() {
+                    return Err(TransportError::Timeout {
+                        peer: "master".to_string(),
+                        context: "waiting for a master to connect".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Accepts connections and registers them by their hello role. Runs until
+/// the session owner sets `done` and wakes it with a dummy connection.
+fn accept_loop(listener: TcpListener, shared: Arc<WorkerShared>) {
+    for conn in listener.incoming() {
+        if shared.done.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        // Transient accept failures (ECONNABORTED from a client that gave
+        // up, EINTR, fd pressure) must not end the session's ability to
+        // register peers — skip and keep accepting.
+        let Ok(stream) = conn else { continue };
+        // Handshakes run on their own thread: a non-protocol connection
+        // (port scan, wrong magic) or a client that connects and sends
+        // nothing can stall for up to io_timeout, and must not head-of-
+        // line-block a legitimate peer lane registering behind it. The
+        // thread is short-lived (bounded by the handshake read timeout)
+        // and registration order is irrelevant — waiters sit on condvars.
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let _ = register_connection(stream, &shared);
+        });
+    }
+}
+
+fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), TransportError> {
+    let peer = "connecting peer";
+    stream
+        .set_read_timeout(Some(shared.options.io_timeout))
+        .map_err(|e| TransportError::from_io(peer, "set handshake timeout", e))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = &stream;
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| TransportError::from_io(peer, "read hello magic", e))?;
+    if magic != MAGIC {
+        return Err(TransportError::Handshake {
+            peer: peer.to_string(),
+            reason: format!("bad magic {magic:?} (expected {MAGIC:?})"),
+        });
+    }
+    let version = read_varint(&mut reader).map_err(|e| e.classify(peer, "read hello version"))?;
+    if version != PROTOCOL_VERSION {
+        return Err(TransportError::Handshake {
+            peer: peer.to_string(),
+            reason: format!("protocol version {version} (expected {PROTOCOL_VERSION})"),
+        });
+    }
+    let role = read_varint(&mut reader).map_err(|e| e.classify(peer, "read hello role"))?;
+    match role {
+        ROLE_MASTER => {
+            let my_id = read_varint(&mut reader).map_err(|e| e.classify(peer, "read id"))? as usize;
+            let count =
+                read_varint(&mut reader).map_err(|e| e.classify(peer, "read topology"))? as usize;
+            let mut topology = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                topology
+                    .push(read_string(&mut reader).map_err(|e| e.classify(peer, "read topology"))?);
+            }
+            {
+                let mut state = shared.state.lock().expect("worker state");
+                state.my_id = my_id;
+                state.topology = topology;
+            }
+            // Acknowledge so the master knows it reached a protocol worker.
+            let mut ack = Vec::with_capacity(16);
+            ack.extend_from_slice(&MAGIC);
+            wire::put_varint(&mut ack, PROTOCOL_VERSION);
+            wire::put_varint(&mut ack, my_id as u64);
+            let mut writer = &stream;
+            writer
+                .write_all(&ack)
+                .map_err(|e| TransportError::from_io(peer, "write hello ack", e))?;
+            // The relay loop blocks between collectives for arbitrarily
+            // long: no read timeout on the master connection.
+            let _ = stream.set_read_timeout(None);
+            let mut slot = shared.master.lock().expect("master slot");
+            *slot = Some(stream);
+            shared.master_cv.notify_all();
+        }
+        ROLE_PEER => {
+            let from =
+                read_varint(&mut reader).map_err(|e| e.classify(peer, "read peer id"))? as usize;
+            let mut lanes = shared.incoming.lock().expect("incoming lanes");
+            lanes.insert(from, stream);
+            shared.incoming_cv.notify_all();
+        }
+        other => {
+            return Err(TransportError::Handshake {
+                peer: peer.to_string(),
+                reason: format!("unknown hello role {other}"),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// One forwarded group of frames: payloads from logical node `src` to
+/// logical node `dst`.
+struct Group {
+    src: usize,
+    dst: usize,
+    frames: Vec<Vec<u8>>,
+}
+
+fn relay_loop(master: &TcpStream, shared: &WorkerShared) -> Result<(), TransportError> {
+    let peer = "master";
+    let mut reader = master;
+    loop {
+        let opcode = match read_varint(&mut reader) {
+            Ok(op) => op,
+            // The master dropping the connection between ops is a clean
+            // session end, not an error.
+            Err(FrameIoError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(())
+            }
+            Err(e) => return Err(e.classify(peer, "read opcode")),
+        };
+        match opcode {
+            OP_ECHO => {
+                let frame = read_frame(&mut reader).map_err(|e| e.classify(peer, "read echo"))?;
+                let mut out = Vec::with_capacity(frame.len() + wire::MAX_VARINT_LEN);
+                put_frame(&mut out, &frame);
+                let mut writer = master;
+                writer
+                    .write_all(&out)
+                    .map_err(|e| TransportError::from_io(peer, "write echo reply", e))?;
+            }
+            OP_TOPOLOGY => {
+                let count = read_varint(&mut reader)
+                    .map_err(|e| e.classify(peer, "read topology size"))?
+                    as usize;
+                let mut topology = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    topology.push(
+                        read_string(&mut reader).map_err(|e| e.classify(peer, "read topology"))?,
+                    );
+                }
+                shared.state.lock().expect("worker state").topology = topology;
+            }
+            OP_EXCHANGE => handle_exchange(master, shared)?,
+            OP_SHUTDOWN => {
+                let mut writer = master;
+                let _ = writer.write_all(&[0]); // empty ack frame
+                return Ok(());
+            }
+            other => {
+                return Err(TransportError::Protocol {
+                    peer: peer.to_string(),
+                    reason: format!("unknown opcode {other}"),
+                })
+            }
+        }
+    }
+}
+
+fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), TransportError> {
+    let peer = "master";
+    let mut reader = master;
+    let context = "read exchange op";
+    let send_count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+    let mut sends: Vec<Group> = Vec::with_capacity(send_count.min(1024));
+    for _ in 0..send_count {
+        let src = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let dst = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let frame_count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let mut frames = Vec::with_capacity(frame_count.min(4096));
+        for _ in 0..frame_count {
+            frames.push(read_frame(&mut reader).map_err(|e| e.classify(peer, context))?);
+        }
+        sends.push(Group { src, dst, frames });
+    }
+    let recv_count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+    let mut recvs: Vec<(usize, usize, usize)> = Vec::with_capacity(recv_count.min(1024));
+    for _ in 0..recv_count {
+        let src = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let dst = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        recvs.push((src, dst, count));
+    }
+
+    let (my_id, topology) = {
+        let state = shared.state.lock().expect("worker state");
+        (state.my_id, state.topology.clone())
+    };
+    let num_workers = topology.len().max(1);
+    let worker_of = |node: usize| node % num_workers;
+
+    // Split sends: groups whose destination lives on this worker short-
+    // circuit locally; the rest are forwarded over the peer mesh, one
+    // writer thread per destination worker so a full socket buffer can
+    // never produce a circular wait.
+    let mut local: HashMap<(usize, usize), Vec<Vec<u8>>> = HashMap::new();
+    let mut remote: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
+    for group in sends {
+        if worker_of(group.dst) == my_id {
+            local.insert((group.src, group.dst), group.frames);
+        } else {
+            remote.entry(worker_of(group.dst)).or_default().push(group);
+        }
+    }
+
+    let mut received: Vec<Vec<Vec<u8>>> = Vec::with_capacity(recvs.len());
+    let forward_result: Result<(), TransportError> = std::thread::scope(|scope| {
+        let writers: Vec<_> = remote
+            .into_iter()
+            .map(|(worker, groups)| {
+                let shared = &shared;
+                let topology = &topology;
+                scope.spawn(move || forward_groups(shared, topology, my_id, worker, groups))
+            })
+            .collect();
+
+        // Read the expected groups while the writers run. Per-lane frames
+        // arrive in master-specified (src, dst) order.
+        let mut lanes: HashMap<usize, TcpStream> = HashMap::new();
+        for &(src, dst, count) in &recvs {
+            if worker_of(src) == my_id {
+                let frames = local
+                    .remove(&(src, dst))
+                    .ok_or_else(|| TransportError::Protocol {
+                        peer: peer.to_string(),
+                        reason: format!("exchange op lists local group {src}->{dst} it never sent"),
+                    })?;
+                if frames.len() != count {
+                    return Err(TransportError::Protocol {
+                        peer: peer.to_string(),
+                        reason: format!(
+                            "local group {src}->{dst}: expected {count} frames, got {}",
+                            frames.len()
+                        ),
+                    });
+                }
+                received.push(frames);
+            } else {
+                let from = worker_of(src);
+                if let std::collections::hash_map::Entry::Vacant(slot) = lanes.entry(from) {
+                    slot.insert(incoming_lane(shared, from, &topology)?);
+                }
+                let lane = lanes.get_mut(&from).expect("lane just inserted");
+                received.push(read_group(lane, from, src, dst, count, &topology)?);
+            }
+        }
+        for writer in writers {
+            writer.join().expect("peer forward thread")?;
+        }
+        Ok(())
+    });
+    forward_result?;
+
+    // Reply: the frames of every expected group, in op order.
+    let mut reply = Vec::new();
+    for frames in &received {
+        for frame in frames {
+            put_frame(&mut reply, frame);
+        }
+    }
+    let mut writer = master;
+    writer
+        .write_all(&reply)
+        .map_err(|e| TransportError::from_io(peer, "write exchange reply", e))
+}
+
+/// Connects (or reuses) the outgoing lane to `worker` and writes `groups`
+/// in order.
+fn forward_groups(
+    shared: &WorkerShared,
+    topology: &[String],
+    my_id: usize,
+    worker: usize,
+    groups: Vec<Group>,
+) -> Result<(), TransportError> {
+    let peer = peer_name(worker, topology);
+    let lane = {
+        let mut lanes = shared.outgoing.lock().expect("outgoing lanes");
+        #[allow(clippy::map_entry)] // lane construction is fallible; entry() cannot early-return
+        if !lanes.contains_key(&worker) {
+            let addr = topology
+                .get(worker)
+                .ok_or_else(|| TransportError::Protocol {
+                    peer: peer.clone(),
+                    reason: format!(
+                        "worker {worker} is outside the {}-worker topology",
+                        topology.len()
+                    ),
+                })?;
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| TransportError::from_io(&peer, "connect peer lane", e))?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_write_timeout(Some(shared.options.io_timeout))
+                .map_err(|e| TransportError::from_io(&peer, "set peer timeout", e))?;
+            let mut hello = Vec::with_capacity(16);
+            hello.extend_from_slice(&MAGIC);
+            wire::put_varint(&mut hello, PROTOCOL_VERSION);
+            wire::put_varint(&mut hello, ROLE_PEER);
+            wire::put_varint(&mut hello, my_id as u64);
+            let mut writer = &stream;
+            writer
+                .write_all(&hello)
+                .map_err(|e| TransportError::from_io(&peer, "write peer hello", e))?;
+            lanes.insert(worker, stream);
+        }
+        lanes
+            .get(&worker)
+            .expect("lane just ensured")
+            .try_clone()
+            .map_err(|e| TransportError::from_io(&peer, "clone peer lane", e))?
+    };
+    let mut buf = Vec::new();
+    for group in &groups {
+        wire::put_varint(&mut buf, group.src as u64);
+        wire::put_varint(&mut buf, group.dst as u64);
+        wire::put_varint(&mut buf, group.frames.len() as u64);
+        for frame in &group.frames {
+            put_frame(&mut buf, frame);
+        }
+    }
+    let mut writer = &lane;
+    writer
+        .write_all(&buf)
+        .map_err(|e| TransportError::from_io(&peer, "forward exchange frames", e))
+}
+
+/// Waits (bounded) for the incoming lane from `from` and returns a
+/// read-timeout-configured clone of it.
+fn incoming_lane(
+    shared: &WorkerShared,
+    from: usize,
+    topology: &[String],
+) -> Result<TcpStream, TransportError> {
+    let peer = peer_name(from, topology);
+    let deadline = std::time::Instant::now() + shared.options.io_timeout;
+    let mut lanes = shared.incoming.lock().expect("incoming lanes");
+    loop {
+        if let Some(stream) = lanes.get(&from) {
+            let clone = stream
+                .try_clone()
+                .map_err(|e| TransportError::from_io(&peer, "clone peer lane", e))?;
+            clone
+                .set_read_timeout(Some(shared.options.io_timeout))
+                .map_err(|e| TransportError::from_io(&peer, "set peer timeout", e))?;
+            return Ok(clone);
+        }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(TransportError::Timeout {
+                peer,
+                context: "waiting for peer lane".to_string(),
+            });
+        }
+        let (next, _) = shared
+            .incoming_cv
+            .wait_timeout(lanes, remaining)
+            .expect("incoming lanes");
+        lanes = next;
+    }
+}
+
+/// Reads one forwarded group from a peer lane and validates its header
+/// against the master-announced expectation.
+fn read_group(
+    lane: &mut TcpStream,
+    from_worker: usize,
+    src: usize,
+    dst: usize,
+    count: usize,
+    topology: &[String],
+) -> Result<Vec<Vec<u8>>, TransportError> {
+    let peer = peer_name(from_worker, topology);
+    let context = "read forwarded frames";
+    let got_src = read_varint(lane).map_err(|e| e.classify(&peer, context))? as usize;
+    let got_dst = read_varint(lane).map_err(|e| e.classify(&peer, context))? as usize;
+    let got_count = read_varint(lane).map_err(|e| e.classify(&peer, context))? as usize;
+    if (got_src, got_dst, got_count) != (src, dst, count) {
+        return Err(TransportError::Protocol {
+            peer,
+            reason: format!(
+                "expected group {src}->{dst} ({count} frames), \
+                 got {got_src}->{got_dst} ({got_count} frames)"
+            ),
+        });
+    }
+    let mut frames = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        frames.push(read_frame(lane).map_err(|e| e.classify(&peer, context))?);
+    }
+    Ok(frames)
+}
+
+fn peer_name(worker: usize, topology: &[String]) -> String {
+    match topology.get(worker) {
+        Some(addr) => format!("worker {worker} ({addr})"),
+        None => format!("worker {worker}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Master side.
+// ---------------------------------------------------------------------------
+
+struct WorkerLink {
+    stream: TcpStream,
+    addr: String,
+    /// Topology length this worker last saw (hello or OP_TOPOLOGY).
+    topology_seen: usize,
+}
+
+impl WorkerLink {
+    fn name(&self, id: usize) -> String {
+        format!("worker {id} ({})", self.addr)
+    }
+}
+
+struct LoopbackWorker {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+struct MasterState {
+    links: Vec<WorkerLink>,
+    /// `Some` when this transport self-hosts its workers and may grow the
+    /// mesh; `None` for a fixed remote cluster.
+    loopback: Option<Vec<LoopbackWorker>>,
+    io_timeout: Duration,
+}
+
+impl MasterState {
+    fn worker_of(&self, node: usize) -> usize {
+        node % self.links.len().max(1)
+    }
+
+    /// Grows a loopback mesh to at least `num_nodes` workers and brings
+    /// every worker's topology up to date. A remote cluster never grows:
+    /// extra logical nodes wrap onto the existing workers.
+    fn ensure(&mut self, num_nodes: usize) -> Result<(), TransportError> {
+        if let Some(workers) = &mut self.loopback {
+            while self.links.len() < num_nodes {
+                let listener = bind_worker("127.0.0.1:0")?;
+                let addr = listener
+                    .local_addr()
+                    .map_err(|source| TransportError::Io {
+                        context: "loopback listener address".to_string(),
+                        source,
+                    })?
+                    .to_string();
+                let options = WorkerOptions {
+                    io_timeout: self.io_timeout,
+                    master_wait: Some(self.io_timeout),
+                };
+                let handle = std::thread::spawn(move || {
+                    if let Err(err) = serve_worker(listener, options) {
+                        eprintln!("dsr loopback worker failed: {err}");
+                    }
+                });
+                workers.push(LoopbackWorker {
+                    handle: Some(handle),
+                });
+                let id = self.links.len();
+                let topology: Vec<String> = self
+                    .links
+                    .iter()
+                    .map(|l| l.addr.clone())
+                    .chain(std::iter::once(addr.clone()))
+                    .collect();
+                let link = connect_link(&addr, id, &topology, self.io_timeout, self.io_timeout)?;
+                self.links.push(link);
+            }
+        }
+        if self.links.is_empty() {
+            return Err(TransportError::Protocol {
+                peer: "cluster".to_string(),
+                reason: "no workers configured".to_string(),
+            });
+        }
+        // Refresh stale topologies (loopback growth moves the address list).
+        let topology: Vec<String> = self.links.iter().map(|l| l.addr.clone()).collect();
+        for (id, link) in self.links.iter_mut().enumerate() {
+            if link.topology_seen == topology.len() {
+                continue;
+            }
+            let mut op = Vec::new();
+            wire::put_varint(&mut op, OP_TOPOLOGY);
+            wire::put_varint(&mut op, topology.len() as u64);
+            for addr in &topology {
+                put_string(&mut op, addr);
+            }
+            let name = link.name(id);
+            let mut writer = &link.stream;
+            writer
+                .write_all(&op)
+                .map_err(|e| TransportError::from_io(&name, "send topology update", e))?;
+            link.topology_seen = topology.len();
+        }
+        Ok(())
+    }
+}
+
+/// Connects to one worker and performs the master handshake.
+fn connect_link(
+    addr: &str,
+    id: usize,
+    topology: &[String],
+    connect_timeout: Duration,
+    io_timeout: Duration,
+) -> Result<WorkerLink, TransportError> {
+    let peer = format!("worker {id} ({addr})");
+    let resolved: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| TransportError::from_io(&peer, "resolve worker address", e))?
+        .next()
+        .ok_or_else(|| TransportError::Handshake {
+            peer: peer.clone(),
+            reason: "address resolves to nothing".to_string(),
+        })?;
+    let stream = TcpStream::connect_timeout(&resolved, connect_timeout)
+        .map_err(|e| TransportError::from_io(&peer, "connect to worker", e))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .map_err(|e| TransportError::from_io(&peer, "set read timeout", e))?;
+    stream
+        .set_write_timeout(Some(io_timeout))
+        .map_err(|e| TransportError::from_io(&peer, "set write timeout", e))?;
+
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&MAGIC);
+    wire::put_varint(&mut hello, PROTOCOL_VERSION);
+    wire::put_varint(&mut hello, ROLE_MASTER);
+    wire::put_varint(&mut hello, id as u64);
+    wire::put_varint(&mut hello, topology.len() as u64);
+    for address in topology {
+        put_string(&mut hello, address);
+    }
+    let mut writer = &stream;
+    writer
+        .write_all(&hello)
+        .map_err(|e| TransportError::from_io(&peer, "write master hello", e))?;
+
+    let mut reader = &stream;
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| TransportError::from_io(&peer, "read hello ack", e))?;
+    if magic != MAGIC {
+        return Err(TransportError::Handshake {
+            peer,
+            reason: format!("bad ack magic {magic:?} — is a dsr-node worker listening there?"),
+        });
+    }
+    let version = read_varint(&mut reader).map_err(|e| e.classify(&peer, "read ack version"))?;
+    if version != PROTOCOL_VERSION {
+        return Err(TransportError::Handshake {
+            peer,
+            reason: format!("worker speaks protocol version {version}, master {PROTOCOL_VERSION}"),
+        });
+    }
+    let echoed = read_varint(&mut reader).map_err(|e| e.classify(&peer, "read ack id"))?;
+    if echoed != id as u64 {
+        return Err(TransportError::Handshake {
+            peer,
+            reason: format!("worker acknowledged id {echoed}, expected {id}"),
+        });
+    }
+    Ok(WorkerLink {
+        stream,
+        addr: addr.to_string(),
+        topology_seen: topology.len(),
+    })
+}
+
+/// The TCP backend: collectives over real sockets and worker endpoints.
+///
+/// See the [module docs](self) for the architecture. Collectives are
+/// internally serialized (one at a time per transport), so one
+/// `TcpTransport` can be shared by concurrent query threads, exactly like
+/// the pipe backend.
+pub struct TcpTransport {
+    state: Mutex<MasterState>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport").finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// A self-hosted loopback cluster: workers are spawned as threads of
+    /// this process, each serving a real `127.0.0.1` socket, one per
+    /// logical node, growing lazily with the largest collective seen. This
+    /// is the `DSR_TRANSPORT=tcp` backend.
+    pub fn loopback() -> Self {
+        Self::loopback_with_timeout(Duration::from_secs(30))
+    }
+
+    /// [`TcpTransport::loopback`] with an explicit I/O timeout (tests use
+    /// short ones so failure paths resolve quickly).
+    pub fn loopback_with_timeout(io_timeout: Duration) -> Self {
+        TcpTransport {
+            state: Mutex::new(MasterState {
+                links: Vec::new(),
+                loopback: Some(Vec::new()),
+                io_timeout,
+            }),
+        }
+    }
+
+    /// Connects to the external workers of `spec` (each a running
+    /// `dsr-node worker`) and performs the handshake with every one.
+    /// Partition `p` is hosted by worker `p % spec.workers.len()`.
+    pub fn connect(spec: &ClusterSpec) -> Result<Self, TransportError> {
+        let mut links = Vec::with_capacity(spec.workers.len());
+        for (id, addr) in spec.workers.iter().enumerate() {
+            links.push(connect_link(
+                addr,
+                id,
+                &spec.workers,
+                spec.connect_timeout,
+                spec.io_timeout,
+            )?);
+        }
+        Ok(TcpTransport {
+            state: Mutex::new(MasterState {
+                links,
+                loopback: None,
+                io_timeout: spec.io_timeout,
+            }),
+        })
+    }
+
+    /// Number of connected workers (0 for a loopback mesh that has not
+    /// served a collective yet).
+    pub fn num_workers(&self) -> usize {
+        self.state.lock().expect("tcp state").links.len()
+    }
+
+    /// Severs the connection to worker `index` as if the process died
+    /// (test hook for the failure-path suites: the next collective
+    /// touching that worker returns a typed [`TransportError`]).
+    #[doc(hidden)]
+    pub fn debug_disconnect_worker(&self, index: usize) {
+        let state = self.state.lock().expect("tcp state");
+        if let Some(link) = state.links.get(index) {
+            let _ = link.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn encode_and_count<M: WireMessage>(message: &M, stats: &CommStats) -> Vec<u8> {
+        let encoded = wire::encode_to_vec(message);
+        debug_assert_eq!(
+            encoded.len(),
+            message.byte_size(),
+            "MessageSize::byte_size drifted from the wire encoding"
+        );
+        stats.record_message(encoded.len());
+        encoded
+    }
+
+    /// Round-trips one frame per node through the node's worker (`ECHO`):
+    /// the shared implementation of scatter and gather.
+    fn echo_round<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+        phase: &str,
+    ) -> Result<Vec<M>, TransportError> {
+        stats.record_round();
+        let k = messages.len();
+        let mut state = self.state.lock().expect("tcp state");
+        state.ensure(k)?;
+        let state = &*state;
+        let encoded: Vec<Vec<u8>> = messages
+            .iter()
+            .map(|m| Self::encode_and_count(m, stats))
+            .collect();
+        drop(messages);
+
+        let mut by_worker: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for node in 0..k {
+            by_worker
+                .entry(state.worker_of(node))
+                .or_default()
+                .push(node);
+        }
+        let mut delivered: Vec<Option<M>> = (0..k).map(|_| None).collect();
+        let outcome: Result<Vec<Vec<(usize, M)>>, TransportError> = std::thread::scope(|scope| {
+            let tasks: Vec<_> = by_worker
+                .iter()
+                .map(|(&worker, nodes)| {
+                    let link = &state.links[worker];
+                    let encoded = &encoded;
+                    scope.spawn(move || -> Result<Vec<(usize, M)>, TransportError> {
+                        let name = link.name(worker);
+                        let mut results = Vec::with_capacity(nodes.len());
+                        for &node in nodes {
+                            let mut op =
+                                Vec::with_capacity(encoded[node].len() + 2 * wire::MAX_VARINT_LEN);
+                            wire::put_varint(&mut op, OP_ECHO);
+                            put_frame(&mut op, &encoded[node]);
+                            let mut writer = &link.stream;
+                            writer.write_all(&op).map_err(|e| {
+                                TransportError::from_io(&name, &format!("{phase} send"), e)
+                            })?;
+                            let mut reader = &link.stream;
+                            let frame = read_frame(&mut reader)
+                                .map_err(|e| e.classify(&name, &format!("{phase} reply")))?;
+                            let message = wire::decode_exact::<M>(&frame)?;
+                            results.push((node, message));
+                        }
+                        Ok(results)
+                    })
+                })
+                .collect();
+            tasks
+                .into_iter()
+                .map(|t| t.join().expect("tcp echo thread"))
+                .collect()
+        });
+        for (node, message) in outcome?.into_iter().flatten() {
+            delivered[node] = Some(message);
+        }
+        Ok(delivered
+            .into_iter()
+            .map(|m| m.expect("every node delivered"))
+            .collect())
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().expect("tcp state");
+        for link in &state.links {
+            let mut writer = &link.stream;
+            if writer.write_all(&[OP_SHUTDOWN as u8]).is_ok() {
+                let mut reader = &link.stream;
+                let _ = read_frame(&mut reader); // best-effort ack
+            }
+            let _ = link.stream.shutdown(Shutdown::Both);
+        }
+        if let Some(workers) = &mut state.loopback {
+            for worker in workers {
+                if let Some(handle) = worker.handle.take() {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
+        self.echo_round(messages, stats, "scatter")
+    }
+
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
+        self.echo_round(messages, stats, "gather")
+    }
+
+    fn all_to_all<M: WireMessage>(
+        &self,
+        num_nodes: usize,
+        outgoing: Vec<Vec<(usize, M)>>,
+        stats: &CommStats,
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
+        assert_eq!(outgoing.len(), num_nodes, "one send list per node");
+        stats.record_round();
+        let mut state = self.state.lock().expect("tcp state");
+        state.ensure(num_nodes)?;
+        let state = &*state;
+
+        // Encode cross-node payloads (stats count each logical message
+        // once, like every other backend); self-sends never touch a socket.
+        let mut groups: BTreeMap<(usize, usize), Vec<Vec<u8>>> = BTreeMap::new();
+        let mut self_sends: Vec<Vec<M>> = (0..num_nodes).map(|_| Vec::new()).collect();
+        for (src, sends) in outgoing.into_iter().enumerate() {
+            for (dst, message) in sends {
+                assert!(dst < num_nodes, "destination {dst} out of range");
+                if dst == src {
+                    self_sends[src].push(message);
+                } else {
+                    groups
+                        .entry((src, dst))
+                        .or_default()
+                        .push(Self::encode_and_count(&message, stats));
+                }
+            }
+        }
+
+        // Per worker: the groups it must forward (src hosted there) and
+        // the groups it will collect (dst hosted there), both in (src, dst)
+        // order — the order every mesh lane preserves.
+        let mut send_plan: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut recv_plan: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+        for (&(src, dst), frames) in &groups {
+            send_plan
+                .entry(state.worker_of(src))
+                .or_default()
+                .push((src, dst));
+            recv_plan
+                .entry(state.worker_of(dst))
+                .or_default()
+                .push((src, dst, frames.len()));
+        }
+        let involved: Vec<usize> = {
+            let mut workers: Vec<usize> =
+                send_plan.keys().chain(recv_plan.keys()).copied().collect();
+            workers.sort_unstable();
+            workers.dedup();
+            workers
+        };
+
+        // Per worker thread: the `(src, dst, message)` triples it
+        // collected from its reply.
+        type Collected<M> = Vec<(usize, usize, M)>;
+        let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
+        let outcome: Result<Vec<Collected<M>>, TransportError> = std::thread::scope(|scope| {
+            let tasks: Vec<_> = involved
+                .iter()
+                .map(|&worker| {
+                    let link = &state.links[worker];
+                    let groups = &groups;
+                    let sends = send_plan.get(&worker);
+                    let recvs = recv_plan.get(&worker);
+                    scope.spawn(move || -> Result<Vec<(usize, usize, M)>, TransportError> {
+                        let name = link.name(worker);
+                        let mut op = Vec::new();
+                        wire::put_varint(&mut op, OP_EXCHANGE);
+                        let send_list = sends.map(Vec::as_slice).unwrap_or(&[]);
+                        wire::put_varint(&mut op, send_list.len() as u64);
+                        for &(src, dst) in send_list {
+                            let frames = &groups[&(src, dst)];
+                            wire::put_varint(&mut op, src as u64);
+                            wire::put_varint(&mut op, dst as u64);
+                            wire::put_varint(&mut op, frames.len() as u64);
+                            for frame in frames {
+                                put_frame(&mut op, frame);
+                            }
+                        }
+                        let recv_list = recvs.map(Vec::as_slice).unwrap_or(&[]);
+                        wire::put_varint(&mut op, recv_list.len() as u64);
+                        for &(src, dst, count) in recv_list {
+                            wire::put_varint(&mut op, src as u64);
+                            wire::put_varint(&mut op, dst as u64);
+                            wire::put_varint(&mut op, count as u64);
+                        }
+                        let mut writer = &link.stream;
+                        writer
+                            .write_all(&op)
+                            .map_err(|e| TransportError::from_io(&name, "exchange send", e))?;
+                        let mut reader = &link.stream;
+                        let mut collected = Vec::new();
+                        for &(src, dst, count) in recv_list {
+                            for _ in 0..count {
+                                let frame = read_frame(&mut reader)
+                                    .map_err(|e| e.classify(&name, "exchange reply"))?;
+                                collected.push((src, dst, wire::decode_exact::<M>(&frame)?));
+                            }
+                        }
+                        Ok(collected)
+                    })
+                })
+                .collect();
+            tasks
+                .into_iter()
+                .map(|t| t.join().expect("tcp exchange thread"))
+                .collect()
+        });
+        // Replies are per-worker; within one worker they are (src, dst)
+        // sorted, and each dst is served by exactly one worker, so pushing
+        // in worker order keeps every inbox sorted by source.
+        for collected in outcome? {
+            for (src, dst, message) in collected {
+                incoming[dst].push((src, message));
+            }
+        }
+        for inbox in &mut incoming {
+            inbox.sort_by_key(|&(src, _)| src);
+        }
+
+        // Merge self-sends at their sorted position, preserving send order.
+        for (node, messages) in self_sends.into_iter().enumerate() {
+            let at = incoming[node].partition_point(|&(src, _)| src < node);
+            for (offset, message) in messages.into_iter().enumerate() {
+                incoming[node].insert(at + offset, (node, message));
+            }
+        }
+        Ok(incoming)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"hello");
+        put_frame(&mut buf, b"");
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+    }
+
+    #[test]
+    fn frame_codec_rejects_short_reads() {
+        // Length prefix announces 5 bytes, stream holds 2: an error, not a
+        // panic and not a hang.
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, 5);
+        buf.extend_from_slice(b"ab");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, FrameIoError::Io(ref e)
+            if e.kind() == std::io::ErrorKind::UnexpectedEof));
+        // Truncated mid-varint.
+        let err = read_frame(&mut Cursor::new(vec![0x80u8])).unwrap_err();
+        assert!(matches!(err, FrameIoError::Io(_)));
+        // Classified as a typed transport error with peer context.
+        let classified = err.classify("worker 2", "exchange reply");
+        assert!(matches!(classified, TransportError::Disconnected { .. }));
+        assert!(classified.to_string().contains("worker 2"));
+    }
+
+    #[test]
+    fn frame_codec_rejects_oversized_length_prefixes_before_allocating() {
+        // A 1 TiB announcement must be rejected from the 10 prefix bytes
+        // alone — if the guard were missing this test would try (and fail)
+        // to allocate the buffer.
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, 1 << 40);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        match err {
+            FrameIoError::Oversized(announced) => assert_eq!(announced, 1 << 40),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        let classified = err.classify("worker 0", "scatter reply");
+        assert!(matches!(
+            classified,
+            TransportError::OversizedFrame {
+                limit: MAX_FRAME_LEN,
+                ..
+            }
+        ));
+        // Varint overflow in the prefix is also typed.
+        let err = read_frame(&mut Cursor::new(vec![0xFFu8; 11])).unwrap_err();
+        assert!(matches!(err, FrameIoError::VarintOverflow));
+    }
+
+    #[test]
+    fn cluster_spec_parses_toml_subset() {
+        let spec = ClusterSpec::from_toml_str(
+            r#"
+            # three workers on loopback
+            [cluster]
+            workers = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+            connect_timeout_ms = 1500
+            io_timeout_ms = 12000
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(spec.workers.len(), 3);
+        assert_eq!(spec.workers[1], "127.0.0.1:7102");
+        assert_eq!(spec.connect_timeout, Duration::from_millis(1500));
+        assert_eq!(spec.io_timeout, Duration::from_millis(12000));
+
+        // Defaults apply when the keys are omitted.
+        let spec = ClusterSpec::from_toml_str("workers = [\"a:1\"]").expect("parses");
+        assert_eq!(spec.io_timeout, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn cluster_spec_rejects_garbage_with_line_numbers() {
+        let err = ClusterSpec::from_toml_str("workers = [\"a:1\"]\nbogus_key = 3").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("bogus_key"), "{err}");
+        let err = ClusterSpec::from_toml_str("").unwrap_err();
+        assert!(err.contains("workers"));
+        let err = ClusterSpec::from_toml_str("workers = []").unwrap_err();
+        assert!(err.contains("at least one"));
+        let err = ClusterSpec::from_toml_str("workers = [unquoted]").unwrap_err();
+        assert!(err.contains("double-quoted"));
+    }
+
+    #[test]
+    fn loopback_mesh_grows_and_routes() {
+        let transport = TcpTransport::loopback_with_timeout(Duration::from_secs(10));
+        let stats = CommStats::new();
+        for k in [2usize, 4, 3] {
+            let outgoing: Vec<Vec<(usize, u32)>> =
+                (0..k).map(|i| vec![((i + 1) % k, i as u32)]).collect();
+            let incoming = transport.all_to_all(k, outgoing, &stats).expect("exchange");
+            for dst in 0..k {
+                let expected_src = (dst + k - 1) % k;
+                assert_eq!(incoming[dst], vec![(expected_src, expected_src as u32)]);
+            }
+        }
+        assert_eq!(transport.num_workers(), 4, "mesh grew to the largest k");
+    }
+
+    #[test]
+    fn connecting_to_a_non_protocol_peer_fails_the_handshake() {
+        // A listener that answers every connection with garbage.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let rogue = std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let _ = conn.write_all(b"HTTP/1.1 400 Bad Request\r\n\r\n");
+            }
+        });
+        let mut spec = ClusterSpec::new(vec![addr.clone()]);
+        spec.connect_timeout = Duration::from_secs(5);
+        spec.io_timeout = Duration::from_secs(5);
+        let err = TcpTransport::connect(&spec).expect_err("handshake must fail");
+        match &err {
+            TransportError::Handshake { peer, reason } => {
+                assert!(peer.contains(&addr), "peer named: {peer}");
+                assert!(reason.contains("magic"), "actionable reason: {reason}");
+            }
+            other => panic!("expected Handshake error, got {other}"),
+        }
+        rogue.join().expect("rogue listener");
+    }
+
+    #[test]
+    fn connecting_to_a_dead_address_is_a_typed_error() {
+        // Port 1 on loopback is essentially never listening.
+        let mut spec = ClusterSpec::new(vec!["127.0.0.1:1".to_string()]);
+        spec.connect_timeout = Duration::from_millis(500);
+        let err = TcpTransport::connect(&spec).expect_err("nothing listens there");
+        assert!(
+            matches!(
+                err,
+                TransportError::Io { .. } | TransportError::Timeout { .. }
+            ),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn worker_death_mid_session_surfaces_disconnected() {
+        let transport = TcpTransport::loopback_with_timeout(Duration::from_secs(5));
+        let stats = CommStats::new();
+        // Healthy first round establishes the 3-worker mesh.
+        let delivered = transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("healthy scatter");
+        assert_eq!(delivered, vec![1, 2, 3]);
+        // Kill worker 1 and observe the next collective fail with a typed
+        // error instead of panicking or hanging.
+        transport.debug_disconnect_worker(1);
+        let err = transport
+            .scatter(vec![4u32, 5, 6], &stats)
+            .expect_err("dead worker must surface");
+        assert!(
+            matches!(
+                err,
+                TransportError::Disconnected { .. }
+                    | TransportError::Io { .. }
+                    | TransportError::Timeout { .. }
+            ),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("worker 1"), "{err}");
+    }
+}

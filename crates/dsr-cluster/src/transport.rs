@@ -28,17 +28,29 @@
 //! type: a k-partition query that only ships data between a few slave pairs
 //! allocates proportional to the messages it sends, not to `k²`.
 //!
+//! A third backend, [`TcpTransport`], moves the
+//! same collectives through **worker endpoints over TCP sockets** — either
+//! self-hosted loopback workers (the `DSR_TRANSPORT=tcp` test matrix) or
+//! external `dsr-node` processes; see [`crate::tcp`].
+//!
+//! Collectives return `Result`: the in-process and pipe backends cannot
+//! meaningfully fail (they always return `Ok`), but a TCP cluster can lose
+//! a worker mid-exchange, and that failure surfaces as a typed
+//! [`TransportError`] instead of a panic or a hang.
+//!
 //! [`TransportKind`] selects a backend at runtime (e.g. from the
 //! `DSR_TRANSPORT` environment variable — the hook the test matrix and CI
-//! use to run the whole suite over both substrates), and [`DynTransport`]
+//! use to run the whole suite over every substrate), and [`DynTransport`]
 //! is the corresponding enum-dispatched backend for callers that pick a
 //! transport at construction time, such as the query service.
 
 use std::io::{Read, Write};
 use std::sync::Mutex;
 
+use crate::error::TransportError;
 use crate::message::MessageSize;
 use crate::stats::CommStats;
+use crate::tcp::TcpTransport;
 use crate::wire::{self, Wire};
 
 /// Environment variable read by [`TransportKind::from_env`].
@@ -76,11 +88,27 @@ pub trait Transport: Sync {
 
     /// Master → slaves: delivers `messages[i]` to slave `i`. Records one
     /// round and one message per slave.
-    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M>;
+    ///
+    /// # Errors
+    /// Returns a [`TransportError`] when the substrate fails (a TCP worker
+    /// died, timed out, or broke the protocol). The in-process and pipe
+    /// backends never fail.
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError>;
 
     /// Slaves → master: delivers one message per slave, in slave order.
     /// Records one round and one message per slave.
-    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M>;
+    ///
+    /// # Errors
+    /// See [`Transport::scatter`].
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError>;
 
     /// All-to-all exchange over sparse send lists: `outgoing[src]` holds
     /// `(dst, message)` pairs. Returns `incoming` where `incoming[dst]`
@@ -89,15 +117,18 @@ pub trait Transport: Sync {
     /// Records one round plus one message per cross-node payload; a node
     /// sending to itself is delivered for free.
     ///
+    /// # Errors
+    /// See [`Transport::scatter`].
+    ///
     /// # Panics
     /// Panics if `outgoing.len() != num_nodes` or any destination is out of
-    /// range.
+    /// range — shape violations are caller bugs, not runtime failures.
     fn all_to_all<M: WireMessage>(
         &self,
         num_nodes: usize,
         outgoing: Vec<Vec<(usize, M)>>,
         stats: &CommStats,
-    ) -> Vec<Vec<(usize, M)>>;
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError>;
 }
 
 impl<T: Transport + ?Sized> Transport for &T {
@@ -109,11 +140,19 @@ impl<T: Transport + ?Sized> Transport for &T {
         (**self).is_zero_copy()
     }
 
-    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         (**self).scatter(messages, stats)
     }
 
-    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         (**self).gather(messages, stats)
     }
 
@@ -122,7 +161,7 @@ impl<T: Transport + ?Sized> Transport for &T {
         num_nodes: usize,
         outgoing: Vec<Vec<(usize, M)>>,
         stats: &CommStats,
-    ) -> Vec<Vec<(usize, M)>> {
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         (**self).all_to_all(num_nodes, outgoing, stats)
     }
 }
@@ -159,22 +198,30 @@ impl Transport for InProcess {
         true
     }
 
-    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         for message in &messages {
             debug_assert_exact_size(message);
             stats.record_message(message.byte_size());
         }
-        messages
+        Ok(messages)
     }
 
-    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         for message in &messages {
             debug_assert_exact_size(message);
             stats.record_message(message.byte_size());
         }
-        messages
+        Ok(messages)
     }
 
     fn all_to_all<M: WireMessage>(
@@ -182,7 +229,7 @@ impl Transport for InProcess {
         num_nodes: usize,
         outgoing: Vec<Vec<(usize, M)>>,
         stats: &CommStats,
-    ) -> Vec<Vec<(usize, M)>> {
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         assert_eq!(outgoing.len(), num_nodes, "one send list per node");
         stats.record_round();
         let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
@@ -198,7 +245,7 @@ impl Transport for InProcess {
                 incoming[dst].push((src, message));
             }
         }
-        incoming
+        Ok(incoming)
     }
 }
 
@@ -360,7 +407,11 @@ impl Transport for WireTransport {
         "wire"
     }
 
-    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
         let mut links = self.links.lock().expect("wire links poisoned");
@@ -394,13 +445,17 @@ impl Transport for WireTransport {
                 *slot = Some(reader.join().expect("scatter reader thread"));
             }
         });
-        delivered
+        Ok(delivered
             .into_iter()
             .map(|m| m.expect("scatter delivered"))
-            .collect()
+            .collect())
     }
 
-    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
         let mut links = self.links.lock().expect("wire links poisoned");
@@ -428,7 +483,7 @@ impl Transport for WireTransport {
                 gathered.push(decode_message::<M>(&frames[0]));
             }
         });
-        gathered
+        Ok(gathered)
     }
 
     fn all_to_all<M: WireMessage>(
@@ -436,7 +491,7 @@ impl Transport for WireTransport {
         num_nodes: usize,
         outgoing: Vec<Vec<(usize, M)>>,
         stats: &CommStats,
-    ) -> Vec<Vec<(usize, M)>> {
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         assert_eq!(outgoing.len(), num_nodes, "one send list per node");
         stats.record_round();
         let mut links = self.links.lock().expect("wire links poisoned");
@@ -507,7 +562,7 @@ impl Transport for WireTransport {
                 incoming[node].insert(at + offset, (node, message));
             }
         }
-        incoming
+        Ok(incoming)
     }
 }
 
@@ -523,6 +578,11 @@ pub enum TransportKind {
     InProcess,
     /// Serialized framed bytes over OS pipes.
     Wire,
+    /// Serialized framed bytes over TCP sockets and worker endpoints
+    /// (self-hosted loopback workers; see
+    /// [`TcpTransport`] for attaching to external
+    /// `dsr-node` processes).
+    Tcp,
 }
 
 /// Error returned when parsing a [`TransportKind`] from a string fails.
@@ -567,11 +627,14 @@ impl std::str::FromStr for TransportKind {
 
     /// Parses a backend name. Accepted values (case-insensitive): empty or
     /// `in-process`/`in_process`/`inprocess` for [`InProcess`], `wire` for
-    /// [`WireTransport`]. The error lists the valid values.
+    /// [`WireTransport`], `tcp` for the loopback
+    /// [`TcpTransport`]. The error lists the
+    /// valid values.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "" | "in-process" | "in_process" | "inprocess" => Ok(TransportKind::InProcess),
             "wire" => Ok(TransportKind::Wire),
+            "tcp" => Ok(TransportKind::Tcp),
             _ => Err(ParseTransportError {
                 value: s.to_string(),
             }),
@@ -582,12 +645,14 @@ impl std::str::FromStr for TransportKind {
 impl TransportKind {
     /// Canonical names accepted by the [`FromStr`](std::str::FromStr)
     /// parser (spelling variants of `in-process` are also recognized).
-    pub const VALID_NAMES: [&'static str; 2] = ["in-process", "wire"];
+    pub const VALID_NAMES: [&'static str; 3] = ["in-process", "wire", "tcp"];
 
     /// Reads the `DSR_TRANSPORT` environment variable: `wire` selects
-    /// [`WireTransport`], `in-process` (or unset) selects [`InProcess`].
-    /// The value goes through the [`FromStr`](std::str::FromStr) parser
-    /// that `ServiceConfig::from_env` and the experiment binaries reuse.
+    /// [`WireTransport`], `tcp` selects a loopback
+    /// [`TcpTransport`], `in-process` (or unset)
+    /// selects [`InProcess`]. The value goes through the
+    /// [`FromStr`](std::str::FromStr) parser that
+    /// `ServiceConfig::from_env` and the experiment binaries reuse.
     ///
     /// # Panics
     /// Panics on an unrecognized value — a misconfigured CI matrix should
@@ -600,11 +665,16 @@ impl TransportKind {
         }
     }
 
-    /// Instantiates the selected backend.
+    /// Instantiates the selected backend. [`TransportKind::Tcp`] creates a
+    /// **loopback** cluster (self-hosted worker threads on `127.0.0.1`
+    /// sockets); to attach to external `dsr-node` workers, build a
+    /// [`TcpTransport`] with [`TcpTransport::connect`] and wrap it in
+    /// [`DynTransport::Tcp`] yourself.
     pub fn create(self) -> DynTransport {
         match self {
             TransportKind::InProcess => DynTransport::InProcess(InProcess),
             TransportKind::Wire => DynTransport::Wire(WireTransport::new()),
+            TransportKind::Tcp => DynTransport::Tcp(TcpTransport::loopback()),
         }
     }
 }
@@ -617,6 +687,8 @@ pub enum DynTransport {
     InProcess(InProcess),
     /// See [`WireTransport`].
     Wire(WireTransport),
+    /// See [`TcpTransport`].
+    Tcp(TcpTransport),
 }
 
 impl DynTransport {
@@ -630,6 +702,7 @@ impl DynTransport {
         match self {
             DynTransport::InProcess(_) => TransportKind::InProcess,
             DynTransport::Wire(_) => TransportKind::Wire,
+            DynTransport::Tcp(_) => TransportKind::Tcp,
         }
     }
 }
@@ -639,6 +712,7 @@ impl Transport for DynTransport {
         match self {
             DynTransport::InProcess(t) => t.name(),
             DynTransport::Wire(t) => t.name(),
+            DynTransport::Tcp(t) => t.name(),
         }
     }
 
@@ -646,20 +720,31 @@ impl Transport for DynTransport {
         match self {
             DynTransport::InProcess(t) => t.is_zero_copy(),
             DynTransport::Wire(t) => t.is_zero_copy(),
+            DynTransport::Tcp(t) => t.is_zero_copy(),
         }
     }
 
-    fn scatter<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn scatter<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         match self {
             DynTransport::InProcess(t) => t.scatter(messages, stats),
             DynTransport::Wire(t) => t.scatter(messages, stats),
+            DynTransport::Tcp(t) => t.scatter(messages, stats),
         }
     }
 
-    fn gather<M: WireMessage>(&self, messages: Vec<M>, stats: &CommStats) -> Vec<M> {
+    fn gather<M: WireMessage>(
+        &self,
+        messages: Vec<M>,
+        stats: &CommStats,
+    ) -> Result<Vec<M>, TransportError> {
         match self {
             DynTransport::InProcess(t) => t.gather(messages, stats),
             DynTransport::Wire(t) => t.gather(messages, stats),
+            DynTransport::Tcp(t) => t.gather(messages, stats),
         }
     }
 
@@ -668,10 +753,11 @@ impl Transport for DynTransport {
         num_nodes: usize,
         outgoing: Vec<Vec<(usize, M)>>,
         stats: &CommStats,
-    ) -> Vec<Vec<(usize, M)>> {
+    ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         match self {
             DynTransport::InProcess(t) => t.all_to_all(num_nodes, outgoing, stats),
             DynTransport::Wire(t) => t.all_to_all(num_nodes, outgoing, stats),
+            DynTransport::Tcp(t) => t.all_to_all(num_nodes, outgoing, stats),
         }
     }
 }
@@ -680,11 +766,12 @@ impl Transport for DynTransport {
 mod tests {
     use super::*;
 
-    /// Runs the same exchange on both backends and checks they agree on
-    /// payloads *and* statistics.
+    /// Runs the same exchange on all three backends and checks they agree
+    /// on payloads *and* statistics.
     fn both_backends(test: impl Fn(&DynTransport)) {
         test(&DynTransport::InProcess(InProcess));
         test(&DynTransport::Wire(WireTransport::new()));
+        test(&DynTransport::Tcp(TcpTransport::loopback()));
     }
 
     #[test]
@@ -700,7 +787,7 @@ mod tests {
                         .collect()
                 })
                 .collect();
-            let incoming = transport.all_to_all(3, outgoing, &stats);
+            let incoming = transport.all_to_all(3, outgoing, &stats).expect("exchange");
             assert_eq!(incoming[1][0], (0, vec![0, 1]));
             assert_eq!(incoming[0][2], (2, vec![2, 0]));
             // Inboxes are sorted by source, self-sends included in place.
@@ -721,7 +808,9 @@ mod tests {
     fn gather_counts_each_slave() {
         both_backends(|transport| {
             let stats = CommStats::new();
-            let gathered = transport.gather(vec![1u32, 2, 3, 4], &stats);
+            let gathered = transport
+                .gather(vec![1u32, 2, 3, 4], &stats)
+                .expect("gather");
             assert_eq!(gathered, vec![1, 2, 3, 4]);
             assert_eq!(stats.messages(), 4);
             assert_eq!(stats.bytes(), 4);
@@ -734,7 +823,9 @@ mod tests {
         both_backends(|transport| {
             let stats = CommStats::new();
             let messages: Vec<Vec<u32>> = (0..4).map(|i| vec![i, i + 10, 300]).collect();
-            let delivered = transport.scatter(messages.clone(), &stats);
+            let delivered = transport
+                .scatter(messages.clone(), &stats)
+                .expect("scatter");
             assert_eq!(delivered, messages);
             assert_eq!(stats.rounds(), 1);
             assert_eq!(stats.messages(), 4);
@@ -758,10 +849,20 @@ mod tests {
         };
         let in_process = CommStats::new();
         let wire = CommStats::new();
-        let a = InProcess.all_to_all(5, outgoing(5), &in_process);
-        let b = WireTransport::new().all_to_all(5, outgoing(5), &wire);
-        assert_eq!(a, b, "payloads agree");
+        let tcp = CommStats::new();
+        let a = InProcess
+            .all_to_all(5, outgoing(5), &in_process)
+            .expect("in-process");
+        let b = WireTransport::new()
+            .all_to_all(5, outgoing(5), &wire)
+            .expect("wire");
+        let c = TcpTransport::loopback()
+            .all_to_all(5, outgoing(5), &tcp)
+            .expect("tcp");
+        assert_eq!(a, b, "payloads agree (wire)");
+        assert_eq!(a, c, "payloads agree (tcp)");
         assert_eq!(in_process.snapshot(), wire.snapshot(), "stats agree");
+        assert_eq!(in_process.snapshot(), tcp.snapshot(), "tcp stats agree");
     }
 
     #[test]
@@ -773,7 +874,7 @@ mod tests {
         let stats = CommStats::new();
         let big: Vec<u32> = (0..300_000u32).collect();
         let outgoing = vec![vec![(1usize, big.clone())], vec![(0usize, big.clone())]];
-        let incoming = transport.all_to_all(2, outgoing, &stats);
+        let incoming = transport.all_to_all(2, outgoing, &stats).expect("exchange");
         assert_eq!(incoming[0], vec![(1usize, big.clone())]);
         assert_eq!(incoming[1], vec![(0usize, big)]);
         assert!(stats.bytes() > 2 * 64 * 1024);
@@ -786,7 +887,7 @@ mod tests {
         for k in [2usize, 5, 3] {
             let outgoing: Vec<Vec<(usize, u32)>> =
                 (0..k).map(|i| vec![((i + 1) % k, i as u32)]).collect();
-            let incoming = transport.all_to_all(k, outgoing, &stats);
+            let incoming = transport.all_to_all(k, outgoing, &stats).expect("exchange");
             for dst in 0..k {
                 let expected_src = (dst + k - 1) % k;
                 assert_eq!(incoming[dst], vec![(expected_src, expected_src as u32)]);
@@ -805,7 +906,7 @@ mod tests {
                         let stats = CommStats::new();
                         let payload = vec![t, round];
                         let outgoing = vec![vec![(1usize, payload.clone())], Vec::new()];
-                        let incoming = transport.all_to_all(2, outgoing, &stats);
+                        let incoming = transport.all_to_all(2, outgoing, &stats).expect("exchange");
                         assert_eq!(incoming[1], vec![(0usize, payload)]);
                     }
                 });
@@ -819,11 +920,13 @@ mod tests {
             assert_eq!(ok.parse::<TransportKind>(), Ok(TransportKind::InProcess));
         }
         assert_eq!("Wire".parse::<TransportKind>(), Ok(TransportKind::Wire));
-        let err = "tcp".parse::<TransportKind>().unwrap_err();
-        assert_eq!(err.value(), "tcp");
+        assert_eq!("TCP".parse::<TransportKind>(), Ok(TransportKind::Tcp));
+        let err = "udp".parse::<TransportKind>().unwrap_err();
+        assert_eq!(err.value(), "udp");
         let message = err.to_string();
         assert!(message.contains("in-process"), "lists valid values");
         assert!(message.contains("wire"), "lists valid values");
+        assert!(message.contains("tcp"), "lists valid values");
         // The Debug rendering (what `.expect` prints) carries the same
         // guidance.
         assert_eq!(format!("{err:?}"), message);
@@ -838,6 +941,8 @@ mod tests {
         );
         assert_eq!(TransportKind::Wire.create().kind(), TransportKind::Wire);
         assert_eq!(TransportKind::Wire.create().name(), "wire");
+        assert_eq!(TransportKind::Tcp.create().kind(), TransportKind::Tcp);
+        assert_eq!(TransportKind::Tcp.create().name(), "tcp");
         assert_eq!(InProcess.name(), "in-process");
     }
 
@@ -845,13 +950,13 @@ mod tests {
     #[should_panic(expected = "one send list per node")]
     fn wrong_shape_panics() {
         let stats = CommStats::new();
-        InProcess.all_to_all(2, vec![vec![(0usize, 1u32)]], &stats);
+        let _ = InProcess.all_to_all(2, vec![vec![(0usize, 1u32)]], &stats);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_destination_panics() {
         let stats = CommStats::new();
-        InProcess.all_to_all(2, vec![vec![(5usize, 1u32)], Vec::new()], &stats);
+        let _ = InProcess.all_to_all(2, vec![vec![(5usize, 1u32)], Vec::new()], &stats);
     }
 }

@@ -94,7 +94,9 @@ impl FanBaseline {
             .into_iter()
             .zip(targets_by_partition)
             .collect();
-        let delivered = InProcess.scatter(scatter, &stats);
+        let delivered = InProcess
+            .scatter(scatter, &stats)
+            .expect("the in-process transport never fails");
 
         // Each slave: local reachability from (Si ∪ Ii) to (Oi ∪ Ti).
         let local_pairs: Vec<Vec<(VertexId, VertexId)>> = run_on_slaves(k, |i| {
@@ -102,7 +104,9 @@ impl FanBaseline {
         });
 
         // One gather round to the master.
-        let gathered = InProcess.gather(local_pairs, &stats);
+        let gathered = InProcess
+            .gather(local_pairs, &stats)
+            .expect("the in-process transport never fails");
 
         // Master: dependency graph = local reachability pairs + cut edges.
         let mut adjacency: HashMap<VertexId, Vec<VertexId>> = HashMap::new();

@@ -50,7 +50,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport};
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport, TransportError};
 use dsr_graph::traversal::{bfs_reachable, Direction};
 use dsr_graph::VertexId;
 use dsr_partition::PartitionId;
@@ -196,6 +196,13 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
 
     /// Algorithm 2: full set reachability with timing and communication
     /// accounting.
+    ///
+    /// # Panics
+    /// Panics (with the typed [`TransportError`] message) if the transport
+    /// fails mid-protocol. The in-process and pipe backends never fail;
+    /// callers running over a TCP cluster that need to *handle* worker
+    /// failures should use [`DsrEngine::set_reachability_batch`], which
+    /// returns the error as a value.
     pub fn set_reachability(&self, sources: &[VertexId], targets: &[VertexId]) -> QueryOutcome {
         let stats = CommStats::new();
         let start = Instant::now();
@@ -211,6 +218,9 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
     }
 
     /// Algorithm 2 with an externally provided statistics collector.
+    ///
+    /// # Panics
+    /// See [`DsrEngine::set_reachability`].
     pub fn set_reachability_with_stats(
         &self,
         sources: &[VertexId],
@@ -219,6 +229,7 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
     ) -> Vec<(VertexId, VertexId)> {
         let query = SetQuery::new(sources.to_vec(), targets.to_vec());
         self.set_reachability_batch_with_stats(std::slice::from_ref(&query), stats)
+            .expect("transport failed mid-query")
             .pop()
             .expect("batch of one yields one result")
     }
@@ -227,27 +238,38 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
     /// scatter/exchange/gather sequence (3 communication rounds total, not
     /// 3 per query). See the module docs for how the per-slave work is
     /// fused across queries.
-    pub fn set_reachability_batch(&self, queries: &[SetQuery]) -> BatchOutcome {
+    ///
+    /// # Errors
+    /// Returns the typed [`TransportError`] when the transport fails
+    /// mid-protocol — e.g. a TCP worker disconnecting in the middle of the
+    /// exchange round. The in-process and pipe backends never fail.
+    pub fn set_reachability_batch(
+        &self,
+        queries: &[SetQuery],
+    ) -> Result<BatchOutcome, TransportError> {
         let stats = CommStats::new();
         let start = Instant::now();
-        let results = self.set_reachability_batch_with_stats(queries, &stats);
+        let results = self.set_reachability_batch_with_stats(queries, &stats)?;
         let (rounds, messages, bytes) = stats.snapshot();
-        BatchOutcome {
+        Ok(BatchOutcome {
             results,
             rounds,
             messages,
             bytes,
             elapsed: start.elapsed(),
-        }
+        })
     }
 
     /// Batched Algorithm 2 with an externally provided statistics collector.
     /// Returns one (sorted, deduplicated) pair list per input query.
+    ///
+    /// # Errors
+    /// See [`DsrEngine::set_reachability_batch`].
     pub fn set_reachability_batch_with_stats(
         &self,
         queries: &[SetQuery],
         stats: &CommStats,
-    ) -> Vec<Vec<(VertexId, VertexId)>> {
+    ) -> Result<Vec<Vec<(VertexId, VertexId)>>, TransportError> {
         let index = self.index;
         let k = index.num_partitions();
         let mut results: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); queries.len()];
@@ -280,12 +302,12 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
             }
         }
         if original_of.is_empty() {
-            return results;
+            return Ok(results);
         }
 
         // ---- Scatter: one round, one message per slave carrying every
         // query's local sources plus its target list. ------------------------
-        let delivered = self.transport.scatter(scatter, stats);
+        let delivered = self.transport.scatter(scatter, stats)?;
 
         // ---- Step 1: fused local evaluation at every slave, over the
         // queries exactly as the transport delivered them. -------------------
@@ -299,7 +321,7 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
             final_pairs.extend(out.final_pairs);
             outgoing.push(out.outgoing);
         }
-        let incoming = self.transport.all_to_all(k, outgoing, stats);
+        let incoming = self.transport.all_to_all(k, outgoing, stats)?;
 
         // ---- Step 3: fused final local evaluation at every slave. ----------
         let step_three: Vec<GatherMessage> = run_on_slaves(k, |j| {
@@ -307,7 +329,7 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
         });
 
         // ---- Gather results at the master (one round). ---------------------
-        let gathered = self.transport.gather(step_three, stats);
+        let gathered = self.transport.gather(step_three, stats)?;
         for (a, s, t) in final_pairs {
             results[original_of[a as usize]].push((s, t));
         }
@@ -320,7 +342,7 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
             pairs.sort_unstable();
             pairs.dedup();
         }
-        results
+        Ok(results)
     }
 
     /// Step 1 at slave `i`, fused across every active query: one
@@ -833,7 +855,7 @@ mod tests {
             SetQuery::new(vec![17], vec![0]),
             SetQuery::new(vec![4, 4, 5], vec![1, 1, 0]),
         ];
-        let batch = engine.set_reachability_batch(&queries);
+        let batch = engine.set_reachability_batch(&queries).expect("in-process");
         assert_eq!(batch.results.len(), queries.len());
         for (q, result) in queries.iter().zip(&batch.results) {
             assert_eq!(
@@ -857,7 +879,7 @@ mod tests {
                 )
             })
             .collect();
-        let batch = engine.set_reachability_batch(&queries);
+        let batch = engine.set_reachability_batch(&queries).expect("in-process");
         // One scatter + one exchange + one gather for the whole batch.
         assert_eq!(batch.rounds, 3);
         // Per-query execution pays the three rounds for every query.
@@ -873,10 +895,12 @@ mod tests {
         let (g, p) = figure1();
         let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
         let engine = DsrEngine::new(&index);
-        let batch = engine.set_reachability_batch(&[
-            SetQuery::new(vec![], vec![1]),
-            SetQuery::new(vec![1], vec![]),
-        ]);
+        let batch = engine
+            .set_reachability_batch(&[
+                SetQuery::new(vec![], vec![1]),
+                SetQuery::new(vec![1], vec![]),
+            ])
+            .expect("in-process");
         assert_eq!(batch.results, vec![Vec::new(), Vec::new()]);
         assert_eq!(batch.rounds, 0);
         assert_eq!(batch.messages, 0);
@@ -896,8 +920,10 @@ mod tests {
             SetQuery::new(vec![17], vec![0]),
             SetQuery::new(vec![], vec![3]),
         ];
-        let a = in_process.set_reachability_batch(&queries);
-        let b = wired.set_reachability_batch(&queries);
+        let a = in_process
+            .set_reachability_batch(&queries)
+            .expect("in-process");
+        let b = wired.set_reachability_batch(&queries).expect("wire");
         // Byte-identical answers, identical protocol cost: the wire backend
         // records measured bytes, the in-process backend exact sizes.
         assert_eq!(a.results, b.results);
@@ -905,6 +931,62 @@ mod tests {
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.bytes, b.bytes);
         assert_eq!(b.rounds, 3);
+    }
+
+    #[test]
+    fn tcp_transport_matches_in_process() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let in_process = DsrEngine::new(&index);
+        let tcp = dsr_cluster::TcpTransport::loopback();
+        let remote = DsrEngine::with_transport(&index, &tcp);
+        assert_eq!(remote.transport().name(), "tcp");
+        let queries = vec![
+            SetQuery::new(vec![0, 2, 7], vec![17, 10, 4]),
+            SetQuery::new((0..19).collect(), (0..19).collect()),
+            SetQuery::new(vec![17], vec![0]),
+            SetQuery::new(vec![], vec![3]),
+        ];
+        let a = in_process
+            .set_reachability_batch(&queries)
+            .expect("in-process");
+        let b = remote.set_reachability_batch(&queries).expect("tcp");
+        // Answers and protocol cost are byte-identical to the in-process
+        // accounting even though every frame took the
+        // master -> worker -> worker -> master route over real sockets.
+        assert_eq!(a.results, b.results);
+        assert_eq!(
+            (a.rounds, a.messages, a.bytes),
+            (b.rounds, b.messages, b.bytes)
+        );
+        assert_eq!(b.rounds, 3);
+    }
+
+    #[test]
+    fn tcp_worker_death_mid_batch_is_a_typed_error_not_a_panic() {
+        let (g, p) = figure1();
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let tcp =
+            dsr_cluster::TcpTransport::loopback_with_timeout(std::time::Duration::from_secs(5));
+        let engine = DsrEngine::with_transport(&index, &tcp);
+        let queries = vec![SetQuery::new(vec![0, 2, 7], vec![17, 10, 4])];
+        // Healthy first batch establishes the 3-worker mesh.
+        assert_eq!(
+            engine
+                .set_reachability_batch(&queries)
+                .expect("healthy cluster")
+                .rounds,
+            3
+        );
+        // A worker dies; the next batch surfaces a typed TransportError.
+        tcp.debug_disconnect_worker(2);
+        let err = engine
+            .set_reachability_batch(&queries)
+            .expect_err("dead worker must fail the batch");
+        assert!(
+            err.to_string().contains("worker 2"),
+            "names the peer: {err}"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{run_on_slaves, CommStats, InProcess, MessageSize, Transport};
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, MessageSize, Transport, TransportError};
 use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
 use dsr_partition::{Cut, PartitionId, Partitioning};
 use dsr_reach::{build_index, LocalIndexKind, LocalReachability};
@@ -111,6 +111,7 @@ impl DsrIndex {
         use_equivalence: bool,
     ) -> Self {
         Self::build_with_transport(graph, partitioning, kind, use_equivalence, &InProcess)
+            .expect("the in-process transport never fails")
     }
 
     /// Builds the DSR index, moving the build-time summary exchange through
@@ -125,13 +126,18 @@ impl DsrIndex {
     /// breaks the build instead of being papered over by shared memory. The
     /// round's cost lands in [`IndexBuildStats::summary_messages`] /
     /// [`IndexBuildStats::summary_bytes`].
+    ///
+    /// # Errors
+    /// Returns the typed [`TransportError`] when the transport fails
+    /// during the summary exchange (e.g. a TCP worker disconnecting); the
+    /// in-process and pipe backends never fail.
     pub fn build_with_transport<T: Transport>(
         graph: &DiGraph,
         partitioning: Partitioning,
         kind: LocalIndexKind,
         use_equivalence: bool,
         transport: &T,
-    ) -> Self {
+    ) -> Result<Self, TransportError> {
         assert_eq!(
             graph.num_vertices(),
             partitioning.num_vertices(),
@@ -177,7 +183,7 @@ impl DsrIndex {
                 .enumerate()
                 .map(|(i, s)| (0..k).filter(|&j| j != i).map(|j| (j, s.clone())).collect())
                 .collect();
-            let incoming = transport.all_to_all(k, outgoing, &comm);
+            let incoming = transport.all_to_all(k, outgoing, &comm)?;
             let views: Vec<Vec<PartitionSummary>> = incoming
                 .into_iter()
                 .enumerate()
@@ -206,7 +212,7 @@ impl DsrIndex {
         });
 
         let stats = Self::collect_stats(start.elapsed(), &summaries, &compounds, &comm);
-        DsrIndex {
+        Ok(DsrIndex {
             partitioning,
             cut,
             locals,
@@ -216,7 +222,7 @@ impl DsrIndex {
             kind,
             use_equivalence,
             stats,
-        }
+        })
     }
 
     pub(crate) fn collect_stats(

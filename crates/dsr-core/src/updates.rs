@@ -38,7 +38,7 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport, UpdateStats};
+use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport, TransportError, UpdateStats};
 use dsr_graph::{DiGraph, InducedSubgraph, VertexId};
 use dsr_partition::{PartitionBoundaries, PartitionId};
 use dsr_reach::{build_index, LocalReachability};
@@ -222,6 +222,7 @@ impl DsrIndex {
     /// zero-copy [`InProcess`] transport for the refresh exchange.
     pub fn apply_updates(&mut self, ops: &[UpdateOp]) -> UpdateOutcome {
         self.apply_updates_with_transport(ops, &InProcess)
+            .expect("the in-process transport never fails")
     }
 
     /// Applies a mixed batch of insertions and deletions, shipping the
@@ -234,13 +235,23 @@ impl DsrIndex {
     /// [`UpdateStats`]), and patch each slave's compound graph in place
     /// from the decoded deltas.
     ///
+    /// # Errors
+    /// Returns the typed [`TransportError`] when the transport fails
+    /// during the delta exchange (e.g. a TCP worker disconnecting
+    /// mid-refresh). **The index may be left partially updated in that
+    /// case** (locals and summaries refreshed, compounds unpatched):
+    /// callers that must survive worker failures should apply updates to
+    /// a fork ([`DsrIndex::fork`], or the serving layer's
+    /// `clone_on_write`) and discard it on error. The in-process and pipe
+    /// backends never fail.
+    ///
     /// # Panics
     /// Panics if an op references a vertex outside the indexed graph.
     pub fn apply_updates_with_transport<T: Transport>(
         &mut self,
         ops: &[UpdateOp],
         transport: &T,
-    ) -> UpdateOutcome {
+    ) -> Result<UpdateOutcome, TransportError> {
         let start = Instant::now();
         let k = self.num_partitions();
 
@@ -437,7 +448,7 @@ impl DsrIndex {
                     None => Vec::new(),
                 })
                 .collect();
-            received = transport.all_to_all(k, outgoing, &comm);
+            received = transport.all_to_all(k, outgoing, &comm)?;
         }
 
         // ---- Stage 5: patch each slave's compound graph from the deltas
@@ -503,13 +514,13 @@ impl DsrIndex {
             self.refresh_stats_after_update(&[]);
         }
 
-        UpdateOutcome {
+        Ok(UpdateOutcome {
             refreshed_summaries: refreshed,
             rebuilt_compounds: !patched.is_empty(),
             patched_compounds: patched,
             stats: UpdateStats::from_comm(&comm),
             elapsed: start.elapsed(),
-        }
+        })
     }
 
     /// Rebuilds the local induced subgraph of `partition` after applying
@@ -708,12 +719,23 @@ mod tests {
             UpdateOp::Delete(4, 5), // local deletion
         ];
         let mut in_process = build();
-        let a = in_process.apply_updates_with_transport(&ops, &InProcess);
+        let a = in_process
+            .apply_updates_with_transport(&ops, &InProcess)
+            .expect("in-process");
         let mut wired = build();
-        let b = wired.apply_updates_with_transport(&ops, &WireTransport::new());
+        let b = wired
+            .apply_updates_with_transport(&ops, &WireTransport::new())
+            .expect("wire");
+        let mut tcp = build();
+        let c = tcp
+            .apply_updates_with_transport(&ops, &dsr_cluster::TcpTransport::loopback())
+            .expect("tcp");
         assert_eq!(a.stats, b.stats, "measured wire bytes match accounting");
+        assert_eq!(a.stats, c.stats, "tcp deltas are byte-identical too");
         assert_eq!(a.refreshed_summaries, b.refreshed_summaries);
         assert_eq!(a.patched_compounds, b.patched_compounds);
+        assert_eq!(a.refreshed_summaries, c.refreshed_summaries);
+        assert_eq!(a.patched_compounds, c.patched_compounds);
         let all: Vec<u32> = (0..9).collect();
         assert_eq!(
             DsrEngine::new(&in_process)
@@ -721,7 +743,39 @@ mod tests {
                 .pairs,
             DsrEngine::new(&wired).set_reachability(&all, &all).pairs,
         );
+        assert_eq!(
+            DsrEngine::new(&in_process)
+                .set_reachability(&all, &all)
+                .pairs,
+            DsrEngine::new(&tcp).set_reachability(&all, &all).pairs,
+        );
         assert_compounds_match_fresh_build(&wired);
+        assert_compounds_match_fresh_build(&tcp);
+    }
+
+    #[test]
+    fn tcp_worker_death_mid_update_is_a_typed_error_not_a_panic() {
+        let g = DiGraph::from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+        let transport =
+            dsr_cluster::TcpTransport::loopback_with_timeout(std::time::Duration::from_secs(5));
+        // Updates on a fork: the original index stays valid even though the
+        // failed delta exchange leaves the fork half-applied.
+        let index = DsrIndex::build(&g, p, LocalIndexKind::Dfs);
+        let mut fork = index.fork();
+        fork.apply_updates_with_transport(&[UpdateOp::Insert(2, 3)], &transport)
+            .expect("healthy cluster");
+        transport.debug_disconnect_worker(0);
+        let mut fork2 = index.fork();
+        let err = fork2
+            .apply_updates_with_transport(&[UpdateOp::Insert(5, 6)], &transport)
+            .expect_err("dead worker must fail the refresh exchange");
+        assert!(
+            err.to_string().contains("worker 0"),
+            "names the peer: {err}"
+        );
+        // The pristine index still answers.
+        assert!(DsrEngine::new(&index).is_reachable(0, 2));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Real multi-process smoke tests: 1 master + 3 `dsr-node` worker
+//! **processes** on loopback TCP, exercising exactly the deployment the
+//! README's quickstart describes. The master binary verifies internally
+//! that a 64-query batch and a mixed update batch produce answers and
+//! `CommStats`/`UpdateStats` byte counts identical to the in-process
+//! backend, so this test only has to spawn the processes and assert the
+//! exit codes — the same contract the CI smoke step checks from a shell.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dsr-node");
+
+struct Worker {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Worker {
+    /// Spawns `dsr-node worker --listen 127.0.0.1:0` and parses the bound
+    /// address from its first stdout line.
+    fn spawn() -> Worker {
+        let mut child = Command::new(BIN)
+            .args(["worker", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn dsr-node worker");
+        let mut stdout = BufReader::new(child.stdout.take().expect("worker stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read worker banner");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("banner ends with the address")
+            .to_string();
+        assert!(
+            line.contains("listening on") && addr.contains(':'),
+            "unexpected worker banner: {line:?}"
+        );
+        Worker {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// Waits for the worker to exit cleanly after its master session.
+    fn finish(mut self) {
+        let status = self.child.wait().expect("worker exits");
+        let mut rest = String::new();
+        use std::io::Read;
+        self.stdout.read_to_string(&mut rest).expect("drain stdout");
+        assert!(
+            status.success(),
+            "worker must exit 0 after a clean session; output:\n{rest}"
+        );
+        assert!(
+            rest.contains("session complete"),
+            "worker reports a clean session end; output:\n{rest}"
+        );
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn one_master_three_workers_answer_batches_byte_identically() {
+    let workers = [Worker::spawn(), Worker::spawn(), Worker::spawn()];
+    let cluster = workers
+        .iter()
+        .map(|w| w.addr.clone())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let output = Command::new(BIN)
+        .args([
+            "master",
+            "--workers",
+            &cluster,
+            "--queries",
+            "64",
+            "--updates",
+            "24",
+        ])
+        .output()
+        .expect("run dsr-node master");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "master must verify the cluster; stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("query batch costs 3 rounds"), "{stdout}");
+    assert!(
+        stdout.contains("all checks passed"),
+        "byte-identity verified: {stdout}"
+    );
+    assert!(!stdout.contains("FAIL"), "no failed checks: {stdout}");
+
+    for worker in workers {
+        worker.finish();
+    }
+}
+
+#[test]
+fn worker_bind_conflict_exits_nonzero_with_the_address() {
+    // First worker takes a port...
+    let holder = Worker::spawn();
+    // ...second worker asking for the same port must fail fast with an
+    // actionable message naming the address, not panic or hang.
+    let output = Command::new(BIN)
+        .args(["worker", "--listen", &holder.addr])
+        .output()
+        .expect("run conflicting worker");
+    assert!(
+        !output.status.success(),
+        "bind conflict must exit nonzero (stdout: {})",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("failed to bind") && stderr.contains(&holder.addr),
+        "actionable bind error naming {}; got:\n{stderr}",
+        holder.addr
+    );
+    // `holder` is killed by Drop.
+}
+
+#[test]
+fn master_against_no_workers_exits_nonzero() {
+    let output = Command::new(BIN)
+        .args(["master", "--workers", "127.0.0.1:1"])
+        .output()
+        .expect("run master against a dead address");
+    assert!(!output.status.success(), "must fail, nothing listens there");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("127.0.0.1:1"),
+        "error names the unreachable worker:\n{stderr}"
+    );
+}

@@ -48,11 +48,13 @@
 //! assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
 //! assert_eq!(service.cache_stats().hits() + service.cache_stats().misses(), 1);
 //!
-//! // … and batches: 3 communication rounds for the whole batch.
+//! // … and batches: 3 communication rounds for the whole batch. The
+//! // Result carries a typed TransportError when a (TCP) worker fails;
+//! // the in-process default never does.
 //! let reply = service.query_batch(&[
 //!     SetQuery::new(vec![0], vec![3]),
 //!     SetQuery::new(vec![1], vec![4, 5]),
-//! ]);
+//! ]).expect("in-process transport never fails");
 //! assert!(reply.rounds <= 3);
 //! ```
 //!

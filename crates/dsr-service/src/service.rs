@@ -4,14 +4,16 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use dsr_cluster::{CacheStats, CommStats, DynTransport, TransportKind, UpdateStats};
+use dsr_cluster::{
+    CacheStats, CommStats, DynTransport, TransportError, TransportKind, UpdateStats,
+};
 use dsr_core::{coalesce_updates, DsrEngine, DsrIndex, SetQuery, UpdateOp, UpdateOutcome};
 use dsr_graph::VertexId;
 
 use crate::cache::{CachedPairs, QueryCache, QueryKey};
 
-/// Why an in-place update could not be applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why an update could not be applied.
+#[derive(Debug)]
 pub enum UpdateError {
     /// Other `Arc` clones of the index are outstanding (a caller holding
     /// [`QueryService::index`]), so mutating in place would race with
@@ -19,6 +21,13 @@ pub enum UpdateError {
     /// [`ServiceConfig::clone_on_write`], or rebuild offline and
     /// [`install_index`](QueryService::install_index).
     IndexShared,
+    /// The service's transport failed while shipping the refresh deltas
+    /// (e.g. a TCP worker died mid-exchange). On the in-place path the
+    /// owned index may be left partially refreshed — prefer
+    /// [`ServiceConfig::clone_on_write`] on fallible transports, where the
+    /// half-applied fork is discarded and readers keep the last good
+    /// index.
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for UpdateError {
@@ -28,11 +37,25 @@ impl std::fmt::Display for UpdateError {
                 "index Arc is shared with outstanding readers; drop the clones, enable \
                  clone_on_write, or rebuild and install_index",
             ),
+            UpdateError::Transport(err) => write!(f, "update delta exchange failed: {err}"),
         }
     }
 }
 
-impl std::error::Error for UpdateError {}
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::IndexShared => None,
+            UpdateError::Transport(err) => Some(err),
+        }
+    }
+}
+
+impl From<TransportError> for UpdateError {
+    fn from(err: TransportError) -> Self {
+        UpdateError::Transport(err)
+    }
+}
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -43,11 +66,15 @@ pub struct ServiceConfig {
     /// every [`QueryService::query`] into [`QueryService::query_uncached`].
     pub cache_enabled: bool,
     /// Which communication backend the service's engine runs over:
-    /// [`TransportKind::InProcess`] (zero-copy moves, the default) or
-    /// [`TransportKind::Wire`] (serialized framed bytes through OS pipes).
-    /// The backend is instantiated once at construction and shared by every
-    /// query this service executes — and by the refresh exchange of every
-    /// update applied through [`QueryService::apply_updates`].
+    /// [`TransportKind::InProcess`] (zero-copy moves, the default),
+    /// [`TransportKind::Wire`] (serialized framed bytes through OS pipes)
+    /// or [`TransportKind::Tcp`] (framed bytes through loopback TCP worker
+    /// endpoints; to front **external** `dsr-node` workers, connect a
+    /// [`TcpTransport`](dsr_cluster::TcpTransport) yourself and use
+    /// [`QueryService::with_config_and_transport`]). The backend is
+    /// instantiated once at construction and shared by every query this
+    /// service executes — and by the refresh exchange of every update
+    /// applied through [`QueryService::apply_updates`].
     pub transport: TransportKind,
     /// Fallback for updates while the index `Arc` is shared: when `true`,
     /// [`QueryService::update_in_place`] / [`QueryService::apply_updates`]
@@ -80,6 +107,18 @@ impl ServiceConfig {
             ..ServiceConfig::default()
         }
     }
+}
+
+/// Which ownership path [`QueryService::mutate_index`] took — callers use
+/// it to decide whether a failed mutation could have corrupted the
+/// installed index (in place) or only a discarded fork.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UpdatePath {
+    /// The `Arc` was exclusive: the installed index itself was mutated.
+    InPlace,
+    /// Clone-on-write: a fork was mutated (and installed only on approved
+    /// success).
+    Fork,
 }
 
 /// Outcome of a batched service call.
@@ -162,12 +201,28 @@ impl QueryService {
 
     /// Creates a service over `index` with an explicit configuration.
     pub fn with_config(index: Arc<DsrIndex>, config: ServiceConfig) -> Self {
+        let transport = config.transport.create();
+        Self::with_config_and_transport(index, config, transport)
+    }
+
+    /// Creates a service over `index` with an explicit configuration **and
+    /// an already-constructed transport** — the entry point for fronting a
+    /// remote cluster: connect a
+    /// [`TcpTransport`](dsr_cluster::TcpTransport) to the `dsr-node`
+    /// workers and hand it over wrapped in
+    /// [`DynTransport::Tcp`](dsr_cluster::DynTransport). The
+    /// `config.transport` field is ignored in favor of the given backend.
+    pub fn with_config_and_transport(
+        index: Arc<DsrIndex>,
+        config: ServiceConfig,
+        transport: DynTransport,
+    ) -> Self {
         QueryService {
             index: RwLock::new(index),
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             cache_enabled: config.cache_enabled,
             clone_on_write: config.clone_on_write,
-            transport: config.transport.create(),
+            transport,
             stats: CacheStats::new(),
             comm: CommStats::new(),
             updates_comm: CommStats::new(),
@@ -250,7 +305,13 @@ impl QueryService {
     /// exactly once. The remaining misses run through
     /// [`DsrEngine::set_reachability_batch`], which performs 3 communication
     /// rounds total regardless of the number of queries.
-    pub fn query_batch(&self, queries: &[SetQuery]) -> BatchReply {
+    ///
+    /// # Errors
+    /// Returns the typed [`TransportError`] when the service's transport
+    /// fails mid-batch (e.g. a TCP worker disconnecting). Nothing is
+    /// cached from a failed batch. The in-process and pipe backends never
+    /// fail.
+    pub fn query_batch(&self, queries: &[SetQuery]) -> Result<BatchReply, TransportError> {
         let start = Instant::now();
         let keys: Vec<QueryKey> = queries.iter().map(SetQuery::signature).collect();
         let mut results: Vec<Option<CachedPairs>> = vec![None; queries.len()];
@@ -296,7 +357,7 @@ impl QueryService {
                 .iter()
                 .map(|(s, t)| SetQuery::new(s.clone(), t.clone()))
                 .collect();
-            let outcome = engine.set_reachability_batch(&miss_queries);
+            let outcome = engine.set_reachability_batch(&miss_queries)?;
             self.comm
                 .add(outcome.rounds, outcome.messages, outcome.bytes);
             let values: Vec<CachedPairs> = outcome.results.into_iter().map(Arc::new).collect();
@@ -313,7 +374,7 @@ impl QueryService {
             (outcome.rounds, outcome.messages, outcome.bytes)
         };
 
-        BatchReply {
+        Ok(BatchReply {
             results: results
                 .into_iter()
                 .map(|slot| slot.expect("every query answered"))
@@ -324,7 +385,7 @@ impl QueryService {
             messages,
             bytes,
             elapsed: start.elapsed(),
-        }
+        })
     }
 
     /// Swaps in a new index and invalidates the cache.
@@ -363,43 +424,39 @@ impl QueryService {
         mutate: impl FnOnce(&mut DsrIndex) -> R,
     ) -> Result<R, UpdateError> {
         // An arbitrary mutation's effect is unknowable: conservatively
-        // treat every call as a change.
-        self.update_index(mutate, |_| true)
+        // treat every call as a change (install the fork, drop the cache).
+        let (result, _path) = self.mutate_index(mutate, |_| true)?;
+        self.invalidate_cache();
+        Ok(result)
     }
 
-    /// Shared implementation of the in-place/fork update paths. `changed`
-    /// inspects the mutation's result: when it reports `false` the index
-    /// is unchanged, so the cache survives and (on the clone-on-write
-    /// path) the untouched fork is discarded instead of swapped in.
-    fn update_index<R>(
+    /// The single implementation of the ownership dance shared by
+    /// [`QueryService::update_in_place`] and
+    /// [`QueryService::apply_updates`]: runs `mutate` against the owned
+    /// index when the `Arc` is exclusive, or against a fork under
+    /// [`ServiceConfig::clone_on_write`] (the fork is installed only when
+    /// `install_fork` approves its result), or fails with
+    /// [`UpdateError::IndexShared`]. Returns which path ran; cache
+    /// invalidation is the caller's decision — it depends on the result
+    /// *and* the path (see `apply_updates`' error handling).
+    fn mutate_index<R>(
         &self,
         mutate: impl FnOnce(&mut DsrIndex) -> R,
-        changed: impl FnOnce(&R) -> bool,
-    ) -> Result<R, UpdateError> {
-        let (result, did_change) = {
-            let mut slot = self.index.write().expect("index lock poisoned");
-            match Arc::get_mut(&mut slot) {
-                Some(index) => {
-                    let result = mutate(index);
-                    let did_change = changed(&result);
-                    (result, did_change)
+        install_fork: impl FnOnce(&R) -> bool,
+    ) -> Result<(R, UpdatePath), UpdateError> {
+        let mut slot = self.index.write().expect("index lock poisoned");
+        match Arc::get_mut(&mut slot) {
+            Some(index) => Ok((mutate(index), UpdatePath::InPlace)),
+            None if self.clone_on_write => {
+                let mut fork = slot.fork();
+                let result = mutate(&mut fork);
+                if install_fork(&result) {
+                    *slot = Arc::new(fork);
                 }
-                None if self.clone_on_write => {
-                    let mut fork = slot.fork();
-                    let result = mutate(&mut fork);
-                    let did_change = changed(&result);
-                    if did_change {
-                        *slot = Arc::new(fork);
-                    }
-                    (result, did_change)
-                }
-                None => return Err(UpdateError::IndexShared),
+                Ok((result, UpdatePath::Fork))
             }
-        };
-        if did_change {
-            self.invalidate_cache();
+            None => Err(UpdateError::IndexShared),
         }
-        Ok(result)
     }
 
     /// Applies a batch of edge updates through the differential pipeline
@@ -417,10 +474,27 @@ impl QueryService {
     /// idempotent replays cannot collapse the hit rate.
     pub fn apply_updates(&self, ops: &[UpdateOp]) -> Result<UpdateOutcome, UpdateError> {
         let ops = coalesce_updates(ops);
-        let outcome = self.update_index(
+        let (result, path) = self.mutate_index(
             |index| index.apply_updates_with_transport(&ops, &self.transport),
-            |outcome| outcome.rebuilt_compounds,
+            // Only a successful, actually-changing batch installs the
+            // fork; a half-applied fork (transport failure) is discarded.
+            |result| result.as_ref().is_ok_and(|o| o.rebuilt_compounds),
         )?;
+        let invalidate = match (&result, path) {
+            // On success only real changes invalidate.
+            (Ok(outcome), _) => outcome.rebuilt_compounds,
+            // A transport failure on the in-place path may leave the owned
+            // index partially refreshed: cached pre-update answers must
+            // not survive either.
+            (Err(_), UpdatePath::InPlace) => true,
+            // The discarded fork left the installed index (and therefore
+            // the cache) untouched.
+            (Err(_), UpdatePath::Fork) => false,
+        };
+        if invalidate {
+            self.invalidate_cache();
+        }
+        let outcome = result?;
         self.updates_comm.add(
             outcome.stats.update_rounds,
             outcome.stats.update_messages,
@@ -508,12 +582,14 @@ mod tests {
     fn batch_mixes_hits_and_misses() {
         let service = chain_service();
         service.query(&[0], &[5]);
-        let reply = service.query_batch(&[
-            SetQuery::new(vec![0], vec![5]),    // hit
-            SetQuery::new(vec![1], vec![4]),    // miss
-            SetQuery::new(vec![1, 1], vec![4]), // same signature: deduplicated
-            SetQuery::new(vec![5], vec![0]),    // miss, empty answer
-        ]);
+        let reply = service
+            .query_batch(&[
+                SetQuery::new(vec![0], vec![5]),    // hit
+                SetQuery::new(vec![1], vec![4]),    // miss
+                SetQuery::new(vec![1, 1], vec![4]), // same signature: deduplicated
+                SetQuery::new(vec![5], vec![0]),    // miss, empty answer
+            ])
+            .expect("in-process transport");
         assert_eq!(reply.cache_hits, 1);
         assert_eq!(reply.executed, 2, "in-batch duplicates run once");
         assert_eq!(*reply.results[0], vec![(0, 5)]);
@@ -530,7 +606,9 @@ mod tests {
     fn all_hit_batch_is_communication_free() {
         let service = chain_service();
         service.query(&[0], &[5]);
-        let reply = service.query_batch(&[SetQuery::new(vec![0], vec![5])]);
+        let reply = service
+            .query_batch(&[SetQuery::new(vec![0], vec![5])])
+            .expect("in-process transport");
         assert_eq!(reply.cache_hits, 1);
         assert_eq!(reply.executed, 0);
         assert_eq!((reply.rounds, reply.messages, reply.bytes), (0, 0, 0));
@@ -552,12 +630,12 @@ mod tests {
     fn update_in_place_refuses_shared_index_with_explicit_error() {
         let service = chain_service();
         let pinned = service.index();
-        assert_eq!(
+        assert!(matches!(
             service
                 .update_in_place(|index| index.insert_edge(5, 0))
                 .unwrap_err(),
             UpdateError::IndexShared
-        );
+        ));
         // The error is a real std::error::Error with actionable text.
         let err: Box<dyn std::error::Error> = Box::new(UpdateError::IndexShared);
         assert!(err.to_string().contains("clone_on_write"));
@@ -707,8 +785,8 @@ mod tests {
             SetQuery::new(vec![5], vec![0]),
             SetQuery::new(vec![2], vec![3]),
         ];
-        let a = in_process.query_batch(&queries);
-        let b = wired.query_batch(&queries);
+        let a = in_process.query_batch(&queries).expect("in-process");
+        let b = wired.query_batch(&queries).expect("wire");
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(**x, **y, "wire answers must be byte-identical");
         }
@@ -717,6 +795,53 @@ mod tests {
             in_process.comm_stats().snapshot(),
             wired.comm_stats().snapshot()
         );
+    }
+
+    #[test]
+    fn tcp_transport_service_agrees_with_in_process() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let index = Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs));
+        let in_process = QueryService::new(Arc::clone(&index));
+        let tcp = QueryService::with_config(
+            Arc::clone(&index),
+            ServiceConfig {
+                transport: TransportKind::Tcp,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(tcp.transport_kind(), TransportKind::Tcp);
+        let queries = [
+            SetQuery::new(vec![0, 1], vec![4, 5]),
+            SetQuery::new(vec![5], vec![0]),
+        ];
+        let a = in_process.query_batch(&queries).expect("in-process");
+        let b = tcp.query_batch(&queries).expect("tcp loopback cluster");
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(**x, **y, "tcp answers must be byte-identical");
+        }
+        assert_eq!(
+            in_process.comm_stats().snapshot(),
+            tcp.comm_stats().snapshot(),
+            "tcp protocol cost equals the in-process accounting"
+        );
+        // Updates through the service ship their deltas over TCP too
+        // (exclusively owned index: the in-place path).
+        let g2 = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p2 = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let owned = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g2, p2, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                transport: TransportKind::Tcp,
+                ..ServiceConfig::default()
+            },
+        );
+        let out = owned
+            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .expect("tcp update");
+        assert!(out.rebuilt_compounds);
+        assert!(owned.update_stats().update_bytes > 0);
+        assert_eq!(*owned.query(&[5], &[0]), vec![(5, 0)]);
     }
 
     #[test]

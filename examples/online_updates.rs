@@ -74,7 +74,9 @@ fn main() {
     for (round, (query_chunk, update_chunk)) in
         queries.chunks(64).zip(updates.chunks(32)).enumerate()
     {
-        let reply = service.query_batch(query_chunk);
+        let reply = service
+            .query_batch(query_chunk)
+            .expect("in-process transport never fails");
         let outcome = service
             .apply_updates(update_chunk)
             .expect("service owns its index");

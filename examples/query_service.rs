@@ -84,7 +84,9 @@ fn main() {
     );
 
     // 4. Batching: answer 256 queries with one protocol run (3 rounds).
-    let batch_reply = service.query_batch(&queries[..256]);
+    let batch_reply = service
+        .query_batch(&queries[..256])
+        .expect("in-process transport never fails");
     println!(
         "batch of 256: {} cache hits, {} executed, {} rounds, {:.3}s",
         batch_reply.cache_hits,

@@ -28,7 +28,8 @@ fn main() {
     let wire = WireTransport::new();
     let in_process_index = DsrIndex::build(&graph, partitioning.clone(), LocalIndexKind::Dfs);
     let wire_index =
-        DsrIndex::build_with_transport(&graph, partitioning, LocalIndexKind::Dfs, true, &wire);
+        DsrIndex::build_with_transport(&graph, partitioning, LocalIndexKind::Dfs, true, &wire)
+            .expect("pipe transport never fails in-process");
     println!(
         "summary exchange: {} messages, {} bytes (measured on the wire: {} bytes)",
         in_process_index.stats.summary_messages,
@@ -50,8 +51,10 @@ fn main() {
     let in_process_engine = DsrEngine::new(&in_process_index);
     let wire_engine = DsrEngine::with_transport(&wire_index, &wire);
 
-    let a = in_process_engine.set_reachability_batch(&queries);
-    let b = wire_engine.set_reachability_batch(&queries);
+    let a = in_process_engine
+        .set_reachability_batch(&queries)
+        .expect("in-process");
+    let b = wire_engine.set_reachability_batch(&queries).expect("wire");
 
     assert_eq!(a.results, b.results, "transports must agree on answers");
     assert_eq!(a.rounds, b.rounds, "3-round protocol on both backends");

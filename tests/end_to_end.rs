@@ -3,8 +3,8 @@
 //!
 //! Index and engine construction go through [`dsr::testing`], so
 //! `DSR_TRANSPORT=wire` reruns every scenario with serialized framed
-//! messages over OS pipes instead of in-process moves (the CI test matrix
-//! runs both).
+//! messages over OS pipes, and `DSR_TRANSPORT=tcp` over a loopback TCP
+//! worker cluster (the CI test matrix runs all three).
 
 use dsr::testing::{build_index_from_env, engine_from_env};
 use dsr_datagen::{dataset_by_name, random_query};

@@ -3,8 +3,9 @@
 //!
 //! The DSR index and engine are built through [`dsr::testing`], so setting
 //! `DSR_TRANSPORT=wire` reruns this whole suite with every protocol message
-//! (and the build-time summary exchange) serialized through OS pipes — the
-//! CI test matrix exercises both backends.
+//! (and the build-time summary exchange) serialized through OS pipes, and
+//! `DSR_TRANSPORT=tcp` reruns it over a loopback TCP worker cluster — the
+//! CI test matrix exercises all three backends.
 
 use dsr::testing::{build_index_from_env, engine_from_env};
 use dsr_core::baselines::{FanBaseline, NaiveBaseline};

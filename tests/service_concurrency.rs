@@ -91,7 +91,7 @@ fn concurrent_batches_agree_with_the_oracle() {
                     .take(16)
                     .cloned()
                     .collect();
-                let reply = service.query_batch(&chunk);
+                let reply = service.query_batch(&chunk).expect("in-process");
                 for (q, answer) in chunk.iter().zip(&reply.results) {
                     assert_eq!(**answer, oracle.set_reachability(&q.sources, &q.targets));
                 }
@@ -106,7 +106,7 @@ fn batch_of_64_performs_one_exchange_per_round_not_64() {
     assert_eq!(queries.len(), 64);
     let engine = DsrEngine::new(&index);
 
-    let batch = engine.set_reachability_batch(&queries);
+    let batch = engine.set_reachability_batch(&queries).expect("in-process");
     // The whole batch pays exactly one scatter, one all-to-all exchange and
     // one gather — 3 rounds, not 3 * 64.
     assert_eq!(batch.rounds, 3, "batch must amortize the protocol rounds");

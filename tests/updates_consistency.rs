@@ -5,7 +5,8 @@
 //! The suite runs through the `dsr::testing` transport matrix: under
 //! `DSR_TRANSPORT=wire` both the build-time summary exchange and every
 //! update's `SummaryDelta` refresh are encoded, piped through OS pipes and
-//! decoded — CI runs it under both backends.
+//! decoded, and under `DSR_TRANSPORT=tcp` they cross a loopback TCP worker
+//! cluster — CI runs it under all three backends.
 
 use dsr::testing::{
     apply_updates_from_env, build_index_from_env, delete_edges_from_env, engine_from_env,
@@ -177,9 +178,13 @@ fn differential_costs_are_measured_and_backend_independent() {
         .collect();
 
     let mut in_process = DsrIndex::build(&base, partitioning.clone(), LocalIndexKind::Dfs);
-    let a = in_process.apply_updates_with_transport(&ops, &InProcess);
+    let a = in_process
+        .apply_updates_with_transport(&ops, &InProcess)
+        .expect("in-process");
     let mut wired = DsrIndex::build(&base, partitioning, LocalIndexKind::Dfs);
-    let b = wired.apply_updates_with_transport(&ops, &WireTransport::new());
+    let b = wired
+        .apply_updates_with_transport(&ops, &WireTransport::new())
+        .expect("wire");
 
     assert_eq!(a.stats, b.stats, "update traffic is byte-identical");
     assert_eq!(a.refreshed_summaries, b.refreshed_summaries);
