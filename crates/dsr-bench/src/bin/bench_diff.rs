@@ -11,8 +11,10 @@
 //!
 //! Default files: `BENCH_throughput.json`, `BENCH_updates.json`. Array
 //! elements are matched by their `"name"` member (so adding a new mode is
-//! not a regression), and the `service_concurrent` mode is skipped
-//! entirely — its counters depend on cache races between client threads.
+//! not a regression), and the `service_concurrent` / `service_batched_8` /
+//! `service_batched_64` modes are skipped entirely — their counters depend
+//! on cache races and batch-forming windows between client threads. The
+//! flush-driven `service_batched_replay*` modes stay fully gated.
 //!
 //! A counter that *shrinks* is reported as an improvement with a reminder
 //! to refresh the committed baseline, and exits 0.
@@ -30,7 +32,7 @@ use dsr_bench::json::{parse, Json};
 
 /// Counter keys that must be bit-for-bit reproducible in `--fast` runs.
 /// Everything else (timings, ratios) is informational.
-const DETERMINISTIC_COUNTERS: [&str; 13] = [
+const DETERMINISTIC_COUNTERS: [&str; 17] = [
     "rounds",
     "messages",
     "bytes",
@@ -44,11 +46,22 @@ const DETERMINISTIC_COUNTERS: [&str; 13] = [
     "queries",
     "ops",
     "batches",
+    // Batch-former fusion counters: deterministic in the flush-driven
+    // replay modes (the threaded modes are skipped wholesale below).
+    "fused_batches",
+    "fused_queries",
+    "executed",
+    "late_hits",
 ];
 
 /// Array elements (matched by `"name"`) whose counters are scheduling-
-/// dependent and therefore never compared.
-const NONDETERMINISTIC_SECTIONS: [&str; 1] = ["service_concurrent"];
+/// dependent and therefore never compared: how many cache misses meet in
+/// one forming window depends on thread interleaving.
+const NONDETERMINISTIC_SECTIONS: [&str; 3] = [
+    "service_concurrent",
+    "service_batched_8",
+    "service_batched_64",
+];
 
 struct Report {
     regressions: Vec<String>,

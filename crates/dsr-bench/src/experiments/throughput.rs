@@ -21,25 +21,52 @@
 //!    sockets, asserting the deployment backend stays byte-identical,
 //! 5. `service_cached` — a [`QueryService`] with its LRU result cache,
 //! 6. `service_concurrent` — the same service hammered by 8 closed-loop
-//!    client threads.
+//!    client threads,
+//! 7. `service_batched_replay` (plus `_wire` / `_tcp` variants) — a
+//!    deterministic replay of 64 virtual clients through the service's
+//!    batch former: each wave submits 64 queries, flushes, and waits, so
+//!    every wave's cache misses fuse into one shared protocol run. Being
+//!    single-threaded, its counters are bit-reproducible and asserted
+//!    byte-identical across all three transports — the `bench_diff`
+//!    regression gate rides on them,
+//! 8. `service_batched_8` / `service_batched_64` — the batch former under
+//!    real closed-loop client threads, with p50/p99 per-query latency.
+//!    Their counters depend on thread scheduling (how many misses land in
+//!    one forming window) and are informational.
 //!
 //! Besides the rendered table, the run writes a machine-readable
 //! `BENCH_throughput.json` (into `$DSR_BENCH_DIR` or the working
 //! directory) so CI can archive the per-PR throughput trajectory — now
-//! including the measured wire bytes per communication round.
+//! including the measured wire bytes per communication round and the
+//! batch former's fusion counters.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsr_cluster::{CommStats, TcpTransport, Transport, WireTransport};
+use dsr_cluster::{CommStats, TcpTransport, Transport, TransportKind, WireTransport};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
 use dsr_datagen::{query_stream, ArrivalPattern, StreamConfig};
 use dsr_graph::DiGraph;
 use dsr_reach::LocalIndexKind;
-use dsr_service::QueryService;
+use dsr_service::{QueryService, QueryTicket, ServiceConfig};
 
 use crate::experiments::common;
 use crate::{secs, time, Table};
+
+/// Number of virtual clients per replay wave (and of real client threads
+/// in the largest threaded mode).
+const BATCHED_CLIENTS: usize = 64;
+
+/// Batch-former counters of one service mode, snapshotted from
+/// [`dsr_cluster::BatchStats`].
+struct FusionInfo {
+    batches: u64,
+    fused_queries: u64,
+    executed: u64,
+    late_hits: u64,
+    fusion_ratio: f64,
+    mean_batch: f64,
+}
 
 /// Results of one execution mode.
 struct ModeResult {
@@ -51,11 +78,130 @@ struct ModeResult {
     messages: u64,
     bytes: u64,
     cache_hits: Option<u64>,
+    /// Per-query latency percentiles (closed-loop client view); only the
+    /// service modes that track per-query timestamps report them.
+    latency: Option<(Duration, Duration)>,
+    /// Batch-former counters; only the `service_batched_*` modes report
+    /// them.
+    fusion: Option<FusionInfo>,
 }
 
 impl ModeResult {
     fn qps(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn fusion_info(service: &QueryService) -> FusionInfo {
+    let stats = service.batch_stats();
+    FusionInfo {
+        batches: stats.batches(),
+        fused_queries: stats.queries(),
+        executed: stats.executed(),
+        late_hits: stats.late_hits(),
+        fusion_ratio: stats.fusion_ratio(),
+        mean_batch: stats.mean_batch_size(),
+    }
+}
+
+/// Deterministic replay of [`BATCHED_CLIENTS`] virtual clients: each wave
+/// submits one query per client into the batch former, flushes, and waits
+/// — so a wave's cache misses fuse into exactly one shared protocol run.
+/// Single-threaded by construction, hence bit-reproducible counters.
+fn run_batched_replay(
+    index: &Arc<DsrIndex>,
+    queries: &[SetQuery],
+    name: &'static str,
+    transport: TransportKind,
+) -> ModeResult {
+    let service = QueryService::with_config(
+        Arc::clone(index),
+        ServiceConfig {
+            transport,
+            // Waves are formed by the explicit flush, never by cap or
+            // window expiry — determinism does not depend on timing.
+            max_batch: usize::MAX,
+            max_wait_us: 1_000_000,
+            ..ServiceConfig::default()
+        },
+    );
+    let (_, elapsed) = time(|| {
+        for wave in queries.chunks(BATCHED_CLIENTS) {
+            let tickets: Vec<QueryTicket> = wave
+                .iter()
+                .map(|q| service.submit(&q.sources, &q.targets))
+                .collect();
+            service.flush();
+            for ticket in tickets {
+                std::hint::black_box(ticket.wait().expect("transport stays up for the run"));
+            }
+        }
+    });
+    let (rounds, messages, bytes) = service.comm_stats().snapshot();
+    ModeResult {
+        name,
+        transport: match transport {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Wire => "wire",
+            TransportKind::Tcp => "tcp",
+        },
+        queries: queries.len(),
+        elapsed,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: Some(service.cache_stats().hits()),
+        latency: None,
+        fusion: Some(fusion_info(&service)),
+    }
+}
+
+/// The batch former under `clients` real closed-loop client threads, with
+/// per-query latency percentiles. Counters depend on thread scheduling
+/// (how many misses meet in one forming window) — informational only.
+fn run_batched_threaded(
+    index: &Arc<DsrIndex>,
+    queries: &[SetQuery],
+    name: &'static str,
+    clients: usize,
+) -> ModeResult {
+    let service = QueryService::new(Arc::clone(index));
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries.len());
+    let (_, elapsed) = time(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let service = &service;
+                    scope.spawn(move || {
+                        let mut lat = Vec::new();
+                        for q in queries.iter().skip(client).step_by(clients) {
+                            let start = std::time::Instant::now();
+                            std::hint::black_box(service.query(&q.sources, &q.targets));
+                            lat.push(start.elapsed());
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for handle in handles {
+                latencies.extend(handle.join().expect("client thread panicked"));
+            }
+        });
+    });
+    latencies.sort_unstable();
+    let percentile = |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)];
+    let (rounds, messages, bytes) = service.comm_stats().snapshot();
+    ModeResult {
+        name,
+        transport: "in-process",
+        queries: queries.len(),
+        elapsed,
+        rounds,
+        messages,
+        bytes,
+        cache_hits: Some(service.cache_stats().hits()),
+        latency: Some((percentile(50), percentile(99))),
+        fusion: Some(fusion_info(&service)),
     }
 }
 
@@ -111,6 +257,8 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: None,
+        latency: None,
+        fusion: None,
     };
 
     // --- Mode 2: batched protocol runs. ---------------------------------
@@ -139,6 +287,8 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: None,
+        latency: None,
+        fusion: None,
     };
 
     // --- Mode 3: batched protocol runs over the serializing wire
@@ -175,6 +325,8 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: None,
+        latency: None,
+        fusion: None,
     };
 
     // --- Mode 3b: batched protocol runs over a loopback TCP cluster
@@ -211,6 +363,8 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: None,
+        latency: None,
+        fusion: None,
     };
 
     // --- Mode 4: cached service, single closed-loop client. -------------
@@ -230,6 +384,8 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: Some(service.cache_stats().hits()),
+        latency: None,
+        fusion: None,
     };
     let hit_rate = service.cache_stats().hit_rate();
 
@@ -259,7 +415,42 @@ pub fn run(fast: bool) -> String {
         messages,
         bytes,
         cache_hits: Some(concurrent_service.cache_stats().hits()),
+        latency: None,
+        fusion: None,
     };
+
+    // --- Mode 6: the batch former, deterministic 64-virtual-client
+    // replay, on all three transports (byte-identity asserted). -----------
+    let replay = run_batched_replay(
+        &index,
+        &queries,
+        "service_batched_replay",
+        TransportKind::InProcess,
+    );
+    let replay_wire = run_batched_replay(
+        &index,
+        &queries,
+        "service_batched_replay_wire",
+        TransportKind::Wire,
+    );
+    let replay_tcp = run_batched_replay(
+        &index,
+        &queries,
+        "service_batched_replay_tcp",
+        TransportKind::Tcp,
+    );
+    for other in [&replay_wire, &replay_tcp] {
+        assert_eq!(
+            (replay.rounds, replay.messages, replay.bytes),
+            (other.rounds, other.messages, other.bytes),
+            "batch-former replay must be byte-identical across transports ({})",
+            other.name
+        );
+    }
+
+    // --- Mode 7: the batch former under real client threads. -------------
+    let batched_8 = run_batched_threaded(&index, &queries, "service_batched_8", 8);
+    let batched_64 = run_batched_threaded(&index, &queries, "service_batched_64", BATCHED_CLIENTS);
 
     let modes = [
         per_query,
@@ -268,6 +459,11 @@ pub fn run(fast: bool) -> String {
         batched_tcp,
         service_cached,
         service_concurrent,
+        replay,
+        replay_wire,
+        replay_tcp,
+        batched_8,
+        batched_64,
     ];
 
     // --- Render. --------------------------------------------------------
@@ -284,6 +480,8 @@ pub fn run(fast: bool) -> String {
             "Messages",
             "Comm (KB)",
             "Cache hits",
+            "p50/p99 (us)",
+            "Fusion q/round",
         ],
     );
     for mode in &modes {
@@ -297,6 +495,13 @@ pub fn run(fast: bool) -> String {
             format!("{:.1}", mode.bytes as f64 / 1024.0),
             mode.cache_hits
                 .map_or_else(|| "-".to_string(), |h| h.to_string()),
+            mode.latency.map_or_else(
+                || "-".to_string(),
+                |(p50, p99)| format!("{}/{}", p50.as_micros(), p99.as_micros()),
+            ),
+            mode.fusion
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |f| format!("{:.1}", f.fusion_ratio)),
         ]);
     }
     let mut out = table.render();
@@ -387,10 +592,24 @@ fn render_json(
         "  \"tcp\": {{\"rounds\": {}, \"bytes\": {}, \"overhead_vs_in_process\": {tcp_overhead:.3}, \"bytes_identical\": true}},\n",
         tcp_mode.rounds, tcp_mode.bytes
     ));
+    // The batch former, from the deterministic replay (identical counters
+    // on all three transports, asserted at run time): rounds and bytes are
+    // regression-gated, the fusion ratio shows how many queries each fused
+    // scatter/exchange/gather run amortizes.
+    let replay_mode = mode("service_batched_replay");
+    let replay_fusion = replay_mode
+        .fusion
+        .as_ref()
+        .expect("replay mode records fusion counters");
+    let rounds_per_query = replay_mode.rounds as f64 / replay_mode.queries.max(1) as f64;
+    json.push_str(&format!(
+        "  \"service_batched\": {{\"rounds\": {}, \"messages\": {}, \"bytes\": {}, \"rounds_per_query\": {rounds_per_query:.4}, \"fusion_ratio\": {:.2}, \"bytes_identical\": true}},\n",
+        replay_mode.rounds, replay_mode.messages, replay_mode.bytes, replay_fusion.fusion_ratio
+    ));
     json.push_str("  \"modes\": [\n");
     for (i, mode) in modes.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"rounds\": {}, \"messages\": {}, \"bytes\": {}{}}}{}\n",
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"rounds\": {}, \"messages\": {}, \"bytes\": {}{}{}{}}}{}\n",
             mode.name,
             mode.transport,
             mode.queries,
@@ -401,6 +620,15 @@ fn render_json(
             mode.bytes,
             mode.cache_hits
                 .map_or_else(String::new, |h| format!(", \"cache_hits\": {h}")),
+            mode.latency.map_or_else(String::new, |(p50, p99)| format!(
+                ", \"p50_us\": {}, \"p99_us\": {}",
+                p50.as_micros(),
+                p99.as_micros()
+            )),
+            mode.fusion.as_ref().map_or_else(String::new, |f| format!(
+                ", \"fused_batches\": {}, \"fused_queries\": {}, \"executed\": {}, \"late_hits\": {}, \"fusion_ratio\": {:.2}, \"mean_batch\": {:.2}",
+                f.batches, f.fused_queries, f.executed, f.late_hits, f.fusion_ratio, f.mean_batch
+            )),
             if i + 1 == modes.len() { "" } else { "," }
         ));
     }
@@ -425,6 +653,11 @@ mod tests {
         assert!(out.contains("batched_tcp"));
         assert!(out.contains("service_cached"));
         assert!(out.contains("service_concurrent"));
+        assert!(out.contains("service_batched_replay"));
+        assert!(out.contains("service_batched_replay_wire"));
+        assert!(out.contains("service_batched_replay_tcp"));
+        assert!(out.contains("service_batched_8"));
+        assert!(out.contains("service_batched_64"));
         assert!(
             out.contains("BENCH_throughput.json"),
             "json path reported:\n{out}"
@@ -446,5 +679,17 @@ mod tests {
         assert!(json.contains("\"transport\": \"wire\""));
         assert!(json.contains("\"transport\": \"tcp\""));
         assert!(json.contains("\"bytes_identical\": true"));
+        // The batch-former section and its per-mode counters made it into
+        // the archive: deterministic fusion gates plus latency percentiles.
+        assert!(
+            json.contains("\"service_batched\": {\"rounds\":"),
+            "batch-former summary reported:\n{json}"
+        );
+        assert!(json.contains("\"rounds_per_query\""));
+        assert!(json.contains("\"fused_batches\""));
+        assert!(json.contains("\"fused_queries\""));
+        assert!(json.contains("\"fusion_ratio\""));
+        assert!(json.contains("\"p50_us\""));
+        assert!(json.contains("\"p99_us\""));
     }
 }

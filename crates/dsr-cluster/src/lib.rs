@@ -47,7 +47,7 @@ pub mod worker;
 pub use error::TransportError;
 pub use message::MessageSize;
 pub use pool::{global_pool, SlavePool};
-pub use stats::{CacheStats, CommStats, UpdateStats};
+pub use stats::{BatchStats, CacheStats, CommStats, UpdateStats};
 pub use tcp::{ClusterSpec, TcpTransport};
 pub use transport::{
     DynTransport, InProcess, ParseTransportError, Transport, TransportKind, WireMessage,

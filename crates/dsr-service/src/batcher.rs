@@ -1,0 +1,458 @@
+//! The batch-forming front end: fuse concurrent clients into shared
+//! protocol rounds.
+//!
+//! The paper's central serving win is that a batched set-reachability
+//! execution costs **3 communication rounds regardless of batch size**
+//! ([`DsrEngine::set_reachability_batch`]). Running each client's queries
+//! as its own private batch throws that away: 64 concurrent clients pay 64
+//! separate 3-round executions. This module is an inference-server-style
+//! batch former that recovers the multiplier *across* clients:
+//!
+//! ```text
+//!  client 1 ──┐ (cache miss)
+//!  client 2 ──┤  submission      ┌────────────┐   one fused 3-round
+//!     …       ├─ queue ────────▶ │ scheduler  │ ─ set_reachability_batch ─▶
+//!  client N ──┘  (bounded)       │  thread    │   per-client fan-out
+//!                                └────────────┘
+//!                 window: max_wait_us  │  cap: max_batch  │  flush()
+//! ```
+//!
+//! * Clients first probe the sharded result cache
+//!   ([`ShardedCache`](crate::cache::ShardedCache)); **hits never touch
+//!   the scheduler**. Misses enqueue a [`SigKey`]-keyed entry and block on
+//!   a condvar-based completion handle (`Waiter`) — no async runtime,
+//!   consistent with the std-only workspace.
+//! * A dedicated scheduler thread drains the queue until a bounded window
+//!   (`max_wait_us`) elapses, a size cap (`max_batch`) is reached, or a
+//!   [`flush`](crate::QueryService::flush) arrives; re-probes the cache
+//!   once per drained query (a concurrent execution may have answered it
+//!   meanwhile); deduplicates identical signatures; executes all remaining
+//!   misses from *all* clients as **one** fused batch over the shared
+//!   transport; populates the cache; and fans the answers back out.
+//! * Admission control bounds the number of in-flight queries
+//!   (`admission_depth`): beyond it, non-blocking submissions fail with
+//!   the typed [`ServiceError::Overloaded`] instead of piling up
+//!   unboundedly.
+//!
+//! Groups submitted together (one [`QueryService::query_batch`] call) are
+//! never split across formed batches — the cap is a forming *trigger*, not
+//! a hard size limit — so a single-client batch still executes as exactly
+//! one fused run and its reply stays deterministic.
+//!
+//! [`DsrEngine::set_reachability_batch`]: dsr_core::DsrEngine::set_reachability_batch
+//! [`QueryService::query_batch`]: crate::QueryService::query_batch
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dsr_cluster::TransportError;
+use dsr_core::{DsrEngine, SetQuery};
+
+use crate::cache::{CachedPairs, InsertOutcome, SigKey};
+use crate::service::Core;
+
+/// Why the serving layer could not answer a query.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// The admission queue is full: `queued` in-flight queries already
+    /// stand against a limit of `limit`. Backpressure — retry later, widen
+    /// [`ServiceConfig::admission_depth`](crate::ServiceConfig::admission_depth),
+    /// or use the blocking [`QueryService::query`](crate::QueryService::query)
+    /// which waits for capacity instead of failing.
+    Overloaded {
+        /// In-flight queries at the time of the attempt.
+        queued: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// The fused execution failed on the service transport (e.g. a TCP
+    /// worker disconnecting mid-exchange). The error is `Arc`-shared
+    /// because one failed round fails every query fused into it.
+    Transport(Arc<TransportError>),
+    /// The service is shutting down and the scheduler is gone.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { queued, limit } => write!(
+                f,
+                "service overloaded: {queued} in-flight queries at admission limit {limit}"
+            ),
+            ServiceError::Transport(err) => write!(f, "fused batch execution failed: {err}"),
+            ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Transport(err) => Some(err.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Communication cost of one fused protocol run, `Arc`-shared by every
+/// query answered in that run so per-client replies can attribute rounds
+/// without double-counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCost {
+    /// Rounds of the fused scatter/exchange/gather (3, or 0 for an empty
+    /// batch).
+    pub rounds: u64,
+    /// Messages exchanged by the fused run.
+    pub messages: u64,
+    /// Bytes exchanged by the fused run.
+    pub bytes: u64,
+}
+
+/// A fulfilled query: the shared answer plus, when the query was executed
+/// (rather than answered by the scheduler's cache re-probe), the cost of
+/// the fused run that produced it.
+pub(crate) type Fulfillment = (CachedPairs, Option<Arc<RoundCost>>);
+
+struct WaitState {
+    remaining: usize,
+    slots: Vec<Option<Fulfillment>>,
+    error: Option<ServiceError>,
+}
+
+/// Condvar-based completion handle for one submitted group: the scheduler
+/// fulfills slots as answers materialize; the client blocks in
+/// [`Waiter::wait`] until the whole group is answered or the fused run
+/// failed.
+pub(crate) struct Waiter {
+    state: Mutex<WaitState>,
+    ready: Condvar,
+}
+
+impl Waiter {
+    pub(crate) fn new(slots: usize) -> Arc<Self> {
+        Arc::new(Waiter {
+            state: Mutex::new(WaitState {
+                remaining: slots,
+                slots: (0..slots).map(|_| None).collect(),
+                error: None,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, slot: usize, value: CachedPairs, cost: Option<Arc<RoundCost>>) {
+        let mut state = self.state.lock().expect("waiter poisoned");
+        debug_assert!(state.slots[slot].is_none(), "slot fulfilled twice");
+        state.slots[slot] = Some((value, cost));
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.ready.notify_all();
+        }
+    }
+
+    fn fail(&self, error: ServiceError) {
+        let mut state = self.state.lock().expect("waiter poisoned");
+        if state.error.is_none() {
+            state.error = Some(error);
+        }
+        self.ready.notify_all();
+    }
+
+    /// Blocks until every slot is fulfilled (returning them in submission
+    /// order) or the group failed.
+    pub(crate) fn wait(&self) -> Result<Vec<Fulfillment>, ServiceError> {
+        let mut state = self.state.lock().expect("waiter poisoned");
+        loop {
+            if let Some(error) = &state.error {
+                return Err(error.clone());
+            }
+            if state.remaining == 0 {
+                return Ok(state
+                    .slots
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("all slots fulfilled"))
+                    .collect());
+            }
+            state = self.ready.wait(state).expect("waiter poisoned");
+        }
+    }
+}
+
+/// One cache-missing query queued for fused execution.
+pub(crate) struct Entry {
+    pub(crate) key: SigKey,
+    pub(crate) waiter: Arc<Waiter>,
+    pub(crate) slot: usize,
+    pub(crate) enqueued: Instant,
+}
+
+pub(crate) enum Msg {
+    /// An indivisible group of entries (one client call).
+    Group(Vec<Entry>),
+    /// Form and execute whatever is pending right now.
+    Flush,
+}
+
+/// Counting semaphore bounding in-flight queries (submitted but not yet
+/// answered). Plain mutex + condvar: the hot path is two uncontended lock
+/// acquisitions per query, and overload is the *slow* path by definition.
+pub(crate) struct Admission {
+    limit: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    pub(crate) fn new(limit: usize) -> Self {
+        Admission {
+            limit: limit.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Admits `n` queries or fails with [`ServiceError::Overloaded`].
+    pub(crate) fn try_acquire(&self, n: usize) -> Result<(), ServiceError> {
+        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        // A group larger than the whole limit is admissible only into an
+        // empty queue (otherwise it could never be admitted at all).
+        if *in_flight + n > self.limit && *in_flight > 0 {
+            return Err(ServiceError::Overloaded {
+                queued: *in_flight,
+                limit: self.limit,
+            });
+        }
+        *in_flight += n;
+        Ok(())
+    }
+
+    /// Admits `n` queries, blocking until there is room.
+    pub(crate) fn acquire_blocking(&self, n: usize) {
+        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        while *in_flight + n > self.limit && *in_flight > 0 {
+            in_flight = self.freed.wait(in_flight).expect("admission poisoned");
+        }
+        *in_flight += n;
+    }
+
+    /// Returns `n` slots to the pool.
+    pub(crate) fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        *in_flight = in_flight.saturating_sub(n);
+        drop(in_flight);
+        self.freed.notify_all();
+    }
+}
+
+/// Batch-forming parameters (the `max_batch` / `max_wait_us` knobs of
+/// [`ServiceConfig`](crate::ServiceConfig)).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatcherConfig {
+    pub(crate) max_batch: usize,
+    pub(crate) max_wait: Duration,
+}
+
+/// Owns the submission queue sender and the scheduler thread; dropping it
+/// disconnects the queue and joins the scheduler (which first executes
+/// anything still pending).
+pub(crate) struct Batcher {
+    tx: Option<Sender<Msg>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    pub(crate) fn spawn(core: Arc<Core>, config: BatcherConfig) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let scheduler = std::thread::Builder::new()
+            .name("dsr-batch-former".into())
+            .spawn(move || run_scheduler(&core, &rx, config))
+            .expect("spawn batch-former scheduler");
+        Batcher {
+            tx: Some(tx),
+            scheduler: Some(scheduler),
+        }
+    }
+
+    fn send(&self, msg: Msg) {
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("sender alive until drop")
+            .send(msg)
+            .is_ok();
+        // The receiver only disappears when the scheduler thread died; the
+        // join in Drop will propagate its panic, but a client thread
+        // racing the teardown must not wait forever on a queue nobody
+        // drains.
+        assert!(sent, "batch-former scheduler is gone");
+    }
+
+    /// Enqueues an indivisible group of entries.
+    pub(crate) fn submit(&self, entries: Vec<Entry>) {
+        self.send(Msg::Group(entries));
+    }
+
+    /// Asks the scheduler to form and execute the pending batch now.
+    pub(crate) fn flush(&self) {
+        self.send(Msg::Flush);
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(scheduler) = self.scheduler.take() {
+            if let Err(panic) = scheduler.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The scheduler loop: block for the first submission, then drain until
+/// the window elapses, the cap is reached, or a flush arrives — then
+/// execute the formed batch and start over.
+fn run_scheduler(core: &Core, rx: &Receiver<Msg>, config: BatcherConfig) {
+    loop {
+        let mut pending: Vec<Entry> = Vec::new();
+        match rx.recv() {
+            Ok(Msg::Group(entries)) => pending.extend(entries),
+            Ok(Msg::Flush) => continue, // nothing pending to form
+            Err(_) => return,           // service dropped, queue fully drained
+        }
+        let deadline = Instant::now() + config.max_wait;
+        let mut disconnected = false;
+        while pending.len() < config.max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(Msg::Group(entries)) => pending.extend(entries),
+                Ok(Msg::Flush) | Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        execute_formed(core, pending);
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Executes one formed batch: re-probe the cache, deduplicate, run all
+/// remaining misses as a single fused protocol batch, populate the cache
+/// and fan the answers out to the per-client completion handles.
+fn execute_formed(core: &Core, entries: Vec<Entry>) {
+    if entries.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    core.batch.record_formed(entries.len() as u64);
+    for entry in &entries {
+        core.batch
+            .record_wait(now.saturating_duration_since(entry.enqueued).as_micros() as u64);
+    }
+
+    // Re-probe (a previous fused run may have answered the signature while
+    // this one queued) and deduplicate identical signatures. The re-probe
+    // is deliberately silent on CacheStats: the client already recorded
+    // this lookup as a miss when it enqueued.
+    let mut misses: Vec<SigKey> = Vec::new();
+    let mut miss_index: HashMap<SigKey, usize> = HashMap::new();
+    let mut executing: Vec<(Entry, usize)> = Vec::new();
+    for entry in entries {
+        if core.cache_enabled {
+            if let Some(hit) = core.cache.get(&entry.key) {
+                core.batch.record_late_hit();
+                entry.waiter.fulfill(entry.slot, hit, None);
+                core.admission.release(1);
+                continue;
+            }
+        }
+        let miss = match miss_index.get(&entry.key) {
+            Some(&miss) => miss,
+            None => {
+                let miss = misses.len();
+                miss_index.insert(entry.key.clone(), miss);
+                misses.push(entry.key.clone());
+                miss
+            }
+        };
+        executing.push((entry, miss));
+    }
+    if misses.is_empty() {
+        return;
+    }
+
+    let generation = core.cache.generation();
+    let queries: Vec<SetQuery> = misses.iter().map(SigKey::to_query).collect();
+    let outcome = {
+        let index = core.snapshot.read();
+        let engine = DsrEngine::with_transport(&index, &core.transport);
+        engine.set_reachability_batch(&queries)
+        // `engine` and `index` drop here — before any waiter is woken — so
+        // a client observing its completion can immediately take the
+        // exclusive update path without spuriously seeing the scheduler's
+        // index pin.
+    };
+    let released = executing.len();
+    match outcome {
+        Ok(batch) => {
+            core.comm.add(batch.rounds, batch.messages, batch.bytes);
+            core.batch
+                .record_execution(misses.len() as u64, batch.rounds);
+            let cost = Arc::new(RoundCost {
+                rounds: batch.rounds,
+                messages: batch.messages,
+                bytes: batch.bytes,
+            });
+            let values: Vec<CachedPairs> = batch.results.into_iter().map(Arc::new).collect();
+            if core.cache_enabled {
+                for (key, value) in misses.into_iter().zip(&values) {
+                    match core
+                        .cache
+                        .insert_if_current(generation, key, Arc::clone(value))
+                    {
+                        InsertOutcome::Inserted { evicted } => {
+                            core.stats.record_insertion();
+                            if evicted {
+                                core.stats.record_eviction();
+                            }
+                        }
+                        InsertOutcome::Stale => {}
+                    }
+                }
+            }
+            // Free admission before waking anyone so an unblocked client
+            // immediately finds room for its next query.
+            core.admission.release(released);
+            for (entry, miss) in executing {
+                entry.waiter.fulfill(
+                    entry.slot,
+                    Arc::clone(&values[miss]),
+                    Some(Arc::clone(&cost)),
+                );
+            }
+        }
+        Err(err) => {
+            // One failed round fails every query fused into it; nothing is
+            // cached from a failed batch.
+            let err = Arc::new(err);
+            core.admission.release(released);
+            for (entry, _) in executing {
+                entry.waiter.fail(ServiceError::Transport(Arc::clone(&err)));
+            }
+        }
+    }
+}

@@ -1,22 +1,129 @@
-//! Bounded LRU cache for query results.
+//! Sharded, bounded LRU cache for query results.
 //!
 //! Keys are normalized query signatures ([`SetQuery::signature`]): both
 //! vertex sets sorted and deduplicated, so `S = [3, 1, 3]` and `S = [1, 3]`
-//! share an entry. Values are `Arc`-shared pair lists, so a hit never copies
-//! the (potentially large) answer.
+//! share an entry. The signature is hashed **once** into a [`SigKey`] and
+//! that hash is reused for shard selection, the hash-map lookup and the
+//! insert — the per-lookup re-hashing of two vertex vectors that the old
+//! single-map cache paid three times over is gone.
+//!
+//! The cache itself ([`ShardedCache`]) is split into independently locked
+//! shards selected by the signature hash, so concurrent clients hitting
+//! different shards never contend — cache hits bypass the batch-forming
+//! scheduler entirely and scale with the client count. Values are
+//! `Arc`-shared pair lists, so a hit never copies the (potentially large)
+//! answer.
 //!
 //! [`SetQuery::signature`]: dsr_core::SetQuery::signature
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use dsr_core::SetQuery;
 use dsr_graph::VertexId;
 
-/// Normalized `(sources, targets)` cache key.
+/// Normalized `(sources, targets)` signature underlying a [`SigKey`].
 pub type QueryKey = (Vec<VertexId>, Vec<VertexId>);
 
 /// Shared, immutable answer to a set-reachability query.
 pub type CachedPairs = Arc<Vec<(VertexId, VertexId)>>;
+
+/// A normalized query signature with its hash precomputed exactly once.
+///
+/// The hash is reused across shard selection, cache lookup and cache
+/// insert; equality still compares the full signature, so hash collisions
+/// are correct (they merely share a shard and a hash bucket).
+#[derive(Debug, Clone)]
+pub struct SigKey {
+    hash: u64,
+    sources: Vec<VertexId>,
+    targets: Vec<VertexId>,
+}
+
+impl SigKey {
+    /// Builds the key from an already-normalized signature (both sides
+    /// sorted and deduplicated, as produced by [`SetQuery::signature`]).
+    pub fn from_signature((sources, targets): QueryKey) -> Self {
+        let mut hasher = DefaultHasher::new();
+        sources.hash(&mut hasher);
+        targets.hash(&mut hasher);
+        SigKey {
+            hash: hasher.finish(),
+            sources,
+            targets,
+        }
+    }
+
+    /// Normalizes `sources ; targets` and builds the key.
+    pub fn new(sources: &[VertexId], targets: &[VertexId]) -> Self {
+        Self::from_signature(SetQuery::new(sources.to_vec(), targets.to_vec()).signature())
+    }
+
+    /// Builds the key from a query.
+    pub fn from_query(query: &SetQuery) -> Self {
+        Self::from_signature(query.signature())
+    }
+
+    /// The precomputed signature hash.
+    pub fn hash_value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Normalized source set.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Normalized target set.
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Rebuilds a [`SetQuery`] over the normalized sets (what the fused
+    /// execution actually evaluates).
+    pub fn to_query(&self) -> SetQuery {
+        SetQuery::new(self.sources.clone(), self.targets.clone())
+    }
+}
+
+impl PartialEq for SigKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.sources == other.sources && self.targets == other.targets
+    }
+}
+
+impl Eq for SigKey {}
+
+impl Hash for SigKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The signature was hashed at construction; feed only the cached
+        // value so map operations never re-walk the vertex vectors.
+        state.write_u64(self.hash);
+    }
+}
+
+/// Pass-through hasher for maps keyed by [`SigKey`]: the key's `Hash` impl
+/// writes the single precomputed `u64`, which this hasher returns as-is.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrehashedHasher(u64);
+
+impl Hasher for PrehashedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("SigKey::hash only writes u64s");
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type PrehashedMap<V> = HashMap<SigKey, V, BuildHasherDefault<PrehashedHasher>>;
 
 struct CacheEntry {
     value: CachedPairs,
@@ -25,20 +132,18 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// A bounded LRU map from query signatures to query answers.
+/// One bounded LRU shard mapping query signatures to query answers.
 ///
-/// Lookups and insertions are `O(1)` (hash map); evictions scan for the
-/// minimal timestamp, which is `O(capacity)` but only runs when the cache
-/// is full — serving-layer capacities are small enough (thousands) that the
-/// scan is cheaper than maintaining an intrusive list, and the whole
-/// structure stays obviously correct under the service's mutex.
+/// Lookups and insertions are `O(1)` (hash map over the precomputed
+/// signature hash); evictions scan for the minimal timestamp, which is
+/// `O(shard capacity)` but only runs when the shard is full — per-shard
+/// capacities are small enough (dozens to hundreds) that the scan is
+/// cheaper than maintaining an intrusive list, and the whole structure
+/// stays obviously correct under its shard mutex.
 pub struct QueryCache {
     capacity: usize,
-    entries: HashMap<QueryKey, CacheEntry>,
+    entries: PrehashedMap<CacheEntry>,
     tick: u64,
-    /// Bumped on every invalidation; the service uses it to discard results
-    /// computed against an index that was swapped out mid-flight.
-    generation: u64,
 }
 
 impl std::fmt::Debug for QueryCache {
@@ -46,20 +151,18 @@ impl std::fmt::Debug for QueryCache {
         f.debug_struct("QueryCache")
             .field("capacity", &self.capacity)
             .field("len", &self.entries.len())
-            .field("generation", &self.generation)
             .finish()
     }
 }
 
 impl QueryCache {
-    /// Creates an empty cache holding at most `capacity` entries (at least
+    /// Creates an empty shard holding at most `capacity` entries (at least
     /// one).
     pub fn new(capacity: usize) -> Self {
         QueryCache {
             capacity: capacity.max(1),
-            entries: HashMap::new(),
+            entries: PrehashedMap::default(),
             tick: 0,
-            generation: 0,
         }
     }
 
@@ -73,18 +176,13 @@ impl QueryCache {
         self.entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the shard is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Current invalidation generation.
-    pub fn generation(&self) -> u64 {
-        self.generation
-    }
-
     /// Looks up a signature, marking the entry as most recently used.
-    pub fn get(&mut self, key: &QueryKey) -> Option<CachedPairs> {
+    pub fn get(&mut self, key: &SigKey) -> Option<CachedPairs> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(key).map(|entry| {
@@ -94,8 +192,8 @@ impl QueryCache {
     }
 
     /// Inserts (or refreshes) an entry, evicting the least recently used
-    /// one if the cache is full. Returns `true` if an eviction happened.
-    pub fn insert(&mut self, key: QueryKey, value: CachedPairs) -> bool {
+    /// one if the shard is full. Returns `true` if an eviction happened.
+    pub fn insert(&mut self, key: SigKey, value: CachedPairs) -> bool {
         self.tick += 1;
         let tick = self.tick;
         if let Some(entry) = self.entries.get_mut(&key) {
@@ -125,10 +223,149 @@ impl QueryCache {
         evicted
     }
 
-    /// Drops every entry and bumps the generation (index swap / update).
-    pub fn invalidate(&mut self) {
+    /// Drops every entry.
+    pub fn clear(&mut self) {
         self.entries.clear();
-        self.generation += 1;
+    }
+}
+
+/// Outcome of a generation-checked insert into the [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The entry was stored; `evicted` reports whether it displaced an LRU
+    /// entry.
+    Inserted {
+        /// Whether an LRU entry was evicted to make room.
+        evicted: bool,
+    },
+    /// The cache generation moved while the result was being computed (an
+    /// index swap would make the entry stale) — nothing was stored.
+    Stale,
+}
+
+/// The serving layer's result cache: `N` independently locked
+/// [`QueryCache`] shards selected by the precomputed signature hash, plus
+/// the global invalidation generation that couples the cache to the
+/// installed index.
+///
+/// Shard count is clamped so each shard keeps a meaningful LRU capacity
+/// (at least [`ShardedCache::MIN_SHARD_CAPACITY`] entries): tiny caches
+/// collapse to a single shard and retain exact global LRU semantics.
+pub struct ShardedCache {
+    shards: Box<[Mutex<QueryCache>]>,
+    /// Bumped on every invalidation; the service uses it to discard
+    /// results computed against an index that was swapped out mid-flight.
+    generation: AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl ShardedCache {
+    /// Minimum per-shard capacity: below this, splitting an LRU into
+    /// shards distorts eviction behavior more than the lock splitting is
+    /// worth, so the shard count is reduced instead.
+    pub const MIN_SHARD_CAPACITY: usize = 16;
+
+    /// Creates a cache holding at most `capacity` entries total (at least
+    /// one), split over at most `shards` shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, (capacity / Self::MIN_SHARD_CAPACITY).max(1));
+        let base = capacity / shards;
+        let remainder = capacity % shards;
+        let shards: Vec<Mutex<QueryCache>> = (0..shards)
+            .map(|i| Mutex::new(QueryCache::new(base + usize::from(i < remainder))))
+            .collect();
+        ShardedCache {
+            shards: shards.into_boxed_slice(),
+            generation: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Number of shards actually in use.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of cached entries (sums the shards; approximate under
+    /// concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    fn shard(&self, key: &SigKey) -> &Mutex<QueryCache> {
+        // The map buckets use the low hash bits; pick the shard from the
+        // high bits so shard choice and in-shard placement stay
+        // independent.
+        let index = (key.hash_value() >> 32) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up a signature in its shard, marking the entry as most
+    /// recently used.
+    pub fn get(&self, key: &SigKey) -> Option<CachedPairs> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Inserts a computed result unless the generation moved past
+    /// `generation` while it was being computed.
+    pub fn insert_if_current(
+        &self,
+        generation: u64,
+        key: SigKey,
+        value: CachedPairs,
+    ) -> InsertOutcome {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        // Re-check under the shard lock: `invalidate` bumps the generation
+        // *before* clearing the shards, so either this check fails or the
+        // subsequent clear removes the entry — a stale answer can never
+        // survive.
+        if self.generation() != generation {
+            return InsertOutcome::Stale;
+        }
+        InsertOutcome::Inserted {
+            evicted: shard.insert(key, value),
+        }
+    }
+
+    /// Drops every entry and bumps the generation (index swap / update).
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
     }
 }
 
@@ -136,12 +373,23 @@ impl QueryCache {
 mod tests {
     use super::*;
 
-    fn key(s: &[u32], t: &[u32]) -> QueryKey {
-        (s.to_vec(), t.to_vec())
+    fn key(s: &[u32], t: &[u32]) -> SigKey {
+        SigKey::new(s, t)
     }
 
     fn pairs(p: &[(u32, u32)]) -> CachedPairs {
         Arc::new(p.to_vec())
+    }
+
+    #[test]
+    fn sig_key_normalizes_and_hashes_once() {
+        let a = key(&[3, 1, 3], &[5, 2]);
+        let b = key(&[1, 3], &[2, 5, 5]);
+        assert_eq!(a, b, "normalized signatures unify");
+        assert_eq!(a.hash_value(), b.hash_value());
+        assert_eq!(a.sources(), &[1, 3]);
+        assert_eq!(a.targets(), &[2, 5]);
+        assert_ne!(a, key(&[1, 3], &[2, 6]));
     }
 
     #[test]
@@ -177,19 +425,61 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_clears_and_bumps_generation() {
-        let mut cache = QueryCache::new(4);
-        cache.insert(key(&[1], &[1]), pairs(&[]));
-        let before = cache.generation();
-        cache.invalidate();
-        assert!(cache.is_empty());
-        assert_eq!(cache.generation(), before + 1);
-        assert!(cache.get(&key(&[1], &[1])).is_none());
-    }
-
-    #[test]
     fn zero_capacity_is_clamped() {
         let cache = QueryCache::new(0);
         assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_across_shards() {
+        let cache = ShardedCache::new(1024, 8);
+        assert_eq!(cache.num_shards(), 8);
+        for i in 0..256u32 {
+            let k = key(&[i], &[i + 1]);
+            assert!(cache.get(&k).is_none());
+            assert_eq!(
+                cache.insert_if_current(0, k.clone(), pairs(&[(i, i + 1)])),
+                InsertOutcome::Inserted { evicted: false }
+            );
+            assert_eq!(*cache.get(&k).unwrap(), vec![(i, i + 1)]);
+        }
+        assert_eq!(cache.len(), 256);
+    }
+
+    #[test]
+    fn tiny_cache_collapses_to_one_shard_with_exact_lru() {
+        let cache = ShardedCache::new(2, 8);
+        assert_eq!(cache.num_shards(), 1, "tiny cache keeps exact LRU");
+        assert_eq!(cache.capacity(), 2);
+        cache.insert_if_current(0, key(&[1], &[1]), pairs(&[]));
+        cache.insert_if_current(0, key(&[2], &[2]), pairs(&[]));
+        assert!(cache.get(&key(&[1], &[1])).is_some());
+        assert_eq!(
+            cache.insert_if_current(0, key(&[3], &[3]), pairs(&[])),
+            InsertOutcome::Inserted { evicted: true }
+        );
+        assert!(cache.get(&key(&[2], &[2])).is_none(), "LRU entry evicted");
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn invalidate_clears_all_shards_and_rejects_stale_inserts() {
+        let cache = ShardedCache::new(1024, 4);
+        let generation = cache.generation();
+        cache.insert_if_current(generation, key(&[1], &[1]), pairs(&[]));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.generation(), generation + 1);
+        // A result computed against the pre-invalidation index is refused.
+        assert_eq!(
+            cache.insert_if_current(generation, key(&[2], &[2]), pairs(&[])),
+            InsertOutcome::Stale
+        );
+        assert!(cache.get(&key(&[2], &[2])).is_none());
+        // The post-invalidation generation inserts normally.
+        assert_eq!(
+            cache.insert_if_current(generation + 1, key(&[2], &[2]), pairs(&[])),
+            InsertOutcome::Inserted { evicted: false }
+        );
     }
 }

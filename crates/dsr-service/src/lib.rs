@@ -1,33 +1,47 @@
 //! Concurrent query-serving layer over a [`DsrIndex`].
 //!
 //! The paper's evaluation (Tables 3–5) fires thousands of set-reachability
-//! queries against a static index. This crate turns the one-query-at-a-time
-//! engine of `dsr-core` into a serving substrate:
+//! queries against a static index, and its central serving win is that a
+//! *batched* execution costs 3 communication rounds regardless of batch
+//! size. This crate turns the one-query-at-a-time engine of `dsr-core`
+//! into a serving substrate that keeps that multiplier **across clients**:
 //!
-//! * [`QueryService`] owns an `Arc<DsrIndex>` and answers queries from any
-//!   number of client threads concurrently. Per-slave work runs on the
-//!   process-wide persistent [`SlavePool`](dsr_cluster::SlavePool) (long-
-//!   lived workers fed via a job queue), so a query costs queue pushes
-//!   rather than thread spawns.
-//! * [`QueryService::query_batch`] executes a whole batch of queries with a
-//!   **single** scatter/exchange/gather sequence (3 communication rounds
-//!   total instead of 3 per query) via
-//!   [`DsrEngine::set_reachability_batch`](dsr_core::DsrEngine::set_reachability_batch).
-//! * A bounded LRU [`QueryCache`] keyed on normalized `(sources, targets)`
-//!   signatures short-circuits repeated queries; hit/miss/eviction counters
-//!   are surfaced through [`CacheStats`](dsr_cluster::CacheStats).
+//! * [`QueryService`] owns a snapshot of the index and answers queries
+//!   from any number of client threads concurrently. Cache misses from all
+//!   clients flow through a **batch former** (the [`batcher`] module): a
+//!   dedicated scheduler thread fuses them — bounded by the
+//!   [`ServiceConfig::max_wait_us`] window and the
+//!   [`ServiceConfig::max_batch`] cap — into shared
+//!   scatter/exchange/gather runs via
+//!   [`DsrEngine::set_reachability_batch`](dsr_core::DsrEngine::set_reachability_batch),
+//!   then fans the answers back out. Per-slave work runs on the
+//!   process-wide persistent [`SlavePool`](dsr_cluster::SlavePool).
+//! * A bounded, sharded LRU cache ([`ShardedCache`]) keyed on normalized
+//!   `(sources, targets)` signatures — hashed once into a [`SigKey`] and
+//!   reused for shard selection, lookup and insert — short-circuits
+//!   repeated queries without ever touching the scheduler;
+//!   hit/miss/eviction counters are surfaced through
+//!   [`CacheStats`](dsr_cluster::CacheStats) and fusion effectiveness
+//!   through [`BatchStats`](dsr_cluster::BatchStats)
+//!   ([`QueryService::batch_stats`]).
+//! * Admission control bounds the number of in-flight queries: the
+//!   fail-fast entry points ([`QueryService::try_query`] /
+//!   [`QueryService::try_submit`]) return the typed
+//!   [`ServiceError::Overloaded`] under saturation instead of piling up
+//!   unboundedly.
 //! * Index updates flow through [`QueryService::apply_updates`] — the
 //!   differential pipeline of Section 3.3.3: back-to-back batches are
 //!   coalesced, only affected partitions refresh, and the summary deltas
 //!   ship through the service's transport (cost surfaced by
 //!   [`QueryService::update_stats`]) — or through the lower-level
 //!   [`QueryService::update_in_place`] / [`QueryService::install_index`]
-//!   (offline rebuild + swap). All of them invalidate the cache
+//!   (offline rebuild + swap, stall-free for readers thanks to the
+//!   [`snapshot`] holder). All of them invalidate the cache
 //!   generation-correctly; a shared index either fails with the explicit
 //!   [`UpdateError::IndexShared`] or, with
 //!   [`ServiceConfig::clone_on_write`], forks and swaps.
-//!   [`QueryService::query_uncached`] bypasses the cache entirely for
-//!   read-your-writes checks.
+//!   [`QueryService::query_uncached`] bypasses cache and batcher entirely
+//!   for read-your-writes checks.
 //!
 //! # Quick start
 //!
@@ -49,19 +63,30 @@
 //! assert_eq!(service.cache_stats().hits() + service.cache_stats().misses(), 1);
 //!
 //! // … and batches: 3 communication rounds for the whole batch. The
-//! // Result carries a typed TransportError when a (TCP) worker fails;
+//! // Result carries a typed ServiceError when a (TCP) worker fails;
 //! // the in-process default never does.
 //! let reply = service.query_batch(&[
 //!     SetQuery::new(vec![0], vec![3]),
 //!     SetQuery::new(vec![1], vec![4, 5]),
 //! ]).expect("in-process transport never fails");
 //! assert!(reply.rounds <= 3);
+//!
+//! // Two-phase submission fuses a single client's concurrent work:
+//! let tickets: Vec<_> = (0..3).map(|i| service.submit(&[i], &[5])).collect();
+//! service.flush();
+//! for ticket in tickets {
+//!     ticket.wait().expect("in-process transport never fails");
+//! }
 //! ```
 //!
 //! [`DsrIndex`]: dsr_core::DsrIndex
 
+pub mod batcher;
 pub mod cache;
 pub mod service;
+pub mod snapshot;
 
-pub use cache::{CachedPairs, QueryCache, QueryKey};
-pub use service::{BatchReply, QueryService, ServiceConfig, UpdateError};
+pub use batcher::{RoundCost, ServiceError};
+pub use cache::{CachedPairs, InsertOutcome, QueryCache, QueryKey, ShardedCache, SigKey};
+pub use service::{BatchReply, QueryService, QueryTicket, ServiceConfig, UpdateError};
+pub use snapshot::SnapshotHolder;

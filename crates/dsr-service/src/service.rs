@@ -1,16 +1,18 @@
-//! The concurrent query service.
+//! The concurrent query service: a batch-forming front end over a shared
+//! [`DsrIndex`].
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{
-    CacheStats, CommStats, DynTransport, TransportError, TransportKind, UpdateStats,
+    BatchStats, CacheStats, CommStats, DynTransport, TransportError, TransportKind, UpdateStats,
 };
 use dsr_core::{coalesce_updates, DsrEngine, DsrIndex, SetQuery, UpdateOp, UpdateOutcome};
 use dsr_graph::VertexId;
 
-use crate::cache::{CachedPairs, QueryCache, QueryKey};
+use crate::batcher::{Admission, Batcher, BatcherConfig, Entry, RoundCost, ServiceError, Waiter};
+use crate::cache::{CachedPairs, ShardedCache, SigKey};
+use crate::snapshot::SnapshotHolder;
 
 /// Why an update could not be applied.
 #[derive(Debug)]
@@ -63,8 +65,33 @@ pub struct ServiceConfig {
     /// Maximum number of cached query results (clamped to at least 1).
     pub cache_capacity: usize,
     /// Whether the result cache is consulted at all. Disabling it turns
-    /// every [`QueryService::query`] into [`QueryService::query_uncached`].
+    /// every [`QueryService::query`] into a fused execution (still batched
+    /// across clients, never cached).
     pub cache_enabled: bool,
+    /// Number of independently locked cache shards. Clamped so each shard
+    /// keeps a meaningful LRU capacity (see
+    /// [`ShardedCache::MIN_SHARD_CAPACITY`]) — tiny caches collapse to a
+    /// single shard with exact global LRU semantics. More shards shrink
+    /// hit-path lock contention between client threads.
+    pub cache_shards: usize,
+    /// Size cap of the batch former: the scheduler stops waiting and
+    /// executes as soon as this many queries are pending. Groups submitted
+    /// by one [`QueryService::query_batch`] call are indivisible, so a
+    /// formed batch can exceed the cap by the tail group's size.
+    pub max_batch: usize,
+    /// Bounded forming window in microseconds: a cache-missing query waits
+    /// at most this long for other clients' misses to fuse with before the
+    /// batch executes. `0` disables the window (every submission executes
+    /// immediately with whatever queued meanwhile) — single-client latency
+    /// is then optimal but cross-client fusion only happens under true
+    /// concurrency.
+    pub max_wait_us: u64,
+    /// Admission limit: maximum number of submitted-but-unanswered queries
+    /// before backpressure. [`QueryService::try_query`] /
+    /// [`QueryService::try_submit`] fail fast with
+    /// [`ServiceError::Overloaded`]; the blocking entry points wait for
+    /// room instead.
+    pub admission_depth: usize,
     /// Which communication backend the service's engine runs over:
     /// [`TransportKind::InProcess`] (zero-copy moves, the default),
     /// [`TransportKind::Wire`] (serialized framed bytes through OS pipes)
@@ -90,6 +117,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             cache_enabled: true,
+            cache_shards: 8,
+            max_batch: 64,
+            max_wait_us: 200,
+            admission_depth: 1024,
             transport: TransportKind::InProcess,
             clone_on_write: false,
         }
@@ -130,30 +161,98 @@ pub struct BatchReply {
     /// How many of the input queries were answered from the cache.
     pub cache_hits: usize,
     /// How many distinct queries were actually executed (cache misses after
-    /// in-batch deduplication).
+    /// in-batch deduplication; under concurrency some may instead be
+    /// resolved by another client's simultaneous execution).
     pub executed: usize,
-    /// Communication rounds of the single batched execution (0 when every
-    /// query hit the cache).
+    /// Communication rounds of the fused execution(s) that answered this
+    /// batch (0 when every query hit the cache).
     pub rounds: u64,
-    /// Messages exchanged by the batched execution.
+    /// Messages exchanged by the fused execution(s).
     pub messages: u64,
-    /// Bytes exchanged by the batched execution.
+    /// Bytes exchanged by the fused execution(s).
     pub bytes: u64,
-    /// Wall-clock time of the whole call (probe + execution + insert).
+    /// Wall-clock time of the whole call (probe + batch formation +
+    /// execution + insert).
     pub elapsed: Duration,
+}
+
+/// The state shared between client threads and the batch-forming
+/// scheduler thread.
+pub(crate) struct Core {
+    pub(crate) snapshot: SnapshotHolder<DsrIndex>,
+    pub(crate) cache: ShardedCache,
+    pub(crate) cache_enabled: bool,
+    pub(crate) transport: DynTransport,
+    pub(crate) admission: Admission,
+    pub(crate) stats: CacheStats,
+    pub(crate) comm: CommStats,
+    pub(crate) batch: BatchStats,
+}
+
+/// A pending (or immediately answered) single-query submission — the
+/// two-phase half of [`QueryService::query`]. Obtain one with
+/// [`QueryService::submit`] / [`QueryService::try_submit`], then collect
+/// the answer with [`QueryTicket::wait`].
+#[derive(Debug)]
+pub struct QueryTicket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    /// Answered from the cache at submission time.
+    Ready(CachedPairs),
+    /// Queued for fused execution; slot 0 of a single-entry group.
+    Pending(Arc<Waiter>),
+}
+
+impl std::fmt::Debug for TicketInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TicketInner::Ready(_) => f.write_str("Ready"),
+            TicketInner::Pending(_) => f.write_str("Pending"),
+        }
+    }
+}
+
+impl QueryTicket {
+    /// Whether the submission was answered from the cache without touching
+    /// the scheduler (waiting on it will not block).
+    pub fn is_ready(&self) -> bool {
+        matches!(self.inner, TicketInner::Ready(_))
+    }
+
+    /// Blocks until the query is answered.
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the fused execution containing
+    /// this query failed on the service transport.
+    pub fn wait(self) -> Result<CachedPairs, ServiceError> {
+        match self.inner {
+            TicketInner::Ready(value) => Ok(value),
+            TicketInner::Pending(waiter) => {
+                let mut fulfillments = waiter.wait()?;
+                let (value, _cost) = fulfillments.pop().expect("single-slot group");
+                Ok(value)
+            }
+        }
+    }
 }
 
 /// A thread-safe query-serving front end over a shared [`DsrIndex`].
 ///
-/// The service owns an `Arc<DsrIndex>` and can be hammered from any number
-/// of client threads concurrently: queries borrow the index immutably and
-/// the per-slave work runs on the process-wide persistent
-/// [`SlavePool`](dsr_cluster::SlavePool), so concurrent queries interleave
-/// at slave-task granularity instead of serializing or spawning threads.
+/// The service can be hammered from any number of client threads
+/// concurrently. Queries flow through a **batch former** (see the
+/// [`batcher`](crate::batcher) module): cache hits are answered directly
+/// from the sharded result cache, while cache misses from *all* clients
+/// are fused by a dedicated scheduler thread into shared
+/// scatter/exchange/gather runs — 3 communication rounds per formed batch
+/// instead of 3 per query. Per-slave work runs on the process-wide
+/// persistent [`SlavePool`](dsr_cluster::SlavePool), so concurrent batches
+/// interleave at slave-task granularity instead of spawning threads.
 ///
 /// # Caching and updates
 ///
-/// Results are cached in a bounded LRU keyed on the normalized
+/// Results are cached in a bounded sharded LRU keyed on the normalized
 /// `(sources, targets)` signature, with hit/miss counters surfaced through
 /// [`CacheStats`]. The cache is coupled to the index by a generation
 /// counter:
@@ -167,18 +266,15 @@ pub struct BatchReply {
 ///   (`DsrIndex::insert_edges` / `delete_edges`, Section 3.3.3 of the
 ///   paper) directly to the owned index when no other `Arc` clones are
 ///   outstanding, then invalidates the cache the same way.
-/// * [`QueryService::query_uncached`] bypasses the cache entirely — the
-///   escape hatch for callers that must observe the latest index state
-///   without touching cached entries (e.g. read-your-writes checks right
-///   after an update).
+/// * [`QueryService::query_uncached`] bypasses the cache **and** the batch
+///   former entirely — the escape hatch for callers that must observe the
+///   latest index state without touching cached entries (e.g.
+///   read-your-writes checks right after an update).
 pub struct QueryService {
-    index: RwLock<Arc<DsrIndex>>,
-    cache: Mutex<QueryCache>,
-    cache_enabled: bool,
+    // Declared before `core` so Drop joins the scheduler thread first.
+    batcher: Batcher,
+    core: Arc<Core>,
     clone_on_write: bool,
-    transport: DynTransport,
-    stats: CacheStats,
-    comm: CommStats,
     /// Aggregate refresh-exchange cost of every update batch applied
     /// through this service (rounds/messages/bytes of shipped deltas).
     updates_comm: CommStats,
@@ -187,8 +283,8 @@ pub struct QueryService {
 impl std::fmt::Debug for QueryService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryService")
-            .field("cache_enabled", &self.cache_enabled)
-            .field("cache", &self.cache.lock().expect("cache poisoned"))
+            .field("cache_enabled", &self.core.cache_enabled)
+            .field("cache", &self.core.cache)
             .finish()
     }
 }
@@ -217,70 +313,169 @@ impl QueryService {
         config: ServiceConfig,
         transport: DynTransport,
     ) -> Self {
-        QueryService {
-            index: RwLock::new(index),
-            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+        let core = Arc::new(Core {
+            snapshot: SnapshotHolder::new(index),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             cache_enabled: config.cache_enabled,
-            clone_on_write: config.clone_on_write,
             transport,
+            admission: Admission::new(config.admission_depth),
             stats: CacheStats::new(),
             comm: CommStats::new(),
+            batch: BatchStats::new(),
+        });
+        let batcher = Batcher::spawn(
+            Arc::clone(&core),
+            BatcherConfig {
+                max_batch: config.max_batch.max(1),
+                max_wait: Duration::from_micros(config.max_wait_us),
+            },
+        );
+        QueryService {
+            batcher,
+            core,
+            clone_on_write: config.clone_on_write,
             updates_comm: CommStats::new(),
         }
     }
 
     /// A clone of the currently installed index.
     pub fn index(&self) -> Arc<DsrIndex> {
-        Arc::clone(&self.index.read().expect("index lock poisoned"))
+        self.core.snapshot.read()
     }
 
     /// Which transport backend this service executes queries over.
     pub fn transport_kind(&self) -> TransportKind {
-        self.transport.kind()
+        self.core.transport.kind()
     }
 
     /// Cache hit/miss/eviction counters.
     pub fn cache_stats(&self) -> &CacheStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// Aggregate communication counters across every query this service has
     /// executed (cache hits add nothing — that is the point of the cache).
     pub fn comm_stats(&self) -> &CommStats {
-        &self.comm
+        &self.core.comm
+    }
+
+    /// Batch-former counters: formed-batch size histogram, queued wait and
+    /// the fusion ratio (queries per communication round).
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.core.batch
     }
 
     /// Number of currently cached results.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.core.cache.len()
     }
 
-    /// Answers `S ; T`, consulting the result cache.
-    pub fn query(&self, sources: &[VertexId], targets: &[VertexId]) -> CachedPairs {
-        if !self.cache_enabled {
-            return Arc::new(self.query_uncached(sources, targets));
-        }
-        let key = SetQuery::new(sources.to_vec(), targets.to_vec()).signature();
-        let generation = {
-            let mut cache = self.cache.lock().expect("cache poisoned");
-            if let Some(hit) = cache.get(&key) {
-                self.stats.record_hit();
-                return hit;
+    /// Probes the cache and, on a miss, enqueues the query into the batch
+    /// former, blocking for admission if the service is saturated. The
+    /// returned [`QueryTicket`] collects the answer.
+    ///
+    /// Submitting without immediately waiting is how a single client
+    /// presents concurrent work: submit several queries, then
+    /// [`flush`](QueryService::flush) and wait on the tickets — the misses
+    /// fuse into one protocol run exactly like misses from distinct
+    /// threads.
+    pub fn submit(&self, sources: &[VertexId], targets: &[VertexId]) -> QueryTicket {
+        self.submit_inner(sources, targets, true)
+            .expect("blocking admission cannot be refused")
+    }
+
+    /// Non-blocking [`submit`](QueryService::submit): fails fast with
+    /// [`ServiceError::Overloaded`] instead of waiting for admission when
+    /// [`ServiceConfig::admission_depth`] queries are already in flight.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] on a saturated admission queue.
+    pub fn try_submit(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Result<QueryTicket, ServiceError> {
+        self.submit_inner(sources, targets, false)
+    }
+
+    fn submit_inner(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        blocking: bool,
+    ) -> Result<QueryTicket, ServiceError> {
+        let key = SigKey::new(sources, targets);
+        if self.core.cache_enabled {
+            if let Some(hit) = self.core.cache.get(&key) {
+                self.core.stats.record_hit();
+                return Ok(QueryTicket {
+                    inner: TicketInner::Ready(hit),
+                });
             }
-            cache.generation()
-        };
-        self.stats.record_miss();
-        let index = self.index();
-        let engine = DsrEngine::with_transport(&index, &self.transport);
-        let outcome = engine.set_reachability(&key.0, &key.1);
-        self.comm
-            .add(outcome.rounds, outcome.messages, outcome.bytes);
-        let value = Arc::new(outcome.pairs);
-        self.insert_if_current(generation, key, Arc::clone(&value));
-        value
+            self.core.stats.record_miss();
+        }
+        if blocking {
+            self.core.admission.acquire_blocking(1);
+        } else {
+            self.core.admission.try_acquire(1)?;
+        }
+        let waiter = Waiter::new(1);
+        self.batcher.submit(vec![Entry {
+            key,
+            waiter: Arc::clone(&waiter),
+            slot: 0,
+            enqueued: Instant::now(),
+        }]);
+        Ok(QueryTicket {
+            inner: TicketInner::Pending(waiter),
+        })
     }
 
-    /// Answers `S ; T` without touching the cache (no lookup, no insert).
+    /// Asks the batch former to execute whatever is pending right now
+    /// instead of waiting out the forming window — pair with
+    /// [`submit`](QueryService::submit) when the caller knows no more work
+    /// is coming.
+    pub fn flush(&self) {
+        self.batcher.flush();
+    }
+
+    /// Answers `S ; T`, consulting the result cache; misses fuse with
+    /// concurrent clients' misses into shared protocol rounds.
+    ///
+    /// Blocks for admission when the service is saturated (use
+    /// [`try_query`](QueryService::try_query) for fail-fast backpressure).
+    ///
+    /// # Panics
+    /// On transport failure, like the underlying
+    /// [`DsrEngine::set_reachability`] — the in-process and pipe backends
+    /// never fail; TCP-fronted callers who need the typed error use
+    /// [`try_query`](QueryService::try_query) or
+    /// [`query_batch`](QueryService::query_batch).
+    pub fn query(&self, sources: &[VertexId], targets: &[VertexId]) -> CachedPairs {
+        match self.submit(sources, targets).wait() {
+            Ok(value) => value,
+            Err(err) => panic!("service query failed: {err}"),
+        }
+    }
+
+    /// Fail-fast [`query`](QueryService::query): returns
+    /// [`ServiceError::Overloaded`] instead of blocking when the admission
+    /// queue is saturated, and [`ServiceError::Transport`] instead of
+    /// panicking when the fused execution fails.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] on a saturated admission queue,
+    /// [`ServiceError::Transport`] when the fused run failed.
+    pub fn try_query(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Result<CachedPairs, ServiceError> {
+        self.try_submit(sources, targets)?.wait()
+    }
+
+    /// Answers `S ; T` without touching the cache or the batch former (no
+    /// lookup, no insert, no queueing).
     ///
     /// This is the documented bypass path for post-update reads: it always
     /// evaluates against the currently installed index.
@@ -290,9 +485,10 @@ impl QueryService {
         targets: &[VertexId],
     ) -> Vec<(VertexId, VertexId)> {
         let index = self.index();
-        let engine = DsrEngine::with_transport(&index, &self.transport);
+        let engine = DsrEngine::with_transport(&index, &self.core.transport);
         let outcome = engine.set_reachability(sources, targets);
-        self.comm
+        self.core
+            .comm
             .add(outcome.rounds, outcome.messages, outcome.bytes);
         outcome.pairs
     }
@@ -300,79 +496,85 @@ impl QueryService {
     /// Answers a whole batch of queries with a single
     /// scatter/exchange/gather sequence for all cache misses.
     ///
-    /// The batch is first probed against the cache; identical signatures
-    /// within the batch are deduplicated so each distinct miss is executed
-    /// exactly once. The remaining misses run through
-    /// [`DsrEngine::set_reachability_batch`], which performs 3 communication
-    /// rounds total regardless of the number of queries.
+    /// The batch is probed against the cache; the misses are submitted to
+    /// the batch former as one indivisible group and flushed, so a lone
+    /// caller still pays exactly one fused 3-round execution — and under
+    /// concurrency the group shares its rounds with other clients' misses
+    /// that queued in the same window. Identical signatures within the
+    /// batch are deduplicated so each distinct miss is executed exactly
+    /// once.
     ///
     /// # Errors
-    /// Returns the typed [`TransportError`] when the service's transport
-    /// fails mid-batch (e.g. a TCP worker disconnecting). Nothing is
-    /// cached from a failed batch. The in-process and pipe backends never
-    /// fail.
-    pub fn query_batch(&self, queries: &[SetQuery]) -> Result<BatchReply, TransportError> {
+    /// [`ServiceError::Transport`] when the fused execution fails (e.g. a
+    /// TCP worker disconnecting) — nothing is cached from a failed batch —
+    /// and never [`ServiceError::Overloaded`]: a whole batch blocks for
+    /// admission. The in-process and pipe backends never fail.
+    pub fn query_batch(&self, queries: &[SetQuery]) -> Result<BatchReply, ServiceError> {
         let start = Instant::now();
-        let keys: Vec<QueryKey> = queries.iter().map(SetQuery::signature).collect();
         let mut results: Vec<Option<CachedPairs>> = vec![None; queries.len()];
-
-        // Probe the cache and deduplicate misses in one pass (hash-indexed,
-        // so the work under the cache lock stays linear in the batch size).
-        let mut miss_keys: Vec<QueryKey> = Vec::new();
-        let mut miss_index: HashMap<&QueryKey, usize> = HashMap::new();
-        let mut miss_of: Vec<usize> = Vec::new(); // unfilled slot -> miss index
         let mut cache_hits = 0usize;
-        let generation = {
-            let mut cache = self.cache.lock().expect("cache poisoned");
-            for (qi, key) in keys.iter().enumerate() {
-                if self.cache_enabled {
-                    if let Some(hit) = cache.get(key) {
-                        self.stats.record_hit();
-                        cache_hits += 1;
-                        results[qi] = Some(hit);
-                        continue;
-                    }
-                    self.stats.record_miss();
+        let mut miss_keys: Vec<SigKey> = Vec::new();
+        let mut miss_slots: Vec<usize> = Vec::new(); // waiter slot -> query index
+        for (qi, query) in queries.iter().enumerate() {
+            let key = SigKey::from_query(query);
+            if self.core.cache_enabled {
+                if let Some(hit) = self.core.cache.get(&key) {
+                    self.core.stats.record_hit();
+                    cache_hits += 1;
+                    results[qi] = Some(hit);
+                    continue;
                 }
-                match miss_index.get(key) {
-                    Some(&mi) => miss_of.push(mi),
-                    None => {
-                        miss_index.insert(key, miss_keys.len());
-                        miss_of.push(miss_keys.len());
-                        miss_keys.push(key.clone());
-                    }
-                }
+                self.core.stats.record_miss();
             }
-            cache.generation()
-        };
-        drop(miss_index);
+            miss_slots.push(qi);
+            miss_keys.push(key);
+        }
 
-        // Execute every distinct miss in one batched protocol run.
-        let (rounds, messages, bytes) = if miss_keys.is_empty() {
-            (0, 0, 0)
-        } else {
-            let index = self.index();
-            let engine = DsrEngine::with_transport(&index, &self.transport);
-            let miss_queries: Vec<SetQuery> = miss_keys
-                .iter()
-                .map(|(s, t)| SetQuery::new(s.clone(), t.clone()))
-                .collect();
-            let outcome = engine.set_reachability_batch(&miss_queries)?;
-            self.comm
-                .add(outcome.rounds, outcome.messages, outcome.bytes);
-            let values: Vec<CachedPairs> = outcome.results.into_iter().map(Arc::new).collect();
-            if self.cache_enabled {
-                for (key, value) in miss_keys.iter().zip(&values) {
-                    self.insert_if_current(generation, key.clone(), Arc::clone(value));
+        let (mut rounds, mut messages, mut bytes) = (0u64, 0u64, 0u64);
+        let mut executed = 0usize;
+        if !miss_keys.is_empty() {
+            self.core.admission.acquire_blocking(miss_keys.len());
+            let waiter = Waiter::new(miss_keys.len());
+            let enqueued = Instant::now();
+            self.batcher.submit(
+                miss_keys
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, key)| Entry {
+                        key: key.clone(),
+                        waiter: Arc::clone(&waiter),
+                        slot,
+                        enqueued,
+                    })
+                    .collect(),
+            );
+            // The caller already presented the whole batch: nothing is
+            // gained by waiting out the forming window.
+            self.batcher.flush();
+            let fulfillments = waiter.wait()?;
+
+            // Aggregate the reply: count each distinct executed signature
+            // once, and each fused run's cost once (duplicates and
+            // scheduler-side cache resolutions share `Arc`s).
+            let mut executed_sigs: Vec<&SigKey> = Vec::new();
+            let mut costs: Vec<Arc<RoundCost>> = Vec::new();
+            for (slot, (value, cost)) in fulfillments.into_iter().enumerate() {
+                if let Some(cost) = cost {
+                    let key = &miss_keys[slot];
+                    if !executed_sigs.contains(&key) {
+                        executed_sigs.push(key);
+                        executed += 1;
+                    }
+                    if !costs.iter().any(|seen| Arc::ptr_eq(seen, &cost)) {
+                        rounds += cost.rounds;
+                        messages += cost.messages;
+                        bytes += cost.bytes;
+                        costs.push(cost);
+                    }
                 }
+                results[miss_slots[slot]] = Some(value);
             }
-            let mut miss_iter = miss_of.iter();
-            for slot in results.iter_mut().filter(|slot| slot.is_none()) {
-                let mi = *miss_iter.next().expect("one miss index per unfilled slot");
-                *slot = Some(Arc::clone(&values[mi]));
-            }
-            (outcome.rounds, outcome.messages, outcome.bytes)
-        };
+        }
 
         Ok(BatchReply {
             results: results
@@ -380,7 +582,7 @@ impl QueryService {
                 .map(|slot| slot.expect("every query answered"))
                 .collect(),
             cache_hits,
-            executed: miss_keys.len(),
+            executed,
             rounds,
             messages,
             bytes,
@@ -390,14 +592,15 @@ impl QueryService {
 
     /// Swaps in a new index and invalidates the cache.
     ///
-    /// Use this after rebuilding an index offline (or applying updates to a
-    /// privately owned one). Queries started before the swap finish against
-    /// the old index but cannot pollute the cache (generation check).
+    /// The swap never stalls the read side: each snapshot slot is locked
+    /// only for a pointer store (see
+    /// [`SnapshotHolder`]). Use this
+    /// after rebuilding an index offline (or applying updates to a
+    /// privately owned one). Queries started before the swap finish
+    /// against the old index but cannot pollute the cache (generation
+    /// check).
     pub fn install_index(&self, index: Arc<DsrIndex>) {
-        {
-            let mut slot = self.index.write().expect("index lock poisoned");
-            *slot = index;
-        }
+        self.core.snapshot.swap(index);
         self.invalidate_cache();
     }
 
@@ -406,8 +609,9 @@ impl QueryService {
     /// invalidates the cache.
     ///
     /// When other `Arc` clones of the index are outstanding (e.g. a caller
-    /// holding [`QueryService::index`]), the service cannot mutate state
-    /// that concurrent readers may be traversing:
+    /// holding [`QueryService::index`], or the scheduler mid-execution),
+    /// the service cannot mutate state that concurrent readers may be
+    /// traversing:
     ///
     /// * with [`ServiceConfig::clone_on_write`] enabled, the index is
     ///   forked, `mutate` runs on the fork, and the fork is atomically
@@ -439,13 +643,17 @@ impl QueryService {
     /// [`UpdateError::IndexShared`]. Returns which path ran; cache
     /// invalidation is the caller's decision — it depends on the result
     /// *and* the path (see `apply_updates`' error handling).
+    ///
+    /// Exclusivity is established by
+    /// [`SnapshotHolder::update`](crate::snapshot::SnapshotHolder::update):
+    /// all snapshot slots are locked and consolidated, so `Arc::get_mut`
+    /// succeeds exactly when no externally pinned clone is outstanding.
     fn mutate_index<R>(
         &self,
         mutate: impl FnOnce(&mut DsrIndex) -> R,
         install_fork: impl FnOnce(&R) -> bool,
     ) -> Result<(R, UpdatePath), UpdateError> {
-        let mut slot = self.index.write().expect("index lock poisoned");
-        match Arc::get_mut(&mut slot) {
+        self.core.snapshot.update(|slot| match Arc::get_mut(slot) {
             Some(index) => Ok((mutate(index), UpdatePath::InPlace)),
             None if self.clone_on_write => {
                 let mut fork = slot.fork();
@@ -456,7 +664,7 @@ impl QueryService {
                 Ok((result, UpdatePath::Fork))
             }
             None => Err(UpdateError::IndexShared),
-        }
+        })
     }
 
     /// Applies a batch of edge updates through the differential pipeline
@@ -475,7 +683,7 @@ impl QueryService {
     pub fn apply_updates(&self, ops: &[UpdateOp]) -> Result<UpdateOutcome, UpdateError> {
         let ops = coalesce_updates(ops);
         let (result, path) = self.mutate_index(
-            |index| index.apply_updates_with_transport(&ops, &self.transport),
+            |index| index.apply_updates_with_transport(&ops, &self.core.transport),
             // Only a successful, actually-changing batch installs the
             // fork; a half-applied fork (transport failure) is discarded.
             |result| result.as_ref().is_ok_and(|o| o.rebuilt_compounds),
@@ -513,21 +721,8 @@ impl QueryService {
 
     /// Clears the cache and bumps its generation.
     pub fn invalidate_cache(&self) {
-        self.cache.lock().expect("cache poisoned").invalidate();
-        self.stats.record_invalidation();
-    }
-
-    /// Inserts a computed result unless the cache generation moved while it
-    /// was being computed (an index swap would make the entry stale).
-    fn insert_if_current(&self, generation: u64, key: QueryKey, value: CachedPairs) {
-        let mut cache = self.cache.lock().expect("cache poisoned");
-        if cache.generation() != generation {
-            return;
-        }
-        if cache.insert(key, value) {
-            self.stats.record_eviction();
-        }
-        self.stats.record_insertion();
+        self.core.cache.invalidate();
+        self.core.stats.record_invalidation();
     }
 }
 
@@ -557,6 +752,10 @@ mod tests {
         // A hit performs no communication: the aggregate counters only hold
         // the first (miss) execution.
         assert_eq!(service.comm_stats().rounds(), 3);
+        // The miss went through the batch former: one formed batch of one.
+        assert_eq!(service.batch_stats().batches(), 1);
+        assert_eq!(service.batch_stats().queries(), 1);
+        assert_eq!(service.batch_stats().executed(), 1);
     }
 
     #[test]
@@ -576,6 +775,7 @@ mod tests {
         assert_eq!(service.cache_stats().hits(), 0);
         assert_eq!(service.cache_stats().misses(), 0);
         assert_eq!(service.cache_len(), 0);
+        assert_eq!(service.batch_stats().batches(), 0, "bypasses the former");
     }
 
     #[test]
@@ -612,6 +812,62 @@ mod tests {
         assert_eq!(reply.cache_hits, 1);
         assert_eq!(reply.executed, 0);
         assert_eq!((reply.rounds, reply.messages, reply.bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn submitted_tickets_fuse_into_one_round_trip() {
+        let service = chain_service();
+        // Two-phase submission: a single client presents concurrent work.
+        let tickets: Vec<QueryTicket> = (0..4).map(|i| service.submit(&[i], &[5])).collect();
+        assert!(!tickets[0].is_ready(), "cold queries queue");
+        service.flush();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let pairs = ticket.wait().expect("in-process transport");
+            assert_eq!(*pairs, vec![(i as VertexId, 5)]);
+        }
+        // All four distinct misses fused into one 3-round execution.
+        assert_eq!(service.comm_stats().rounds(), 3);
+        assert_eq!(service.batch_stats().executed(), 4);
+        assert!(service.batch_stats().fusion_ratio() > 1.0);
+        // A repeated submit resolves instantly from the cache.
+        assert!(service.submit(&[0], &[5]).is_ready());
+    }
+
+    #[test]
+    fn saturated_admission_queue_returns_overloaded() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let service = QueryService::with_config(
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
+            ServiceConfig {
+                admission_depth: 2,
+                max_batch: 64,
+                // A forming window far longer than the test: the two
+                // queued queries stay in flight until the explicit flush.
+                max_wait_us: 60_000_000,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = service.try_submit(&[0], &[5]).expect("first admitted");
+        let b = service.try_submit(&[1], &[5]).expect("second admitted");
+        let refused = service.try_submit(&[2], &[5]);
+        assert!(
+            matches!(
+                refused,
+                Err(ServiceError::Overloaded {
+                    queued: 2,
+                    limit: 2
+                })
+            ),
+            "saturated queue refuses instead of deadlocking"
+        );
+        let err = refused.unwrap_err();
+        assert!(err.to_string().contains("overloaded"));
+        service.flush();
+        assert_eq!(*a.wait().expect("in-process"), vec![(0, 5)]);
+        assert_eq!(*b.wait().expect("in-process"), vec![(1, 5)]);
+        // Completion released the admission slots.
+        assert!(service.try_submit(&[2], &[5]).is_ok());
     }
 
     #[test]
@@ -764,6 +1020,9 @@ mod tests {
         service.query(&[0], &[2]);
         assert_eq!(service.cache_len(), 0);
         assert_eq!(service.cache_stats().hits(), 0);
+        // Both executions went through the former (no cache to resolve
+        // the repeat).
+        assert_eq!(service.batch_stats().executed(), 2);
     }
 
     #[test]
