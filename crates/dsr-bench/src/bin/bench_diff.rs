@@ -32,7 +32,7 @@ use dsr_bench::json::{parse, Json};
 
 /// Counter keys that must be bit-for-bit reproducible in `--fast` runs.
 /// Everything else (timings, ratios) is informational.
-const DETERMINISTIC_COUNTERS: [&str; 17] = [
+const DETERMINISTIC_COUNTERS: [&str; 20] = [
     "rounds",
     "messages",
     "bytes",
@@ -52,6 +52,12 @@ const DETERMINISTIC_COUNTERS: [&str; 17] = [
     "fused_queries",
     "executed",
     "late_hits",
+    // Failover counters: gated at zero — a fault-free bench run that
+    // reroutes, marks a suspect, or resyncs is a correctness regression in
+    // the replicated transport, not benchmark noise.
+    "failover_retries",
+    "failover_suspects",
+    "failover_resyncs",
 ];
 
 /// Array elements (matched by `"name"`) whose counters are scheduling-

@@ -32,7 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsr_cluster::{InProcess, TcpTransport, UpdateStats, WireTransport};
+use dsr_cluster::{FailoverSnapshot, InProcess, TcpTransport, UpdateStats, WireTransport};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery, UpdateOp};
 use dsr_datagen::{query_stream, update_stream, EdgeOp, StreamConfig, UpdateStreamConfig};
 use dsr_graph::DiGraph;
@@ -58,6 +58,10 @@ struct WorkloadResult {
     /// Queries answered while updating (interleaved only).
     queries: usize,
     invalidations: u64,
+    /// Failover counters (retries/suspects/resyncs). All zeros everywhere
+    /// but the TCP workload — and gated at zero there too: a no-fault bench
+    /// run that fails over is a regression, not noise.
+    failover: FailoverSnapshot,
 }
 
 impl WorkloadResult {
@@ -116,6 +120,7 @@ pub fn run(fast: bool) -> String {
         rebuild: Some(rebuild_time),
         queries: 0,
         invalidations: 0,
+        failover: FailoverSnapshot::default(),
     };
 
     // --- Workload 1b: the same bulk batch over the wire transport. -------
@@ -142,6 +147,7 @@ pub fn run(fast: bool) -> String {
         rebuild: None,
         queries: 0,
         invalidations: 0,
+        failover: FailoverSnapshot::default(),
     };
 
     // --- Workload 1c: the same bulk batch over a loopback TCP cluster. ---
@@ -168,6 +174,7 @@ pub fn run(fast: bool) -> String {
         rebuild: None,
         queries: 0,
         invalidations: 0,
+        failover: tcp.failover_stats().snapshot(),
     };
 
     // --- Workload 2: progressive insertion in small batches. -------------
@@ -202,6 +209,7 @@ pub fn run(fast: bool) -> String {
         rebuild: None,
         queries: 0,
         invalidations: 0,
+        failover: FailoverSnapshot::default(),
     };
 
     // --- Workload 3: interleaved queries and updates on a live service. --
@@ -264,6 +272,7 @@ pub fn run(fast: bool) -> String {
         rebuild: None,
         queries: answered,
         invalidations: service.cache_stats().invalidations(),
+        failover: service.failover_stats(),
     };
 
     let workloads = [bulk, bulk_wire, bulk_tcp, progressive, interleaved];
@@ -386,7 +395,7 @@ fn render_json(
     json.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"ops\": {}, \"batches\": {}, \"seconds\": {:.6}, \"ops_per_sec\": {:.1}, \"update_rounds\": {}, \"update_messages\": {}, \"update_bytes\": {}, \"refreshed_summaries\": {}, \"patched_compounds\": {}, \"queries\": {}, \"cache_invalidations\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"ops\": {}, \"batches\": {}, \"seconds\": {:.6}, \"ops_per_sec\": {:.1}, \"update_rounds\": {}, \"update_messages\": {}, \"update_bytes\": {}, \"refreshed_summaries\": {}, \"patched_compounds\": {}, \"queries\": {}, \"cache_invalidations\": {}, \"failover_retries\": {}, \"failover_suspects\": {}, \"failover_resyncs\": {}}}{}\n",
             w.name,
             w.transport,
             w.ops,
@@ -400,6 +409,9 @@ fn render_json(
             w.patched,
             w.queries,
             w.invalidations,
+            w.failover.retries,
+            w.failover.suspects,
+            w.failover.resyncs,
             if i + 1 == workloads.len() { "" } else { "," }
         ));
     }
@@ -436,5 +448,11 @@ mod tests {
         assert!(json.contains("\"transport\": \"wire\""));
         assert!(json.contains("\"transport\": \"tcp\""));
         assert!(json.contains("\"cache_invalidations\""));
+        // Failover counters are emitted for every workload and are all
+        // zero on this fault-free run (bench_diff gates them at zero).
+        assert!(json.contains("\"failover_retries\": 0"));
+        assert!(json.contains("\"failover_suspects\": 0"));
+        assert!(json.contains("\"failover_resyncs\": 0"));
+        assert!(!json.contains("\"failover_retries\": 1"));
     }
 }

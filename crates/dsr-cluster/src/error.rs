@@ -69,6 +69,13 @@ pub enum TransportError {
         /// What was expected vs what arrived.
         reason: String,
     },
+    /// Every replica hosting `partition` is marked suspect: the routing
+    /// table ([`Topology`](crate::Topology)) cannot place the collective.
+    /// Raising the replication factor or rejoining a worker fixes it.
+    NoReplica {
+        /// The partition nobody can serve.
+        partition: usize,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -92,6 +99,10 @@ impl fmt::Display for TransportError {
             TransportError::Protocol { peer, reason } => {
                 write!(f, "protocol violation from {peer}: {reason}")
             }
+            TransportError::NoReplica { partition } => write!(
+                f,
+                "no live replica hosts partition {partition} (every replica is suspect)"
+            ),
         }
     }
 }
@@ -136,6 +147,21 @@ impl TransportError {
                 source,
             },
         }
+    }
+
+    /// Whether this failure is the kind replica failover can route around:
+    /// the peer is gone or unresponsive
+    /// ([`Disconnected`](TransportError::Disconnected) /
+    /// [`Timeout`](TransportError::Timeout) / [`Io`](TransportError::Io)),
+    /// as opposed to speaking a broken protocol, which retrying elsewhere
+    /// would not fix.
+    pub fn is_connectivity_loss(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Disconnected { .. }
+                | TransportError::Timeout { .. }
+                | TransportError::Io { .. }
+        )
     }
 }
 

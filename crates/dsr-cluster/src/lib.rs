@@ -36,19 +36,23 @@
 //! switches the whole test suite between backends.
 
 pub mod error;
+pub mod fault;
 pub mod message;
 pub mod pool;
 pub mod stats;
 pub mod tcp;
+pub mod topology;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
 pub use error::TransportError;
+pub use fault::{Fault, FaultPhase, FaultPlan};
 pub use message::MessageSize;
 pub use pool::{global_pool, SlavePool};
-pub use stats::{BatchStats, CacheStats, CommStats, UpdateStats};
-pub use tcp::{ClusterSpec, TcpTransport};
+pub use stats::{BatchStats, CacheStats, CommStats, FailoverSnapshot, FailoverStats, UpdateStats};
+pub use tcp::{ClusterSpec, ClusterSpecBuilder, TcpTransport};
+pub use topology::Topology;
 pub use transport::{
     DynTransport, InProcess, ParseTransportError, Transport, TransportKind, WireMessage,
     WireTransport, TRANSPORT_ENV,

@@ -49,15 +49,19 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::error::TransportError;
-use crate::stats::CommStats;
+use crate::fault::{FaultPhase, FaultPlan};
+use crate::stats::{CommStats, FailoverStats};
+use crate::topology::Topology;
 use crate::transport::{Transport, WireMessage};
 use crate::wire;
 
 /// Connection magic: four bytes every hello starts with.
 pub const MAGIC: [u8; 4] = *b"DSRT";
 
-/// Protocol version carried in every hello.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version carried in every hello. Version 2 added session ids to
+/// both hello forms and explicit worker routing to the exchange op
+/// (partition-addressed replication).
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Hard upper bound on a single frame's announced length. A corrupt stream
 /// (or a peer that is not speaking the protocol) is rejected before the
@@ -66,6 +70,15 @@ pub const MAX_FRAME_LEN: u64 = 256 * 1024 * 1024;
 
 const ROLE_MASTER: u64 = 0;
 const ROLE_PEER: u64 = 1;
+
+/// First failover retry delay; doubles per retry up to
+/// [`FAILOVER_BACKOFF_MAX`].
+const FAILOVER_BACKOFF_START: Duration = Duration::from_millis(25);
+const FAILOVER_BACKOFF_MAX: Duration = Duration::from_millis(400);
+
+/// Connect timeout for liveness probes (failure attribution and rejoin
+/// attempts): a dead process refuses instantly, so this stays short.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
 
 const OP_ECHO: u64 = 1;
 const OP_TOPOLOGY: u64 = 2;
@@ -184,7 +197,12 @@ fn read_string(reader: &mut impl Read) -> Result<String, FrameIoError> {
 ///
 /// Environment form: `DSR_CLUSTER_WORKERS=127.0.0.1:7101,127.0.0.1:7102`
 /// plus optional `DSR_CLUSTER_CONNECT_TIMEOUT_MS` /
-/// `DSR_CLUSTER_IO_TIMEOUT_MS`.
+/// `DSR_CLUSTER_IO_TIMEOUT_MS` / `DSR_CLUSTER_REPLICATION` (default 1).
+///
+/// With `replication = 2` every partition is hosted by two workers
+/// (round-robin placement unless `assignments` pins it explicitly), and the
+/// master retries a failed collective leg against the next replica instead
+/// of failing the query — see the crate's fault-tolerance docs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Worker addresses (`host:port`), in worker-id order.
@@ -194,16 +212,34 @@ pub struct ClusterSpec {
     /// Read/write timeout applied to every cluster socket; an exceeded
     /// timeout surfaces as [`TransportError::Timeout`] instead of a hang.
     pub io_timeout: Duration,
+    /// How many workers host each partition (default 1 = no replication).
+    /// With the default round-robin placement partition `p` lives on
+    /// workers `p % W, (p+1) % W, …`.
+    pub replication: usize,
+    /// Explicit partition placement: `assignments[w]` lists the partitions
+    /// hosted by worker `w`. `None` (the default) means round-robin
+    /// placement derived from `replication`.
+    pub assignments: Option<Vec<Vec<usize>>>,
 }
 
 impl ClusterSpec {
     /// A spec for `workers` with the default timeouts (5 s connect,
-    /// 30 s I/O).
+    /// 30 s I/O) and no replication.
     pub fn new(workers: Vec<String>) -> Self {
         ClusterSpec {
             workers,
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
+            replication: 1,
+            assignments: None,
+        }
+    }
+
+    /// Starts a builder-style spec for `workers`; see
+    /// [`ClusterSpecBuilder`].
+    pub fn builder(workers: Vec<String>) -> ClusterSpecBuilder {
+        ClusterSpecBuilder {
+            spec: ClusterSpec::new(workers),
         }
     }
 
@@ -215,6 +251,8 @@ impl ClusterSpec {
         let mut workers: Option<Vec<String>> = None;
         let mut connect_timeout_ms: Option<u64> = None;
         let mut io_timeout_ms: Option<u64> = None;
+        let mut replication: Option<u64> = None;
+        let mut assignments: Option<(Vec<Vec<usize>>, usize)> = None;
         for (number, raw) in text.lines().enumerate() {
             let line = match raw.find('#') {
                 Some(at) => &raw[..at],
@@ -234,10 +272,29 @@ impl ClusterSpec {
                     connect_timeout_ms = Some(parse_integer(value, number + 1)?)
                 }
                 "io_timeout_ms" => io_timeout_ms = Some(parse_integer(value, number + 1)?),
+                "replication" => {
+                    let r = parse_integer(value, number + 1)?;
+                    if r == 0 {
+                        return Err(format!(
+                            "line {}: replication must be at least 1",
+                            number + 1
+                        ));
+                    }
+                    replication = Some(r);
+                }
+                "assignments" => {
+                    let lists = parse_string_array(value, number + 1)?;
+                    let mut parsed = Vec::with_capacity(lists.len());
+                    for list in &lists {
+                        parsed.push(parse_partition_list(list, number + 1)?);
+                    }
+                    assignments = Some((parsed, number + 1));
+                }
                 other => {
                     return Err(format!(
                         "line {}: unknown key {other:?} (expected workers, \
-                         connect_timeout_ms or io_timeout_ms)",
+                         connect_timeout_ms, io_timeout_ms, replication or \
+                         assignments)",
                         number + 1
                     ))
                 }
@@ -253,6 +310,20 @@ impl ClusterSpec {
         }
         if let Some(ms) = io_timeout_ms {
             spec.io_timeout = Duration::from_millis(ms);
+        }
+        if let Some(r) = replication {
+            spec.replication = r as usize;
+        }
+        if let Some((lists, line)) = assignments {
+            if lists.len() != spec.workers.len() {
+                return Err(format!(
+                    "line {line}: assignments lists {} workers, but `workers` \
+                     lists {}",
+                    lists.len(),
+                    spec.workers.len()
+                ));
+            }
+            spec.assignments = Some(lists);
         }
         Ok(spec)
     }
@@ -289,7 +360,84 @@ impl ClusterSpec {
                 }
             }
         }
+        if let Ok(value) = std::env::var("DSR_CLUSTER_REPLICATION") {
+            match value.parse::<usize>() {
+                Ok(r) if r >= 1 => spec.replication = r,
+                _ => {
+                    return Some(Err(format!(
+                        "DSR_CLUSTER_REPLICATION must be a positive integer, got {value:?}"
+                    )))
+                }
+            }
+        }
         Some(Ok(spec))
+    }
+}
+
+/// Builder-style construction of a [`ClusterSpec`]; validation that the
+/// TOML parser performs line-by-line happens in [`ClusterSpecBuilder::build`].
+///
+/// ```
+/// # use dsr_cluster::ClusterSpec;
+/// let spec = ClusterSpec::builder(vec!["a:1".into(), "b:2".into()])
+///     .replication(2)
+///     .build()
+///     .expect("valid spec");
+/// assert_eq!(spec.replication, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSpecBuilder {
+    spec: ClusterSpec,
+}
+
+impl ClusterSpecBuilder {
+    /// Sets the replication factor (how many workers host each partition).
+    pub fn replication(mut self, replication: usize) -> Self {
+        self.spec.replication = replication;
+        self
+    }
+
+    /// Sets the connect timeout.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.spec.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the socket read/write timeout.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.spec.io_timeout = timeout;
+        self
+    }
+
+    /// Pins partition placement explicitly: `assignments[w]` lists the
+    /// partitions hosted by worker `w`.
+    pub fn assignments(mut self, assignments: Vec<Vec<usize>>) -> Self {
+        self.spec.assignments = Some(assignments);
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    /// Rejects an empty worker list, `replication == 0`, and an
+    /// `assignments` table whose length differs from the worker count.
+    pub fn build(self) -> Result<ClusterSpec, String> {
+        if self.spec.workers.is_empty() {
+            return Err("`workers` must list at least one address".to_string());
+        }
+        if self.spec.replication == 0 {
+            return Err("replication must be at least 1".to_string());
+        }
+        if let Some(assignments) = &self.spec.assignments {
+            if assignments.len() != self.spec.workers.len() {
+                return Err(format!(
+                    "assignments lists {} workers, but `workers` lists {}",
+                    assignments.len(),
+                    self.spec.workers.len()
+                ));
+            }
+        }
+        Ok(self.spec)
     }
 }
 
@@ -298,8 +446,27 @@ fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, String> {
         .strip_prefix('[')
         .and_then(|v| v.strip_suffix(']'))
         .ok_or_else(|| format!("line {line}: expected a [\"...\"] array"))?;
+    // Split on commas *outside* quotes (assignments entries like "0, 3"
+    // legitimately contain commas).
+    let mut pieces = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in inner.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            ',' if !in_quotes => pieces.push(std::mem::take(&mut current)),
+            _ => current.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(format!("line {line}: unterminated string in array"));
+    }
+    pieces.push(current);
     let mut items = Vec::new();
-    for piece in inner.split(',') {
+    for piece in &pieces {
         let piece = piece.trim();
         if piece.is_empty() {
             continue;
@@ -319,6 +486,20 @@ fn parse_integer(value: &str, line: usize) -> Result<u64, String> {
         .map_err(|_| format!("line {line}: expected an integer, got {value:?}"))
 }
 
+/// Parses one assignments entry: a comma-separated partition-id list like
+/// `"0, 3, 4"` (an empty string means the worker hosts nothing).
+fn parse_partition_list(list: &str, line: usize) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|piece| !piece.is_empty())
+        .map(|piece| {
+            piece.parse::<usize>().map_err(|_| {
+                format!("line {line}: assignments entries must be comma-separated partition ids")
+            })
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Worker endpoint (shared by loopback threads and the dsr-node binary).
 // ---------------------------------------------------------------------------
@@ -331,6 +512,13 @@ pub struct WorkerOptions {
     /// How long to wait for a master to connect before giving up
     /// (`None` = forever, the right default for a standalone worker).
     pub master_wait: Option<Duration>,
+    /// After a master session ends without an explicit shutdown (master
+    /// died, link severed): how long to wait for a replacement master
+    /// before exiting. `None` (the default) serves exactly one session —
+    /// the historical behavior. `Some` is what a fault-tolerant cluster
+    /// needs: a worker that lost its master sticks around so the failover
+    /// path (or a restarted master) can re-adopt it.
+    pub rejoin_wait: Option<Duration>,
 }
 
 impl Default for WorkerOptions {
@@ -338,23 +526,40 @@ impl Default for WorkerOptions {
         WorkerOptions {
             io_timeout: Duration::from_secs(30),
             master_wait: None,
+            rejoin_wait: None,
         }
     }
 }
 
+/// How a master session ended, as observed by the relay loop.
+enum SessionEnd {
+    /// The master sent an explicit `OP_SHUTDOWN`: the worker is done.
+    Shutdown,
+    /// The master connection dropped between ops (master died, failover
+    /// reset, link severed): with a `rejoin_wait` the worker can serve a
+    /// replacement session.
+    MasterLost,
+}
+
 struct WorkerShared {
     options: WorkerOptions,
-    /// Master connection slot, filled by the acceptor.
-    master: Mutex<Option<TcpStream>>,
+    /// Master connection slot (stream + session id), filled by the
+    /// acceptor. Session ids are the master's reconnect epoch: every batch
+    /// of links a master (re)connects shares one id, and peer lanes carry
+    /// it so a lane from a stale session can never satisfy a newer
+    /// exchange.
+    master: Mutex<Option<(TcpStream, u64)>>,
     master_cv: Condvar,
-    /// Incoming peer lanes by source worker id.
-    incoming: Mutex<HashMap<usize, TcpStream>>,
+    /// Incoming peer lanes by source worker id, tagged with the session id
+    /// the peer announced.
+    incoming: Mutex<HashMap<usize, (u64, TcpStream)>>,
     incoming_cv: Condvar,
-    /// Outgoing peer lanes by destination worker id.
+    /// Outgoing peer lanes by destination worker id (cleared at session
+    /// end: the next session builds fresh lanes at its own epoch).
     outgoing: Mutex<HashMap<usize, TcpStream>>,
     /// Assigned by the master hello.
     state: Mutex<WorkerState>,
-    /// Set when the master session ended; tells the acceptor to exit.
+    /// Set when the worker is exiting; tells the acceptor to stop.
     done: std::sync::atomic::AtomicBool,
 }
 
@@ -362,6 +567,8 @@ struct WorkerShared {
 struct WorkerState {
     my_id: usize,
     topology: Vec<String>,
+    /// Session id of the currently served master session.
+    session_id: u64,
 }
 
 /// Binds a listener for a worker. Separated from [`serve_worker`] so
@@ -375,11 +582,15 @@ pub fn bind_worker(listen: &str) -> Result<TcpListener, TransportError> {
     })
 }
 
-/// Serves **one master session** on `listener`: waits for a master hello,
+/// Serves **master sessions** on `listener`: waits for a master hello,
 /// relays scatter/gather/exchange ops (forwarding exchange frames over the
-/// worker mesh) until the master shuts the session down or disconnects,
-/// then returns. The `dsr-node worker` command and the loopback workers of
-/// [`TcpTransport::loopback`] both run exactly this function.
+/// worker mesh) until the master shuts the session down or disconnects.
+/// Without a [`rejoin_wait`](WorkerOptions::rejoin_wait) the first session
+/// is the only one (the historical contract); with one, a worker whose
+/// master vanished lingers and serves the next master that adopts it —
+/// the rejoin half of the failover protocol. The `dsr-node worker` command
+/// and the loopback workers of [`TcpTransport::loopback`] both run exactly
+/// this function.
 pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(), TransportError> {
     let local = listener.local_addr().map_err(|source| TransportError::Io {
         context: "worker listener has no local address".to_string(),
@@ -400,10 +611,39 @@ pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(),
         std::thread::spawn(move || accept_loop(listener, shared))
     };
 
-    let result = (|| {
-        let master = wait_for_master(&shared)?;
-        relay_loop(&master, &shared)
-    })();
+    let mut served_any = false;
+    let result = loop {
+        let wait = if served_any {
+            options.rejoin_wait
+        } else {
+            options.master_wait
+        };
+        let (master, session) = match wait_for_master(&shared, wait) {
+            Ok(adopted) => adopted,
+            // Never seeing a master within master_wait is an error; losing
+            // one and not being re-adopted within rejoin_wait is a clean
+            // exit (the cluster moved on without us).
+            Err(err) if !served_any => break Err(err),
+            Err(_) => break Ok(()),
+        };
+        served_any = true;
+        begin_session(&shared, session);
+        let end = relay_loop(&master, &shared);
+        end_session(&shared);
+        match end {
+            Ok(SessionEnd::Shutdown) => break Ok(()),
+            Ok(SessionEnd::MasterLost) => {
+                if options.rejoin_wait.is_none() {
+                    break Ok(());
+                }
+            }
+            Err(err) => {
+                if options.rejoin_wait.is_none() {
+                    break Err(err);
+                }
+            }
+        }
+    };
 
     // Wake the acceptor (blocked in `accept`) so it can observe the ended
     // session and exit; then release every cached lane.
@@ -416,13 +656,40 @@ pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(),
     result
 }
 
-fn wait_for_master(shared: &WorkerShared) -> Result<TcpStream, TransportError> {
+/// Installs the new session id and discards peer lanes left over from
+/// older sessions (their unread bytes would corrupt the new session's
+/// exchanges).
+fn begin_session(shared: &WorkerShared, session: u64) {
+    shared.state.lock().expect("worker state").session_id = session;
+    let mut lanes = shared.incoming.lock().expect("incoming lanes");
+    lanes.retain(|_, (sid, stream)| {
+        if *sid < session {
+            let _ = stream.shutdown(Shutdown::Both);
+            false
+        } else {
+            true
+        }
+    });
+}
+
+/// Releases the session's outgoing lanes: the next session (this master's
+/// or a replacement's) negotiates fresh lanes at its own epoch.
+fn end_session(shared: &WorkerShared) {
+    for (_, lane) in shared.outgoing.lock().expect("outgoing lanes").drain() {
+        let _ = lane.shutdown(Shutdown::Both);
+    }
+}
+
+fn wait_for_master(
+    shared: &WorkerShared,
+    wait: Option<Duration>,
+) -> Result<(TcpStream, u64), TransportError> {
     let mut slot = shared.master.lock().expect("master slot");
     loop {
-        if let Some(master) = slot.take() {
-            return Ok(master);
+        if let Some(adopted) = slot.take() {
+            return Ok(adopted);
         }
-        match shared.options.master_wait {
+        match wait {
             None => slot = shared.master_cv.wait(slot).expect("master slot"),
             Some(limit) => {
                 let (next, timeout) = shared
@@ -493,6 +760,8 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
     match role {
         ROLE_MASTER => {
             let my_id = read_varint(&mut reader).map_err(|e| e.classify(peer, "read id"))? as usize;
+            let session =
+                read_varint(&mut reader).map_err(|e| e.classify(peer, "read session id"))?;
             let count =
                 read_varint(&mut reader).map_err(|e| e.classify(peer, "read topology"))? as usize;
             let mut topology = Vec::with_capacity(count.min(1024));
@@ -503,7 +772,9 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
             {
                 let mut state = shared.state.lock().expect("worker state");
                 state.my_id = my_id;
-                state.topology = topology;
+                if !topology.is_empty() {
+                    state.topology = topology;
+                }
             }
             // Acknowledge so the master knows it reached a protocol worker.
             let mut ack = Vec::with_capacity(16);
@@ -518,14 +789,31 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
             // long: no read timeout on the master connection.
             let _ = stream.set_read_timeout(None);
             let mut slot = shared.master.lock().expect("master slot");
-            *slot = Some(stream);
+            // A newer master (higher session id) supersedes a pending one
+            // the serve loop never adopted.
+            if let Some((stale, _)) = slot.replace((stream, session)) {
+                let _ = stale.shutdown(Shutdown::Both);
+            }
             shared.master_cv.notify_all();
         }
         ROLE_PEER => {
             let from =
                 read_varint(&mut reader).map_err(|e| e.classify(peer, "read peer id"))? as usize;
+            let session =
+                read_varint(&mut reader).map_err(|e| e.classify(peer, "read peer session"))?;
             let mut lanes = shared.incoming.lock().expect("incoming lanes");
-            lanes.insert(from, stream);
+            // Keep the lane from the newest session; a stale peer lane must
+            // never shadow the one the current exchange is waiting for.
+            match lanes.get(&from) {
+                Some(&(existing, _)) if existing >= session => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                _ => {
+                    if let Some((_, stale)) = lanes.insert(from, (session, stream)) {
+                        let _ = stale.shutdown(Shutdown::Both);
+                    }
+                }
+            }
             shared.incoming_cv.notify_all();
         }
         other => {
@@ -539,23 +827,32 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
 }
 
 /// One forwarded group of frames: payloads from logical node `src` to
-/// logical node `dst`.
+/// logical node `dst`, hosted by `dst_worker`.
 struct Group {
     src: usize,
     dst: usize,
+    dst_worker: usize,
     frames: Vec<Vec<u8>>,
 }
 
-fn relay_loop(master: &TcpStream, shared: &WorkerShared) -> Result<(), TransportError> {
+fn relay_loop(master: &TcpStream, shared: &WorkerShared) -> Result<SessionEnd, TransportError> {
     let peer = "master";
     let mut reader = master;
     loop {
         let opcode = match read_varint(&mut reader) {
             Ok(op) => op,
-            // The master dropping the connection between ops is a clean
-            // session end, not an error.
+            // The master dropping the connection between ops is a session
+            // end (clean, or a failover reset) — not an error.
             Err(FrameIoError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                return Ok(())
+                return Ok(SessionEnd::MasterLost)
+            }
+            Err(FrameIoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                return Ok(SessionEnd::MasterLost)
             }
             Err(e) => return Err(e.classify(peer, "read opcode")),
         };
@@ -585,7 +882,7 @@ fn relay_loop(master: &TcpStream, shared: &WorkerShared) -> Result<(), Transport
             OP_SHUTDOWN => {
                 let mut writer = master;
                 let _ = writer.write_all(&[0]); // empty ack frame
-                return Ok(());
+                return Ok(SessionEnd::Shutdown);
             }
             other => {
                 return Err(TransportError::Protocol {
@@ -606,40 +903,47 @@ fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), Tran
     for _ in 0..send_count {
         let src = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
         let dst = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let dst_worker = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
         let frame_count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
         let mut frames = Vec::with_capacity(frame_count.min(4096));
         for _ in 0..frame_count {
             frames.push(read_frame(&mut reader).map_err(|e| e.classify(peer, context))?);
         }
-        sends.push(Group { src, dst, frames });
+        sends.push(Group {
+            src,
+            dst,
+            dst_worker,
+            frames,
+        });
     }
     let recv_count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
-    let mut recvs: Vec<(usize, usize, usize)> = Vec::with_capacity(recv_count.min(1024));
+    let mut recvs: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(recv_count.min(1024));
     for _ in 0..recv_count {
         let src = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
         let dst = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
+        let src_worker = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
         let count = read_varint(&mut reader).map_err(|e| e.classify(peer, context))? as usize;
-        recvs.push((src, dst, count));
+        recvs.push((src, dst, src_worker, count));
     }
 
-    let (my_id, topology) = {
+    let (my_id, topology, session) = {
         let state = shared.state.lock().expect("worker state");
-        (state.my_id, state.topology.clone())
+        (state.my_id, state.topology.clone(), state.session_id)
     };
-    let num_workers = topology.len().max(1);
-    let worker_of = |node: usize| node % num_workers;
 
     // Split sends: groups whose destination lives on this worker short-
     // circuit locally; the rest are forwarded over the peer mesh, one
     // writer thread per destination worker so a full socket buffer can
-    // never produce a circular wait.
+    // never produce a circular wait. The master routes partitions to
+    // workers (that is what the topology and failover are for); this side
+    // just follows the explicit worker ids in the op.
     let mut local: HashMap<(usize, usize), Vec<Vec<u8>>> = HashMap::new();
     let mut remote: BTreeMap<usize, Vec<Group>> = BTreeMap::new();
     for group in sends {
-        if worker_of(group.dst) == my_id {
+        if group.dst_worker == my_id {
             local.insert((group.src, group.dst), group.frames);
         } else {
-            remote.entry(worker_of(group.dst)).or_default().push(group);
+            remote.entry(group.dst_worker).or_default().push(group);
         }
     }
 
@@ -650,15 +954,16 @@ fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), Tran
             .map(|(worker, groups)| {
                 let shared = &shared;
                 let topology = &topology;
-                scope.spawn(move || forward_groups(shared, topology, my_id, worker, groups))
+                scope
+                    .spawn(move || forward_groups(shared, topology, my_id, session, worker, groups))
             })
             .collect();
 
         // Read the expected groups while the writers run. Per-lane frames
         // arrive in master-specified (src, dst) order.
         let mut lanes: HashMap<usize, TcpStream> = HashMap::new();
-        for &(src, dst, count) in &recvs {
-            if worker_of(src) == my_id {
+        for &(src, dst, src_worker, count) in &recvs {
+            if src_worker == my_id {
                 let frames = local
                     .remove(&(src, dst))
                     .ok_or_else(|| TransportError::Protocol {
@@ -676,12 +981,11 @@ fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), Tran
                 }
                 received.push(frames);
             } else {
-                let from = worker_of(src);
-                if let std::collections::hash_map::Entry::Vacant(slot) = lanes.entry(from) {
-                    slot.insert(incoming_lane(shared, from, &topology)?);
+                if let std::collections::hash_map::Entry::Vacant(slot) = lanes.entry(src_worker) {
+                    slot.insert(incoming_lane(shared, src_worker, &topology, session)?);
                 }
-                let lane = lanes.get_mut(&from).expect("lane just inserted");
-                received.push(read_group(lane, from, src, dst, count, &topology)?);
+                let lane = lanes.get_mut(&src_worker).expect("lane just inserted");
+                received.push(read_group(lane, src_worker, src, dst, count, &topology)?);
             }
         }
         for writer in writers {
@@ -710,6 +1014,7 @@ fn forward_groups(
     shared: &WorkerShared,
     topology: &[String],
     my_id: usize,
+    session: u64,
     worker: usize,
     groups: Vec<Group>,
 ) -> Result<(), TransportError> {
@@ -738,6 +1043,7 @@ fn forward_groups(
             wire::put_varint(&mut hello, PROTOCOL_VERSION);
             wire::put_varint(&mut hello, ROLE_PEER);
             wire::put_varint(&mut hello, my_id as u64);
+            wire::put_varint(&mut hello, session);
             let mut writer = &stream;
             writer
                 .write_all(&hello)
@@ -765,25 +1071,37 @@ fn forward_groups(
         .map_err(|e| TransportError::from_io(&peer, "forward exchange frames", e))
 }
 
-/// Waits (bounded) for the incoming lane from `from` and returns a
-/// read-timeout-configured clone of it.
+/// Waits (bounded) for the incoming lane from `from` **belonging to
+/// `session`** and returns a read-timeout-configured clone of it. A lane
+/// left over from an older session is discarded on sight (its unread bytes
+/// belong to an exchange that already failed); a lane from a newer session
+/// means this exchange is already stale, so the wait simply runs out.
 fn incoming_lane(
     shared: &WorkerShared,
     from: usize,
     topology: &[String],
+    session: u64,
 ) -> Result<TcpStream, TransportError> {
     let peer = peer_name(from, topology);
     let deadline = std::time::Instant::now() + shared.options.io_timeout;
     let mut lanes = shared.incoming.lock().expect("incoming lanes");
     loop {
-        if let Some(stream) = lanes.get(&from) {
-            let clone = stream
-                .try_clone()
-                .map_err(|e| TransportError::from_io(&peer, "clone peer lane", e))?;
-            clone
-                .set_read_timeout(Some(shared.options.io_timeout))
-                .map_err(|e| TransportError::from_io(&peer, "set peer timeout", e))?;
-            return Ok(clone);
+        match lanes.get(&from) {
+            Some(&(sid, ref stream)) if sid == session => {
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| TransportError::from_io(&peer, "clone peer lane", e))?;
+                clone
+                    .set_read_timeout(Some(shared.options.io_timeout))
+                    .map_err(|e| TransportError::from_io(&peer, "set peer timeout", e))?;
+                return Ok(clone);
+            }
+            Some(&(sid, _)) if sid < session => {
+                if let Some((_, stale)) = lanes.remove(&from) {
+                    let _ = stale.shutdown(Shutdown::Both);
+                }
+            }
+            _ => {}
         }
         let remaining = deadline.saturating_duration_since(std::time::Instant::now());
         if remaining.is_zero() {
@@ -860,24 +1178,40 @@ struct LoopbackWorker {
 }
 
 struct MasterState {
-    links: Vec<WorkerLink>,
+    /// Worker addresses in worker-id order (the cluster roster).
+    addrs: Vec<String>,
+    /// Live master→worker links; `None` = not connected (suspect, or a
+    /// failover reset pending reconnect). Indexed like `addrs`.
+    links: Vec<Option<WorkerLink>>,
     /// `Some` when this transport self-hosts its workers and may grow the
     /// mesh; `None` for a fixed remote cluster.
     loopback: Option<Vec<LoopbackWorker>>,
+    connect_timeout: Duration,
     io_timeout: Duration,
+    /// Replication factor for derived (round-robin) topologies.
+    replication: usize,
+    /// Explicit partition placement from the [`ClusterSpec`], if any.
+    assignments: Option<Vec<Vec<usize>>>,
+    /// Routing table for the current collective width; rebuilt when the
+    /// width or the roster changes, suspicion carried across rebuilds.
+    topology: Option<Topology>,
+    /// Session epoch: bumped on every batch reconnect, carried in every
+    /// hello so workers can match peer lanes to sessions. All live links
+    /// always share one epoch.
+    epoch: u64,
+    /// Collectives served so far (the clock [`Fault::after`] counts on).
+    collectives: u64,
 }
 
 impl MasterState {
-    fn worker_of(&self, node: usize) -> usize {
-        node % self.links.len().max(1)
-    }
-
-    /// Grows a loopback mesh to at least `num_nodes` workers and brings
-    /// every worker's topology up to date. A remote cluster never grows:
-    /// extra logical nodes wrap onto the existing workers.
-    fn ensure(&mut self, num_nodes: usize) -> Result<(), TransportError> {
+    /// Grows a loopback mesh to at least `num_partitions` workers, rebuilds
+    /// the routing table when the collective width or the roster changed,
+    /// and fails fast when some partition has no live replica. A remote
+    /// cluster never grows: extra partitions wrap onto the existing
+    /// workers.
+    fn ensure_mesh(&mut self, num_partitions: usize) -> Result<(), TransportError> {
         if let Some(workers) = &mut self.loopback {
-            while self.links.len() < num_nodes {
+            while self.addrs.len() < num_partitions {
                 let listener = bind_worker("127.0.0.1:0")?;
                 let addr = listener
                     .local_addr()
@@ -889,6 +1223,9 @@ impl MasterState {
                 let options = WorkerOptions {
                     io_timeout: self.io_timeout,
                     master_wait: Some(self.io_timeout),
+                    // Loopback workers survive failover resets: the master
+                    // reconnects them within the I/O timeout.
+                    rejoin_wait: Some(self.io_timeout),
                 };
                 let handle = std::thread::spawn(move || {
                     if let Err(err) = serve_worker(listener, options) {
@@ -898,33 +1235,69 @@ impl MasterState {
                 workers.push(LoopbackWorker {
                     handle: Some(handle),
                 });
-                let id = self.links.len();
-                let topology: Vec<String> = self
-                    .links
-                    .iter()
-                    .map(|l| l.addr.clone())
-                    .chain(std::iter::once(addr.clone()))
-                    .collect();
-                let link = connect_link(&addr, id, &topology, self.io_timeout, self.io_timeout)?;
-                self.links.push(link);
+                self.addrs.push(addr);
+                self.links.push(None);
             }
         }
-        if self.links.is_empty() {
+        if self.addrs.is_empty() {
             return Err(TransportError::Protocol {
                 peer: "cluster".to_string(),
                 reason: "no workers configured".to_string(),
             });
         }
-        // Refresh stale topologies (loopback growth moves the address list).
-        let topology: Vec<String> = self.links.iter().map(|l| l.addr.clone()).collect();
-        for (id, link) in self.links.iter_mut().enumerate() {
-            if link.topology_seen == topology.len() {
+        let stale = match &self.topology {
+            None => true,
+            Some(t) => t.num_partitions() != num_partitions || t.num_workers() != self.addrs.len(),
+        };
+        if stale {
+            let mut rebuilt = match &self.assignments {
+                Some(assignments) => Topology::from_worker_partitions(num_partitions, assignments)
+                    .map_err(|reason| TransportError::Protocol {
+                        peer: "cluster".to_string(),
+                        reason: format!("invalid partition assignments: {reason}"),
+                    })?,
+                None => Topology::round_robin(num_partitions, self.addrs.len(), self.replication),
+            };
+            if let Some(old) = &self.topology {
+                rebuilt.inherit_suspects(old);
+            }
+            self.topology = Some(rebuilt);
+        }
+        if let Some(partition) = self
+            .topology
+            .as_ref()
+            .and_then(Topology::unroutable_partition)
+        {
+            return Err(TransportError::NoReplica { partition });
+        }
+        Ok(())
+    }
+
+    /// Severs and forgets every live link. The next [`ensure_ready`]
+    /// reconnects all non-suspect workers in one batch at a fresh epoch —
+    /// the only way every session (and thus every peer lane) stays
+    /// matched.
+    fn drop_all_links(&mut self) {
+        for slot in &mut self.links {
+            if let Some(link) = slot.take() {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Pushes the current address roster to links whose workers last saw a
+    /// shorter one (loopback growth moves the list under them).
+    fn refresh_topology(&mut self) -> Result<(), TransportError> {
+        let addrs = self.addrs.clone();
+        for (id, slot) in self.links.iter_mut().enumerate() {
+            let Some(link) = slot else { continue };
+            if link.topology_seen == addrs.len() {
                 continue;
             }
             let mut op = Vec::new();
             wire::put_varint(&mut op, OP_TOPOLOGY);
-            wire::put_varint(&mut op, topology.len() as u64);
-            for addr in &topology {
+            wire::put_varint(&mut op, addrs.len() as u64);
+            for addr in &addrs {
                 put_string(&mut op, addr);
             }
             let name = link.name(id);
@@ -932,16 +1305,18 @@ impl MasterState {
             writer
                 .write_all(&op)
                 .map_err(|e| TransportError::from_io(&name, "send topology update", e))?;
-            link.topology_seen = topology.len();
+            link.topology_seen = addrs.len();
         }
         Ok(())
     }
 }
 
-/// Connects to one worker and performs the master handshake.
+/// Connects to one worker and performs the master handshake, announcing
+/// `session` (the master's reconnect epoch).
 fn connect_link(
     addr: &str,
     id: usize,
+    session: u64,
     topology: &[String],
     connect_timeout: Duration,
     io_timeout: Duration,
@@ -970,6 +1345,7 @@ fn connect_link(
     wire::put_varint(&mut hello, PROTOCOL_VERSION);
     wire::put_varint(&mut hello, ROLE_MASTER);
     wire::put_varint(&mut hello, id as u64);
+    wire::put_varint(&mut hello, session);
     wire::put_varint(&mut hello, topology.len() as u64);
     for address in topology {
         put_string(&mut hello, address);
@@ -1011,14 +1387,37 @@ fn connect_link(
     })
 }
 
+/// An armed [`Fault`]: `fired` once the link was severed, `attributed`
+/// once a collective failure was blamed on it.
+struct ArmedFault {
+    fault: crate::fault::Fault,
+    fired: bool,
+    attributed: bool,
+}
+
 /// The TCP backend: collectives over real sockets and worker endpoints.
 ///
 /// See the [module docs](self) for the architecture. Collectives are
 /// internally serialized (one at a time per transport), so one
 /// `TcpTransport` can be shared by concurrent query threads, exactly like
 /// the pipe backend.
+///
+/// # Fault tolerance
+///
+/// Every collective leg is addressed **by partition** through the
+/// transport's [`Topology`]. When a worker stops answering mid-collective
+/// it is marked *suspect* and — if every partition it hosted has another
+/// live replica ([`ClusterSpec::replication`] ≥ 2) — the same logical
+/// frames are retried against the next replica with bounded backoff.
+/// [`FailoverStats`] counts retries/suspects/resyncs; [`CommStats`] does
+/// not change under failover (frames are encoded and counted once per
+/// logical collective), so byte accounting stays comparable to the
+/// fault-free backends. A recovered worker is re-adopted with
+/// [`TcpTransport::rejoin_suspects`].
 pub struct TcpTransport {
     state: Mutex<MasterState>,
+    failover: FailoverStats,
+    faults: Mutex<Vec<ArmedFault>>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -1026,6 +1425,13 @@ impl std::fmt::Debug for TcpTransport {
         f.debug_struct("TcpTransport").finish_non_exhaustive()
     }
 }
+
+/// Per-worker outcome of one echo attempt: the `(node, message)` pairs that
+/// worker delivered, or the failure that interrupted it.
+type EchoOutcome<M> = (usize, Result<Vec<(usize, M)>, TransportError>);
+/// Per-worker outcome of one exchange attempt: the `(src, dst, message)`
+/// triples collected from that worker's reply, or the failure.
+type ExchangeOutcome<M> = (usize, Result<Vec<(usize, usize, M)>, TransportError>);
 
 impl TcpTransport {
     /// A self-hosted loopback cluster: workers are spawned as threads of
@@ -1039,53 +1445,372 @@ impl TcpTransport {
     /// [`TcpTransport::loopback`] with an explicit I/O timeout (tests use
     /// short ones so failure paths resolve quickly).
     pub fn loopback_with_timeout(io_timeout: Duration) -> Self {
+        Self::loopback_replicated_with_timeout(1, io_timeout)
+    }
+
+    /// A loopback cluster hosting every partition on `replication`
+    /// workers (round-robin placement).
+    pub fn loopback_replicated(replication: usize) -> Self {
+        Self::loopback_replicated_with_timeout(replication, Duration::from_secs(30))
+    }
+
+    /// [`TcpTransport::loopback_replicated`] with an explicit I/O timeout.
+    pub fn loopback_replicated_with_timeout(replication: usize, io_timeout: Duration) -> Self {
+        assert!(replication > 0, "replication factor must be at least 1");
         TcpTransport {
             state: Mutex::new(MasterState {
+                addrs: Vec::new(),
                 links: Vec::new(),
                 loopback: Some(Vec::new()),
+                connect_timeout: io_timeout,
                 io_timeout,
+                replication,
+                assignments: None,
+                topology: None,
+                epoch: 0,
+                collectives: 0,
             }),
+            failover: FailoverStats::new(),
+            faults: Mutex::new(Vec::new()),
         }
     }
 
     /// Connects to the external workers of `spec` (each a running
     /// `dsr-node worker`) and performs the handshake with every one.
-    /// Partition `p` is hosted by worker `p % spec.workers.len()`.
+    /// Partition placement follows `spec.assignments` when present,
+    /// otherwise round-robin at `spec.replication`.
     pub fn connect(spec: &ClusterSpec) -> Result<Self, TransportError> {
         let mut links = Vec::with_capacity(spec.workers.len());
+        let session = 1u64;
         for (id, addr) in spec.workers.iter().enumerate() {
-            links.push(connect_link(
+            links.push(Some(connect_link(
                 addr,
                 id,
+                session,
                 &spec.workers,
                 spec.connect_timeout,
                 spec.io_timeout,
-            )?);
+            )?));
         }
         Ok(TcpTransport {
             state: Mutex::new(MasterState {
+                addrs: spec.workers.clone(),
                 links,
                 loopback: None,
+                connect_timeout: spec.connect_timeout,
                 io_timeout: spec.io_timeout,
+                replication: spec.replication,
+                assignments: spec.assignments.clone(),
+                topology: None,
+                epoch: session,
+                collectives: 0,
             }),
+            failover: FailoverStats::new(),
+            faults: Mutex::new(Vec::new()),
         })
     }
 
-    /// Number of connected workers (0 for a loopback mesh that has not
-    /// served a collective yet).
+    /// Number of known workers (0 for a loopback mesh that has not served
+    /// a collective yet). Suspects count: they are still part of the
+    /// roster.
     pub fn num_workers(&self) -> usize {
-        self.state.lock().expect("tcp state").links.len()
+        self.state.lock().expect("tcp state").addrs.len()
     }
 
-    /// Severs the connection to worker `index` as if the process died
-    /// (test hook for the failure-path suites: the next collective
-    /// touching that worker returns a typed [`TransportError`]).
+    /// Worker ids currently marked suspect (ascending).
+    pub fn suspects(&self) -> Vec<usize> {
+        self.state
+            .lock()
+            .expect("tcp state")
+            .topology
+            .as_ref()
+            .map(Topology::suspects)
+            .unwrap_or_default()
+    }
+
+    /// Failover counters: retries, suspect transitions, resyncs. All zero
+    /// in a fault-free run (the benchmark gate pins them there).
+    pub fn failover_stats(&self) -> &FailoverStats {
+        &self.failover
+    }
+
+    /// Arms `plan` on this transport: each planned fault severs its
+    /// worker's master link at the start of the first matching collective,
+    /// exactly as if the worker process died at that moment. See
+    /// [`FaultPlan`].
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        let mut armed = self.faults.lock().expect("fault plan");
+        armed.extend(plan.faults().iter().map(|&fault| ArmedFault {
+            fault,
+            fired: false,
+            attributed: false,
+        }));
+    }
+
+    /// Severs the connection to worker `index` before the next collective,
+    /// as if the process died (test hook for the failure-path suites).
+    /// Sugar for a one-fault [`FaultPlan`].
     #[doc(hidden)]
     pub fn debug_disconnect_worker(&self, index: usize) {
-        let state = self.state.lock().expect("tcp state");
-        if let Some(link) = state.links.get(index) {
-            let _ = link.stream.shutdown(Shutdown::Both);
+        self.inject_faults(FaultPlan::new().disconnect(index));
+    }
+
+    /// Tries to re-adopt every suspect worker: a short-timeout reconnect,
+    /// then `backlog` (the differential state the worker missed — for the
+    /// DSR engine, the update-batch summary deltas) is streamed through it
+    /// and measured into `stats`. Returns the ids of the workers that came
+    /// back; each one clears its suspect flag (bumping the topology
+    /// generation) and counts one
+    /// [`resync`](crate::FailoverSnapshot::resyncs).
+    ///
+    /// Rejoin never happens implicitly mid-collective — the caller decides
+    /// when (typically between query/update batches).
+    pub fn rejoin_suspects<M: WireMessage>(&self, backlog: &[M], stats: &CommStats) -> Vec<usize> {
+        let mut state = self.state.lock().expect("tcp state");
+        let suspects = match &state.topology {
+            Some(t) => t.suspects(),
+            None => return Vec::new(),
+        };
+        if suspects.is_empty() {
+            return Vec::new();
         }
+        let frames: Vec<Vec<u8>> = backlog.iter().map(wire::encode_to_vec).collect();
+        let probe_timeout = state
+            .connect_timeout
+            .min(PROBE_TIMEOUT.max(Duration::from_millis(250)));
+        let mut rejoined = Vec::new();
+        for worker in suspects {
+            let addr = state.addrs[worker].clone();
+            state.epoch += 1;
+            let link = match connect_link(
+                &addr,
+                worker,
+                state.epoch,
+                &state.addrs.clone(),
+                probe_timeout,
+                state.io_timeout,
+            ) {
+                Ok(link) => link,
+                Err(_) => continue, // still down; stays suspect
+            };
+            // Stream the missed state through the fresh link. One round,
+            // one message per backlog frame — the caller's stats witness
+            // that the rejoin moved delta-sized traffic, not a rebuild.
+            let mut ok = true;
+            if !frames.is_empty() {
+                stats.record_round();
+                for frame in &frames {
+                    let mut op = Vec::with_capacity(frame.len() + 2 * wire::MAX_VARINT_LEN);
+                    wire::put_varint(&mut op, OP_ECHO);
+                    put_frame(&mut op, frame);
+                    let mut writer = &link.stream;
+                    if writer.write_all(&op).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    let mut reader = &link.stream;
+                    match read_frame(&mut reader) {
+                        Ok(echoed) if echoed == *frame => stats.record_message(frame.len()),
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                let _ = link.stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            if let Some(topology) = state.topology.as_mut() {
+                topology.mark_live(worker);
+            }
+            state.links[worker] = Some(link);
+            self.failover.record_resync();
+            rejoined.push(worker);
+        }
+        if !rejoined.is_empty() {
+            // Reset every session so the next collective reconnects the
+            // whole cluster at one shared epoch (mixed epochs would wedge
+            // the worker-to-worker lanes).
+            state.drop_all_links();
+        }
+        rejoined
+    }
+
+    /// Brings the mesh to a serving state for a `num_partitions`-wide
+    /// collective: grows/derives the topology, then (re)connects every
+    /// non-suspect worker **in one batch at one epoch** whenever any link
+    /// is missing. A worker that refuses the reconnect is marked suspect;
+    /// the loop then retries with the shrunken roster until the topology
+    /// is either served or unroutable.
+    fn ensure_ready(
+        &self,
+        state: &mut MasterState,
+        num_partitions: usize,
+    ) -> Result<(), TransportError> {
+        state.ensure_mesh(num_partitions)?;
+        loop {
+            let topology = state.topology.as_ref().expect("ensured");
+            let missing: Vec<usize> = (0..state.addrs.len())
+                .filter(|&w| !topology.is_suspect(w) && state.links[w].is_none())
+                .collect();
+            if missing.is_empty() {
+                state.refresh_topology()?;
+                return Ok(());
+            }
+            state.drop_all_links();
+            state.epoch += 1;
+            let epoch = state.epoch;
+            let addrs = state.addrs.clone();
+            let mut failed: Option<(usize, TransportError)> = None;
+            for (worker, addr) in addrs.iter().enumerate() {
+                if state.topology.as_ref().expect("ensured").is_suspect(worker) {
+                    continue;
+                }
+                match connect_link(
+                    addr,
+                    worker,
+                    epoch,
+                    &addrs,
+                    state.connect_timeout,
+                    state.io_timeout,
+                ) {
+                    Ok(link) => state.links[worker] = Some(link),
+                    Err(err) => {
+                        failed = Some((worker, err));
+                        break;
+                    }
+                }
+            }
+            let Some((worker, err)) = failed else {
+                state.refresh_topology()?;
+                return Ok(());
+            };
+            if state
+                .topology
+                .as_mut()
+                .expect("ensured")
+                .mark_suspect(worker)
+            {
+                self.failover.record_suspect();
+            }
+            if !state.topology.as_ref().expect("ensured").fully_routable() {
+                // The typed connect error names the worker; the caller can
+                // restart it and rejoin.
+                return Err(err);
+            }
+            // Some partition still has a live replica: retry the batch
+            // without the dead worker.
+        }
+    }
+
+    /// Severs the links of every armed, unfired fault matching `phase`,
+    /// and advances the collective clock.
+    fn fire_faults(&self, state: &mut MasterState, phase: FaultPhase) {
+        let collective = state.collectives;
+        state.collectives += 1;
+        let mut armed = self.faults.lock().expect("fault plan");
+        for fault in armed.iter_mut() {
+            if fault.fired || collective < fault.fault.after || !fault.fault.phase.matches(phase) {
+                continue;
+            }
+            fault.fired = true;
+            if let Some(link) = state.links.get(fault.fault.worker).and_then(Option::as_ref) {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Digests the per-worker failures of one collective attempt:
+    /// attributes them to culprit workers, marks those suspect, and
+    /// decides between *retry against the next replica* (`Ok`) and
+    /// *surface the primary error* (`Err`: non-connectivity failure,
+    /// unroutable topology, or retry budget exhausted).
+    fn absorb_failures(
+        &self,
+        state: &mut MasterState,
+        mut failures: Vec<(usize, TransportError)>,
+        attempts: usize,
+        reset_sessions: bool,
+    ) -> Result<(), TransportError> {
+        failures.sort_by_key(|&(worker, _)| worker);
+        // Protocol violations and decode failures are not what failover is
+        // for: retrying them against another replica cannot help.
+        if let Some(at) = failures
+            .iter()
+            .position(|(_, err)| !err.is_connectivity_loss())
+        {
+            return Err(failures.swap_remove(at).1);
+        }
+        let failed: Vec<usize> = failures.iter().map(|&(worker, _)| worker).collect();
+
+        // Attribute the loss. A dying worker takes collateral victims (a
+        // peer blocked reading its lane also times out / resets), and
+        // suspecting a healthy worker wastes a replica — so: (1) armed
+        // faults that fired and were not yet blamed, (2) workers whose
+        // listener refuses a probe (a dead process refuses instantly),
+        // (3) the lowest failed id as a last resort.
+        let mut culprits: Vec<usize> = Vec::new();
+        {
+            let mut armed = self.faults.lock().expect("fault plan");
+            for fault in armed.iter_mut() {
+                if fault.fired && !fault.attributed && failed.contains(&fault.fault.worker) {
+                    fault.attributed = true;
+                    culprits.push(fault.fault.worker);
+                }
+            }
+        }
+        if culprits.is_empty() {
+            for &worker in &failed {
+                if probe_worker(&state.addrs[worker]).is_err() {
+                    culprits.push(worker);
+                }
+            }
+        }
+        if culprits.is_empty() {
+            culprits.push(failed[0]);
+        }
+        culprits.sort_unstable();
+        culprits.dedup();
+
+        let primary = {
+            let at = failures
+                .iter()
+                .position(|(worker, _)| culprits.contains(worker))
+                .unwrap_or(0);
+            failures.swap_remove(at).1
+        };
+        for &worker in &culprits {
+            if state
+                .topology
+                .as_mut()
+                .expect("collective ran, topology exists")
+                .mark_suspect(worker)
+            {
+                self.failover.record_suspect();
+            }
+            if let Some(link) = state.links[worker].take() {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let routable = state
+            .topology
+            .as_ref()
+            .expect("collective ran, topology exists")
+            .fully_routable();
+        if !routable || attempts > state.addrs.len() + 1 {
+            return Err(primary);
+        }
+        if reset_sessions {
+            // An exchange wove worker-to-worker lanes through the dead
+            // worker's session; every survivor may hold a wedged or
+            // half-consumed lane. Reset all sessions so the retry starts
+            // from clean streams at one shared epoch.
+            state.drop_all_links();
+        }
+        self.failover.record_retry();
+        Ok(())
     }
 
     fn encode_and_count<M: WireMessage>(message: &M, stats: &CommStats) -> Vec<u8> {
@@ -1099,68 +1824,106 @@ impl TcpTransport {
         encoded
     }
 
-    /// Round-trips one frame per node through the node's worker (`ECHO`):
-    /// the shared implementation of scatter and gather.
+    /// Round-trips one frame per partition through the worker hosting it
+    /// (`ECHO`): the shared implementation of scatter and gather. Frames
+    /// are encoded (and counted) **once**; a worker failure marks it
+    /// suspect and retries the undelivered partitions against their next
+    /// replicas, so [`CommStats`] is identical with and without failover.
     fn echo_round<M: WireMessage>(
         &self,
         messages: Vec<M>,
         stats: &CommStats,
+        fault_phase: FaultPhase,
         phase: &str,
     ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
         let mut state = self.state.lock().expect("tcp state");
-        state.ensure(k)?;
-        let state = &*state;
+        self.ensure_ready(&mut state, k)?;
+        self.fire_faults(&mut state, fault_phase);
         let encoded: Vec<Vec<u8>> = messages
             .iter()
             .map(|m| Self::encode_and_count(m, stats))
             .collect();
         drop(messages);
 
-        let mut by_worker: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for node in 0..k {
-            by_worker
-                .entry(state.worker_of(node))
-                .or_default()
-                .push(node);
-        }
         let mut delivered: Vec<Option<M>> = (0..k).map(|_| None).collect();
-        let outcome: Result<Vec<Vec<(usize, M)>>, TransportError> = std::thread::scope(|scope| {
-            let tasks: Vec<_> = by_worker
-                .iter()
-                .map(|(&worker, nodes)| {
-                    let link = &state.links[worker];
-                    let encoded = &encoded;
-                    scope.spawn(move || -> Result<Vec<(usize, M)>, TransportError> {
-                        let name = link.name(worker);
-                        let mut results = Vec::with_capacity(nodes.len());
-                        for &node in nodes {
-                            let mut op =
-                                Vec::with_capacity(encoded[node].len() + 2 * wire::MAX_VARINT_LEN);
-                            wire::put_varint(&mut op, OP_ECHO);
-                            put_frame(&mut op, &encoded[node]);
-                            let mut writer = &link.stream;
-                            writer.write_all(&op).map_err(|e| {
-                                TransportError::from_io(&name, &format!("{phase} send"), e)
-                            })?;
-                            let mut reader = &link.stream;
-                            let frame = read_frame(&mut reader)
-                                .map_err(|e| e.classify(&name, &format!("{phase} reply")))?;
-                            let message = wire::decode_exact::<M>(&frame)?;
-                            results.push((node, message));
-                        }
-                        Ok(results)
+        let mut attempts = 0usize;
+        let mut backoff = FAILOVER_BACKOFF_START;
+        loop {
+            attempts += 1;
+            let topology = state.topology.as_ref().expect("ensured");
+            let mut by_worker: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (node, slot) in delivered.iter().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let worker = topology
+                    .route(node)
+                    .ok_or(TransportError::NoReplica { partition: node })?;
+                by_worker.entry(worker).or_default().push(node);
+            }
+            if by_worker.is_empty() {
+                break;
+            }
+            let state_ref = &*state;
+            let outcomes: Vec<EchoOutcome<M>> = std::thread::scope(|scope| {
+                let tasks: Vec<_> = by_worker
+                    .iter()
+                    .map(|(&worker, nodes)| {
+                        let link = state_ref.links[worker]
+                            .as_ref()
+                            .expect("routable workers are connected");
+                        let encoded = &encoded;
+                        let task =
+                            scope.spawn(move || -> Result<Vec<(usize, M)>, TransportError> {
+                                let name = link.name(worker);
+                                let mut results = Vec::with_capacity(nodes.len());
+                                for &node in nodes {
+                                    let mut op = Vec::with_capacity(
+                                        encoded[node].len() + 2 * wire::MAX_VARINT_LEN,
+                                    );
+                                    wire::put_varint(&mut op, OP_ECHO);
+                                    put_frame(&mut op, &encoded[node]);
+                                    let mut writer = &link.stream;
+                                    writer.write_all(&op).map_err(|e| {
+                                        TransportError::from_io(&name, &format!("{phase} send"), e)
+                                    })?;
+                                    let mut reader = &link.stream;
+                                    let frame = read_frame(&mut reader).map_err(|e| {
+                                        e.classify(&name, &format!("{phase} reply"))
+                                    })?;
+                                    let message = wire::decode_exact::<M>(&frame)?;
+                                    results.push((node, message));
+                                }
+                                Ok(results)
+                            });
+                        (worker, task)
                     })
-                })
-                .collect();
-            tasks
-                .into_iter()
-                .map(|t| t.join().expect("tcp echo thread"))
-                .collect()
-        });
-        for (node, message) in outcome?.into_iter().flatten() {
-            delivered[node] = Some(message);
+                    .collect();
+                tasks
+                    .into_iter()
+                    .map(|(worker, task)| (worker, task.join().expect("tcp echo thread")))
+                    .collect()
+            });
+            let mut failures: Vec<(usize, TransportError)> = Vec::new();
+            for (worker, outcome) in outcomes {
+                match outcome {
+                    Ok(results) => {
+                        for (node, message) in results {
+                            delivered[node] = Some(message);
+                        }
+                    }
+                    Err(err) => failures.push((worker, err)),
+                }
+            }
+            if failures.is_empty() {
+                continue; // loop re-plans; exits when nothing is missing
+            }
+            self.absorb_failures(&mut state, failures, attempts, false)?;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(FAILOVER_BACKOFF_MAX);
+            self.ensure_ready(&mut state, k)?;
         }
         Ok(delivered
             .into_iter()
@@ -1169,16 +1932,38 @@ impl TcpTransport {
     }
 }
 
+/// Short-timeout liveness probe: can `addr` still be connected to? A
+/// killed worker process refuses instantly; a live one accepts (the
+/// connection is immediately shut down without a hello, which its
+/// handshake thread treats as noise).
+fn probe_worker(addr: &str) -> Result<(), ()> {
+    let resolved: SocketAddr = addr.to_socket_addrs().map_err(|_| ())?.next().ok_or(())?;
+    let stream = TcpStream::connect_timeout(&resolved, PROBE_TIMEOUT).map_err(|_| ())?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         let mut state = self.state.lock().expect("tcp state");
-        for link in &state.links {
-            let mut writer = &link.stream;
-            if writer.write_all(&[OP_SHUTDOWN as u8]).is_ok() {
-                let mut reader = &link.stream;
-                let _ = read_frame(&mut reader); // best-effort ack
+        let self_hosted = state.loopback.is_some();
+        for (id, slot) in state.links.iter().enumerate() {
+            match slot {
+                Some(link) => {
+                    let mut writer = &link.stream;
+                    if writer.write_all(&[OP_SHUTDOWN as u8]).is_ok() {
+                        let mut reader = &link.stream;
+                        let _ = read_frame(&mut reader); // best-effort ack
+                    }
+                    let _ = link.stream.shutdown(Shutdown::Both);
+                }
+                // A loopback worker without a link may be sitting in its
+                // rejoin wait (suspect, or a failover reset we never
+                // followed up on); poke it with a minimal session so its
+                // thread exits instead of blocking the join below.
+                None if self_hosted => shutdown_worker(&state.addrs[id], id),
+                None => {}
             }
-            let _ = link.stream.shutdown(Shutdown::Both);
         }
         if let Some(workers) = &mut state.loopback {
             for worker in workers {
@@ -1190,9 +1975,76 @@ impl Drop for TcpTransport {
     }
 }
 
+/// Best-effort: connect to a linkless worker, complete a minimal master
+/// handshake (maximum session id, empty address list), and order it to
+/// shut down. Used for loopback teardown; failures mean the worker is
+/// already gone.
+fn shutdown_worker(addr: &str, id: usize) {
+    let Ok(mut resolved) = addr.to_socket_addrs() else {
+        return;
+    };
+    let Some(resolved) = resolved.next() else {
+        return;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&resolved, Duration::from_secs(1)) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut hello = Vec::with_capacity(24);
+    hello.extend_from_slice(&MAGIC);
+    wire::put_varint(&mut hello, PROTOCOL_VERSION);
+    wire::put_varint(&mut hello, ROLE_MASTER);
+    wire::put_varint(&mut hello, id as u64);
+    wire::put_varint(&mut hello, u64::MAX); // newest possible session
+    wire::put_varint(&mut hello, 0); // no topology change
+    let mut writer = &stream;
+    if writer.write_all(&hello).is_err() {
+        return;
+    }
+    let mut reader = &stream;
+    let mut ack = [0u8; 4];
+    if reader.read_exact(&mut ack).is_err() {
+        return;
+    }
+    let _ = read_varint(&mut reader); // version
+    let _ = read_varint(&mut reader); // echoed id
+    let _ = writer.write_all(&[OP_SHUTDOWN as u8]);
+    let mut reader = &stream;
+    let _ = read_frame(&mut reader); // best-effort ack
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 impl Transport for TcpTransport {
     fn name(&self) -> &'static str {
         "tcp"
+    }
+
+    fn topology(&self, num_partitions: usize) -> Topology {
+        let state = self.state.lock().expect("tcp state");
+        if let Some(current) = &state.topology {
+            if current.num_partitions() == num_partitions {
+                return current.clone();
+            }
+        }
+        // Derive what ensure_mesh would build, without mutating (a
+        // loopback mesh grows to the collective width on demand).
+        let workers = if state.loopback.is_some() {
+            state.addrs.len().max(num_partitions).max(1)
+        } else {
+            state.addrs.len().max(1)
+        };
+        let mut derived = match &state.assignments {
+            Some(assignments) => Topology::from_worker_partitions(num_partitions, assignments)
+                .unwrap_or_else(|_| {
+                    Topology::round_robin(num_partitions, workers, state.replication)
+                }),
+            None => Topology::round_robin(num_partitions, workers, state.replication),
+        };
+        if let Some(current) = &state.topology {
+            derived.inherit_suspects(current);
+        }
+        derived
     }
 
     fn scatter<M: WireMessage>(
@@ -1200,7 +2052,7 @@ impl Transport for TcpTransport {
         messages: Vec<M>,
         stats: &CommStats,
     ) -> Result<Vec<M>, TransportError> {
-        self.echo_round(messages, stats, "scatter")
+        self.echo_round(messages, stats, FaultPhase::Scatter, "scatter")
     }
 
     fn gather<M: WireMessage>(
@@ -1208,7 +2060,7 @@ impl Transport for TcpTransport {
         messages: Vec<M>,
         stats: &CommStats,
     ) -> Result<Vec<M>, TransportError> {
-        self.echo_round(messages, stats, "gather")
+        self.echo_round(messages, stats, FaultPhase::Gather, "gather")
     }
 
     fn all_to_all<M: WireMessage>(
@@ -1220,11 +2072,12 @@ impl Transport for TcpTransport {
         assert_eq!(outgoing.len(), num_nodes, "one send list per node");
         stats.record_round();
         let mut state = self.state.lock().expect("tcp state");
-        state.ensure(num_nodes)?;
-        let state = &*state;
+        self.ensure_ready(&mut state, num_nodes)?;
+        self.fire_faults(&mut state, FaultPhase::Exchange);
 
         // Encode cross-node payloads (stats count each logical message
-        // once, like every other backend); self-sends never touch a socket.
+        // once, like every other backend — failover retries reuse these
+        // frames); self-sends never touch a socket.
         let mut groups: BTreeMap<(usize, usize), Vec<Vec<u8>>> = BTreeMap::new();
         let mut self_sends: Vec<Vec<M>> = (0..num_nodes).map(|_| Vec::new()).collect();
         for (src, sends) in outgoing.into_iter().enumerate() {
@@ -1241,92 +2094,134 @@ impl Transport for TcpTransport {
             }
         }
 
-        // Per worker: the groups it must forward (src hosted there) and
-        // the groups it will collect (dst hosted there), both in (src, dst)
-        // order — the order every mesh lane preserves.
-        let mut send_plan: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
-        let mut recv_plan: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
-        for (&(src, dst), frames) in &groups {
-            send_plan
-                .entry(state.worker_of(src))
-                .or_default()
-                .push((src, dst));
-            recv_plan
-                .entry(state.worker_of(dst))
-                .or_default()
-                .push((src, dst, frames.len()));
-        }
-        let involved: Vec<usize> = {
-            let mut workers: Vec<usize> =
-                send_plan.keys().chain(recv_plan.keys()).copied().collect();
-            workers.sort_unstable();
-            workers.dedup();
-            workers
-        };
-
-        // Per worker thread: the `(src, dst, message)` triples it
-        // collected from its reply.
-        type Collected<M> = Vec<(usize, usize, M)>;
         let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
-        let outcome: Result<Vec<Collected<M>>, TransportError> = std::thread::scope(|scope| {
-            let tasks: Vec<_> = involved
-                .iter()
-                .map(|&worker| {
-                    let link = &state.links[worker];
-                    let groups = &groups;
-                    let sends = send_plan.get(&worker);
-                    let recvs = recv_plan.get(&worker);
-                    scope.spawn(move || -> Result<Vec<(usize, usize, M)>, TransportError> {
-                        let name = link.name(worker);
-                        let mut op = Vec::new();
-                        wire::put_varint(&mut op, OP_EXCHANGE);
-                        let send_list = sends.map(Vec::as_slice).unwrap_or(&[]);
-                        wire::put_varint(&mut op, send_list.len() as u64);
-                        for &(src, dst) in send_list {
-                            let frames = &groups[&(src, dst)];
-                            wire::put_varint(&mut op, src as u64);
-                            wire::put_varint(&mut op, dst as u64);
-                            wire::put_varint(&mut op, frames.len() as u64);
-                            for frame in frames {
-                                put_frame(&mut op, frame);
-                            }
-                        }
-                        let recv_list = recvs.map(Vec::as_slice).unwrap_or(&[]);
-                        wire::put_varint(&mut op, recv_list.len() as u64);
-                        for &(src, dst, count) in recv_list {
-                            wire::put_varint(&mut op, src as u64);
-                            wire::put_varint(&mut op, dst as u64);
-                            wire::put_varint(&mut op, count as u64);
-                        }
-                        let mut writer = &link.stream;
-                        writer
-                            .write_all(&op)
-                            .map_err(|e| TransportError::from_io(&name, "exchange send", e))?;
-                        let mut reader = &link.stream;
-                        let mut collected = Vec::new();
-                        for &(src, dst, count) in recv_list {
-                            for _ in 0..count {
-                                let frame = read_frame(&mut reader)
-                                    .map_err(|e| e.classify(&name, "exchange reply"))?;
-                                collected.push((src, dst, wire::decode_exact::<M>(&frame)?));
-                            }
-                        }
-                        Ok(collected)
-                    })
-                })
-                .collect();
-            tasks
-                .into_iter()
-                .map(|t| t.join().expect("tcp exchange thread"))
-                .collect()
-        });
-        // Replies are per-worker; within one worker they are (src, dst)
-        // sorted, and each dst is served by exactly one worker, so pushing
-        // in worker order keeps every inbox sorted by source.
-        for collected in outcome? {
-            for (src, dst, message) in collected {
-                incoming[dst].push((src, message));
+        let mut attempts = 0usize;
+        let mut backoff = FAILOVER_BACKOFF_START;
+        loop {
+            attempts += 1;
+            // Route every partition through the current topology. Per
+            // worker: the groups it must forward (src routed there) and
+            // the groups it will collect (dst routed there), both in
+            // (src, dst) order — the order every mesh lane preserves.
+            let topology = state.topology.as_ref().expect("ensured");
+            let mut route = vec![0usize; num_nodes];
+            for (node, slot) in route.iter_mut().enumerate() {
+                *slot = topology
+                    .route(node)
+                    .ok_or(TransportError::NoReplica { partition: node })?;
             }
+            let mut send_plan: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+            let mut recv_plan: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+            for (&(src, dst), frames) in &groups {
+                send_plan.entry(route[src]).or_default().push((src, dst));
+                recv_plan
+                    .entry(route[dst])
+                    .or_default()
+                    .push((src, dst, frames.len()));
+            }
+            let involved: Vec<usize> = {
+                let mut workers: Vec<usize> =
+                    send_plan.keys().chain(recv_plan.keys()).copied().collect();
+                workers.sort_unstable();
+                workers.dedup();
+                workers
+            };
+
+            // Per worker thread: the `(src, dst, message)` triples it
+            // collected from its reply.
+            let state_ref = &*state;
+            let route_ref = &route;
+            let outcomes: Vec<ExchangeOutcome<M>> = std::thread::scope(|scope| {
+                let tasks: Vec<_> = involved
+                    .iter()
+                    .map(|&worker| {
+                        let link = state_ref.links[worker]
+                            .as_ref()
+                            .expect("routable workers are connected");
+                        let groups = &groups;
+                        let sends = send_plan.get(&worker);
+                        let recvs = recv_plan.get(&worker);
+                        let task = scope.spawn(
+                            move || -> Result<Vec<(usize, usize, M)>, TransportError> {
+                                let name = link.name(worker);
+                                let mut op = Vec::new();
+                                wire::put_varint(&mut op, OP_EXCHANGE);
+                                let send_list = sends.map(Vec::as_slice).unwrap_or(&[]);
+                                wire::put_varint(&mut op, send_list.len() as u64);
+                                for &(src, dst) in send_list {
+                                    let frames = &groups[&(src, dst)];
+                                    wire::put_varint(&mut op, src as u64);
+                                    wire::put_varint(&mut op, dst as u64);
+                                    wire::put_varint(&mut op, route_ref[dst] as u64);
+                                    wire::put_varint(&mut op, frames.len() as u64);
+                                    for frame in frames {
+                                        put_frame(&mut op, frame);
+                                    }
+                                }
+                                let recv_list = recvs.map(Vec::as_slice).unwrap_or(&[]);
+                                wire::put_varint(&mut op, recv_list.len() as u64);
+                                for &(src, dst, count) in recv_list {
+                                    wire::put_varint(&mut op, src as u64);
+                                    wire::put_varint(&mut op, dst as u64);
+                                    wire::put_varint(&mut op, route_ref[src] as u64);
+                                    wire::put_varint(&mut op, count as u64);
+                                }
+                                let mut writer = &link.stream;
+                                writer.write_all(&op).map_err(|e| {
+                                    TransportError::from_io(&name, "exchange send", e)
+                                })?;
+                                let mut reader = &link.stream;
+                                let mut collected = Vec::new();
+                                for &(src, dst, count) in recv_list {
+                                    for _ in 0..count {
+                                        let frame = read_frame(&mut reader)
+                                            .map_err(|e| e.classify(&name, "exchange reply"))?;
+                                        collected.push((
+                                            src,
+                                            dst,
+                                            wire::decode_exact::<M>(&frame)?,
+                                        ));
+                                    }
+                                }
+                                Ok(collected)
+                            },
+                        );
+                        (worker, task)
+                    })
+                    .collect();
+                tasks
+                    .into_iter()
+                    .map(|(worker, task)| (worker, task.join().expect("tcp exchange thread")))
+                    .collect()
+            });
+            let mut failures: Vec<(usize, TransportError)> = Vec::new();
+            let mut collected_all: Vec<Vec<(usize, usize, M)>> = Vec::new();
+            for (worker, outcome) in outcomes {
+                match outcome {
+                    Ok(collected) => collected_all.push(collected),
+                    Err(err) => failures.push((worker, err)),
+                }
+            }
+            if failures.is_empty() {
+                // Replies are per-worker; within one worker they are
+                // (src, dst) sorted, and each dst is routed to exactly one
+                // worker, so pushing in worker order keeps every inbox
+                // sorted by source.
+                for collected in collected_all {
+                    for (src, dst, message) in collected {
+                        incoming[dst].push((src, message));
+                    }
+                }
+                break;
+            }
+            // An exchange is all-or-nothing per attempt: partial results
+            // from surviving workers are discarded (their lanes may be
+            // wedged mid-group), sessions are reset, and the whole round
+            // is replayed against the post-failover routing.
+            self.absorb_failures(&mut state, failures, attempts, true)?;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(FAILOVER_BACKOFF_MAX);
+            self.ensure_ready(&mut state, num_nodes)?;
         }
         for inbox in &mut incoming {
             inbox.sort_by_key(|&(src, _)| src);
@@ -1425,6 +2320,60 @@ mod tests {
     }
 
     #[test]
+    fn cluster_spec_parses_replication_and_assignments() {
+        let spec = ClusterSpec::from_toml_str(
+            r#"
+            workers = ["a:1", "b:2", "c:3"]
+            replication = 2
+            assignments = ["0, 1", "1, 2", "2, 0"]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(spec.replication, 2);
+        assert_eq!(
+            spec.assignments,
+            Some(vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+        );
+
+        // Replication defaults to 1 with no assignments.
+        let spec = ClusterSpec::from_toml_str("workers = [\"a:1\"]").expect("parses");
+        assert_eq!(spec.replication, 1);
+        assert_eq!(spec.assignments, None);
+
+        let err = ClusterSpec::from_toml_str("workers = [\"a:1\"]\nreplication = 0").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = ClusterSpec::from_toml_str("workers = [\"a:1\", \"b:2\"]\nassignments = [\"0\"]")
+            .unwrap_err();
+        assert!(err.contains("assignments"), "{err}");
+        let err = ClusterSpec::from_toml_str("workers = [\"a:1\"]\nassignments = [\"zero\"]")
+            .unwrap_err();
+        assert!(err.contains("partition ids"), "{err}");
+    }
+
+    #[test]
+    fn cluster_spec_builder_validates() {
+        let spec = ClusterSpec::builder(vec!["a:1".into(), "b:2".into()])
+            .replication(2)
+            .connect_timeout(Duration::from_secs(1))
+            .io_timeout(Duration::from_secs(2))
+            .build()
+            .expect("valid");
+        assert_eq!(spec.replication, 2);
+        assert_eq!(spec.connect_timeout, Duration::from_secs(1));
+        assert_eq!(spec.io_timeout, Duration::from_secs(2));
+
+        assert!(ClusterSpec::builder(Vec::new()).build().is_err());
+        assert!(ClusterSpec::builder(vec!["a:1".into()])
+            .replication(0)
+            .build()
+            .is_err());
+        assert!(ClusterSpec::builder(vec!["a:1".into(), "b:2".into()])
+            .assignments(vec![vec![0]])
+            .build()
+            .is_err());
+    }
+
+    #[test]
     fn cluster_spec_rejects_garbage_with_line_numbers() {
         let err = ClusterSpec::from_toml_str("workers = [\"a:1\"]\nbogus_key = 3").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
@@ -1518,5 +2467,169 @@ mod tests {
             "got {err}"
         );
         assert!(err.to_string().contains("worker 1"), "{err}");
+    }
+
+    #[test]
+    fn replicated_scatter_survives_a_worker_death() {
+        let transport = TcpTransport::loopback_replicated_with_timeout(2, Duration::from_secs(5));
+        let stats = CommStats::new();
+        let delivered = transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("healthy scatter");
+        assert_eq!(delivered, vec![1, 2, 3]);
+
+        transport.inject_faults(FaultPlan::new().disconnect(1));
+        let delivered = transport
+            .scatter(vec![4u32, 5, 6], &stats)
+            .expect("failover routes around the dead worker");
+        assert_eq!(delivered, vec![4, 5, 6]);
+        let failover = transport.failover_stats().snapshot();
+        assert!(failover.retries >= 1, "{failover:?}");
+        assert_eq!(failover.suspects, 1, "{failover:?}");
+        assert_eq!(transport.suspects(), vec![1]);
+        // The collective is byte-identical to a fault-free run: encoded
+        // once, retried from the same frames.
+        let baseline = CommStats::new();
+        let clean = TcpTransport::loopback_with_timeout(Duration::from_secs(5));
+        clean.scatter(vec![1u32, 2, 3], &baseline).expect("clean");
+        clean.scatter(vec![4u32, 5, 6], &baseline).expect("clean");
+        assert_eq!(stats.snapshot(), baseline.snapshot());
+    }
+
+    #[test]
+    fn replicated_exchange_survives_a_worker_death() {
+        let transport = TcpTransport::loopback_replicated_with_timeout(2, Duration::from_secs(5));
+        let stats = CommStats::new();
+        let k = 3usize;
+        let ring = |tag: u32| -> Vec<Vec<(usize, u32)>> {
+            (0..k)
+                .map(|i| vec![((i + 1) % k, tag + i as u32)])
+                .collect()
+        };
+        let incoming = transport.all_to_all(k, ring(10), &stats).expect("healthy");
+        assert_eq!(incoming[1], vec![(0, 10)]);
+
+        transport.inject_faults(FaultPlan::new().disconnect(0).during(FaultPhase::Exchange));
+        let incoming = transport
+            .all_to_all(k, ring(20), &stats)
+            .expect("failover replays the exchange");
+        for dst in 0..k {
+            let src = (dst + k - 1) % k;
+            assert_eq!(incoming[dst], vec![(src, 20 + src as u32)], "dst {dst}");
+        }
+        let failover = transport.failover_stats().snapshot();
+        assert!(failover.retries >= 1, "{failover:?}");
+        assert_eq!(failover.suspects, 1, "{failover:?}");
+    }
+
+    #[test]
+    fn fault_phase_gating_and_after_threshold() {
+        let transport = TcpTransport::loopback_replicated_with_timeout(2, Duration::from_secs(5));
+        let stats = CommStats::new();
+        // Armed for an exchange only: scatters sail through unharmed.
+        transport.inject_faults(
+            FaultPlan::new()
+                .disconnect(2)
+                .after(2)
+                .during(FaultPhase::Exchange),
+        );
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("collective 0");
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("collective 1");
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("collective 2: wrong phase");
+        assert_eq!(transport.failover_stats().snapshot().retries, 0);
+        // First exchange at/after the threshold fires the fault.
+        let outgoing: Vec<Vec<(usize, u32)>> =
+            (0..3).map(|i| vec![(((i + 1) % 3), i as u32)]).collect();
+        transport
+            .all_to_all(3, outgoing, &stats)
+            .expect("failover absorbs it");
+        assert_eq!(transport.suspects(), vec![2]);
+        assert!(transport.failover_stats().snapshot().retries >= 1);
+    }
+
+    #[test]
+    fn rejoined_worker_serves_again_after_resync() {
+        let transport = TcpTransport::loopback_replicated_with_timeout(2, Duration::from_secs(5));
+        let stats = CommStats::new();
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("healthy scatter");
+        transport.inject_faults(FaultPlan::new().disconnect(1));
+        transport
+            .scatter(vec![4u32, 5, 6], &stats)
+            .expect("failover");
+        assert_eq!(transport.suspects(), vec![1]);
+
+        // Loopback worker threads survive the severed link (rejoin_wait),
+        // so the suspect can be re-adopted, replaying a backlog through it.
+        let resync_stats = CommStats::new();
+        let backlog = vec![7u32, 8, 9];
+        let rejoined = transport.rejoin_suspects(&backlog, &resync_stats);
+        assert_eq!(rejoined, vec![1]);
+        assert!(transport.suspects().is_empty());
+        let failover = transport.failover_stats().snapshot();
+        assert_eq!(failover.resyncs, 1, "{failover:?}");
+        let (rounds, messages, bytes) = resync_stats.snapshot();
+        assert_eq!(rounds, 1);
+        assert_eq!(messages, backlog.len() as u64);
+        assert!(bytes > 0);
+
+        // The rejoined worker serves the next collective.
+        let delivered = transport
+            .scatter(vec![10u32, 11, 12], &stats)
+            .expect("post-rejoin scatter");
+        assert_eq!(delivered, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn unreplicated_cluster_stays_fail_fast() {
+        // R=1: a suspect makes its partitions unroutable, so the typed
+        // error (naming the worker) surfaces instead of a futile retry.
+        let transport = TcpTransport::loopback_with_timeout(Duration::from_secs(5));
+        let stats = CommStats::new();
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("healthy");
+        transport.inject_faults(FaultPlan::new().disconnect(2));
+        let err = transport
+            .scatter(vec![4u32, 5, 6], &stats)
+            .expect_err("no replica to fail over to");
+        assert!(err.to_string().contains("worker 2"), "{err}");
+        // And the suspect sticks: the next collective fails fast on the
+        // routing table without waiting on sockets.
+        let err = transport
+            .scatter(vec![7u32, 8, 9], &stats)
+            .expect_err("still unroutable");
+        assert!(
+            matches!(err, TransportError::NoReplica { partition: 2 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn transport_reports_its_topology() {
+        let transport = TcpTransport::loopback_replicated_with_timeout(2, Duration::from_secs(5));
+        // Before any collective: derived from the replication factor.
+        let topo = transport.topology(3);
+        assert_eq!(topo.replication(), 2);
+        assert_eq!(topo.replicas(0), &[0, 1]);
+        let stats = CommStats::new();
+        transport
+            .scatter(vec![1u32, 2, 3], &stats)
+            .expect("healthy");
+        transport.inject_faults(FaultPlan::new().disconnect(0));
+        transport
+            .scatter(vec![4u32, 5, 6], &stats)
+            .expect("failover");
+        // After failover: the reported table carries the suspect flag.
+        let topo = transport.topology(3);
+        assert!(topo.is_suspect(0));
+        assert_eq!(topo.route(0), Some(1));
     }
 }

@@ -51,6 +51,7 @@ use crate::error::TransportError;
 use crate::message::MessageSize;
 use crate::stats::CommStats;
 use crate::tcp::TcpTransport;
+use crate::topology::Topology;
 use crate::wire::{self, Wire};
 
 /// Environment variable read by [`TransportKind::from_env`].
@@ -84,6 +85,18 @@ pub trait Transport: Sync {
     /// identical either way.
     fn is_zero_copy(&self) -> bool {
         false
+    }
+
+    /// The routing table this backend uses to place a
+    /// `num_partitions`-wide collective: partition → ordered replica set
+    /// of worker ids, with suspect tracking. The default is the
+    /// [identity](Topology::identity) topology (partition `p` on logical
+    /// node `p`, replication 1) — exactly what the in-process and pipe
+    /// backends do. The TCP backend overrides this with its replicated,
+    /// failover-aware table, which callers can consult to fail fast (or
+    /// report) before launching a collective that cannot be placed.
+    fn topology(&self, num_partitions: usize) -> Topology {
+        Topology::identity(num_partitions)
     }
 
     /// Master → slaves: delivers `messages[i]` to slave `i`. Records one
@@ -138,6 +151,10 @@ impl<T: Transport + ?Sized> Transport for &T {
 
     fn is_zero_copy(&self) -> bool {
         (**self).is_zero_copy()
+    }
+
+    fn topology(&self, num_partitions: usize) -> Topology {
+        (**self).topology(num_partitions)
     }
 
     fn scatter<M: WireMessage>(
@@ -705,6 +722,21 @@ impl DynTransport {
             DynTransport::Tcp(_) => TransportKind::Tcp,
         }
     }
+
+    /// The TCP backend, when that is what this is (the only backend with
+    /// replication/failover machinery worth poking at).
+    pub fn as_tcp(&self) -> Option<&TcpTransport> {
+        match self {
+            DynTransport::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Failover counters of the TCP backend; `None` for backends that
+    /// cannot fail over (their counters are definitionally zero).
+    pub fn failover_stats(&self) -> Option<&crate::stats::FailoverStats> {
+        self.as_tcp().map(TcpTransport::failover_stats)
+    }
 }
 
 impl Transport for DynTransport {
@@ -721,6 +753,14 @@ impl Transport for DynTransport {
             DynTransport::InProcess(t) => t.is_zero_copy(),
             DynTransport::Wire(t) => t.is_zero_copy(),
             DynTransport::Tcp(t) => t.is_zero_copy(),
+        }
+    }
+
+    fn topology(&self, num_partitions: usize) -> Topology {
+        match self {
+            DynTransport::InProcess(t) => t.topology(num_partitions),
+            DynTransport::Wire(t) => t.topology(num_partitions),
+            DynTransport::Tcp(t) => t.topology(num_partitions),
         }
     }
 

@@ -305,6 +305,15 @@ impl<'a, T: Transport> DsrEngine<'a, T> {
             return Ok(results);
         }
 
+        // ---- Route check: every leg of the protocol is addressed by
+        // partition through the transport's routing table; refuse up front
+        // when some partition has no live replica instead of failing three
+        // rounds in.
+        let topology = self.transport.topology(k);
+        if let Some(partition) = topology.unroutable_partition() {
+            return Err(TransportError::NoReplica { partition });
+        }
+
         // ---- Scatter: one round, one message per slave carrying every
         // query's local sources plus its target list. ------------------------
         let delivered = self.transport.scatter(scatter, stats)?;

@@ -178,6 +178,12 @@ impl DsrIndex {
                 CompoundGraph::build(&locals[i], &cut, &summaries, i as PartitionId)
             })
         } else {
+            // Partition-addressed routing: refuse the exchange up front when
+            // some partition has no live replica to serve it.
+            let topology = transport.topology(k);
+            if let Some(partition) = topology.unroutable_partition() {
+                return Err(TransportError::NoReplica { partition });
+            }
             let outgoing: Vec<Vec<(usize, PartitionSummary)>> = summaries
                 .iter()
                 .enumerate()

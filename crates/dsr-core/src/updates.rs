@@ -102,6 +102,11 @@ pub struct UpdateOutcome {
     pub patched_compounds: Vec<PartitionId>,
     /// Whether any compound graph changed at all.
     pub rebuilt_compounds: bool,
+    /// The (source partition, delta) pairs that crossed the wire in this
+    /// batch's exchange round — the exact payload a rejoining replica must
+    /// replay to catch up differentially (see the fault-tolerance docs in
+    /// `dsr-cluster`). Empty when the batch refreshed no summaries.
+    pub shipped_deltas: Vec<(PartitionId, SummaryDelta)>,
     /// Measured communication cost of the refresh exchange: the wire bytes
     /// of the shipped [`SummaryDelta`]s, byte-identical between the
     /// in-process and wire transports.
@@ -434,9 +439,24 @@ impl DsrIndex {
             })
             .collect();
 
+        // Keep a copy of every delta that will cross the wire: a rejoining
+        // replica is brought up to date by replaying exactly these (the
+        // differential path), never by rebuilding from scratch.
+        let shipped_deltas: Vec<(PartitionId, SummaryDelta)> = deltas
+            .iter()
+            .enumerate()
+            .filter_map(|(p, delta)| delta.as_ref().map(|d| (p as PartitionId, d.clone())))
+            .collect();
+
         let comm = CommStats::new();
         let mut received: Vec<Vec<(usize, SummaryDelta)>> = (0..k).map(|_| Vec::new()).collect();
         if k > 1 && deltas.iter().any(Option::is_some) {
+            // Partition-addressed routing: refuse the exchange up front when
+            // some partition has no live replica to serve it.
+            let topology = transport.topology(k);
+            if let Some(partition) = topology.unroutable_partition() {
+                return Err(TransportError::NoReplica { partition });
+            }
             let outgoing: Vec<Vec<(usize, SummaryDelta)>> = deltas
                 .iter()
                 .enumerate()
@@ -518,6 +538,7 @@ impl DsrIndex {
             refreshed_summaries: refreshed,
             rebuilt_compounds: !patched.is_empty(),
             patched_compounds: patched,
+            shipped_deltas,
             stats: UpdateStats::from_comm(&comm),
             elapsed: start.elapsed(),
         })

@@ -21,8 +21,38 @@ impl Worker {
     /// Spawns `dsr-node worker --listen 127.0.0.1:0` and parses the bound
     /// address from its first stdout line.
     fn spawn() -> Worker {
+        Worker::spawn_with(&["--listen", "127.0.0.1:0"])
+    }
+
+    /// Spawns a long-lived worker (`--keep-serving`) that survives master
+    /// loss and can be re-adopted by failover — the chaos-test flavor.
+    fn spawn_keep_serving() -> Worker {
+        Worker::spawn_with(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--keep-serving",
+            "--io-timeout-ms",
+            "4000",
+        ])
+    }
+
+    /// Restarts a killed worker on its old (now free) address, as a
+    /// long-lived worker ready to be resynced.
+    fn respawn_at(addr: &str) -> Worker {
+        Worker::spawn_with(&[
+            "--listen",
+            addr,
+            "--keep-serving",
+            "--io-timeout-ms",
+            "4000",
+        ])
+    }
+
+    fn spawn_with(args: &[&str]) -> Worker {
+        let mut full = vec!["worker"];
+        full.extend_from_slice(args);
         let mut child = Command::new(BIN)
-            .args(["worker", "--listen", "127.0.0.1:0"])
+            .args(&full)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -45,6 +75,12 @@ impl Worker {
             addr,
             stdout,
         }
+    }
+
+    /// Kills the worker process outright — the chaos move.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
     }
 
     /// Waits for the worker to exit cleanly after its master session.
@@ -132,6 +168,166 @@ fn worker_bind_conflict_exits_nonzero_with_the_address() {
         holder.addr
     );
     // `holder` is killed by Drop.
+}
+
+/// Runs a replicated master while `trigger(line) -> Option<action>` watches
+/// its stdout; returns (exit-ok, full stdout). Actions run at most once.
+fn run_chaos_master<F: FnMut(&str)>(args: &[&str], mut on_line: F) -> (bool, String) {
+    let mut master = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dsr-node master");
+    let mut reader = BufReader::new(master.stdout.take().expect("master stdout piped"));
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read master stdout") == 0 {
+            break;
+        }
+        on_line(&line);
+        lines.push(line.clone());
+    }
+    let status = master.wait().expect("master exits");
+    let mut stderr = String::new();
+    use std::io::Read;
+    if let Some(mut pipe) = master.stderr.take() {
+        let _ = pipe.read_to_string(&mut stderr);
+    }
+    (status.success(), lines.concat() + &stderr)
+}
+
+#[test]
+fn replicated_cluster_survives_a_worker_kill_midrun() {
+    // 3 long-lived workers, replication 2: every partition has a backup
+    // replica, so losing one worker mid-run must not lose a single answer.
+    let mut workers = [
+        Worker::spawn_keep_serving(),
+        Worker::spawn_keep_serving(),
+        Worker::spawn_keep_serving(),
+    ];
+    let cluster = workers
+        .iter()
+        .map(|w| w.addr.clone())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut killed = false;
+    let (ok, stdout) = run_chaos_master(
+        &[
+            "master",
+            "--workers",
+            &cluster,
+            "--replication",
+            "2",
+            "--vertices",
+            "400",
+            "--queries",
+            "32",
+            "--updates",
+            "24",
+            "--batches",
+            "6",
+            "--pause-ms",
+            "150",
+        ],
+        |line| {
+            // Kill worker 1 right after the update batch: the remaining
+            // 5 query batches all run against a degraded cluster.
+            if !killed && line.starts_with("update batch:") {
+                workers[1].kill();
+                killed = true;
+            }
+        },
+    );
+    assert!(killed, "never saw the update batch line:\n{stdout}");
+    assert!(ok, "master must survive the kill and exit 0:\n{stdout}");
+    assert!(!stdout.contains("FAIL"), "no failed checks:\n{stdout}");
+    assert!(stdout.contains("all checks passed"), "{stdout}");
+    // Every post-kill batch still answered correctly...
+    for batch in 2..=6 {
+        assert!(
+            stdout.contains(&format!("PASS  batch {batch}: answers match")),
+            "batch {batch} verified:\n{stdout}"
+        );
+    }
+    // ...and the failover counters show the reroute actually happened.
+    let failover = stdout
+        .lines()
+        .find(|l| l.starts_with("failover:"))
+        .expect("failover summary line");
+    assert!(!failover.contains("retries=0"), "retried: {failover}");
+    assert!(failover.contains("suspects=1"), "one suspect: {failover}");
+}
+
+#[test]
+fn killed_worker_rejoins_and_resyncs_via_deltas() {
+    let mut workers = [
+        Worker::spawn_keep_serving(),
+        Worker::spawn_keep_serving(),
+        Worker::spawn_keep_serving(),
+    ];
+    let cluster = workers
+        .iter()
+        .map(|w| w.addr.clone())
+        .collect::<Vec<_>>()
+        .join(",");
+    let dead_addr = workers[2].addr.clone();
+
+    let mut killed = false;
+    let mut restarted: Option<Worker> = None;
+    let (ok, stdout) = run_chaos_master(
+        &[
+            "master",
+            "--workers",
+            &cluster,
+            "--replication",
+            "2",
+            "--vertices",
+            "400",
+            "--queries",
+            "32",
+            "--updates",
+            "24",
+            "--batches",
+            "8",
+            "--pause-ms",
+            "250",
+        ],
+        |line| {
+            if !killed && line.starts_with("update batch:") {
+                workers[2].kill();
+                killed = true;
+            }
+            // Once failover has routed batch 2 around the corpse, restart
+            // the worker on the same port: a later inter-batch rejoin pass
+            // must re-adopt it and replay the update batch's deltas.
+            if killed && restarted.is_none() && line.contains("batch 2: answers match") {
+                restarted = Some(Worker::respawn_at(&dead_addr));
+            }
+        },
+    );
+    assert!(killed, "never saw the update batch line:\n{stdout}");
+    assert!(restarted.is_some(), "never restarted the worker:\n{stdout}");
+    assert!(ok, "master must finish the run and exit 0:\n{stdout}");
+    assert!(!stdout.contains("FAIL"), "no failed checks:\n{stdout}");
+    // The restarted worker was re-adopted and brought up to date through
+    // the differential SummaryDelta backlog, not a rebuild.
+    assert!(
+        stdout.contains("resync: worker(s) [2] rejoined"),
+        "rejoin reported:\n{stdout}"
+    );
+    let failover = stdout
+        .lines()
+        .find(|l| l.starts_with("failover:"))
+        .expect("failover summary line");
+    assert!(
+        !failover.contains("resyncs=0"),
+        "resync counted: {failover}"
+    );
+    assert!(failover.contains("suspects=1"), "one suspect: {failover}");
 }
 
 #[test]

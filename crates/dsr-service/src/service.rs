@@ -5,7 +5,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{
-    BatchStats, CacheStats, CommStats, DynTransport, TransportError, TransportKind, UpdateStats,
+    BatchStats, CacheStats, CommStats, DynTransport, FailoverSnapshot, TransportError,
+    TransportKind, UpdateStats,
 };
 use dsr_core::{coalesce_updates, DsrEngine, DsrIndex, SetQuery, UpdateOp, UpdateOutcome};
 use dsr_graph::VertexId;
@@ -346,6 +347,26 @@ impl QueryService {
     /// Which transport backend this service executes queries over.
     pub fn transport_kind(&self) -> TransportKind {
         self.core.transport.kind()
+    }
+
+    /// The transport this service executes queries over, for callers that
+    /// need direct access to the backend (e.g. to inject faults or rejoin
+    /// suspect workers on a [`DynTransport::Tcp`] cluster).
+    pub fn transport(&self) -> &DynTransport {
+        &self.core.transport
+    }
+
+    /// Failover counters for this service's transport: retries, suspects
+    /// and resyncs accumulated while routing around dead replicas. All
+    /// zeros on the in-process and pipe backends (which cannot fail) and on
+    /// a fault-free TCP cluster — [`FailoverSnapshot::is_zero`] is the
+    /// degraded-mode check.
+    pub fn failover_stats(&self) -> FailoverSnapshot {
+        self.core
+            .transport
+            .failover_stats()
+            .map(|stats| stats.snapshot())
+            .unwrap_or_default()
     }
 
     /// Cache hit/miss/eviction counters.
@@ -766,6 +787,40 @@ mod tests {
         assert_eq!(service.cache_stats().hits(), 1);
         assert_eq!(service.cache_stats().misses(), 1);
         assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn failover_stats_are_zero_off_the_tcp_backend() {
+        let service = chain_service();
+        service.query(&[0], &[5]);
+        let snapshot = service.failover_stats();
+        assert!(snapshot.is_zero(), "in-process backend never fails over");
+        assert!(service.transport().failover_stats().is_none());
+    }
+
+    #[test]
+    fn failover_stats_surface_tcp_degradation() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partitioning::new(vec![0, 0, 1, 1, 2, 2], 3);
+        let index = Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs));
+        let transport = DynTransport::Tcp(dsr_cluster::TcpTransport::loopback_replicated(2));
+        let service =
+            QueryService::with_config_and_transport(index, ServiceConfig::default(), transport);
+        assert!(
+            service.failover_stats().is_zero(),
+            "fault-free run is clean"
+        );
+
+        // Kill one worker mid-run; the service routes around it and the
+        // degraded-mode counters light up.
+        let tcp = service.transport().as_tcp().expect("tcp backend");
+        tcp.inject_faults(dsr_cluster::FaultPlan::new().disconnect(1));
+        let pairs = service.query(&[0], &[5]);
+        assert_eq!(*pairs, vec![(0, 5)]);
+        let snapshot = service.failover_stats();
+        assert!(!snapshot.is_zero(), "failover was exercised");
+        assert!(snapshot.retries >= 1);
+        assert_eq!(snapshot.suspects, 1);
     }
 
     #[test]
