@@ -7,7 +7,7 @@
 //! per-slave local evaluation), so its wall-clock time and communication
 //! volume drop correspondingly.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
@@ -75,7 +75,7 @@ fn bench_service_throughput(c: &mut Criterion) {
         b.iter_with_setup(
             || QueryService::new(Arc::clone(&index)),
             |service| {
-                std::thread::scope(|scope| {
+                dsr_sync::thread::scope(|scope| {
                     for client in 0..8 {
                         let service = &service;
                         let queries = &queries;

@@ -40,7 +40,7 @@
 //! including the measured wire bytes per communication round and the
 //! batch former's fusion counters.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::Duration;
 
 use dsr_cluster::{CommStats, TcpTransport, Transport, TransportKind, WireTransport};
@@ -168,7 +168,7 @@ fn run_batched_threaded(
     let service = QueryService::new(Arc::clone(index));
     let mut latencies: Vec<Duration> = Vec::with_capacity(queries.len());
     let (_, elapsed) = time(|| {
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|client| {
                     let service = &service;
@@ -393,7 +393,7 @@ pub fn run(fast: bool) -> String {
     let concurrent_service = QueryService::new(Arc::clone(&index));
     let num_clients = 8;
     let (_, concurrent_time) = time(|| {
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             for client in 0..num_clients {
                 let service = &concurrent_service;
                 let queries = &queries;

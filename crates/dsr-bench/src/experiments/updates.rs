@@ -29,7 +29,7 @@
 //! working directory); the bench-smoke CI job archives it next to
 //! `BENCH_throughput.json`.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::Duration;
 
 use dsr_cluster::{FailoverSnapshot, InProcess, TcpTransport, UpdateStats, WireTransport};

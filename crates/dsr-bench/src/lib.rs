@@ -21,6 +21,8 @@
 //! each table — who wins, by roughly what factor, where the crossovers are
 //! — are the reproduction target, and EXPERIMENTS.md records them.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod json;
 pub mod table;

@@ -35,6 +35,13 @@
 //! `DSR_TRANSPORT` environment variable (see [`TransportKind::from_env`])
 //! switches the whole test suite between backends.
 
+// This crate stays at the workspace-level `deny(unsafe_code)` rather than
+// `forbid`: `pool` needs one module-scoped `allow(unsafe_code)` for the
+// lifetime erasure of pooled jobs (soundness argued at the site), and a
+// crate-level `forbid` cannot be overridden locally. Every other workspace
+// crate forbids unsafe code outright.
+#![deny(unsafe_code)]
+
 pub mod error;
 pub mod fault;
 pub mod message;

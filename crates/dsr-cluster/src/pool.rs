@@ -32,13 +32,13 @@
 
 #![allow(unsafe_code)] // lifetime erasure for pooled jobs; soundness argued above.
 
+use dsr_sync::atomic::{AtomicU64, Ordering};
+use dsr_sync::mpsc::{channel, Receiver, Sender};
+use dsr_sync::thread::JoinHandle;
+use dsr_sync::{Arc, Condvar, Mutex, OnceLock};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
 
 /// Panic payload captured from a slave task.
 type PanicPayload = Box<dyn Any + Send + 'static>;
@@ -82,16 +82,12 @@ struct PoolQueue {
 impl PoolShared {
     /// Pops a job without blocking; used by callers helping while they wait.
     fn try_pop(&self) -> Option<Job> {
-        self.queue
-            .lock()
-            .expect("pool queue poisoned")
-            .jobs
-            .pop_front()
+        dsr_sync::lock(&self.queue).jobs.pop_front()
     }
 
     /// Blocks until a job is available or shutdown is signalled.
     fn pop_blocking(&self) -> Option<Job> {
-        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        let mut queue = dsr_sync::lock(&self.queue);
         loop {
             if let Some(job) = queue.jobs.pop_front() {
                 return Some(job);
@@ -99,12 +95,12 @@ impl PoolShared {
             if queue.shutdown {
                 return None;
             }
-            queue = self.available.wait(queue).expect("pool queue poisoned");
+            queue = dsr_sync::wait(&self.available, queue);
         }
     }
 }
 
-std::thread_local! {
+thread_local! {
     /// Whether the current thread is a pool worker (used to decide between
     /// blocking and helping in [`SlavePool::run`]).
     static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
@@ -145,7 +141,7 @@ impl SlavePool {
         let workers = (0..num_workers.max(1))
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                dsr_sync::thread::Builder::new()
                     .name(format!("dsr-slave-{w}"))
                     .spawn(move || {
                         IS_POOL_WORKER.with(|flag| flag.set(true));
@@ -195,7 +191,7 @@ impl SlavePool {
         let (done_tx, done_rx) = channel::<JobResult>();
         {
             let task = &task;
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = dsr_sync::lock(&self.shared.queue);
             for (slave, slot) in results.iter_mut().enumerate() {
                 let work: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     *slot = Some(task(slave));
@@ -279,7 +275,7 @@ impl SlavePool {
 impl Drop for SlavePool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = dsr_sync::lock(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -301,20 +297,25 @@ impl Drop for SlavePool {
 pub fn global_pool() -> &'static SlavePool {
     static POOL: OnceLock<SlavePool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let workers = std::thread::available_parallelism()
+        let workers = dsr_sync::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .max(2);
-        SlavePool::new(workers)
+        // The global pool outlives any single model-checker execution, so
+        // its workers must never be registered as model threads (the model
+        // run would wait forever for them to finish). A model test that
+        // wants *scheduled* workers creates its own short-lived
+        // `SlavePool::new` inside the checked closure instead.
+        dsr_sync::model::without_model(|| SlavePool::new(workers))
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsr_sync::atomic::{AtomicUsize, Ordering};
+    use dsr_sync::thread::ThreadId;
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::thread::ThreadId;
 
     #[test]
     fn results_in_slave_order() {
@@ -337,9 +338,9 @@ mod tests {
         let ids = Mutex::new(HashSet::<ThreadId>::new());
         for _ in 0..10 {
             pool.run(4, |_| {
-                ids.lock().unwrap().insert(std::thread::current().id());
+                ids.lock().unwrap().insert(dsr_sync::thread::current().id());
                 // Give sibling workers a chance to grab their own job.
-                std::thread::sleep(std::time::Duration::from_millis(1));
+                dsr_sync::thread::sleep(std::time::Duration::from_millis(1));
             });
         }
         let distinct = ids.lock().unwrap().len();
@@ -367,7 +368,7 @@ mod tests {
     #[test]
     fn concurrent_runs_from_many_client_threads() {
         let pool = SlavePool::new(4);
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             for t in 0..8 {
                 let pool = &pool;
                 scope.spawn(move || {
@@ -430,5 +431,24 @@ mod tests {
         let b = global_pool() as *const SlavePool;
         assert_eq!(a, b);
         assert!(global_pool().num_workers() >= 2);
+    }
+
+    /// Model check of the dispatch → execute → completion-channel barrier:
+    /// a short-lived pool created *inside* the checked closure gets model
+    /// workers, so the whole submit/notify/drain/shutdown handshake is
+    /// explored schedule by schedule. `run` must return both results in
+    /// slave order and the `Drop` shutdown handshake must terminate in
+    /// every interleaving.
+    #[test]
+    fn model_run_barrier_and_shutdown() {
+        use dsr_sync::model::Model;
+        Model::new()
+            .max_schedules(512)
+            .check(|| {
+                let pool = SlavePool::new(2);
+                assert_eq!(pool.run(2, |slave| slave + 10), vec![10, 11]);
+                drop(pool); // shutdown handshake joins both model workers
+            })
+            .expect("pool barrier must hold in every explored schedule");
     }
 }

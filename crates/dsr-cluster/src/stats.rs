@@ -1,6 +1,6 @@
 //! Communication statistics collected by the simulated cluster.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dsr_sync::atomic::{AtomicU64, Ordering};
 
 /// Thread-safe counters for rounds, messages and bytes exchanged.
 ///
@@ -476,7 +476,7 @@ impl BatchStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use dsr_sync::Arc;
 
     #[test]
     fn counting() {
@@ -503,7 +503,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = Arc::clone(&s);
-                std::thread::spawn(move || {
+                dsr_sync::thread::spawn(move || {
                     for _ in 0..1000 {
                         s.record_message(10);
                     }

@@ -42,10 +42,10 @@
 //! mesh grows. Frames are varint-length-prefixed byte strings with a hard
 //! [`MAX_FRAME_LEN`] sanity limit, checked **before** any allocation.
 
+use dsr_sync::{Arc, Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::error::TransportError;
@@ -560,7 +560,7 @@ struct WorkerShared {
     /// Assigned by the master hello.
     state: Mutex<WorkerState>,
     /// Set when the worker is exiting; tells the acceptor to stop.
-    done: std::sync::atomic::AtomicBool,
+    done: dsr_sync::atomic::AtomicBool,
 }
 
 #[derive(Default)]
@@ -604,11 +604,11 @@ pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(),
         incoming_cv: Condvar::new(),
         outgoing: Mutex::new(HashMap::new()),
         state: Mutex::new(WorkerState::default()),
-        done: std::sync::atomic::AtomicBool::new(false),
+        done: dsr_sync::atomic::AtomicBool::new(false),
     });
     let acceptor = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(listener, shared))
+        dsr_sync::thread::spawn(move || accept_loop(listener, shared))
     };
 
     let mut served_any = false;
@@ -647,10 +647,10 @@ pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(),
 
     // Wake the acceptor (blocked in `accept`) so it can observe the ended
     // session and exit; then release every cached lane.
-    shared.done.store(true, std::sync::atomic::Ordering::SeqCst);
+    shared.done.store(true, dsr_sync::atomic::Ordering::SeqCst);
     let _ = TcpStream::connect(local);
     let _ = acceptor.join();
-    for (_, lane) in shared.outgoing.lock().expect("outgoing lanes").drain() {
+    for (_, lane) in dsr_sync::lock(&shared.outgoing).drain() {
         let _ = lane.shutdown(Shutdown::Both);
     }
     result
@@ -660,8 +660,8 @@ pub fn serve_worker(listener: TcpListener, options: WorkerOptions) -> Result<(),
 /// older sessions (their unread bytes would corrupt the new session's
 /// exchanges).
 fn begin_session(shared: &WorkerShared, session: u64) {
-    shared.state.lock().expect("worker state").session_id = session;
-    let mut lanes = shared.incoming.lock().expect("incoming lanes");
+    dsr_sync::lock(&shared.state).session_id = session;
+    let mut lanes = dsr_sync::lock(&shared.incoming);
     lanes.retain(|_, (sid, stream)| {
         if *sid < session {
             let _ = stream.shutdown(Shutdown::Both);
@@ -675,7 +675,7 @@ fn begin_session(shared: &WorkerShared, session: u64) {
 /// Releases the session's outgoing lanes: the next session (this master's
 /// or a replacement's) negotiates fresh lanes at its own epoch.
 fn end_session(shared: &WorkerShared) {
-    for (_, lane) in shared.outgoing.lock().expect("outgoing lanes").drain() {
+    for (_, lane) in dsr_sync::lock(&shared.outgoing).drain() {
         let _ = lane.shutdown(Shutdown::Both);
     }
 }
@@ -684,18 +684,15 @@ fn wait_for_master(
     shared: &WorkerShared,
     wait: Option<Duration>,
 ) -> Result<(TcpStream, u64), TransportError> {
-    let mut slot = shared.master.lock().expect("master slot");
+    let mut slot = dsr_sync::lock(&shared.master);
     loop {
         if let Some(adopted) = slot.take() {
             return Ok(adopted);
         }
         match wait {
-            None => slot = shared.master_cv.wait(slot).expect("master slot"),
+            None => slot = dsr_sync::wait(&shared.master_cv, slot),
             Some(limit) => {
-                let (next, timeout) = shared
-                    .master_cv
-                    .wait_timeout(slot, limit)
-                    .expect("master slot");
+                let (next, timeout) = dsr_sync::wait_timeout(&shared.master_cv, slot, limit);
                 slot = next;
                 if timeout.timed_out() && slot.is_none() {
                     return Err(TransportError::Timeout {
@@ -712,7 +709,7 @@ fn wait_for_master(
 /// the session owner sets `done` and wakes it with a dummy connection.
 fn accept_loop(listener: TcpListener, shared: Arc<WorkerShared>) {
     for conn in listener.incoming() {
-        if shared.done.load(std::sync::atomic::Ordering::SeqCst) {
+        if shared.done.load(dsr_sync::atomic::Ordering::SeqCst) {
             break;
         }
         // Transient accept failures (ECONNABORTED from a client that gave
@@ -726,7 +723,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<WorkerShared>) {
         // thread is short-lived (bounded by the handshake read timeout)
         // and registration order is irrelevant — waiters sit on condvars.
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
+        dsr_sync::thread::spawn(move || {
             let _ = register_connection(stream, &shared);
         });
     }
@@ -770,7 +767,7 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
                     .push(read_string(&mut reader).map_err(|e| e.classify(peer, "read topology"))?);
             }
             {
-                let mut state = shared.state.lock().expect("worker state");
+                let mut state = dsr_sync::lock(&shared.state);
                 state.my_id = my_id;
                 if !topology.is_empty() {
                     state.topology = topology;
@@ -788,7 +785,7 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
             // The relay loop blocks between collectives for arbitrarily
             // long: no read timeout on the master connection.
             let _ = stream.set_read_timeout(None);
-            let mut slot = shared.master.lock().expect("master slot");
+            let mut slot = dsr_sync::lock(&shared.master);
             // A newer master (higher session id) supersedes a pending one
             // the serve loop never adopted.
             if let Some((stale, _)) = slot.replace((stream, session)) {
@@ -801,7 +798,7 @@ fn register_connection(stream: TcpStream, shared: &WorkerShared) -> Result<(), T
                 read_varint(&mut reader).map_err(|e| e.classify(peer, "read peer id"))? as usize;
             let session =
                 read_varint(&mut reader).map_err(|e| e.classify(peer, "read peer session"))?;
-            let mut lanes = shared.incoming.lock().expect("incoming lanes");
+            let mut lanes = dsr_sync::lock(&shared.incoming);
             // Keep the lane from the newest session; a stale peer lane must
             // never shadow the one the current exchange is waiting for.
             match lanes.get(&from) {
@@ -876,7 +873,7 @@ fn relay_loop(master: &TcpStream, shared: &WorkerShared) -> Result<SessionEnd, T
                         read_string(&mut reader).map_err(|e| e.classify(peer, "read topology"))?,
                     );
                 }
-                shared.state.lock().expect("worker state").topology = topology;
+                dsr_sync::lock(&shared.state).topology = topology;
             }
             OP_EXCHANGE => handle_exchange(master, shared)?,
             OP_SHUTDOWN => {
@@ -927,7 +924,7 @@ fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), Tran
     }
 
     let (my_id, topology, session) = {
-        let state = shared.state.lock().expect("worker state");
+        let state = dsr_sync::lock(&shared.state);
         (state.my_id, state.topology.clone(), state.session_id)
     };
 
@@ -948,7 +945,7 @@ fn handle_exchange(master: &TcpStream, shared: &WorkerShared) -> Result<(), Tran
     }
 
     let mut received: Vec<Vec<Vec<u8>>> = Vec::with_capacity(recvs.len());
-    let forward_result: Result<(), TransportError> = std::thread::scope(|scope| {
+    let forward_result: Result<(), TransportError> = dsr_sync::thread::scope(|scope| {
         let writers: Vec<_> = remote
             .into_iter()
             .map(|(worker, groups)| {
@@ -1020,7 +1017,7 @@ fn forward_groups(
 ) -> Result<(), TransportError> {
     let peer = peer_name(worker, topology);
     let lane = {
-        let mut lanes = shared.outgoing.lock().expect("outgoing lanes");
+        let mut lanes = dsr_sync::lock(&shared.outgoing);
         #[allow(clippy::map_entry)] // lane construction is fallible; entry() cannot early-return
         if !lanes.contains_key(&worker) {
             let addr = topology
@@ -1084,7 +1081,7 @@ fn incoming_lane(
 ) -> Result<TcpStream, TransportError> {
     let peer = peer_name(from, topology);
     let deadline = std::time::Instant::now() + shared.options.io_timeout;
-    let mut lanes = shared.incoming.lock().expect("incoming lanes");
+    let mut lanes = dsr_sync::lock(&shared.incoming);
     loop {
         match lanes.get(&from) {
             Some(&(sid, ref stream)) if sid == session => {
@@ -1110,10 +1107,7 @@ fn incoming_lane(
                 context: "waiting for peer lane".to_string(),
             });
         }
-        let (next, _) = shared
-            .incoming_cv
-            .wait_timeout(lanes, remaining)
-            .expect("incoming lanes");
+        let (next, _) = dsr_sync::wait_timeout(&shared.incoming_cv, lanes, remaining);
         lanes = next;
     }
 }
@@ -1174,7 +1168,7 @@ impl WorkerLink {
 }
 
 struct LoopbackWorker {
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Option<dsr_sync::thread::JoinHandle<()>>,
 }
 
 struct MasterState {
@@ -1227,7 +1221,7 @@ impl MasterState {
                     // reconnects them within the I/O timeout.
                     rejoin_wait: Some(self.io_timeout),
                 };
-                let handle = std::thread::spawn(move || {
+                let handle = dsr_sync::thread::spawn(move || {
                     if let Err(err) = serve_worker(listener, options) {
                         eprintln!("dsr loopback worker failed: {err}");
                     }
@@ -1514,14 +1508,12 @@ impl TcpTransport {
     /// a collective yet). Suspects count: they are still part of the
     /// roster.
     pub fn num_workers(&self) -> usize {
-        self.state.lock().expect("tcp state").addrs.len()
+        dsr_sync::lock(&self.state).addrs.len()
     }
 
     /// Worker ids currently marked suspect (ascending).
     pub fn suspects(&self) -> Vec<usize> {
-        self.state
-            .lock()
-            .expect("tcp state")
+        dsr_sync::lock(&self.state)
             .topology
             .as_ref()
             .map(Topology::suspects)
@@ -1539,7 +1531,7 @@ impl TcpTransport {
     /// exactly as if the worker process died at that moment. See
     /// [`FaultPlan`].
     pub fn inject_faults(&self, plan: FaultPlan) {
-        let mut armed = self.faults.lock().expect("fault plan");
+        let mut armed = dsr_sync::lock(&self.faults);
         armed.extend(plan.faults().iter().map(|&fault| ArmedFault {
             fault,
             fired: false,
@@ -1566,7 +1558,7 @@ impl TcpTransport {
     /// Rejoin never happens implicitly mid-collective — the caller decides
     /// when (typically between query/update batches).
     pub fn rejoin_suspects<M: WireMessage>(&self, backlog: &[M], stats: &CommStats) -> Vec<usize> {
-        let mut state = self.state.lock().expect("tcp state");
+        let mut state = dsr_sync::lock(&self.state);
         let suspects = match &state.topology {
             Some(t) => t.suspects(),
             None => return Vec::new(),
@@ -1710,7 +1702,7 @@ impl TcpTransport {
     fn fire_faults(&self, state: &mut MasterState, phase: FaultPhase) {
         let collective = state.collectives;
         state.collectives += 1;
-        let mut armed = self.faults.lock().expect("fault plan");
+        let mut armed = dsr_sync::lock(&self.faults);
         for fault in armed.iter_mut() {
             if fault.fired || collective < fault.fault.after || !fault.fault.phase.matches(phase) {
                 continue;
@@ -1753,7 +1745,7 @@ impl TcpTransport {
         // (3) the lowest failed id as a last resort.
         let mut culprits: Vec<usize> = Vec::new();
         {
-            let mut armed = self.faults.lock().expect("fault plan");
+            let mut armed = dsr_sync::lock(&self.faults);
             for fault in armed.iter_mut() {
                 if fault.fired && !fault.attributed && failed.contains(&fault.fault.worker) {
                     fault.attributed = true;
@@ -1838,7 +1830,7 @@ impl TcpTransport {
     ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
-        let mut state = self.state.lock().expect("tcp state");
+        let mut state = dsr_sync::lock(&self.state);
         self.ensure_ready(&mut state, k)?;
         self.fire_faults(&mut state, fault_phase);
         let encoded: Vec<Vec<u8>> = messages
@@ -1867,7 +1859,7 @@ impl TcpTransport {
                 break;
             }
             let state_ref = &*state;
-            let outcomes: Vec<EchoOutcome<M>> = std::thread::scope(|scope| {
+            let outcomes: Vec<EchoOutcome<M>> = dsr_sync::thread::scope(|scope| {
                 let tasks: Vec<_> = by_worker
                     .iter()
                     .map(|(&worker, nodes)| {
@@ -1921,7 +1913,7 @@ impl TcpTransport {
                 continue; // loop re-plans; exits when nothing is missing
             }
             self.absorb_failures(&mut state, failures, attempts, false)?;
-            std::thread::sleep(backoff);
+            dsr_sync::thread::sleep(backoff);
             backoff = (backoff * 2).min(FAILOVER_BACKOFF_MAX);
             self.ensure_ready(&mut state, k)?;
         }
@@ -1945,7 +1937,7 @@ fn probe_worker(addr: &str) -> Result<(), ()> {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        let mut state = self.state.lock().expect("tcp state");
+        let mut state = dsr_sync::lock(&self.state);
         let self_hosted = state.loopback.is_some();
         for (id, slot) in state.links.iter().enumerate() {
             match slot {
@@ -2021,7 +2013,7 @@ impl Transport for TcpTransport {
     }
 
     fn topology(&self, num_partitions: usize) -> Topology {
-        let state = self.state.lock().expect("tcp state");
+        let state = dsr_sync::lock(&self.state);
         if let Some(current) = &state.topology {
             if current.num_partitions() == num_partitions {
                 return current.clone();
@@ -2071,7 +2063,7 @@ impl Transport for TcpTransport {
     ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         assert_eq!(outgoing.len(), num_nodes, "one send list per node");
         stats.record_round();
-        let mut state = self.state.lock().expect("tcp state");
+        let mut state = dsr_sync::lock(&self.state);
         self.ensure_ready(&mut state, num_nodes)?;
         self.fire_faults(&mut state, FaultPhase::Exchange);
 
@@ -2131,7 +2123,7 @@ impl Transport for TcpTransport {
             // collected from its reply.
             let state_ref = &*state;
             let route_ref = &route;
-            let outcomes: Vec<ExchangeOutcome<M>> = std::thread::scope(|scope| {
+            let outcomes: Vec<ExchangeOutcome<M>> = dsr_sync::thread::scope(|scope| {
                 let tasks: Vec<_> = involved
                     .iter()
                     .map(|&worker| {
@@ -2219,7 +2211,7 @@ impl Transport for TcpTransport {
             // wedged mid-group), sessions are reset, and the whole round
             // is replayed against the post-failover routing.
             self.absorb_failures(&mut state, failures, attempts, true)?;
-            std::thread::sleep(backoff);
+            dsr_sync::thread::sleep(backoff);
             backoff = (backoff * 2).min(FAILOVER_BACKOFF_MAX);
             self.ensure_ready(&mut state, num_nodes)?;
         }
@@ -2407,7 +2399,7 @@ mod tests {
         // A listener that answers every connection with garbage.
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr").to_string();
-        let rogue = std::thread::spawn(move || {
+        let rogue = dsr_sync::thread::spawn(move || {
             if let Ok((mut conn, _)) = listener.accept() {
                 let _ = conn.write_all(b"HTTP/1.1 400 Bad Request\r\n\r\n");
             }

@@ -44,8 +44,8 @@
 //! is the corresponding enum-dispatched backend for callers that pick a
 //! transport at construction time, such as the query service.
 
+use dsr_sync::Mutex;
 use std::io::{Read, Write};
-use std::sync::Mutex;
 
 use crate::error::TransportError;
 use crate::message::MessageSize;
@@ -431,7 +431,7 @@ impl Transport for WireTransport {
     ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
-        let mut links = self.links.lock().expect("wire links poisoned");
+        let mut links = dsr_sync::lock(&self.links);
         links.ensure(k);
         let links = &*links;
         let encoded: Vec<Vec<u8>> = messages
@@ -440,14 +440,14 @@ impl Transport for WireTransport {
             .collect();
         drop(messages);
         let mut delivered: Vec<Option<M>> = (0..k).map(|_| None).collect();
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             // One receiving thread per slave; the master writes from the
             // calling thread. Dedicated readers keep every pipe drained, so
             // a scatter larger than the pipe buffer cannot deadlock.
             let readers: Vec<_> = (0..k)
                 .map(|i| {
                     scope.spawn(move || {
-                        let mut rx = links.to_slave[i].rx.lock().expect("pipe reader poisoned");
+                        let mut rx = dsr_sync::lock(&links.to_slave[i].rx);
                         let frames = read_frames(&mut *rx);
                         assert_eq!(frames.len(), 1, "scatter delivers one frame per slave");
                         decode_message::<M>(&frames[0])
@@ -455,7 +455,7 @@ impl Transport for WireTransport {
                 })
                 .collect();
             for (i, frame) in encoded.iter().enumerate() {
-                let mut tx = links.to_slave[i].tx.lock().expect("pipe writer poisoned");
+                let mut tx = dsr_sync::lock(&links.to_slave[i].tx);
                 write_frames(&mut *tx, std::slice::from_ref(frame));
             }
             for (slot, reader) in delivered.iter_mut().zip(readers) {
@@ -475,7 +475,7 @@ impl Transport for WireTransport {
     ) -> Result<Vec<M>, TransportError> {
         stats.record_round();
         let k = messages.len();
-        let mut links = self.links.lock().expect("wire links poisoned");
+        let mut links = dsr_sync::lock(&self.links);
         links.ensure(k);
         let links = &*links;
         let encoded: Vec<Vec<u8>> = messages
@@ -484,17 +484,17 @@ impl Transport for WireTransport {
             .collect();
         drop(messages);
         let mut gathered: Vec<M> = Vec::with_capacity(k);
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             // One sending thread per slave; the master reads in slave order
             // from the calling thread and drains each lane as it goes.
             for (i, frame) in encoded.iter().enumerate() {
                 scope.spawn(move || {
-                    let mut tx = links.from_slave[i].tx.lock().expect("pipe writer poisoned");
+                    let mut tx = dsr_sync::lock(&links.from_slave[i].tx);
                     write_frames(&mut *tx, std::slice::from_ref(frame));
                 });
             }
             for i in 0..k {
-                let mut rx = links.from_slave[i].rx.lock().expect("pipe reader poisoned");
+                let mut rx = dsr_sync::lock(&links.from_slave[i].rx);
                 let frames = read_frames(&mut *rx);
                 assert_eq!(frames.len(), 1, "gather delivers one frame per slave");
                 gathered.push(decode_message::<M>(&frames[0]));
@@ -511,7 +511,7 @@ impl Transport for WireTransport {
     ) -> Result<Vec<Vec<(usize, M)>>, TransportError> {
         assert_eq!(outgoing.len(), num_nodes, "one send list per node");
         stats.record_round();
-        let mut links = self.links.lock().expect("wire links poisoned");
+        let mut links = dsr_sync::lock(&self.links);
         links.ensure(num_nodes);
         let links = &*links;
 
@@ -533,7 +533,7 @@ impl Transport for WireTransport {
         }
 
         let mut incoming: Vec<Vec<(usize, M)>> = (0..num_nodes).map(|_| Vec::new()).collect();
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             // One writer thread per source and one reader thread per
             // destination. Readers are always draining, so a writer blocked
             // on a full pipe is eventually unblocked — no deadlock however
@@ -544,7 +544,7 @@ impl Transport for WireTransport {
                         if dst == src {
                             continue;
                         }
-                        let mut tx = links.mesh[src][dst].tx.lock().expect("pipe poisoned");
+                        let mut tx = dsr_sync::lock(&links.mesh[src][dst].tx);
                         write_frames(&mut *tx, payloads);
                     }
                 });
@@ -557,7 +557,7 @@ impl Transport for WireTransport {
                             if src == dst {
                                 continue;
                             }
-                            let mut rx = links.mesh[src][dst].rx.lock().expect("pipe poisoned");
+                            let mut rx = dsr_sync::lock(&links.mesh[src][dst].rx);
                             for payload in read_frames(&mut *rx) {
                                 received.push((src, decode_message::<M>(&payload)));
                             }
@@ -938,7 +938,7 @@ mod tests {
     #[test]
     fn wire_transport_is_shareable_across_threads() {
         let transport = WireTransport::new();
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             for t in 0..4u32 {
                 let transport = &transport;
                 scope.spawn(move || {

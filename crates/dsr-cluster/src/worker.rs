@@ -24,13 +24,23 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    // Handle the inline fast paths here rather than deferring to
+    // `SlavePool::run`, so they never *instantiate* the global pool: a
+    // single-partition workload stays entirely on the calling thread (and a
+    // single-partition model test stays entirely under the model scheduler).
+    if num_slaves == 0 {
+        return Vec::new();
+    }
+    if num_slaves == 1 {
+        return vec![task(0)];
+    }
     global_pool().run(num_slaves, task)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use dsr_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn results_in_slave_order() {

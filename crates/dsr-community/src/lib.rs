@@ -7,6 +7,8 @@
 //! maximizes modularity, followed by graph aggregation, repeated until the
 //! modularity gain vanishes.
 
+#![forbid(unsafe_code)]
+
 pub mod louvain;
 
 pub use louvain::{louvain, modularity, CommunityAssignment};

@@ -8,8 +8,8 @@
 //! kept between queries, so the dependency graph is rebuilt from scratch
 //! every time — the overhead Table 2 and Table 3 quantify.
 
+use dsr_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport};

@@ -1,7 +1,7 @@
 //! The full DSR index: partition summaries, compound graphs, local
 //! reachability indexes and build statistics.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{run_on_slaves, CommStats, InProcess, MessageSize, Transport, TransportError};

@@ -52,6 +52,8 @@
 //! assert_eq!(pairs.pairs, vec![(0, 5)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod compound;
 pub mod engine;

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use dsr_graph::{InducedSubgraph, VertexId};
 use dsr_partition::{PartitionBoundaries, PartitionId};
 use dsr_reach::{LocalReachability, MsBfsReachability};
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 /// Summary of one partition, shared with every other slave when building
 /// the compound graphs (see [`crate::protocol`] for its wire codec).

@@ -34,8 +34,8 @@
 //! [`DsrIndex::apply_updates`]) classify and refresh once for the whole
 //! batch; the Figure 6 bulk/progressive update experiments use them.
 
+use dsr_sync::Arc;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{run_on_slaves, CommStats, InProcess, Transport, TransportError, UpdateStats};

@@ -21,6 +21,8 @@
 //! a given size) and [`datasets`] names scaled-down analogues of every
 //! dataset in Table 1 so the experiment harness can refer to them by name.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod erdos_renyi;
 pub mod lubm;

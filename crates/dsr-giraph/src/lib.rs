@@ -22,6 +22,8 @@
 //! number of supersteps, and the communication volume, which is exactly
 //! what Figures 5 and 8 and Table 3 report.
 
+#![forbid(unsafe_code)]
+
 pub mod graph_centric;
 pub mod outcome;
 pub mod vertex_centric;

@@ -21,6 +21,8 @@
 //! adjacency structures compact and cache friendly (see the index-size
 //! numbers reproduced for Table 2 of the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod closure;
 pub mod condense;

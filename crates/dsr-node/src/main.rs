@@ -23,8 +23,10 @@
 //! dsr-node master --cluster cluster.toml --queries 64 --updates 32
 //! ```
 
+#![forbid(unsafe_code)]
+
+use dsr_sync::Arc;
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Duration;
 
 use dsr_cluster::tcp::{bind_worker, serve_worker, WorkerOptions};
@@ -490,7 +492,7 @@ fn run_master_checked(args: &MasterArgs) -> Result<usize, String> {
     // restarts (rejoin + differential resync between batches). ------------
     for batch in 1..args.batches.max(2) as u32 {
         if !args.pause.is_zero() {
-            std::thread::sleep(args.pause);
+            dsr_sync::thread::sleep(args.pause);
         }
         try_rejoin(&service, &backlog);
         let queries = make_queries(batch);

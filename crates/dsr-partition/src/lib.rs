@@ -18,6 +18,8 @@
 //! The crate also extracts the *cut* `C` and the per-partition in-/out-
 //! boundary sets `Ii`/`Oi` (Definition 3) used by `dsr-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod cut;
 pub mod hash;
 pub mod multilevel;

@@ -22,6 +22,8 @@
 //! * [`datasets`] — LUBM-like and Freebase-like synthetic stores and the
 //!   six benchmark queries L1–L3 / F1–F3 of Appendix 8.3.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod path;
 pub mod query;

@@ -5,7 +5,7 @@
 //! 4.4.A. One traversal is performed per source, with early exit once all
 //! requested targets have been found.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_graph::traversal::{bfs_reachable, is_reachable, reachable_targets, Direction};
 use dsr_graph::{DiGraph, VertexId};

@@ -293,9 +293,9 @@ impl LocalReachability for FerrariReachability {
 mod tests {
     use super::*;
     use crate::dfs::DfsReachability;
+    use dsr_sync::Arc;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    use std::sync::Arc;
 
     #[test]
     fn chain_and_diamond() {

@@ -207,9 +207,9 @@ fn shuffle(items: &mut [VertexId], seed: u64) {
 mod tests {
     use super::*;
     use crate::dfs::DfsReachability;
+    use dsr_sync::Arc;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    use std::sync::Arc;
 
     #[test]
     fn chain_and_branches() {

@@ -19,6 +19,8 @@
 //! All strategies implement the [`LocalReachability`] trait so `dsr-core`
 //! can swap them per experiment (Figure 7).
 
+#![forbid(unsafe_code)]
+
 pub mod dfs;
 pub mod ferrari;
 pub mod grail;

@@ -7,7 +7,7 @@
 //! memoization benefit the paper attributes to DSR-MSBFS for large query
 //! sets (Figure 7).
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_graph::{DiGraph, VertexId};
 

@@ -1,6 +1,6 @@
 //! The [`LocalReachability`] trait and index selection.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_graph::{DiGraph, VertexId};
 

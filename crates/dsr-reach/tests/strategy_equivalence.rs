@@ -1,7 +1,7 @@
 //! Property tests: every local reachability strategy must agree with the
 //! transitive-closure oracle on arbitrary graphs and query sets.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_graph::DiGraph;
 use dsr_reach::{build_index, ClosureReachability, LocalIndexKind, LocalReachability};

@@ -42,10 +42,10 @@
 //! [`DsrEngine::set_reachability_batch`]: dsr_core::DsrEngine::set_reachability_batch
 //! [`QueryService::query_batch`]: crate::QueryService::query_batch
 
+use dsr_sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use dsr_sync::thread::JoinHandle;
+use dsr_sync::{Arc, Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::TransportError;
@@ -145,7 +145,7 @@ impl Waiter {
     }
 
     fn fulfill(&self, slot: usize, value: CachedPairs, cost: Option<Arc<RoundCost>>) {
-        let mut state = self.state.lock().expect("waiter poisoned");
+        let mut state = dsr_sync::lock(&self.state);
         debug_assert!(state.slots[slot].is_none(), "slot fulfilled twice");
         state.slots[slot] = Some((value, cost));
         state.remaining -= 1;
@@ -155,7 +155,7 @@ impl Waiter {
     }
 
     fn fail(&self, error: ServiceError) {
-        let mut state = self.state.lock().expect("waiter poisoned");
+        let mut state = dsr_sync::lock(&self.state);
         if state.error.is_none() {
             state.error = Some(error);
         }
@@ -165,7 +165,7 @@ impl Waiter {
     /// Blocks until every slot is fulfilled (returning them in submission
     /// order) or the group failed.
     pub(crate) fn wait(&self) -> Result<Vec<Fulfillment>, ServiceError> {
-        let mut state = self.state.lock().expect("waiter poisoned");
+        let mut state = dsr_sync::lock(&self.state);
         loop {
             if let Some(error) = &state.error {
                 return Err(error.clone());
@@ -177,7 +177,7 @@ impl Waiter {
                     .map(|slot| slot.take().expect("all slots fulfilled"))
                     .collect());
             }
-            state = self.ready.wait(state).expect("waiter poisoned");
+            state = dsr_sync::wait(&self.ready, state);
         }
     }
 }
@@ -217,7 +217,7 @@ impl Admission {
 
     /// Admits `n` queries or fails with [`ServiceError::Overloaded`].
     pub(crate) fn try_acquire(&self, n: usize) -> Result<(), ServiceError> {
-        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        let mut in_flight = dsr_sync::lock(&self.in_flight);
         // A group larger than the whole limit is admissible only into an
         // empty queue (otherwise it could never be admitted at all).
         if *in_flight + n > self.limit && *in_flight > 0 {
@@ -232,9 +232,9 @@ impl Admission {
 
     /// Admits `n` queries, blocking until there is room.
     pub(crate) fn acquire_blocking(&self, n: usize) {
-        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        let mut in_flight = dsr_sync::lock(&self.in_flight);
         while *in_flight + n > self.limit && *in_flight > 0 {
-            in_flight = self.freed.wait(in_flight).expect("admission poisoned");
+            in_flight = dsr_sync::wait(&self.freed, in_flight);
         }
         *in_flight += n;
     }
@@ -244,7 +244,7 @@ impl Admission {
         if n == 0 {
             return;
         }
-        let mut in_flight = self.in_flight.lock().expect("admission poisoned");
+        let mut in_flight = dsr_sync::lock(&self.in_flight);
         *in_flight = in_flight.saturating_sub(n);
         drop(in_flight);
         self.freed.notify_all();
@@ -269,8 +269,8 @@ pub(crate) struct Batcher {
 
 impl Batcher {
     pub(crate) fn spawn(core: Arc<Core>, config: BatcherConfig) -> Self {
-        let (tx, rx) = std::sync::mpsc::channel();
-        let scheduler = std::thread::Builder::new()
+        let (tx, rx) = dsr_sync::mpsc::channel();
+        let scheduler = dsr_sync::thread::Builder::new()
             .name("dsr-batch-former".into())
             .spawn(move || run_scheduler(&core, &rx, config))
             .expect("spawn batch-former scheduler");
@@ -418,6 +418,17 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
                 bytes: batch.bytes,
             });
             let values: Vec<CachedPairs> = batch.results.into_iter().map(Arc::new).collect();
+            // Seeded mutation (model builds only): releasing admission
+            // *before* the results are published to the cache lets a client
+            // unblocked by the freed capacity probe the cache and miss a
+            // result that was already computed — the model suite must catch
+            // this (`model_mutation_batcher_release_before_publish_detected`).
+            let premature_release = dsr_sync::model::mutation_enabled(
+                dsr_sync::model::MUTATION_BATCHER_RELEASE_BEFORE_PUBLISH,
+            );
+            if premature_release {
+                core.admission.release(released);
+            }
             if core.cache_enabled {
                 for (key, value) in misses.into_iter().zip(&values) {
                     match core
@@ -435,8 +446,12 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
                 }
             }
             // Free admission before waking anyone so an unblocked client
-            // immediately finds room for its next query.
-            core.admission.release(released);
+            // immediately finds room for its next query — but only *after*
+            // the cache fill above, so a client admitted by the freed
+            // capacity always finds the published results.
+            if !premature_release {
+                core.admission.release(released);
+            }
             for (entry, miss) in executing {
                 entry.waiter.fulfill(
                     entry.slot,
@@ -454,5 +469,254 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
                 entry.waiter.fail(ServiceError::Transport(Arc::clone(&err)));
             }
         }
+    }
+}
+
+/// Model checks of the submit → form → fan-out protocol. Under
+/// `--cfg dsr_model` these explore every interleaving within the
+/// preemption bound; in normal builds they run a single execution.
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use crate::cache::ShardedCache;
+    use crate::snapshot::SnapshotHolder;
+    use crate::QueryService;
+    use dsr_cluster::{BatchStats, CacheStats, CommStats, DynTransport, InProcess};
+    use dsr_core::DsrIndex;
+    use dsr_graph::DiGraph;
+    use dsr_partition::Partitioning;
+    use dsr_reach::LocalIndexKind;
+    use dsr_sync::atomic::{AtomicUsize, Ordering};
+    use dsr_sync::model::{self, Model};
+
+    /// A one-partition chain `0 -> 1 -> 2`: `SlavePool::run(1, ..)` takes
+    /// the inline fast path, so no process-global (unscheduled) pool
+    /// workers participate and every execution is fully model-controlled.
+    fn single_partition_core(admission_depth: usize) -> Arc<Core> {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let p = Partitioning::new(vec![0, 0, 0], 1);
+        Arc::new(Core {
+            snapshot: SnapshotHolder::new(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs))),
+            cache: ShardedCache::new(8, 1),
+            cache_enabled: true,
+            transport: DynTransport::InProcess(InProcess),
+            admission: Admission::new(admission_depth),
+            stats: CacheStats::new(),
+            comm: CommStats::new(),
+            batch: BatchStats::new(),
+        })
+    }
+
+    fn entry_for(key: SigKey, waiter: &Arc<Waiter>, slot: usize) -> Entry {
+        Entry {
+            key,
+            waiter: Arc::clone(waiter),
+            slot,
+            enqueued: Instant::now(),
+        }
+    }
+
+    /// Protocol invariant behind the seeded
+    /// [`MUTATION_BATCHER_RELEASE_BEFORE_PUBLISH`] bug: a client admitted
+    /// by the capacity an execution released must find that execution's
+    /// results already published to the cache.
+    ///
+    /// [`MUTATION_BATCHER_RELEASE_BEFORE_PUBLISH`]:
+    /// model::MUTATION_BATCHER_RELEASE_BEFORE_PUBLISH
+    fn release_happens_after_publish() {
+        let core = single_partition_core(1);
+        let key = SigKey::new(&[0], &[2]);
+        core.admission
+            .try_acquire(1)
+            .expect("empty queue admits the first query");
+        let blocked = {
+            let core = Arc::clone(&core);
+            let key = key.clone();
+            dsr_sync::thread::spawn(move || {
+                // Blocks until the fused execution below releases its slot.
+                core.admission.acquire_blocking(1);
+                let hit = core.cache.get(&key);
+                core.admission.release(1);
+                assert!(hit.is_some(), "admission freed before result was published");
+            })
+        };
+        let waiter = Waiter::new(1);
+        execute_formed(&core, vec![entry_for(key, &waiter, 0)]);
+        let answers = waiter.wait().expect("in-process execution succeeds");
+        assert_eq!(*answers[0].0, vec![(0, 2)]);
+        assert!(
+            answers[0].1.is_some(),
+            "executed (not late-hit) queries carry a cost"
+        );
+        blocked.join().unwrap();
+    }
+
+    #[test]
+    fn model_release_happens_after_publish() {
+        Model::new()
+            .check(release_happens_after_publish)
+            .expect("publish-before-release must hold in every schedule");
+    }
+
+    /// Seeded mutation: releasing admission before the cache fill lets the
+    /// unblocked client miss the published result in some interleaving —
+    /// the checker must find it.
+    #[test]
+    fn model_mutation_batcher_release_before_publish_detected() {
+        if !model::is_model_build() {
+            return;
+        }
+        let failure = Model::new()
+            .mutation(model::MUTATION_BATCHER_RELEASE_BEFORE_PUBLISH)
+            .check(release_happens_after_publish)
+            .expect_err("premature release must be observable in some schedule");
+        assert!(
+            failure
+                .message
+                .contains("admission freed before result was published"),
+            "{failure}"
+        );
+    }
+
+    /// A signature answered by a concurrent execution while queued is
+    /// fulfilled by the scheduler's cache re-probe (a *late hit*): no cost
+    /// is attributed and its admission slot is returned.
+    fn late_hit_skips_execution() {
+        let core = single_partition_core(4);
+        let key = SigKey::new(&[0], &[1]);
+        core.cache
+            .insert_if_current(core.cache.generation(), key.clone(), Arc::new(vec![(0, 1)]));
+        core.admission.try_acquire(1).expect("room for one");
+        let waiter = Waiter::new(1);
+        execute_formed(&core, vec![entry_for(key, &waiter, 0)]);
+        let answers = waiter.wait().expect("late hit fulfills the waiter");
+        assert_eq!(*answers[0].0, vec![(0, 1)]);
+        assert!(
+            answers[0].1.is_none(),
+            "late hits attribute no fused-run cost"
+        );
+        // The slot came back: the whole limit is available again.
+        core.admission
+            .try_acquire(4)
+            .expect("all slots free after late hit");
+    }
+
+    #[test]
+    fn model_late_hit_skips_execution() {
+        Model::new()
+            .check(late_hit_skips_execution)
+            .expect("late-hit fan-out must hold in every schedule");
+    }
+
+    /// Admission is a counting semaphore: under concurrent blocking
+    /// acquires, the number of admitted-but-unreleased queries never
+    /// exceeds the limit in any interleaving.
+    fn admission_never_exceeds_limit() {
+        let admission = Arc::new(Admission::new(1));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let contender = {
+            let admission = Arc::clone(&admission);
+            let admitted = Arc::clone(&admitted);
+            dsr_sync::thread::spawn(move || {
+                admission.acquire_blocking(1);
+                let concurrent = admitted.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(concurrent, 0, "admission limit 1 exceeded");
+                admitted.fetch_sub(1, Ordering::SeqCst);
+                admission.release(1);
+            })
+        };
+        admission.acquire_blocking(1);
+        let concurrent = admitted.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(concurrent, 0, "admission limit 1 exceeded");
+        admitted.fetch_sub(1, Ordering::SeqCst);
+        admission.release(1);
+        contender.join().unwrap();
+    }
+
+    #[test]
+    fn model_admission_never_exceeds_limit() {
+        Model::new()
+            .check(admission_never_exceeds_limit)
+            .expect("the admission semaphore must never over-admit");
+    }
+
+    /// An oversized group still fails `try_acquire` with the typed
+    /// overload error once anything is in flight, and the freed capacity
+    /// admits it afterwards (the Overloaded drain path).
+    fn overload_drains_after_release() {
+        let admission = Admission::new(2);
+        admission
+            .try_acquire(2)
+            .expect("empty queue fills to the limit");
+        match admission.try_acquire(1) {
+            Err(ServiceError::Overloaded { queued, limit }) => {
+                assert_eq!((queued, limit), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        admission.release(2);
+        admission
+            .try_acquire(1)
+            .expect("released capacity re-admits");
+    }
+
+    #[test]
+    fn model_overload_drains_after_release() {
+        Model::new()
+            .check(overload_drains_after_release)
+            .expect("overload accounting must be exact");
+    }
+
+    /// End-to-end submit → form → fan-out through a real [`Batcher`] whose
+    /// scheduler thread runs as a model thread: the batch window is far in
+    /// the future, so completion proves the flush/drain wakeups (not the
+    /// timeout) drive the fan-out.
+    fn batcher_forms_and_fans_out() {
+        let core = single_partition_core(4);
+        let batcher = Batcher::spawn(
+            Arc::clone(&core),
+            BatcherConfig {
+                max_batch: 64,
+                max_wait: Duration::from_secs(10),
+            },
+        );
+        core.admission.try_acquire(2).expect("room for the group");
+        let waiter = Waiter::new(2);
+        batcher.submit(vec![
+            entry_for(SigKey::new(&[0], &[2]), &waiter, 0),
+            entry_for(SigKey::new(&[2], &[0]), &waiter, 1),
+        ]);
+        batcher.flush();
+        let answers = waiter.wait().expect("fused execution succeeds");
+        assert_eq!(*answers[0].0, vec![(0, 2)], "0 reaches 2 along the chain");
+        assert!(answers[1].0.is_empty(), "2 does not reach 0");
+        drop(batcher); // disconnects the queue and joins the scheduler
+    }
+
+    #[test]
+    fn model_batcher_forms_and_fans_out() {
+        Model::new()
+            .max_schedules(512)
+            .check(batcher_forms_and_fans_out)
+            .expect("submit/form/fan-out must hold in every explored schedule");
+    }
+
+    /// The public service front end survives a model run end to end:
+    /// cached hit, miss, flush and shutdown all inside the scheduler.
+    fn service_round_trip() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let p = Partitioning::new(vec![0, 0, 0], 1);
+        let service = QueryService::new(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)));
+        assert_eq!(*service.query(&[0], &[2]), vec![(0, 2)]);
+        assert_eq!(*service.query(&[0], &[2]), vec![(0, 2)]);
+        assert_eq!(service.cache_stats().hits(), 1, "second ask is a cache hit");
+    }
+
+    #[test]
+    fn model_service_round_trip() {
+        Model::new()
+            .max_schedules(256)
+            .check(service_round_trip)
+            .expect("the service front end must hold in every explored schedule");
     }
 }

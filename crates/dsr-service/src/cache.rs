@@ -16,10 +16,10 @@
 //!
 //! [`SetQuery::signature`]: dsr_core::SetQuery::signature
 
+use dsr_sync::atomic::{AtomicU64, Ordering};
+use dsr_sync::{Arc, Mutex};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 use dsr_core::SetQuery;
 use dsr_graph::VertexId;
@@ -308,7 +308,7 @@ impl ShardedCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .map(|shard| dsr_sync::lock(shard).len())
             .sum()
     }
 
@@ -333,10 +333,7 @@ impl ShardedCache {
     /// Looks up a signature in its shard, marking the entry as most
     /// recently used.
     pub fn get(&self, key: &SigKey) -> Option<CachedPairs> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
+        dsr_sync::lock(self.shard(key)).get(key)
     }
 
     /// Inserts a computed result unless the generation moved past
@@ -347,12 +344,17 @@ impl ShardedCache {
         key: SigKey,
         value: CachedPairs,
     ) -> InsertOutcome {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = dsr_sync::lock(self.shard(&key));
         // Re-check under the shard lock: `invalidate` bumps the generation
         // *before* clearing the shards, so either this check fails or the
         // subsequent clear removes the entry — a stale answer can never
-        // survive.
-        if self.generation() != generation {
+        // survive. The `mutation_enabled` guard seeds the bug the model
+        // suite must catch (`model_mutation_cache_generation_detected`);
+        // it is a const `false` in normal builds.
+        if !dsr_sync::model::mutation_enabled(
+            dsr_sync::model::MUTATION_CACHE_SKIP_GENERATION_RECHECK,
+        ) && self.generation() != generation
+        {
             return InsertOutcome::Stale;
         }
         InsertOutcome::Inserted {
@@ -364,7 +366,7 @@ impl ShardedCache {
     pub fn invalidate(&self) {
         self.generation.fetch_add(1, Ordering::SeqCst);
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            dsr_sync::lock(shard).clear();
         }
     }
 }
@@ -460,6 +462,61 @@ mod tests {
         );
         assert!(cache.get(&key(&[2], &[2])).is_none(), "LRU entry evicted");
         assert!(cache.len() <= 2);
+    }
+
+    /// Model checks of the generation-bump protocol. Under
+    /// `--cfg dsr_model` these explore every interleaving within the
+    /// preemption bound; in normal builds they run a single execution.
+    mod model_protocol {
+        use super::*;
+        use dsr_sync::model::{self, Model};
+
+        /// An insert computed against generation `g` racing an
+        /// `invalidate` must never leave a stale entry behind: either the
+        /// generation recheck under the shard lock refuses it, or the
+        /// invalidation's clear removes it. One shard keeps the schedule
+        /// space tight; the protocol is per-shard so this loses nothing.
+        fn stale_insert_never_survives() {
+            let cache = Arc::new(ShardedCache::new(8, 1));
+            let generation = cache.generation();
+            let inserter = {
+                let cache = Arc::clone(&cache);
+                dsr_sync::thread::spawn(move || {
+                    cache.insert_if_current(generation, key(&[1], &[2]), pairs(&[(1, 2)]));
+                })
+            };
+            cache.invalidate();
+            inserter.join().unwrap();
+            assert!(
+                cache.get(&key(&[1], &[2])).is_none(),
+                "stale entry survived invalidation"
+            );
+        }
+
+        #[test]
+        fn model_insert_racing_invalidate_never_leaves_stale_entry() {
+            Model::new()
+                .check(stale_insert_never_survives)
+                .expect("generation recheck must hold in every schedule");
+        }
+
+        /// Seeded mutation: dropping the under-lock generation recheck
+        /// lets an insert land *after* the invalidation's clear — the
+        /// checker must find that interleaving.
+        #[test]
+        fn model_mutation_cache_generation_detected() {
+            if !model::is_model_build() {
+                return;
+            }
+            let failure = Model::new()
+                .mutation(model::MUTATION_CACHE_SKIP_GENERATION_RECHECK)
+                .check(stale_insert_never_survives)
+                .expect_err("skipping the recheck must leak a stale entry");
+            assert!(
+                failure.message.contains("stale entry survived"),
+                "{failure}"
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! # Quick start
 //!
 //! ```
-//! use std::sync::Arc;
+//! use dsr_sync::Arc;
 //! use dsr_core::{DsrIndex, SetQuery};
 //! use dsr_graph::DiGraph;
 //! use dsr_partition::{Partitioner, HashPartitioner};
@@ -80,6 +80,8 @@
 //! ```
 //!
 //! [`DsrIndex`]: dsr_core::DsrIndex
+
+#![forbid(unsafe_code)]
 
 pub mod batcher;
 pub mod cache;

@@ -1,7 +1,7 @@
 //! The concurrent query service: a batch-forming front end over a shared
 //! [`DsrIndex`].
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsr_cluster::{

@@ -28,8 +28,8 @@
 //! correctness is guaranteed separately by the generation check in
 //! [`ShardedCache`](crate::cache::ShardedCache).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use dsr_sync::atomic::{AtomicUsize, Ordering};
+use dsr_sync::{Arc, Mutex, MutexGuard};
 
 /// Number of reader slots. More slots shrink reader/reader contention;
 /// each costs one `Arc` clone per install. Eight covers the thread counts
@@ -40,6 +40,14 @@ const SLOTS: usize = 8;
 /// once and keeps it for its lifetime, so a steady set of client threads
 /// spreads evenly and never migrates between slots.
 fn my_slot() -> usize {
+    // Inside a model-checker execution, derive the slot from the model
+    // thread index instead of a global counter: fresh OS threads are
+    // spawned for every explored schedule, and a process-global counter
+    // would make slot assignment (and thus the schedule tree) drift
+    // between iterations, breaking deterministic replay.
+    if let Some(index) = dsr_sync::model::thread_index() {
+        return index % SLOTS;
+    }
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SLOTS;
@@ -74,9 +82,7 @@ impl<T> SnapshotHolder<T> {
 
     /// Clones the current snapshot out of the calling thread's slot.
     pub fn read(&self) -> Arc<T> {
-        let slot = self.slots[my_slot()]
-            .lock()
-            .expect("snapshot slot poisoned");
+        let slot = dsr_sync::lock(&self.slots[my_slot()]);
         Arc::clone(
             slot.as_ref()
                 .expect("unlocked slot always holds a snapshot"),
@@ -86,9 +92,19 @@ impl<T> SnapshotHolder<T> {
     /// Installs a new snapshot. Each slot lock is held only for the
     /// pointer store, so readers are never stalled behind the caller.
     pub fn swap(&self, value: Arc<T>) {
-        let _writer = self.writer.lock().expect("snapshot writer poisoned");
+        // Seeded mutation (model builds only): dropping the writer lock
+        // lets two concurrent swaps interleave their slot stores, leaving
+        // slots pointing at different snapshots — the model suite must
+        // catch this (`model_mutation_snapshot_slot_race_detected`).
+        let _writer = if dsr_sync::model::mutation_enabled(
+            dsr_sync::model::MUTATION_SNAPSHOT_WIDEN_SLOT_RACE,
+        ) {
+            None
+        } else {
+            Some(dsr_sync::lock(&self.writer))
+        };
         for slot in &self.slots {
-            *slot.lock().expect("snapshot slot poisoned") = Some(Arc::clone(&value));
+            *dsr_sync::lock(slot) = Some(Arc::clone(&value));
         }
     }
 
@@ -101,12 +117,9 @@ impl<T> SnapshotHolder<T> {
     /// Whatever `Arc` the closure leaves behind (mutated in place or
     /// replaced wholesale) becomes the installed snapshot.
     pub fn update<R>(&self, f: impl FnOnce(&mut Arc<T>) -> R) -> R {
-        let _writer = self.writer.lock().expect("snapshot writer poisoned");
-        let mut guards: Vec<MutexGuard<'_, Option<Arc<T>>>> = self
-            .slots
-            .iter()
-            .map(|slot| slot.lock().expect("snapshot slot poisoned"))
-            .collect();
+        let _writer = dsr_sync::lock(&self.writer);
+        let mut guards: Vec<MutexGuard<'_, Option<Arc<T>>>> =
+            self.slots.iter().map(|slot| dsr_sync::lock(slot)).collect();
         // Consolidate: take every slot's clone, keep one. Dropping the
         // other clones lowers the strong count to (1 + external pins);
         // the writer lock guarantees all slots held the same snapshot.
@@ -150,7 +163,7 @@ mod tests {
         let handles: Vec<_> = (0..2 * SLOTS)
             .map(|_| {
                 let holder = Arc::clone(&holder);
-                std::thread::spawn(move || *holder.read())
+                dsr_sync::thread::spawn(move || *holder.read())
             })
             .collect();
         for h in handles {
@@ -186,15 +199,85 @@ mod tests {
         assert_eq!(*holder.read(), 3);
     }
 
+    /// Model checks of the swap/read protocol. Under `--cfg dsr_model`
+    /// these explore every interleaving within the preemption bound; in
+    /// normal builds they degrade to a single smoke execution.
+    mod model_protocol {
+        use super::*;
+        use dsr_sync::model::{self, Model};
+
+        /// A reader racing a swap sees the old or the new snapshot as a
+        /// unit — never a torn pair — in *every* interleaving.
+        #[test]
+        fn model_swap_read_never_torn() {
+            Model::new()
+                .check(|| {
+                    let holder = Arc::new(SnapshotHolder::new(Arc::new((1u64, !1u64))));
+                    let writer = {
+                        let holder = Arc::clone(&holder);
+                        dsr_sync::thread::spawn(move || holder.swap(Arc::new((2, !2))))
+                    };
+                    let snap = holder.read();
+                    assert_eq!(snap.0, !snap.1, "torn snapshot observed");
+                    writer.join().unwrap();
+                    let after = holder.read();
+                    assert_eq!(after.0, 2, "joined swap must be visible");
+                })
+                .expect("swap/read protocol must hold in every schedule");
+        }
+
+        /// Two concurrent swaps must leave every slot agreeing on one
+        /// winner (the writer lock serializes their slot stores).
+        fn concurrent_swaps_agree() {
+            let holder = Arc::new(SnapshotHolder::new(Arc::new(0u64)));
+            let a = {
+                let holder = Arc::clone(&holder);
+                dsr_sync::thread::spawn(move || holder.swap(Arc::new(1)))
+            };
+            holder.swap(Arc::new(2));
+            a.join().unwrap();
+            let values: Vec<u64> = holder
+                .slots
+                .iter()
+                .map(|s| **dsr_sync::lock(s).as_ref().expect("slot holds a snapshot"))
+                .collect();
+            assert!(
+                values.iter().all(|v| *v == values[0]),
+                "slots disagree after concurrent swaps: {values:?}"
+            );
+        }
+
+        #[test]
+        fn model_concurrent_swaps_agree() {
+            Model::new()
+                .check(concurrent_swaps_agree)
+                .expect("serialized swaps must leave the slots consistent");
+        }
+
+        /// Seeded mutation: without the writer lock, some interleaving of
+        /// two swaps tears the slots — the checker must find it.
+        #[test]
+        fn model_mutation_snapshot_slot_race_detected() {
+            if !model::is_model_build() {
+                return;
+            }
+            let failure = Model::new()
+                .mutation(model::MUTATION_SNAPSHOT_WIDEN_SLOT_RACE)
+                .check(concurrent_swaps_agree)
+                .expect_err("unlocked swap must tear the slots in some schedule");
+            assert!(failure.message.contains("slots disagree"), "{failure}");
+        }
+    }
+
     #[test]
     fn concurrent_readers_see_old_or_new_never_torn() {
         let holder = Arc::new(SnapshotHolder::new(Arc::new((1u64, !1u64))));
-        let stop = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let stop = Arc::new(dsr_sync::atomic::AtomicUsize::new(0));
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let holder = Arc::clone(&holder);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
+                dsr_sync::thread::spawn(move || {
                     while stop.load(Ordering::Relaxed) == 0 {
                         let snap = holder.read();
                         assert_eq!(snap.0, !snap.1, "torn snapshot observed");

@@ -14,7 +14,7 @@
 //! pipes with the framed wire codec, or a loopback TCP worker cluster);
 //! the deterministic counters are identical on all three.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::Instant;
 
 use dsr_cluster::BatchStats;
@@ -68,7 +68,7 @@ fn main() {
     );
     let service = QueryService::with_config(Arc::clone(&index), config);
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    dsr_sync::thread::scope(|scope| {
         for client in 0..CLIENTS {
             let service = &service;
             let queries = &queries;

@@ -18,7 +18,7 @@
 //! DSR_TRANSPORT=wire cargo run --release --example online_updates
 //! ```
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr::testing::build_index_from_env;
 use dsr_core::{SetQuery, UpdateOp};

@@ -6,7 +6,7 @@
 //! cargo run --release --example query_service
 //! ```
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 use std::time::Instant;
 
 use dsr_core::{DsrIndex, SetQuery};
@@ -49,7 +49,7 @@ fn main() {
     // 3. Serve the stream from 4 closed-loop clients sharing one service.
     let service = QueryService::new(Arc::clone(&index));
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    dsr_sync::thread::scope(|scope| {
         for client in 0..4 {
             let service = &service;
             let queries = &queries;

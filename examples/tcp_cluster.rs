@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example tcp_cluster`
 
+use dsr_sync::Arc;
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
-use std::sync::Arc;
 
 use dsr_cluster::tcp::{bind_worker, serve_worker, WorkerOptions};
 use dsr_cluster::{ClusterSpec, DynTransport, TcpTransport};

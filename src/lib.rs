@@ -21,6 +21,8 @@
 //! integration suites over either communication backend (zero-copy
 //! in-process or serialized wire bytes).
 
+#![forbid(unsafe_code)]
+
 pub mod testing;
 
 pub use dsr_bench as bench;
@@ -34,3 +36,4 @@ pub use dsr_partition as partition;
 pub use dsr_rdf as rdf;
 pub use dsr_reach as reach;
 pub use dsr_service as service;
+pub use dsr_sync as sync;

@@ -5,7 +5,7 @@
 //! saturation test proves bounded admission degrades into the typed
 //! `Overloaded` error instead of a deadlock.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 use dsr_datagen::erdos_renyi;
@@ -70,7 +70,7 @@ fn sixty_four_clients_fuse_under_update_churn() {
         // serves: rebuilt from the mutated edge list before each epoch.
         let oracle = TransitiveClosure::build(&DiGraph::from_edges(n, &edges));
 
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             for client in 0..CLIENTS {
                 let service = &service;
                 let oracle = &oracle;
@@ -155,7 +155,7 @@ fn saturation_returns_overloaded_instead_of_deadlocking() {
     // 16 clients race one fail-fast submission each (all distinct queries,
     // so every one is a cache miss that needs an admission slot).
     let outcomes: Vec<Result<(usize, dsr_service::QueryTicket), ServiceError>> =
-        std::thread::scope(|scope| {
+        dsr_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..16)
                 .map(|i| {
                     let service = &service;

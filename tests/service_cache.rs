@@ -2,7 +2,7 @@
 //! invalidation after incremental index updates (`updates.rs`), and the
 //! documented uncached bypass path.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 use dsr_graph::{DiGraph, TransitiveClosure};

@@ -3,7 +3,7 @@
 //! transitive-closure oracle, and the CommStats proof that a 64-query batch
 //! performs one scatter/exchange/gather sequence instead of 64.
 
-use std::sync::Arc;
+use dsr_sync::Arc;
 
 use dsr_core::{DsrEngine, DsrIndex, SetQuery};
 use dsr_datagen::erdos_renyi;
@@ -45,7 +45,7 @@ fn eight_threads_hammer_one_service_against_the_oracle() {
     let (index, oracle, queries) = fixture(120, 420, 4, 0xC0);
     let service = QueryService::new(Arc::clone(&index));
 
-    std::thread::scope(|scope| {
+    dsr_sync::thread::scope(|scope| {
         for client in 0..8 {
             let service = &service;
             let oracle = &oracle;
@@ -78,7 +78,7 @@ fn eight_threads_hammer_one_service_against_the_oracle() {
 fn concurrent_batches_agree_with_the_oracle() {
     let (index, oracle, queries) = fixture(100, 360, 3, 0xC1);
     let service = QueryService::new(Arc::clone(&index));
-    std::thread::scope(|scope| {
+    dsr_sync::thread::scope(|scope| {
         for client in 0..8 {
             let service = &service;
             let oracle = &oracle;
