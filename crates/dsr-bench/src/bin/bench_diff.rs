@@ -9,7 +9,8 @@
 //! bench_diff --baseline . --fresh "$DSR_BENCH_DIR" [FILE...]
 //! ```
 //!
-//! Default files: `BENCH_throughput.json`, `BENCH_updates.json`. Array
+//! Default files: `BENCH_throughput.json`, `BENCH_updates.json`,
+//! `BENCH_mixed.json`. Array
 //! elements are matched by their `"name"` member (so adding a new mode is
 //! not a regression), and the `service_concurrent` / `service_batched_8` /
 //! `service_batched_64` modes are skipped entirely — their counters depend
@@ -32,7 +33,7 @@ use dsr_bench::json::{parse, Json};
 
 /// Counter keys that must be bit-for-bit reproducible in `--fast` runs.
 /// Everything else (timings, ratios) is informational.
-const DETERMINISTIC_COUNTERS: [&str; 20] = [
+const DETERMINISTIC_COUNTERS: [&str; 29] = [
     "rounds",
     "messages",
     "bytes",
@@ -58,6 +59,19 @@ const DETERMINISTIC_COUNTERS: [&str; 20] = [
     "failover_retries",
     "failover_suspects",
     "failover_resyncs",
+    // Mixed-tenant snapshot-serving counters: a deterministic replay, so
+    // any movement is a protocol/cache/MVCC behavior change. Mismatch
+    // counters are gated at zero; per-namespace hit counters and
+    // generation churn must not drift either.
+    "results",
+    "oracle_mismatches",
+    "pinned_replay_mismatches",
+    "generations_created",
+    "generations_reclaimed",
+    "latest_hits",
+    "pinned_hits",
+    "hits_after_updates",
+    "cache_misses",
 ];
 
 /// Array elements (matched by `"name"`) whose counters are scheduling-
@@ -108,6 +122,7 @@ fn main() -> ExitCode {
         files = vec![
             "BENCH_throughput.json".to_string(),
             "BENCH_updates.json".to_string(),
+            "BENCH_mixed.json".to_string(),
         ];
     }
 
@@ -188,7 +203,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("bench_diff: {err}");
     }
     eprintln!("usage: bench_diff --baseline DIR --fresh DIR [--min-compared N] [FILE...]");
-    eprintln!("       (default files: BENCH_throughput.json BENCH_updates.json)");
+    eprintln!("       (default files: BENCH_throughput.json BENCH_updates.json BENCH_mixed.json)");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -5,6 +5,7 @@ pub mod figure5;
 pub mod figure6;
 pub mod figure7;
 pub mod figure8;
+pub mod mixed;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -38,7 +38,7 @@ use dsr_datagen::{query_stream, update_stream, EdgeOp, StreamConfig, UpdateStrea
 use dsr_graph::DiGraph;
 use dsr_partition::Partitioning;
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig};
+use dsr_service::{QueryService, ServiceConfig, UpdateMode};
 
 use crate::experiments::common;
 use crate::{secs, time, Table};
@@ -249,8 +249,8 @@ pub fn run(fast: bool) -> String {
         for (round, ops) in stream.chunks(interleaved_ops_per_round).enumerate() {
             let ops: Vec<UpdateOp> = ops.iter().map(|&op| op_of(op)).collect();
             service
-                .apply_updates(&ops)
-                .expect("service owns its index exclusively");
+                .update(&ops, UpdateMode::Auto)
+                .expect("auto forks if the scheduler briefly pins");
             if let Some(batch) = query_batches.get(round) {
                 answered += service
                     .query_batch(batch)

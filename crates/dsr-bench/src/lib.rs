@@ -63,7 +63,7 @@ pub fn geometric_mean(durations: &[Duration]) -> f64 {
 
 /// The experiment identifiers accepted by the binary, in paper order,
 /// followed by the beyond-the-paper serving experiments.
-pub const EXPERIMENT_IDS: [&str; 12] = [
+pub const EXPERIMENT_IDS: [&str; 13] = [
     "table2",
     "table3",
     "figure5",
@@ -76,6 +76,7 @@ pub const EXPERIMENT_IDS: [&str; 12] = [
     "table7",
     "throughput",
     "updates",
+    "mixed",
 ];
 
 /// Runs one experiment by id. `fast` shrinks datasets/steps so the whole
@@ -94,6 +95,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Option<String> {
         "figure8" => experiments::figure8::run(fast),
         "throughput" => experiments::throughput::run(fast),
         "updates" => experiments::updates::run(fast),
+        "mixed" => experiments::mixed::run(fast),
         _ => return None,
     };
     Some(out)

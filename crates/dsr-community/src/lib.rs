@@ -6,9 +6,16 @@
 //! implements the Louvain method from scratch: greedy local moving that
 //! maximizes modularity, followed by graph aggregation, repeated until the
 //! modularity gain vanishes.
+//!
+//! The [`workload`] module packages the full experiment — Louvain over a
+//! pinned service snapshot plus all-pairs set-reachability between the
+//! largest communities — as a `dsr-service` `Workload`
+//! ([`CommunityWorkload`]).
 
 #![forbid(unsafe_code)]
 
 pub mod louvain;
+pub mod workload;
 
 pub use louvain::{louvain, modularity, CommunityAssignment};
+pub use workload::CommunityWorkload;

@@ -178,8 +178,14 @@ fn one_level(graph: &UndirectedWeighted, min_gain: f64) -> (Vec<u32>, bool) {
             let own_connection = conn.get(&current).copied().unwrap_or(0.0);
             // Remove v from its community.
             sigma_tot[current as usize] -= degree;
+            // Iterate candidate communities in id order: HashMap iteration
+            // order is randomized per instance, and equal-gain ties broken
+            // by visit order would make the whole decomposition (and every
+            // downstream query signature) vary run to run.
+            let mut candidates: Vec<(u32, f64)> = conn.iter().map(|(&c, &w)| (c, w)).collect();
+            candidates.sort_unstable_by_key(|&(c, _)| c);
             let mut best = (current, 0.0f64);
-            for (&c, &weight) in &conn {
+            for (c, weight) in candidates {
                 let gain = weight - sigma_tot[c as usize] * degree / m2;
                 if c == current {
                     // Gain of staying, computed consistently.

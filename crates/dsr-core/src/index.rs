@@ -62,6 +62,39 @@ impl IndexBuildStats {
     }
 }
 
+/// Lineage metadata of a [`DsrIndex`]: which mutation the index has
+/// absorbed and, for forks, where it branched from.
+///
+/// `revision` counts the mutating update batches applied to this index
+/// since it was built (no-op batches do not advance it, mirroring the
+/// serving layer's no-op detection). [`DsrIndex::fork`] copies the parent
+/// revision and records it in `forked_from`, so a serving layer stacking
+/// forks into MVCC generations can tell "same lineage, later revision"
+/// from "independent rebuild" without comparing graph contents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexGeneration {
+    /// Number of mutating update batches absorbed since the build.
+    pub revision: u64,
+    /// For forks: the parent's revision at fork time. `None` for an index
+    /// built from scratch.
+    pub forked_from: Option<u64>,
+}
+
+impl IndexGeneration {
+    /// The metadata a fork of an index carrying `self` starts with.
+    pub fn fork(self) -> IndexGeneration {
+        IndexGeneration {
+            revision: self.revision,
+            forked_from: Some(self.revision),
+        }
+    }
+
+    /// Records one mutating update batch.
+    pub fn advance(&mut self) {
+        self.revision += 1;
+    }
+}
+
 /// The complete DSR index for a partitioned graph.
 ///
 /// The index owns everything a slave would hold in the paper's deployment:
@@ -89,6 +122,8 @@ pub struct DsrIndex {
     pub use_equivalence: bool,
     /// Build statistics.
     pub stats: IndexBuildStats,
+    /// Lineage metadata: mutation revision and fork origin.
+    pub generation: IndexGeneration,
 }
 
 impl DsrIndex {
@@ -228,6 +263,7 @@ impl DsrIndex {
             kind,
             use_equivalence,
             stats,
+            generation: IndexGeneration::default(),
         })
     }
 
@@ -288,7 +324,27 @@ impl DsrIndex {
             kind,
             use_equivalence: self.use_equivalence,
             stats: self.stats.clone(),
+            generation: self.generation.fork(),
         }
+    }
+
+    /// Reassembles the full indexed graph from the per-partition local
+    /// subgraphs and the cut: the inverse of the build's decomposition,
+    /// kept in sync by the differential update pipeline (which rebuilds
+    /// locals and splices cut edges as batches apply). Analytical
+    /// workloads running against a pinned index snapshot (e.g. community
+    /// detection) use this to see exactly the state the snapshot answers
+    /// queries on — not the possibly-newer graph the caller built from.
+    pub fn reconstruct_graph(&self) -> DiGraph {
+        let n = self.partitioning.num_vertices();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for local in &self.locals {
+            for (lu, lv) in local.graph.edge_vec() {
+                edges.push((local.mapping.global(lu), local.mapping.global(lv)));
+            }
+        }
+        edges.extend_from_slice(&self.cut.edges);
+        DiGraph::from_edges(n, &edges)
     }
 
     /// Re-derives the per-compound and per-summary statistics entries after

@@ -64,6 +64,6 @@ pub mod updates;
 
 pub use compound::{CompoundGraph, CompoundPatch};
 pub use engine::{BatchOutcome, DsrEngine, QueryOutcome, SetQuery};
-pub use index::{DsrIndex, IndexBuildStats};
+pub use index::{DsrIndex, IndexBuildStats, IndexGeneration};
 pub use summary::{ClassReplacement, PartitionSummary, SummaryDelta};
 pub use updates::{coalesce_updates, UpdateOp, UpdateOutcome};

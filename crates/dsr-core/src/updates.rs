@@ -534,6 +534,9 @@ impl DsrIndex {
             self.refresh_stats_after_update(&[]);
         }
 
+        if !patched.is_empty() {
+            self.generation.advance();
+        }
         Ok(UpdateOutcome {
             refreshed_summaries: refreshed,
             rebuilt_compounds: !patched.is_empty(),

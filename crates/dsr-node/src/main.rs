@@ -35,7 +35,7 @@ use dsr_core::{DsrIndex, SetQuery, SummaryDelta, UpdateOp};
 use dsr_datagen::{update_stream, EdgeOp, UpdateStreamConfig};
 use dsr_partition::{MultilevelPartitioner, Partitioner};
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig};
+use dsr_service::{QueryService, ServiceConfig, UpdateMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -455,10 +455,10 @@ fn run_master_checked(args: &MasterArgs) -> Result<usize, String> {
     })
     .collect();
     let expected_update = reference
-        .apply_updates(&ops)
+        .update(&ops, UpdateMode::InPlace)
         .map_err(|e| format!("reference update failed: {e}"))?;
     let update = service
-        .apply_updates(&ops)
+        .update(&ops, UpdateMode::InPlace)
         .map_err(|e| format!("TCP update failed: {e}"))?;
     println!(
         "update batch: {} ops -> {} summaries refreshed, {} compounds patched, \

@@ -20,16 +20,26 @@
 //!   [`path::BfsPathResolver`] (per-source online BFS, standing in for the
 //!   centralized Virtuoso comparison point),
 //! * [`datasets`] — LUBM-like and Freebase-like synthetic stores and the
-//!   six benchmark queries L1–L3 / F1–F3 of Appendix 8.3.
+//!   six benchmark queries L1–L3 / F1–F3 of Appendix 8.3,
+//! * [`service`] — the serving-side integration: a
+//!   [`service::UnionPathGraph`] interning every predicate subgraph into
+//!   one index, a [`service::ServicePathResolver`] routing `p*` through a
+//!   pinned snapshot of a live `QueryService`, and the
+//!   [`service::RdfWorkload`] plugging the whole benchmark into the
+//!   service's `Workload` trait.
 
 #![forbid(unsafe_code)]
 
 pub mod datasets;
 pub mod path;
 pub mod query;
+pub mod service;
 pub mod store;
 
-pub use datasets::{freebase_like_store, lubm_like_store, named_query, QUERY_NAMES};
+pub use datasets::{
+    freebase_like_store, lubm_like_store, named_query, path_predicates, QUERY_NAMES,
+};
 pub use path::{BfsPathResolver, DsrPathResolver, PathResolver};
 pub use query::{evaluate, Pattern, PredicateExpr, Query, Term};
+pub use service::{RdfWorkload, ServicePathResolver, UnionPathGraph};
 pub use store::TripleStore;

@@ -191,7 +191,7 @@ impl PathResolver for BfsPathResolver {
 }
 
 /// The zero-length-path pairs required by SPARQL `p*` semantics.
-fn reflexive_pairs(sources: &[TermId], targets: &[TermId]) -> Vec<(TermId, TermId)> {
+pub(crate) fn reflexive_pairs(sources: &[TermId], targets: &[TermId]) -> Vec<(TermId, TermId)> {
     let target_set: std::collections::HashSet<TermId> = targets.iter().copied().collect();
     sources
         .iter()

@@ -53,6 +53,7 @@ use dsr_core::{DsrEngine, SetQuery};
 
 use crate::cache::{CachedPairs, InsertOutcome, SigKey};
 use crate::service::Core;
+use crate::snapshot::Generation;
 
 /// Why the serving layer could not answer a query.
 #[derive(Debug, Clone)]
@@ -74,6 +75,14 @@ pub enum ServiceError {
     Transport(Arc<TransportError>),
     /// The service is shutting down and the scheduler is gone.
     ShuttingDown,
+    /// A query asked to pin a generation
+    /// ([`QueryOptions::pin`](crate::QueryOptions::pin)) that has already
+    /// been reclaimed — its last `SnapshotRef` dropped. Take a fresh
+    /// [`snapshot`](crate::QueryService::snapshot) and retry against it.
+    GenerationReclaimed {
+        /// The reclaimed generation the caller asked for.
+        generation: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -85,6 +94,10 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::Transport(err) => write!(f, "fused batch execution failed: {err}"),
             ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+            ServiceError::GenerationReclaimed { generation } => write!(
+                f,
+                "generation {generation} has been reclaimed; pin a live snapshot instead"
+            ),
         }
     }
 }
@@ -185,6 +198,15 @@ impl Waiter {
 /// One cache-missing query queued for fused execution.
 pub(crate) struct Entry {
     pub(crate) key: SigKey,
+    /// The generation this query executes against, captured at submission
+    /// (the chain's latest for plain queries, the pinned generation for
+    /// queries issued through a [`SnapshotRef`](crate::SnapshotRef)). The
+    /// entry's clone keeps the generation — and its cache namespace —
+    /// alive until the answer is fanned out.
+    pub(crate) generation: Arc<Generation>,
+    /// Whether this entry may be answered from and published to the cache
+    /// (`QueryOptions::cache`; `false` bypasses both directions).
+    pub(crate) cache: bool,
     pub(crate) waiter: Arc<Waiter>,
     pub(crate) slot: usize,
     pub(crate) enqueued: Instant,
@@ -350,9 +372,23 @@ fn run_scheduler(core: &Core, rx: &Receiver<Msg>, config: BatcherConfig) {
     }
 }
 
-/// Executes one formed batch: re-probe the cache, deduplicate, run all
-/// remaining misses as a single fused protocol batch, populate the cache
-/// and fan the answers out to the per-client completion handles.
+/// The per-generation slice of one formed batch: every entry pinned to
+/// `generation`, with its deduplicated miss signatures. Entries pinned to
+/// different generations must execute against their own index, so each
+/// distinct generation forms its own fused run.
+struct GenGroup {
+    generation: Arc<Generation>,
+    misses: Vec<SigKey>,
+    /// Per-miss: whether any contributing entry wants the result cached.
+    cache_wanted: Vec<bool>,
+    miss_index: HashMap<SigKey, usize>,
+    executing: Vec<(Entry, usize)>,
+}
+
+/// Executes one formed batch: re-probe the cache, deduplicate per pinned
+/// generation, run each generation's misses as a single fused protocol
+/// batch over that generation's index, populate its cache namespace and
+/// fan the answers out to the per-client completion handles.
 fn execute_formed(core: &Core, entries: Vec<Entry>) {
     if entries.is_empty() {
         return;
@@ -365,46 +401,78 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
     }
 
     // Re-probe (a previous fused run may have answered the signature while
-    // this one queued) and deduplicate identical signatures. The re-probe
-    // is deliberately silent on CacheStats: the client already recorded
-    // this lookup as a miss when it enqueued.
-    let mut misses: Vec<SigKey> = Vec::new();
-    let mut miss_index: HashMap<SigKey, usize> = HashMap::new();
-    let mut executing: Vec<(Entry, usize)> = Vec::new();
+    // this one queued) and deduplicate identical signatures within each
+    // generation. The re-probe is deliberately silent on CacheStats: the
+    // client already recorded this lookup as a miss when it enqueued.
+    let mut groups: Vec<GenGroup> = Vec::new();
     for entry in entries {
-        if core.cache_enabled {
-            if let Some(hit) = core.cache.get(&entry.key) {
+        if core.cache_enabled && entry.cache {
+            if let Some(hit) = core.cache.get(entry.generation.id(), &entry.key) {
                 core.batch.record_late_hit();
                 entry.waiter.fulfill(entry.slot, hit, None);
                 core.admission.release(1);
                 continue;
             }
         }
-        let miss = match miss_index.get(&entry.key) {
+        // Mixed-generation batches are rare (a pinned analytical reader
+        // racing fresh traffic), so a linear scan over the handful of
+        // groups beats a map.
+        let group = match groups
+            .iter()
+            .position(|group| group.generation.id() == entry.generation.id())
+        {
+            Some(group) => group,
+            None => {
+                groups.push(GenGroup {
+                    generation: Arc::clone(&entry.generation),
+                    misses: Vec::new(),
+                    cache_wanted: Vec::new(),
+                    miss_index: HashMap::new(),
+                    executing: Vec::new(),
+                });
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[group];
+        let miss = match group.miss_index.get(&entry.key) {
             Some(&miss) => miss,
             None => {
-                let miss = misses.len();
-                miss_index.insert(entry.key.clone(), miss);
-                misses.push(entry.key.clone());
+                let miss = group.misses.len();
+                group.miss_index.insert(entry.key.clone(), miss);
+                group.misses.push(entry.key.clone());
+                group.cache_wanted.push(false);
                 miss
             }
         };
-        executing.push((entry, miss));
+        group.cache_wanted[miss] |= entry.cache;
+        group.executing.push((entry, miss));
     }
+    for group in groups {
+        execute_group(core, group);
+    }
+}
+
+/// Runs one generation's fused batch and fans its answers out.
+fn execute_group(core: &Core, group: GenGroup) {
+    let GenGroup {
+        generation,
+        misses,
+        cache_wanted,
+        miss_index: _,
+        executing,
+    } = group;
     if misses.is_empty() {
         return;
     }
-
-    let generation = core.cache.generation();
+    let namespace = generation.id();
     let queries: Vec<SetQuery> = misses.iter().map(SigKey::to_query).collect();
     let outcome = {
-        let index = core.snapshot.read();
-        let engine = DsrEngine::with_transport(&index, &core.transport);
+        let engine = DsrEngine::with_transport(generation.index(), &core.transport);
         engine.set_reachability_batch(&queries)
-        // `engine` and `index` drop here — before any waiter is woken — so
-        // a client observing its completion can immediately take the
-        // exclusive update path without spuriously seeing the scheduler's
-        // index pin.
+        // `engine` drops here; the generation pins (this group's and each
+        // entry's) are shed below before any waiter is woken, so a client
+        // observing its completion can immediately take the exclusive
+        // update path without spuriously seeing the scheduler's pins.
     };
     let released = executing.len();
     match outcome {
@@ -430,11 +498,11 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
                 core.admission.release(released);
             }
             if core.cache_enabled {
-                for (key, value) in misses.into_iter().zip(&values) {
-                    match core
-                        .cache
-                        .insert_if_current(generation, key, Arc::clone(value))
-                    {
+                for ((key, wanted), value) in misses.into_iter().zip(cache_wanted).zip(&values) {
+                    if !wanted {
+                        continue;
+                    }
+                    match core.cache.insert_if_live(namespace, key, Arc::clone(value)) {
                         InsertOutcome::Inserted { evicted } => {
                             core.stats.record_insertion();
                             if evicted {
@@ -452,12 +520,15 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
             if !premature_release {
                 core.admission.release(released);
             }
-            for (entry, miss) in executing {
-                entry.waiter.fulfill(
-                    entry.slot,
-                    Arc::clone(&values[miss]),
-                    Some(Arc::clone(&cost)),
-                );
+            // Shed every generation pin this run holds before the fan-out:
+            // a woken client must never see them.
+            let fanout: Vec<(Arc<Waiter>, usize, usize)> = executing
+                .into_iter()
+                .map(|(entry, miss)| (entry.waiter, entry.slot, miss))
+                .collect();
+            drop(generation);
+            for (waiter, slot, miss) in fanout {
+                waiter.fulfill(slot, Arc::clone(&values[miss]), Some(Arc::clone(&cost)));
             }
         }
         Err(err) => {
@@ -465,8 +536,13 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
             // cached from a failed batch.
             let err = Arc::new(err);
             core.admission.release(released);
-            for (entry, _) in executing {
-                entry.waiter.fail(ServiceError::Transport(Arc::clone(&err)));
+            let fanout: Vec<Arc<Waiter>> = executing
+                .into_iter()
+                .map(|(entry, _)| entry.waiter)
+                .collect();
+            drop(generation);
+            for waiter in fanout {
+                waiter.fail(ServiceError::Transport(Arc::clone(&err)));
             }
         }
     }
@@ -479,14 +555,14 @@ fn execute_formed(core: &Core, entries: Vec<Entry>) {
 mod model_tests {
     use super::*;
     use crate::cache::ShardedCache;
-    use crate::snapshot::SnapshotHolder;
+    use crate::snapshot::GenerationChain;
     use crate::QueryService;
     use dsr_cluster::{BatchStats, CacheStats, CommStats, DynTransport, InProcess};
     use dsr_core::DsrIndex;
     use dsr_graph::DiGraph;
     use dsr_partition::Partitioning;
     use dsr_reach::LocalIndexKind;
-    use dsr_sync::atomic::{AtomicUsize, Ordering};
+    use dsr_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use dsr_sync::model::{self, Model};
 
     /// A one-partition chain `0 -> 1 -> 2`: `SlavePool::run(1, ..)` takes
@@ -496,7 +572,11 @@ mod model_tests {
         let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
         let p = Partitioning::new(vec![0, 0, 0], 1);
         Arc::new(Core {
-            snapshot: SnapshotHolder::new(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs))),
+            generations: GenerationChain::new(Arc::new(DsrIndex::build(
+                &g,
+                p,
+                LocalIndexKind::Dfs,
+            ))),
             cache: ShardedCache::new(8, 1),
             cache_enabled: true,
             transport: DynTransport::InProcess(InProcess),
@@ -504,12 +584,21 @@ mod model_tests {
             stats: CacheStats::new(),
             comm: CommStats::new(),
             batch: BatchStats::new(),
+            latest_hits: AtomicU64::new(0),
+            pinned_hits: AtomicU64::new(0),
         })
     }
 
-    fn entry_for(key: SigKey, waiter: &Arc<Waiter>, slot: usize) -> Entry {
+    fn entry_for(
+        generation: Arc<Generation>,
+        key: SigKey,
+        waiter: &Arc<Waiter>,
+        slot: usize,
+    ) -> Entry {
         Entry {
             key,
+            generation,
+            cache: true,
             waiter: Arc::clone(waiter),
             slot,
             enqueued: Instant::now(),
@@ -526,6 +615,7 @@ mod model_tests {
     fn release_happens_after_publish() {
         let core = single_partition_core(1);
         let key = SigKey::new(&[0], &[2]);
+        let namespace = core.generations.latest_id();
         core.admission
             .try_acquire(1)
             .expect("empty queue admits the first query");
@@ -535,13 +625,16 @@ mod model_tests {
             dsr_sync::thread::spawn(move || {
                 // Blocks until the fused execution below releases its slot.
                 core.admission.acquire_blocking(1);
-                let hit = core.cache.get(&key);
+                let hit = core.cache.get(namespace, &key);
                 core.admission.release(1);
                 assert!(hit.is_some(), "admission freed before result was published");
             })
         };
         let waiter = Waiter::new(1);
-        execute_formed(&core, vec![entry_for(key, &waiter, 0)]);
+        execute_formed(
+            &core,
+            vec![entry_for(core.generations.latest(), key, &waiter, 0)],
+        );
         let answers = waiter.wait().expect("in-process execution succeeds");
         assert_eq!(*answers[0].0, vec![(0, 2)]);
         assert!(
@@ -584,11 +677,17 @@ mod model_tests {
     fn late_hit_skips_execution() {
         let core = single_partition_core(4);
         let key = SigKey::new(&[0], &[1]);
-        core.cache
-            .insert_if_current(core.cache.generation(), key.clone(), Arc::new(vec![(0, 1)]));
+        core.cache.insert_if_live(
+            core.generations.latest_id(),
+            key.clone(),
+            Arc::new(vec![(0, 1)]),
+        );
         core.admission.try_acquire(1).expect("room for one");
         let waiter = Waiter::new(1);
-        execute_formed(&core, vec![entry_for(key, &waiter, 0)]);
+        execute_formed(
+            &core,
+            vec![entry_for(core.generations.latest(), key, &waiter, 0)],
+        );
         let answers = waiter.wait().expect("late hit fulfills the waiter");
         assert_eq!(*answers[0].0, vec![(0, 1)]);
         assert!(
@@ -683,8 +782,18 @@ mod model_tests {
         core.admission.try_acquire(2).expect("room for the group");
         let waiter = Waiter::new(2);
         batcher.submit(vec![
-            entry_for(SigKey::new(&[0], &[2]), &waiter, 0),
-            entry_for(SigKey::new(&[2], &[0]), &waiter, 1),
+            entry_for(
+                core.generations.latest(),
+                SigKey::new(&[0], &[2]),
+                &waiter,
+                0,
+            ),
+            entry_for(
+                core.generations.latest(),
+                SigKey::new(&[2], &[0]),
+                &waiter,
+                1,
+            ),
         ]);
         batcher.flush();
         let answers = waiter.wait().expect("fused execution succeeds");

@@ -1,4 +1,4 @@
-//! Sharded, bounded LRU cache for query results.
+//! Sharded, bounded LRU cache with per-generation namespaces.
 //!
 //! Keys are normalized query signatures ([`SetQuery::signature`]): both
 //! vertex sets sorted and deduplicated, so `S = [3, 1, 3]` and `S = [1, 3]`
@@ -7,12 +7,22 @@
 //! insert — the per-lookup re-hashing of two vertex vectors that the old
 //! single-map cache paid three times over is gone.
 //!
+//! Every entry lives in the **namespace** of the index generation it was
+//! computed against (see [`GenerationChain`](crate::GenerationChain)). The
+//! same signature cached under generations 3 and 4 is two independent
+//! entries: pinned readers of generation 3 keep hitting their namespace
+//! while fresh traffic fills generation 4's. When a generation is
+//! reclaimed its namespace is [retired](ShardedCache::retire) — entries
+//! are purged and late inserts refused — so an update batch no longer
+//! clears the whole cache (the old bump-and-clear cliff); it only retires
+//! the namespaces that actually died.
+//!
 //! The cache itself ([`ShardedCache`]) is split into independently locked
-//! shards selected by the signature hash, so concurrent clients hitting
-//! different shards never contend — cache hits bypass the batch-forming
-//! scheduler entirely and scale with the client count. Values are
-//! `Arc`-shared pair lists, so a hit never copies the (potentially large)
-//! answer.
+//! shards selected by the namespace-mixed signature hash, so concurrent
+//! clients hitting different shards never contend — cache hits bypass the
+//! batch-forming scheduler entirely and scale with the client count.
+//! Values are `Arc`-shared pair lists, so a hit never copies the
+//! (potentially large) answer.
 //!
 //! [`SetQuery::signature`]: dsr_core::SetQuery::signature
 
@@ -21,6 +31,7 @@ use dsr_sync::{Arc, Mutex};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
 
+use crate::snapshot::GenerationId;
 use dsr_core::SetQuery;
 use dsr_graph::VertexId;
 
@@ -104,8 +115,9 @@ impl Hash for SigKey {
     }
 }
 
-/// Pass-through hasher for maps keyed by [`SigKey`]: the key's `Hash` impl
-/// writes the single precomputed `u64`, which this hasher returns as-is.
+/// Pass-through hasher for maps keyed by prehashed keys: the key's `Hash`
+/// impl writes a single precomputed `u64`, which this hasher returns
+/// as-is.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PrehashedHasher(u64);
 
@@ -115,7 +127,7 @@ impl Hasher for PrehashedHasher {
     }
 
     fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("SigKey::hash only writes u64s");
+        unreachable!("prehashed keys only write u64s");
     }
 
     fn write_u64(&mut self, value: u64) {
@@ -123,7 +135,48 @@ impl Hasher for PrehashedHasher {
     }
 }
 
-type PrehashedMap<V> = HashMap<SigKey, V, BuildHasherDefault<PrehashedHasher>>;
+/// Mixes a generation id into a signature hash so the same signature lands
+/// in distinct buckets (and possibly distinct shards) per namespace.
+/// Namespace 0 keeps the raw signature hash.
+fn namespaced_hash(namespace: GenerationId, key: &SigKey) -> u64 {
+    key.hash_value() ^ namespace.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A [`SigKey`] qualified by the cache namespace (= index generation) it
+/// was computed against. Internal to the cache: callers pass the
+/// `(namespace, SigKey)` pair and the cache builds this.
+#[derive(Debug, Clone)]
+struct NsKey {
+    hash: u64,
+    namespace: GenerationId,
+    sig: SigKey,
+}
+
+impl NsKey {
+    fn new(namespace: GenerationId, sig: SigKey) -> Self {
+        NsKey {
+            hash: namespaced_hash(namespace, &sig),
+            namespace,
+            sig,
+        }
+    }
+}
+
+impl PartialEq for NsKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.namespace == other.namespace && self.sig == other.sig
+    }
+}
+
+impl Eq for NsKey {}
+
+impl Hash for NsKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+type PrehashedMap<V> = HashMap<NsKey, V, BuildHasherDefault<PrehashedHasher>>;
 
 struct CacheEntry {
     value: CachedPairs,
@@ -132,14 +185,17 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// One bounded LRU shard mapping query signatures to query answers.
+/// One bounded LRU shard mapping namespaced query signatures to query
+/// answers.
 ///
 /// Lookups and insertions are `O(1)` (hash map over the precomputed
-/// signature hash); evictions scan for the minimal timestamp, which is
-/// `O(shard capacity)` but only runs when the shard is full — per-shard
-/// capacities are small enough (dozens to hundreds) that the scan is
-/// cheaper than maintaining an intrusive list, and the whole structure
-/// stays obviously correct under its shard mutex.
+/// namespace-mixed signature hash); evictions scan for the minimal
+/// timestamp, which is `O(shard capacity)` but only runs when the shard is
+/// full — per-shard capacities are small enough (dozens to hundreds) that
+/// the scan is cheaper than maintaining an intrusive list, and the whole
+/// structure stays obviously correct under its shard mutex. The LRU
+/// competition is shared across namespaces: a hot pinned reader keeps its
+/// old-generation entries alive, a cold one lets them age out.
 pub struct QueryCache {
     capacity: usize,
     entries: PrehashedMap<CacheEntry>,
@@ -181,21 +237,25 @@ impl QueryCache {
         self.entries.is_empty()
     }
 
-    /// Looks up a signature, marking the entry as most recently used.
-    pub fn get(&mut self, key: &SigKey) -> Option<CachedPairs> {
+    /// Looks up a signature in `namespace`, marking the entry as most
+    /// recently used.
+    pub fn get(&mut self, namespace: GenerationId, key: &SigKey) -> Option<CachedPairs> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(key).map(|entry| {
+        let key = NsKey::new(namespace, key.clone());
+        self.entries.get_mut(&key).map(|entry| {
             entry.last_used = tick;
             Arc::clone(&entry.value)
         })
     }
 
-    /// Inserts (or refreshes) an entry, evicting the least recently used
-    /// one if the shard is full. Returns `true` if an eviction happened.
-    pub fn insert(&mut self, key: SigKey, value: CachedPairs) -> bool {
+    /// Inserts (or refreshes) an entry in `namespace`, evicting the least
+    /// recently used one (from any namespace) if the shard is full.
+    /// Returns `true` if an eviction happened.
+    pub fn insert(&mut self, namespace: GenerationId, key: SigKey, value: CachedPairs) -> bool {
         self.tick += 1;
         let tick = self.tick;
+        let key = NsKey::new(namespace, key);
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.value = value;
             entry.last_used = tick;
@@ -223,13 +283,28 @@ impl QueryCache {
         evicted
     }
 
+    /// Drops every entry of `namespace`, returning how many were purged.
+    pub fn purge(&mut self, namespace: GenerationId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|key, _| key.namespace != namespace);
+        before - self.entries.len()
+    }
+
+    /// Number of entries currently held for `namespace`.
+    pub fn namespace_len(&self, namespace: GenerationId) -> usize {
+        self.entries
+            .keys()
+            .filter(|key| key.namespace == namespace)
+            .count()
+    }
+
     /// Drops every entry.
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 }
 
-/// Outcome of a generation-checked insert into the [`ShardedCache`].
+/// Outcome of a liveness-checked insert into the [`ShardedCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
     /// The entry was stored; `evicted` reports whether it displaced an LRU
@@ -238,24 +313,35 @@ pub enum InsertOutcome {
         /// Whether an LRU entry was evicted to make room.
         evicted: bool,
     },
-    /// The cache generation moved while the result was being computed (an
-    /// index swap would make the entry stale) — nothing was stored.
+    /// The namespace was retired while the result was being computed (its
+    /// generation was reclaimed, so the entry could never be read again —
+    /// or worse, be read as stale if the id were ever reused) — nothing
+    /// was stored.
     Stale,
 }
 
 /// The serving layer's result cache: `N` independently locked
-/// [`QueryCache`] shards selected by the precomputed signature hash, plus
-/// the global invalidation generation that couples the cache to the
-/// installed index.
+/// [`QueryCache`] shards selected by the namespace-mixed signature hash,
+/// plus the registry of **live namespaces** that couples the cache to the
+/// generation chain.
 ///
-/// Shard count is clamped so each shard keeps a meaningful LRU capacity
-/// (at least [`ShardedCache::MIN_SHARD_CAPACITY`] entries): tiny caches
-/// collapse to a single shard and retain exact global LRU semantics.
+/// A namespace is [opened](ShardedCache::open) when its generation is
+/// created and [retired](ShardedCache::retire) when the generation is
+/// reclaimed; inserts re-check liveness under the shard lock so a result
+/// computed against a dying generation can never outlive it. Shard count
+/// is clamped so each shard keeps a meaningful LRU capacity (at least
+/// [`ShardedCache::MIN_SHARD_CAPACITY`] entries): tiny caches collapse to
+/// a single shard and retain exact global LRU semantics.
 pub struct ShardedCache {
     shards: Box<[Mutex<QueryCache>]>,
-    /// Bumped on every invalidation; the service uses it to discard
-    /// results computed against an index that was swapped out mid-flight.
-    generation: AtomicU64,
+    /// Namespaces currently accepting inserts: exactly the generations the
+    /// chain has created and not yet reclaimed. Small (retained
+    /// generations), scanned under its own lock.
+    live: Mutex<Vec<GenerationId>>,
+    /// Total namespaces retired over the cache's lifetime — the
+    /// per-generation successor of the old whole-cache invalidation
+    /// counter.
+    retirements: AtomicU64,
     capacity: usize,
 }
 
@@ -265,7 +351,8 @@ impl std::fmt::Debug for ShardedCache {
             .field("shards", &self.shards.len())
             .field("capacity", &self.capacity)
             .field("len", &self.len())
-            .field("generation", &self.generation())
+            .field("live", &self.live_namespaces())
+            .field("retirements", &self.retirements())
             .finish()
     }
 }
@@ -277,7 +364,9 @@ impl ShardedCache {
     pub const MIN_SHARD_CAPACITY: usize = 16;
 
     /// Creates a cache holding at most `capacity` entries total (at least
-    /// one), split over at most `shards` shards.
+    /// one), split over at most `shards` shards. Namespace `0` — the
+    /// generation every [`GenerationChain`](crate::GenerationChain) starts
+    /// from — is pre-opened.
     pub fn new(capacity: usize, shards: usize) -> Self {
         let capacity = capacity.max(1);
         let shards = shards.clamp(1, (capacity / Self::MIN_SHARD_CAPACITY).max(1));
@@ -288,7 +377,8 @@ impl ShardedCache {
             .collect();
         ShardedCache {
             shards: shards.into_boxed_slice(),
-            generation: AtomicU64::new(0),
+            live: Mutex::new(vec![0]),
+            retirements: AtomicU64::new(0),
             capacity,
         }
     }
@@ -317,57 +407,95 @@ impl ShardedCache {
         self.len() == 0
     }
 
-    /// Current invalidation generation.
-    pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::SeqCst)
+    /// Namespaces currently accepting inserts, in open order.
+    pub fn live_namespaces(&self) -> Vec<GenerationId> {
+        dsr_sync::lock(&self.live).clone()
     }
 
-    fn shard(&self, key: &SigKey) -> &Mutex<QueryCache> {
+    /// Total namespaces retired over the cache's lifetime.
+    pub fn retirements(&self) -> u64 {
+        self.retirements.load(Ordering::SeqCst)
+    }
+
+    /// Number of entries currently cached under `namespace` (sums the
+    /// shards; approximate under concurrent mutation).
+    pub fn namespace_len(&self, namespace: GenerationId) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| dsr_sync::lock(shard).namespace_len(namespace))
+            .sum()
+    }
+
+    fn shard(&self, namespace: GenerationId, key: &SigKey) -> &Mutex<QueryCache> {
         // The map buckets use the low hash bits; pick the shard from the
         // high bits so shard choice and in-shard placement stay
         // independent.
-        let index = (key.hash_value() >> 32) as usize % self.shards.len();
+        let index = (namespaced_hash(namespace, key) >> 32) as usize % self.shards.len();
         &self.shards[index]
     }
 
-    /// Looks up a signature in its shard, marking the entry as most
-    /// recently used.
-    pub fn get(&self, key: &SigKey) -> Option<CachedPairs> {
-        dsr_sync::lock(self.shard(key)).get(key)
+    fn is_live(&self, namespace: GenerationId) -> bool {
+        dsr_sync::lock(&self.live).contains(&namespace)
     }
 
-    /// Inserts a computed result unless the generation moved past
-    /// `generation` while it was being computed.
-    pub fn insert_if_current(
+    /// Opens the namespace of a freshly created generation. Idempotent.
+    pub fn open(&self, namespace: GenerationId) {
+        let mut live = dsr_sync::lock(&self.live);
+        if !live.contains(&namespace) {
+            live.push(namespace);
+        }
+    }
+
+    /// Looks up a signature in `namespace`'s shard, marking the entry as
+    /// most recently used.
+    pub fn get(&self, namespace: GenerationId, key: &SigKey) -> Option<CachedPairs> {
+        dsr_sync::lock(self.shard(namespace, key)).get(namespace, key)
+    }
+
+    /// Inserts a computed result into `namespace` unless the namespace was
+    /// retired while the result was being computed.
+    pub fn insert_if_live(
         &self,
-        generation: u64,
+        namespace: GenerationId,
         key: SigKey,
         value: CachedPairs,
     ) -> InsertOutcome {
-        let mut shard = dsr_sync::lock(self.shard(&key));
-        // Re-check under the shard lock: `invalidate` bumps the generation
-        // *before* clearing the shards, so either this check fails or the
-        // subsequent clear removes the entry — a stale answer can never
-        // survive. The `mutation_enabled` guard seeds the bug the model
-        // suite must catch (`model_mutation_cache_generation_detected`);
-        // it is a const `false` in normal builds.
+        let mut shard = dsr_sync::lock(self.shard(namespace, &key));
+        // Re-check under the shard lock: `retire` removes the namespace
+        // from the live set *before* purging the shards, so either this
+        // check fails or the subsequent purge removes the entry — an
+        // orphaned answer can never survive. The `mutation_enabled` guard
+        // seeds the bug the model suite must catch
+        // (`model_mutation_cache_generation_detected`); it is a const
+        // `false` in normal builds.
         if !dsr_sync::model::mutation_enabled(
             dsr_sync::model::MUTATION_CACHE_SKIP_GENERATION_RECHECK,
-        ) && self.generation() != generation
+        ) && !self.is_live(namespace)
         {
             return InsertOutcome::Stale;
         }
         InsertOutcome::Inserted {
-            evicted: shard.insert(key, value),
+            evicted: shard.insert(namespace, key, value),
         }
     }
 
-    /// Drops every entry and bumps the generation (index swap / update).
-    pub fn invalidate(&self) {
-        self.generation.fetch_add(1, Ordering::SeqCst);
-        for shard in &self.shards {
-            dsr_sync::lock(shard).clear();
+    /// Retires a namespace: its generation was reclaimed, so its entries
+    /// are purged and late inserts refused. Returns how many entries were
+    /// purged; idempotent (a second retire is a no-op and does not bump
+    /// the retirement counter).
+    pub fn retire(&self, namespace: GenerationId) -> usize {
+        {
+            let mut live = dsr_sync::lock(&self.live);
+            let Some(position) = live.iter().position(|ns| *ns == namespace) else {
+                return 0;
+            };
+            live.remove(position);
         }
+        self.retirements.fetch_add(1, Ordering::SeqCst);
+        self.shards
+            .iter()
+            .map(|shard| dsr_sync::lock(shard).purge(namespace))
+            .sum()
     }
 }
 
@@ -397,33 +525,55 @@ mod tests {
     #[test]
     fn hit_and_miss() {
         let mut cache = QueryCache::new(4);
-        assert!(cache.get(&key(&[1], &[2])).is_none());
-        cache.insert(key(&[1], &[2]), pairs(&[(1, 2)]));
-        assert_eq!(*cache.get(&key(&[1], &[2])).unwrap(), vec![(1, 2)]);
+        assert!(cache.get(0, &key(&[1], &[2])).is_none());
+        cache.insert(0, key(&[1], &[2]), pairs(&[(1, 2)]));
+        assert_eq!(*cache.get(0, &key(&[1], &[2])).unwrap(), vec![(1, 2)]);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn namespaces_isolate_identical_signatures() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(3, key(&[1], &[2]), pairs(&[(1, 2)]));
+        cache.insert(4, key(&[1], &[2]), pairs(&[]));
+        assert_eq!(
+            *cache.get(3, &key(&[1], &[2])).unwrap(),
+            vec![(1, 2)],
+            "old namespace keeps the old answer"
+        );
+        assert!(cache.get(4, &key(&[1], &[2])).unwrap().is_empty());
+        assert!(cache.get(5, &key(&[1], &[2])).is_none());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.namespace_len(3), 1);
+        assert_eq!(cache.purge(3), 1);
+        assert!(cache.get(3, &key(&[1], &[2])).is_none());
+        assert!(cache.get(4, &key(&[1], &[2])).is_some());
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = QueryCache::new(2);
-        cache.insert(key(&[1], &[1]), pairs(&[]));
-        cache.insert(key(&[2], &[2]), pairs(&[]));
+        cache.insert(0, key(&[1], &[1]), pairs(&[]));
+        cache.insert(0, key(&[2], &[2]), pairs(&[]));
         // Touch [1] so [2] becomes the LRU entry.
-        assert!(cache.get(&key(&[1], &[1])).is_some());
-        let evicted = cache.insert(key(&[3], &[3]), pairs(&[]));
+        assert!(cache.get(0, &key(&[1], &[1])).is_some());
+        let evicted = cache.insert(0, key(&[3], &[3]), pairs(&[]));
         assert!(evicted);
-        assert!(cache.get(&key(&[2], &[2])).is_none(), "LRU entry evicted");
-        assert!(cache.get(&key(&[1], &[1])).is_some());
-        assert!(cache.get(&key(&[3], &[3])).is_some());
+        assert!(
+            cache.get(0, &key(&[2], &[2])).is_none(),
+            "LRU entry evicted"
+        );
+        assert!(cache.get(0, &key(&[1], &[1])).is_some());
+        assert!(cache.get(0, &key(&[3], &[3])).is_some());
     }
 
     #[test]
     fn reinsert_refreshes_without_eviction() {
         let mut cache = QueryCache::new(1);
-        cache.insert(key(&[1], &[1]), pairs(&[]));
-        let evicted = cache.insert(key(&[1], &[1]), pairs(&[(1, 1)]));
+        cache.insert(0, key(&[1], &[1]), pairs(&[]));
+        let evicted = cache.insert(0, key(&[1], &[1]), pairs(&[(1, 1)]));
         assert!(!evicted);
-        assert_eq!(*cache.get(&key(&[1], &[1])).unwrap(), vec![(1, 1)]);
+        assert_eq!(*cache.get(0, &key(&[1], &[1])).unwrap(), vec![(1, 1)]);
     }
 
     #[test]
@@ -438,12 +588,12 @@ mod tests {
         assert_eq!(cache.num_shards(), 8);
         for i in 0..256u32 {
             let k = key(&[i], &[i + 1]);
-            assert!(cache.get(&k).is_none());
+            assert!(cache.get(0, &k).is_none());
             assert_eq!(
-                cache.insert_if_current(0, k.clone(), pairs(&[(i, i + 1)])),
+                cache.insert_if_live(0, k.clone(), pairs(&[(i, i + 1)])),
                 InsertOutcome::Inserted { evicted: false }
             );
-            assert_eq!(*cache.get(&k).unwrap(), vec![(i, i + 1)]);
+            assert_eq!(*cache.get(0, &k).unwrap(), vec![(i, i + 1)]);
         }
         assert_eq!(cache.len(), 256);
     }
@@ -453,56 +603,59 @@ mod tests {
         let cache = ShardedCache::new(2, 8);
         assert_eq!(cache.num_shards(), 1, "tiny cache keeps exact LRU");
         assert_eq!(cache.capacity(), 2);
-        cache.insert_if_current(0, key(&[1], &[1]), pairs(&[]));
-        cache.insert_if_current(0, key(&[2], &[2]), pairs(&[]));
-        assert!(cache.get(&key(&[1], &[1])).is_some());
+        cache.insert_if_live(0, key(&[1], &[1]), pairs(&[]));
+        cache.insert_if_live(0, key(&[2], &[2]), pairs(&[]));
+        assert!(cache.get(0, &key(&[1], &[1])).is_some());
         assert_eq!(
-            cache.insert_if_current(0, key(&[3], &[3]), pairs(&[])),
+            cache.insert_if_live(0, key(&[3], &[3]), pairs(&[])),
             InsertOutcome::Inserted { evicted: true }
         );
-        assert!(cache.get(&key(&[2], &[2])).is_none(), "LRU entry evicted");
+        assert!(
+            cache.get(0, &key(&[2], &[2])).is_none(),
+            "LRU entry evicted"
+        );
         assert!(cache.len() <= 2);
     }
 
-    /// Model checks of the generation-bump protocol. Under
+    /// Model checks of the namespace-retirement protocol. Under
     /// `--cfg dsr_model` these explore every interleaving within the
     /// preemption bound; in normal builds they run a single execution.
     mod model_protocol {
         use super::*;
         use dsr_sync::model::{self, Model};
 
-        /// An insert computed against generation `g` racing an
-        /// `invalidate` must never leave a stale entry behind: either the
-        /// generation recheck under the shard lock refuses it, or the
-        /// invalidation's clear removes it. One shard keeps the schedule
-        /// space tight; the protocol is per-shard so this loses nothing.
+        /// An insert computed against a generation racing that
+        /// generation's retirement must never leave an orphaned entry
+        /// behind: either the liveness recheck under the shard lock
+        /// refuses it, or the retirement's purge removes it. One shard
+        /// keeps the schedule space tight; the protocol is per-shard so
+        /// this loses nothing.
         fn stale_insert_never_survives() {
             let cache = Arc::new(ShardedCache::new(8, 1));
-            let generation = cache.generation();
             let inserter = {
                 let cache = Arc::clone(&cache);
                 dsr_sync::thread::spawn(move || {
-                    cache.insert_if_current(generation, key(&[1], &[2]), pairs(&[(1, 2)]));
+                    cache.insert_if_live(0, key(&[1], &[2]), pairs(&[(1, 2)]));
                 })
             };
-            cache.invalidate();
+            cache.retire(0);
             inserter.join().unwrap();
             assert!(
-                cache.get(&key(&[1], &[2])).is_none(),
-                "stale entry survived invalidation"
+                cache.get(0, &key(&[1], &[2])).is_none(),
+                "stale entry survived retirement"
             );
         }
 
         #[test]
-        fn model_insert_racing_invalidate_never_leaves_stale_entry() {
+        fn model_insert_racing_retire_never_leaves_stale_entry() {
             Model::new()
                 .check(stale_insert_never_survives)
-                .expect("generation recheck must hold in every schedule");
+                .expect("liveness recheck must hold in every schedule");
         }
 
-        /// Seeded mutation: dropping the under-lock generation recheck
-        /// lets an insert land *after* the invalidation's clear — the
-        /// checker must find that interleaving.
+        /// Seeded mutation: dropping the under-lock liveness recheck lets
+        /// an insert land *after* the retirement's purge — the checker
+        /// must find that interleaving.
         #[test]
         fn model_mutation_cache_generation_detected() {
             if !model::is_model_build() {
@@ -520,22 +673,29 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_clears_all_shards_and_rejects_stale_inserts() {
+    fn retire_purges_the_namespace_and_rejects_late_inserts() {
         let cache = ShardedCache::new(1024, 4);
-        let generation = cache.generation();
-        cache.insert_if_current(generation, key(&[1], &[1]), pairs(&[]));
-        cache.invalidate();
-        assert!(cache.is_empty());
-        assert_eq!(cache.generation(), generation + 1);
-        // A result computed against the pre-invalidation index is refused.
+        cache.open(1);
+        cache.insert_if_live(0, key(&[1], &[1]), pairs(&[]));
+        cache.insert_if_live(1, key(&[1], &[1]), pairs(&[(1, 1)]));
+        assert_eq!(cache.retire(0), 1);
+        assert_eq!(cache.retirements(), 1);
+        assert_eq!(cache.live_namespaces(), vec![1]);
+        assert!(cache.get(0, &key(&[1], &[1])).is_none());
+        // The surviving namespace is untouched — no bump-and-clear cliff.
+        assert_eq!(*cache.get(1, &key(&[1], &[1])).unwrap(), vec![(1, 1)]);
+        // A result computed against the reclaimed generation is refused.
         assert_eq!(
-            cache.insert_if_current(generation, key(&[2], &[2]), pairs(&[])),
+            cache.insert_if_live(0, key(&[2], &[2]), pairs(&[])),
             InsertOutcome::Stale
         );
-        assert!(cache.get(&key(&[2], &[2])).is_none());
-        // The post-invalidation generation inserts normally.
+        assert!(cache.get(0, &key(&[2], &[2])).is_none());
+        // Retiring again is a no-op.
+        assert_eq!(cache.retire(0), 0);
+        assert_eq!(cache.retirements(), 1);
+        // The live namespace inserts normally.
         assert_eq!(
-            cache.insert_if_current(generation + 1, key(&[2], &[2]), pairs(&[])),
+            cache.insert_if_live(1, key(&[2], &[2]), pairs(&[])),
             InsertOutcome::Inserted { evicted: false }
         );
     }

@@ -1,57 +1,66 @@
-//! Concurrent query-serving layer over a [`DsrIndex`].
+//! Concurrent, snapshot-isolated query-serving layer over a
+//! [`DsrIndex`].
 //!
 //! The paper's evaluation (Tables 3–5) fires thousands of set-reachability
 //! queries against a static index, and its central serving win is that a
 //! *batched* execution costs 3 communication rounds regardless of batch
 //! size. This crate turns the one-query-at-a-time engine of `dsr-core`
-//! into a serving substrate that keeps that multiplier **across clients**:
+//! into a serving substrate that keeps that multiplier **across clients**
+//! — and keeps long analytical readers consistent **across updates**:
 //!
-//! * [`QueryService`] owns a snapshot of the index and answers queries
-//!   from any number of client threads concurrently. Cache misses from all
-//!   clients flow through a **batch former** (the [`batcher`] module): a
-//!   dedicated scheduler thread fuses them — bounded by the
-//!   [`ServiceConfig::max_wait_us`] window and the
+//! * [`QueryService`] serves the latest generation of a
+//!   [`GenerationChain`] (the [`snapshot`] module): every
+//!   [`install_index`](QueryService::install_index) and every changing
+//!   [`update`](QueryService::update) batch produces a numbered immutable
+//!   [`Generation`]. [`QueryService::snapshot`] pins the latest into a
+//!   [`SnapshotRef`] — a consistent view (index + cache namespace) that
+//!   survives concurrent updates until it drops; reclamation is
+//!   refcount-exact and surfaced by [`GenerationStats`].
+//! * Cache misses from all clients flow through a **batch former** (the
+//!   [`batcher`] module): a dedicated scheduler thread fuses them —
+//!   bounded by the [`ServiceConfig::max_wait_us`] window and the
 //!   [`ServiceConfig::max_batch`] cap — into shared
 //!   scatter/exchange/gather runs via
 //!   [`DsrEngine::set_reachability_batch`](dsr_core::DsrEngine::set_reachability_batch),
 //!   then fans the answers back out. Per-slave work runs on the
 //!   process-wide persistent [`SlavePool`](dsr_cluster::SlavePool).
 //! * A bounded, sharded LRU cache ([`ShardedCache`]) keyed on normalized
-//!   `(sources, targets)` signatures — hashed once into a [`SigKey`] and
-//!   reused for shard selection, lookup and insert — short-circuits
-//!   repeated queries without ever touching the scheduler;
-//!   hit/miss/eviction counters are surfaced through
-//!   [`CacheStats`](dsr_cluster::CacheStats) and fusion effectiveness
-//!   through [`BatchStats`](dsr_cluster::BatchStats)
-//!   ([`QueryService::batch_stats`]).
+//!   `(sources, targets)` signatures — hashed once into a [`SigKey`] —
+//!   short-circuits repeated queries without touching the scheduler. The
+//!   cache is split into **per-generation namespaces**: pinned readers
+//!   keep hitting their generation's entries while updates retire only
+//!   the namespaces of dead generations ([`NamespaceHits`] splits the
+//!   hit counters).
 //! * Admission control bounds the number of in-flight queries: the
 //!   fail-fast entry points ([`QueryService::try_query`] /
 //!   [`QueryService::try_submit`]) return the typed
 //!   [`ServiceError::Overloaded`] under saturation instead of piling up
-//!   unboundedly.
-//! * Index updates flow through [`QueryService::apply_updates`] — the
-//!   differential pipeline of Section 3.3.3: back-to-back batches are
-//!   coalesced, only affected partitions refresh, and the summary deltas
-//!   ship through the service's transport (cost surfaced by
-//!   [`QueryService::update_stats`]) — or through the lower-level
-//!   [`QueryService::update_in_place`] / [`QueryService::install_index`]
-//!   (offline rebuild + swap, stall-free for readers thanks to the
-//!   [`snapshot`] holder). All of them invalidate the cache
-//!   generation-correctly; a shared index either fails with the explicit
-//!   [`UpdateError::IndexShared`] or, with
-//!   [`ServiceConfig::clone_on_write`], forks and swaps.
-//!   [`QueryService::query_uncached`] bypasses cache and batcher entirely
-//!   for read-your-writes checks.
+//!   unboundedly. [`QueryOptions`] adds per-query cache bypass and
+//!   explicit generation pinning.
+//! * Index updates flow through [`QueryService::update`] under an
+//!   explicit [`UpdateMode`] — the differential pipeline of Section
+//!   3.3.3: back-to-back batches are coalesced, only affected partitions
+//!   refresh, and the summary deltas ship through the service's
+//!   transport (cost surfaced by [`QueryService::update_stats`]). A
+//!   refused in-place update fails typed
+//!   ([`UpdateError::PinnedReaders`] / [`UpdateError::IndexShared`]);
+//!   [`UpdateMode::ForkAndSwap`] and [`UpdateMode::Auto`] fork around
+//!   the readers instead.
+//! * Analytical tenants plug in behind the [`Workload`] trait: a named
+//!   unit of work that runs entirely against one pinned [`SnapshotRef`]
+//!   and reports a checksummed [`WorkloadRun`] — the `dsr-rdf` path
+//!   resolver and the `dsr-community` detector are the two in-tree
+//!   implementations.
 //!
 //! # Quick start
 //!
 //! ```
 //! use dsr_sync::Arc;
-//! use dsr_core::{DsrIndex, SetQuery};
+//! use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 //! use dsr_graph::DiGraph;
 //! use dsr_partition::{Partitioner, HashPartitioner};
 //! use dsr_reach::LocalIndexKind;
-//! use dsr_service::QueryService;
+//! use dsr_service::{QueryService, UpdateMode};
 //!
 //! let graph = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
 //! let partitioning = HashPartitioner::default().partition(&graph, 2);
@@ -60,23 +69,19 @@
 //!
 //! // Single queries (cached) …
 //! assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
-//! assert_eq!(service.cache_stats().hits() + service.cache_stats().misses(), 1);
 //!
-//! // … and batches: 3 communication rounds for the whole batch. The
-//! // Result carries a typed ServiceError when a (TCP) worker fails;
-//! // the in-process default never does.
+//! // … batches: 3 communication rounds for the whole batch …
 //! let reply = service.query_batch(&[
 //!     SetQuery::new(vec![0], vec![3]),
 //!     SetQuery::new(vec![1], vec![4, 5]),
 //! ]).expect("in-process transport never fails");
 //! assert!(reply.rounds <= 3);
 //!
-//! // Two-phase submission fuses a single client's concurrent work:
-//! let tickets: Vec<_> = (0..3).map(|i| service.submit(&[i], &[5])).collect();
-//! service.flush();
-//! for ticket in tickets {
-//!     ticket.wait().expect("in-process transport never fails");
-//! }
+//! // … and snapshot isolation: a pinned reader's view survives updates.
+//! let snap = service.snapshot();
+//! service.update(&[UpdateOp::Delete(2, 3)], UpdateMode::Auto).unwrap();
+//! assert_eq!(*snap.query(&[0], &[5]), vec![(0, 5)]); // old generation
+//! assert!(service.query(&[0], &[5]).is_empty());     // latest generation
 //! ```
 //!
 //! [`DsrIndex`]: dsr_core::DsrIndex
@@ -87,8 +92,13 @@ pub mod batcher;
 pub mod cache;
 pub mod service;
 pub mod snapshot;
+pub mod workload;
 
 pub use batcher::{RoundCost, ServiceError};
 pub use cache::{CachedPairs, InsertOutcome, QueryCache, QueryKey, ShardedCache, SigKey};
-pub use service::{BatchReply, QueryService, QueryTicket, ServiceConfig, UpdateError};
-pub use snapshot::SnapshotHolder;
+pub use service::{
+    BatchReply, GenerationStats, NamespaceHits, QueryOptions, QueryService, QueryTicket,
+    ServiceConfig, SnapshotRef, UpdateError, UpdateMode,
+};
+pub use snapshot::{Generation, GenerationChain, GenerationId};
+pub use workload::{checksum_pairs, Workload, WorkloadRun};

@@ -1,6 +1,14 @@
-//! The concurrent query service: a batch-forming front end over a shared
-//! [`DsrIndex`].
+//! The concurrent query service: snapshot-isolated serving over a
+//! generation-chained [`DsrIndex`].
+//!
+//! Every install or mutating update batch advances a
+//! [`GenerationChain`] of numbered,
+//! immutable snapshots. The default query paths run against the *latest*
+//! generation; [`QueryService::snapshot`] hands out a pinned
+//! [`SnapshotRef`] whose view — index **and** cache namespace — stays
+//! frozen while updates advance the chain underneath it.
 
+use dsr_sync::atomic::{AtomicU64, Ordering};
 use dsr_sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -13,32 +21,50 @@ use dsr_graph::VertexId;
 
 use crate::batcher::{Admission, Batcher, BatcherConfig, Entry, RoundCost, ServiceError, Waiter};
 use crate::cache::{CachedPairs, ShardedCache, SigKey};
-use crate::snapshot::SnapshotHolder;
+use crate::snapshot::{ExclusiveRefused, Generation, GenerationChain, GenerationId};
 
 /// Why an update could not be applied.
 #[derive(Debug)]
 pub enum UpdateError {
-    /// Other `Arc` clones of the index are outstanding (a caller holding
-    /// [`QueryService::index`]), so mutating in place would race with
-    /// concurrent readers. Either drop the outstanding clones, enable
-    /// [`ServiceConfig::clone_on_write`], or rebuild offline and
+    /// Pinned [`SnapshotRef`]s hold the latest generation, so
+    /// [`UpdateMode::InPlace`] cannot mutate it without tearing their
+    /// consistent view. Wait for the pins to drop, or use
+    /// [`UpdateMode::ForkAndSwap`] / [`UpdateMode::Auto`], which fork
+    /// around the readers.
+    PinnedReaders {
+        /// The pinned latest generation.
+        generation: GenerationId,
+        /// How many pins were outstanding at the attempt.
+        pins: usize,
+    },
+    /// Raw `Arc` clones of the index (from [`QueryService::index`]) are
+    /// outstanding, so mutating in place would race with concurrent
+    /// readers. Either drop the clones, use [`UpdateMode::ForkAndSwap`] /
+    /// [`UpdateMode::Auto`], or rebuild offline and
     /// [`install_index`](QueryService::install_index).
     IndexShared,
     /// The service's transport failed while shipping the refresh deltas
     /// (e.g. a TCP worker died mid-exchange). On the in-place path the
-    /// owned index may be left partially refreshed — prefer
-    /// [`ServiceConfig::clone_on_write`] on fallible transports, where the
-    /// half-applied fork is discarded and readers keep the last good
-    /// index.
+    /// owned index may be left partially refreshed — the consumed
+    /// generation's cache namespace is retired either way, so no stale
+    /// answer survives; prefer [`UpdateMode::ForkAndSwap`] on fallible
+    /// transports, where the half-applied fork is discarded and readers
+    /// keep the last good generation.
     Transport(TransportError),
 }
 
 impl std::fmt::Display for UpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            UpdateError::PinnedReaders { generation, pins } => write!(
+                f,
+                "generation {generation} is pinned by {pins} SnapshotRef(s); drop the pins or \
+                 update with UpdateMode::ForkAndSwap / UpdateMode::Auto"
+            ),
             UpdateError::IndexShared => f.write_str(
-                "index Arc is shared with outstanding readers; drop the clones, enable \
-                 clone_on_write, or rebuild and install_index",
+                "index Arc is shared with outstanding readers; drop the clones, use \
+                 UpdateMode::ForkAndSwap (or Auto, or the legacy clone_on_write), or rebuild \
+                 and install_index",
             ),
             UpdateError::Transport(err) => write!(f, "update delta exchange failed: {err}"),
         }
@@ -48,8 +74,8 @@ impl std::fmt::Display for UpdateError {
 impl std::error::Error for UpdateError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            UpdateError::IndexShared => None,
             UpdateError::Transport(err) => Some(err),
+            _ => None,
         }
     }
 }
@@ -57,6 +83,69 @@ impl std::error::Error for UpdateError {
 impl From<TransportError> for UpdateError {
     fn from(err: TransportError) -> Self {
         UpdateError::Transport(err)
+    }
+}
+
+impl From<ExclusiveRefused> for UpdateError {
+    fn from(refused: ExclusiveRefused) -> Self {
+        match refused {
+            ExclusiveRefused::Pinned { generation, pins } => {
+                UpdateError::PinnedReaders { generation, pins }
+            }
+            ExclusiveRefused::IndexShared { .. } => UpdateError::IndexShared,
+        }
+    }
+}
+
+/// How [`QueryService::update`] obtains a mutable index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// Mutate the latest generation's index in place — the cheapest path,
+    /// but it refuses (typed [`UpdateError::PinnedReaders`] /
+    /// [`UpdateError::IndexShared`]) whenever the latest generation is
+    /// pinned or its index `Arc` is shared. A *successful* in-place batch
+    /// that changed anything still advances the generation chain: the
+    /// mutated index is re-wrapped under a fresh id (provably unobserved
+    /// — exclusivity was required), so cache namespaces stay
+    /// generation-exact.
+    InPlace,
+    /// Fork the latest index ([`DsrIndex::fork`]), mutate the fork, and
+    /// install it as a new generation only when the batch changed
+    /// anything. Pinned readers keep their old generation; costs one
+    /// local-index rebuild per partition.
+    ForkAndSwap,
+    /// Try [`InPlace`](UpdateMode::InPlace) first and fall back to
+    /// [`ForkAndSwap`](UpdateMode::ForkAndSwap) when exclusivity is
+    /// refused — the recommended default for mixed OLTP/analytical
+    /// tenancy.
+    #[default]
+    Auto,
+}
+
+/// Per-query knobs for [`QueryService::submit_with`] /
+/// [`QueryService::query_with`] / [`QueryService::query_batch_with`].
+///
+/// The default (`QueryOptions::default()`) is the behavior of the plain
+/// entry points: consult the cache, run against the latest generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Consult (and populate) the result cache. `false` replaces the old
+    /// `query_uncached` escape hatch: the query is still fused through
+    /// the batch former, but neither probes nor fills any namespace.
+    pub cache: bool,
+    /// Pin the query to an explicit retained generation instead of the
+    /// latest. Fails with [`ServiceError::GenerationReclaimed`] once that
+    /// generation's last [`SnapshotRef`] has dropped — hold a
+    /// [`QueryService::snapshot`] to keep it alive.
+    pub pin: Option<GenerationId>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            cache: true,
+            pin: None,
+        }
     }
 }
 
@@ -102,14 +191,13 @@ pub struct ServiceConfig {
     /// [`QueryService::with_config_and_transport`]). The backend is
     /// instantiated once at construction and shared by every query this
     /// service executes — and by the refresh exchange of every update
-    /// applied through [`QueryService::apply_updates`].
+    /// applied through [`QueryService::update`].
     pub transport: TransportKind,
-    /// Fallback for updates while the index `Arc` is shared: when `true`,
-    /// [`QueryService::update_in_place`] / [`QueryService::apply_updates`]
-    /// fork the index ([`DsrIndex::fork`]), apply the update to the fork
-    /// and atomically swap it in instead of returning
-    /// [`UpdateError::IndexShared`]. Costs one local-index rebuild per
-    /// partition; off by default.
+    /// Legacy input to the deprecated update entry points
+    /// (`update_in_place` / `apply_updates`): when `true` they delegate
+    /// with [`UpdateMode::Auto`] (fork around shared state) instead of
+    /// [`UpdateMode::InPlace`]. New code passes an [`UpdateMode`] to
+    /// [`QueryService::update`] directly and ignores this flag.
     pub clone_on_write: bool,
 }
 
@@ -146,10 +234,11 @@ impl ServiceConfig {
 /// installed index (in place) or only a discarded fork.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum UpdatePath {
-    /// The `Arc` was exclusive: the installed index itself was mutated.
+    /// Exclusivity was proven: the latest generation's index itself was
+    /// mutated (and re-wrapped under a fresh generation id if changed).
     InPlace,
-    /// Clone-on-write: a fork was mutated (and installed only on approved
-    /// success).
+    /// A fork was mutated (and installed as a new generation only on
+    /// approved success).
     Fork,
 }
 
@@ -177,10 +266,37 @@ pub struct BatchReply {
     pub elapsed: Duration,
 }
 
+/// Generation-chain gauges of a [`QueryService`] — the MVCC counters the
+/// mixed-tenant benchmark reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationStats {
+    /// The id of the generation currently serving unpinned queries.
+    pub latest: GenerationId,
+    /// Generations currently alive: retained (pinned, superseded) plus the
+    /// latest.
+    pub retained: usize,
+    /// Generations ever created (including generation 0).
+    pub created: u64,
+    /// Generations reclaimed so far (`created - reclaimed` = alive).
+    pub reclaimed: u64,
+}
+
+/// Cache hits split by namespace kind: hits served from the latest
+/// generation's namespace vs hits served to pinned readers from a
+/// retained generation's namespace. `latest + pinned ==`
+/// [`CacheStats::hits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NamespaceHits {
+    /// Hits in the latest generation's namespace.
+    pub latest: u64,
+    /// Hits in retained (pinned, superseded) generations' namespaces.
+    pub pinned: u64,
+}
+
 /// The state shared between client threads and the batch-forming
 /// scheduler thread.
 pub(crate) struct Core {
-    pub(crate) snapshot: SnapshotHolder<DsrIndex>,
+    pub(crate) generations: GenerationChain,
     pub(crate) cache: ShardedCache,
     pub(crate) cache_enabled: bool,
     pub(crate) transport: DynTransport,
@@ -188,6 +304,21 @@ pub(crate) struct Core {
     pub(crate) stats: CacheStats,
     pub(crate) comm: CommStats,
     pub(crate) batch: BatchStats,
+    /// Cache hits answered from the latest generation's namespace.
+    pub(crate) latest_hits: AtomicU64,
+    /// Cache hits answered to pinned readers from retained namespaces.
+    pub(crate) pinned_hits: AtomicU64,
+}
+
+impl Core {
+    fn record_namespaced_hit(&self, generation: &Generation) {
+        self.stats.record_hit();
+        if generation.id() == self.generations.latest_id() {
+            self.latest_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pinned_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A pending (or immediately answered) single-query submission — the
@@ -239,7 +370,98 @@ impl QueryTicket {
     }
 }
 
-/// A thread-safe query-serving front end over a shared [`DsrIndex`].
+/// A pinned, consistent view of the service: one generation's index plus
+/// its cache namespace, frozen for the lifetime of the ref.
+///
+/// Obtained with [`QueryService::snapshot`]. Holding a `SnapshotRef`
+/// *pins* its generation: updates keep advancing the chain (via
+/// [`UpdateMode::ForkAndSwap`] / [`UpdateMode::Auto`]), but this
+/// generation — and every cached answer in its namespace — stays alive
+/// and byte-identical until the ref drops. Queries through the ref still
+/// fuse with other clients' traffic in the batch former; entries pinned
+/// to different generations simply execute as separate fused runs.
+///
+/// Dropping the ref releases the pin and reclaims any generation whose
+/// last pin this was (together with its cache namespace).
+pub struct SnapshotRef<'a> {
+    service: &'a QueryService,
+    /// `Some` until drop: the pin itself. Wrapped in `Option` so `Drop`
+    /// can release the pin *before* asking the service to reap.
+    generation: Option<Arc<Generation>>,
+}
+
+impl SnapshotRef<'_> {
+    fn pin(&self) -> &Arc<Generation> {
+        self.generation.as_ref().expect("pinned until drop")
+    }
+
+    /// The pinned generation's id.
+    pub fn generation(&self) -> GenerationId {
+        self.pin().id()
+    }
+
+    /// The pinned generation's immutable index — for direct engine access
+    /// (e.g. analytical algorithms that walk the raw graph).
+    pub fn index(&self) -> &Arc<DsrIndex> {
+        self.pin().index()
+    }
+
+    /// Answers `S ; T` against the pinned generation, consulting its
+    /// cache namespace; misses fuse with concurrent traffic.
+    ///
+    /// # Panics
+    /// On transport failure, like [`QueryService::query`].
+    pub fn query(&self, sources: &[VertexId], targets: &[VertexId]) -> CachedPairs {
+        match self.try_query(sources, targets) {
+            Ok(value) => value,
+            Err(err) => panic!("snapshot query failed: {err}"),
+        }
+    }
+
+    /// Fail-typed [`query`](SnapshotRef::query).
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the fused execution fails.
+    pub fn try_query(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Result<CachedPairs, ServiceError> {
+        self.service
+            .submit_pinned(Arc::clone(self.pin()), sources, targets, true, true)?
+            .wait()
+    }
+
+    /// Answers a whole batch against the pinned generation with a single
+    /// fused execution for all namespace misses — the workhorse of
+    /// analytical [`Workload`](crate::Workload)s.
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the fused execution fails.
+    pub fn query_batch(&self, queries: &[SetQuery]) -> Result<BatchReply, ServiceError> {
+        self.service
+            .query_batch_pinned(Arc::clone(self.pin()), queries, true)
+    }
+}
+
+impl std::fmt::Debug for SnapshotRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRef")
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl Drop for SnapshotRef<'_> {
+    fn drop(&mut self) {
+        // Release the pin first: reap sees the true strong count.
+        self.generation = None;
+        self.service.reap_generations();
+    }
+}
+
+/// A thread-safe query-serving front end over a generation chain of
+/// [`DsrIndex`] snapshots.
 ///
 /// The service can be hammered from any number of client threads
 /// concurrently. Queries flow through a **batch former** (see the
@@ -251,26 +473,29 @@ impl QueryTicket {
 /// persistent [`SlavePool`](dsr_cluster::SlavePool), so concurrent batches
 /// interleave at slave-task granularity instead of spawning threads.
 ///
-/// # Caching and updates
+/// # Snapshots, caching and updates
 ///
-/// Results are cached in a bounded sharded LRU keyed on the normalized
-/// `(sources, targets)` signature, with hit/miss counters surfaced through
-/// [`CacheStats`]. The cache is coupled to the index by a generation
-/// counter:
+/// The installed index lives in a
+/// [`GenerationChain`]: every
+/// [`install_index`](QueryService::install_index) and every
+/// [`update`](QueryService::update) batch that changes anything produces
+/// a fresh, numbered, immutable generation. The result cache
+/// ([`ShardedCache`]) is partitioned into **per-generation namespaces**:
 ///
-/// * [`QueryService::install_index`] swaps in a new index, clears the cache
-///   and bumps the generation, so no stale answer survives an index swap —
-///   in-flight queries that started against the old index will compute the
-///   old answer but are **not** inserted into the cache (their generation
-///   check fails).
-/// * [`QueryService::update_in_place`] applies an incremental update
-///   (`DsrIndex::insert_edges` / `delete_edges`, Section 3.3.3 of the
-///   paper) directly to the owned index when no other `Arc` clones are
-///   outstanding, then invalidates the cache the same way.
-/// * [`QueryService::query_uncached`] bypasses the cache **and** the batch
-///   former entirely — the escape hatch for callers that must observe the
-///   latest index state without touching cached entries (e.g.
-///   read-your-writes checks right after an update).
+/// * unpinned queries probe and fill the latest generation's namespace —
+///   a no-op update batch keeps the generation, so the hot cache
+///   survives idempotent replays;
+/// * [`QueryService::snapshot`] pins the latest generation into a
+///   [`SnapshotRef`]: its queries keep hitting the pinned namespace even
+///   while updates advance the chain, so an analytical reader's hit rate
+///   survives concurrent update batches;
+/// * a generation — and its namespace — is reclaimed exactly when its
+///   last pin drops ([`GenerationStats`] reports the gauges).
+///
+/// [`QueryService::update`] applies incremental update batches (Section
+/// 3.3.3 of the paper) under an explicit [`UpdateMode`];
+/// [`QueryOptions`] gives per-query control (cache bypass, explicit
+/// generation pinning) over the read side.
 pub struct QueryService {
     // Declared before `core` so Drop joins the scheduler thread first.
     batcher: Batcher,
@@ -284,6 +509,7 @@ pub struct QueryService {
 impl std::fmt::Debug for QueryService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryService")
+            .field("generations", &self.core.generations)
             .field("cache_enabled", &self.core.cache_enabled)
             .field("cache", &self.core.cache)
             .finish()
@@ -315,7 +541,7 @@ impl QueryService {
         transport: DynTransport,
     ) -> Self {
         let core = Arc::new(Core {
-            snapshot: SnapshotHolder::new(index),
+            generations: GenerationChain::new(index),
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             cache_enabled: config.cache_enabled,
             transport,
@@ -323,6 +549,8 @@ impl QueryService {
             stats: CacheStats::new(),
             comm: CommStats::new(),
             batch: BatchStats::new(),
+            latest_hits: AtomicU64::new(0),
+            pinned_hits: AtomicU64::new(0),
         });
         let batcher = Batcher::spawn(
             Arc::clone(&core),
@@ -339,9 +567,24 @@ impl QueryService {
         }
     }
 
-    /// A clone of the currently installed index.
+    /// A clone of the latest generation's index `Arc`.
+    ///
+    /// Note this is a *raw* index clone, not a generation pin: holding it
+    /// blocks [`UpdateMode::InPlace`] (typed [`UpdateError::IndexShared`])
+    /// but does **not** retain the generation's cache namespace. Prefer
+    /// [`QueryService::snapshot`] for a consistent pinned view.
     pub fn index(&self) -> Arc<DsrIndex> {
-        self.core.snapshot.read()
+        Arc::clone(self.core.generations.latest().index())
+    }
+
+    /// Pins the latest generation into a [`SnapshotRef`]: a consistent
+    /// view (index + cache namespace) that survives concurrent updates
+    /// until the ref drops.
+    pub fn snapshot(&self) -> SnapshotRef<'_> {
+        SnapshotRef {
+            service: self,
+            generation: Some(self.core.generations.latest()),
+        }
     }
 
     /// Which transport backend this service executes queries over.
@@ -374,6 +617,29 @@ impl QueryService {
         &self.core.stats
     }
 
+    /// Generation-chain gauges: the latest id, how many generations are
+    /// alive (retained by pins + the latest), and the created/reclaimed
+    /// totals.
+    pub fn generation_stats(&self) -> GenerationStats {
+        GenerationStats {
+            latest: self.core.generations.latest_id(),
+            retained: self.core.generations.retained(),
+            created: self.core.generations.created(),
+            reclaimed: self.core.generations.reclaimed(),
+        }
+    }
+
+    /// Cache hits split by namespace kind (latest vs pinned retained
+    /// generations). Deterministic under single-threaded replay — the
+    /// mixed-tenant benchmark asserts byte-identical values across
+    /// transports.
+    pub fn namespace_hits(&self) -> NamespaceHits {
+        NamespaceHits {
+            latest: self.core.latest_hits.load(Ordering::Relaxed),
+            pinned: self.core.pinned_hits.load(Ordering::Relaxed),
+        }
+    }
+
     /// Aggregate communication counters across every query this service has
     /// executed (cache hits add nothing — that is the point of the cache).
     pub fn comm_stats(&self) -> &CommStats {
@@ -386,7 +652,7 @@ impl QueryService {
         &self.core.batch
     }
 
-    /// Number of currently cached results.
+    /// Number of currently cached results, across all live namespaces.
     pub fn cache_len(&self) -> usize {
         self.core.cache.len()
     }
@@ -401,7 +667,8 @@ impl QueryService {
     /// fuse into one protocol run exactly like misses from distinct
     /// threads.
     pub fn submit(&self, sources: &[VertexId], targets: &[VertexId]) -> QueryTicket {
-        self.submit_inner(sources, targets, true)
+        let generation = self.core.generations.latest();
+        self.submit_pinned(generation, sources, targets, true, true)
             .expect("blocking admission cannot be refused")
     }
 
@@ -416,19 +683,69 @@ impl QueryService {
         sources: &[VertexId],
         targets: &[VertexId],
     ) -> Result<QueryTicket, ServiceError> {
-        self.submit_inner(sources, targets, false)
+        let generation = self.core.generations.latest();
+        self.submit_pinned(generation, sources, targets, true, false)
     }
 
-    fn submit_inner(
+    /// [`submit`](QueryService::submit) with per-query [`QueryOptions`]:
+    /// cache bypass and/or an explicit generation pin. Blocks for
+    /// admission.
+    ///
+    /// # Errors
+    /// [`ServiceError::GenerationReclaimed`] when `options.pin` names a
+    /// generation whose last pin has dropped.
+    pub fn submit_with(
         &self,
         sources: &[VertexId],
         targets: &[VertexId],
+        options: QueryOptions,
+    ) -> Result<QueryTicket, ServiceError> {
+        let generation = self.resolve_pin(&options)?;
+        self.submit_pinned(generation, sources, targets, options.cache, true)
+    }
+
+    /// Non-blocking [`submit_with`](QueryService::submit_with).
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] on a saturated admission queue,
+    /// [`ServiceError::GenerationReclaimed`] on a dead pin.
+    pub fn try_submit_with(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        options: QueryOptions,
+    ) -> Result<QueryTicket, ServiceError> {
+        let generation = self.resolve_pin(&options)?;
+        self.submit_pinned(generation, sources, targets, options.cache, false)
+    }
+
+    /// Resolves `options.pin` to a live generation (the latest when
+    /// unset).
+    fn resolve_pin(&self, options: &QueryOptions) -> Result<Arc<Generation>, ServiceError> {
+        match options.pin {
+            None => Ok(self.core.generations.latest()),
+            Some(id) => self
+                .core
+                .generations
+                .lookup(id)
+                .ok_or(ServiceError::GenerationReclaimed { generation: id }),
+        }
+    }
+
+    /// The one submission path: probe `generation`'s namespace (when
+    /// `cache` asks for it), then enqueue a generation-pinned entry.
+    fn submit_pinned(
+        &self,
+        generation: Arc<Generation>,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        cache: bool,
         blocking: bool,
     ) -> Result<QueryTicket, ServiceError> {
         let key = SigKey::new(sources, targets);
-        if self.core.cache_enabled {
-            if let Some(hit) = self.core.cache.get(&key) {
-                self.core.stats.record_hit();
+        if self.core.cache_enabled && cache {
+            if let Some(hit) = self.core.cache.get(generation.id(), &key) {
+                self.core.record_namespaced_hit(&generation);
                 return Ok(QueryTicket {
                     inner: TicketInner::Ready(hit),
                 });
@@ -443,6 +760,8 @@ impl QueryService {
         let waiter = Waiter::new(1);
         self.batcher.submit(vec![Entry {
             key,
+            generation,
+            cache,
             waiter: Arc::clone(&waiter),
             slot: 0,
             enqueued: Instant::now(),
@@ -460,8 +779,9 @@ impl QueryService {
         self.batcher.flush();
     }
 
-    /// Answers `S ; T`, consulting the result cache; misses fuse with
-    /// concurrent clients' misses into shared protocol rounds.
+    /// Answers `S ; T` against the latest generation, consulting the
+    /// result cache; misses fuse with concurrent clients' misses into
+    /// shared protocol rounds.
     ///
     /// Blocks for admission when the service is saturated (use
     /// [`try_query`](QueryService::try_query) for fail-fast backpressure).
@@ -495,18 +815,35 @@ impl QueryService {
         self.try_submit(sources, targets)?.wait()
     }
 
-    /// Answers `S ; T` without touching the cache or the batch former (no
-    /// lookup, no insert, no queueing).
+    /// [`query`](QueryService::query) with per-query [`QueryOptions`].
+    /// Blocks for admission; fails typed instead of panicking.
     ///
-    /// This is the documented bypass path for post-update reads: it always
-    /// evaluates against the currently installed index.
+    /// # Errors
+    /// [`ServiceError::Transport`] when the fused execution fails,
+    /// [`ServiceError::GenerationReclaimed`] on a dead
+    /// [`QueryOptions::pin`].
+    pub fn query_with(
+        &self,
+        sources: &[VertexId],
+        targets: &[VertexId],
+        options: QueryOptions,
+    ) -> Result<CachedPairs, ServiceError> {
+        self.submit_with(sources, targets, options)?.wait()
+    }
+
+    /// Answers `S ; T` without touching the cache or the batch former (no
+    /// lookup, no insert, no queueing), against the latest generation.
+    #[deprecated(
+        note = "use query_with with QueryOptions { cache: false, .. }, which still fuses \
+                with concurrent traffic"
+    )]
     pub fn query_uncached(
         &self,
         sources: &[VertexId],
         targets: &[VertexId],
     ) -> Vec<(VertexId, VertexId)> {
-        let index = self.index();
-        let engine = DsrEngine::with_transport(&index, &self.core.transport);
+        let generation = self.core.generations.latest();
+        let engine = DsrEngine::with_transport(generation.index(), &self.core.transport);
         let outcome = engine.set_reachability(sources, targets);
         self.core
             .comm
@@ -515,7 +852,8 @@ impl QueryService {
     }
 
     /// Answers a whole batch of queries with a single
-    /// scatter/exchange/gather sequence for all cache misses.
+    /// scatter/exchange/gather sequence for all cache misses, against the
+    /// latest generation.
     ///
     /// The batch is probed against the cache; the misses are submitted to
     /// the batch former as one indivisible group and flushed, so a lone
@@ -531,16 +869,45 @@ impl QueryService {
     /// and never [`ServiceError::Overloaded`]: a whole batch blocks for
     /// admission. The in-process and pipe backends never fail.
     pub fn query_batch(&self, queries: &[SetQuery]) -> Result<BatchReply, ServiceError> {
+        let generation = self.core.generations.latest();
+        self.query_batch_pinned(generation, queries, true)
+    }
+
+    /// [`query_batch`](QueryService::query_batch) with per-query
+    /// [`QueryOptions`] applied to the whole batch.
+    ///
+    /// # Errors
+    /// As [`query_batch`](QueryService::query_batch), plus
+    /// [`ServiceError::GenerationReclaimed`] on a dead
+    /// [`QueryOptions::pin`].
+    pub fn query_batch_with(
+        &self,
+        queries: &[SetQuery],
+        options: QueryOptions,
+    ) -> Result<BatchReply, ServiceError> {
+        let generation = self.resolve_pin(&options)?;
+        self.query_batch_pinned(generation, queries, options.cache)
+    }
+
+    /// The one batched path: probe `generation`'s namespace, submit the
+    /// misses as one indivisible generation-pinned group, flush, wait.
+    fn query_batch_pinned(
+        &self,
+        generation: Arc<Generation>,
+        queries: &[SetQuery],
+        cache: bool,
+    ) -> Result<BatchReply, ServiceError> {
         let start = Instant::now();
+        let use_cache = self.core.cache_enabled && cache;
         let mut results: Vec<Option<CachedPairs>> = vec![None; queries.len()];
         let mut cache_hits = 0usize;
         let mut miss_keys: Vec<SigKey> = Vec::new();
         let mut miss_slots: Vec<usize> = Vec::new(); // waiter slot -> query index
         for (qi, query) in queries.iter().enumerate() {
             let key = SigKey::from_query(query);
-            if self.core.cache_enabled {
-                if let Some(hit) = self.core.cache.get(&key) {
-                    self.core.stats.record_hit();
+            if use_cache {
+                if let Some(hit) = self.core.cache.get(generation.id(), &key) {
+                    self.core.record_namespaced_hit(&generation);
                     cache_hits += 1;
                     results[qi] = Some(hit);
                     continue;
@@ -563,12 +930,17 @@ impl QueryService {
                     .enumerate()
                     .map(|(slot, key)| Entry {
                         key: key.clone(),
+                        generation: Arc::clone(&generation),
+                        cache,
                         waiter: Arc::clone(&waiter),
                         slot,
                         enqueued,
                     })
                     .collect(),
             );
+            // The group's entries carry their own pins; drop ours so a
+            // client waiting on this batch is the only remaining pinner.
+            drop(generation);
             // The caller already presented the whole batch: nothing is
             // gained by waiting out the forming window.
             self.batcher.flush();
@@ -611,81 +983,21 @@ impl QueryService {
         })
     }
 
-    /// Swaps in a new index and invalidates the cache.
+    /// Installs a rebuilt index as a fresh generation and reclaims the
+    /// superseded one as soon as its pins drop.
     ///
-    /// The swap never stalls the read side: each snapshot slot is locked
-    /// only for a pointer store (see
-    /// [`SnapshotHolder`]). Use this
-    /// after rebuilding an index offline (or applying updates to a
-    /// privately owned one). Queries started before the swap finish
-    /// against the old index but cannot pollute the cache (generation
-    /// check).
+    /// The install never stalls the read side (each snapshot slot is
+    /// locked only for a pointer store — see
+    /// [`SnapshotHolder`](crate::snapshot::SnapshotHolder)). This is the
+    /// offline-rebuild producer of generations: queries started before
+    /// the install finish against the old generation and stay
+    /// namespace-correct; pinned [`SnapshotRef`]s keep the old generation
+    /// alive until they drop.
     pub fn install_index(&self, index: Arc<DsrIndex>) {
-        self.core.snapshot.swap(index);
-        self.invalidate_cache();
-    }
-
-    /// Applies an incremental update (e.g. [`DsrIndex::insert_edges`] /
-    /// [`DsrIndex::delete_edges`]) directly to the owned index, then
-    /// invalidates the cache.
-    ///
-    /// When other `Arc` clones of the index are outstanding (e.g. a caller
-    /// holding [`QueryService::index`], or the scheduler mid-execution),
-    /// the service cannot mutate state that concurrent readers may be
-    /// traversing:
-    ///
-    /// * with [`ServiceConfig::clone_on_write`] enabled, the index is
-    ///   forked, `mutate` runs on the fork, and the fork is atomically
-    ///   swapped in (readers keep their old snapshot);
-    /// * otherwise the call fails with [`UpdateError::IndexShared`]
-    ///   **without running `mutate`** — explicitly, so updates can no
-    ///   longer be dropped silently.
-    ///
-    /// Cache invalidation is generation-correct on both paths: queries
-    /// that started against the pre-update index cannot insert stale
-    /// answers after the invalidation.
-    pub fn update_in_place<R>(
-        &self,
-        mutate: impl FnOnce(&mut DsrIndex) -> R,
-    ) -> Result<R, UpdateError> {
-        // An arbitrary mutation's effect is unknowable: conservatively
-        // treat every call as a change (install the fork, drop the cache).
-        let (result, _path) = self.mutate_index(mutate, |_| true)?;
-        self.invalidate_cache();
-        Ok(result)
-    }
-
-    /// The single implementation of the ownership dance shared by
-    /// [`QueryService::update_in_place`] and
-    /// [`QueryService::apply_updates`]: runs `mutate` against the owned
-    /// index when the `Arc` is exclusive, or against a fork under
-    /// [`ServiceConfig::clone_on_write`] (the fork is installed only when
-    /// `install_fork` approves its result), or fails with
-    /// [`UpdateError::IndexShared`]. Returns which path ran; cache
-    /// invalidation is the caller's decision — it depends on the result
-    /// *and* the path (see `apply_updates`' error handling).
-    ///
-    /// Exclusivity is established by
-    /// [`SnapshotHolder::update`](crate::snapshot::SnapshotHolder::update):
-    /// all snapshot slots are locked and consolidated, so `Arc::get_mut`
-    /// succeeds exactly when no externally pinned clone is outstanding.
-    fn mutate_index<R>(
-        &self,
-        mutate: impl FnOnce(&mut DsrIndex) -> R,
-        install_fork: impl FnOnce(&R) -> bool,
-    ) -> Result<(R, UpdatePath), UpdateError> {
-        self.core.snapshot.update(|slot| match Arc::get_mut(slot) {
-            Some(index) => Ok((mutate(index), UpdatePath::InPlace)),
-            None if self.clone_on_write => {
-                let mut fork = slot.fork();
-                let result = mutate(&mut fork);
-                if install_fork(&result) {
-                    *slot = Arc::new(fork);
-                }
-                Ok((result, UpdatePath::Fork))
-            }
-            None => Err(UpdateError::IndexShared),
-        })
+        let _serial = self.core.generations.lock_updates();
+        let installed = self.core.generations.install(index);
+        self.core.cache.open(installed.id());
+        self.reap_generations();
     }
 
     /// Applies a batch of edge updates through the differential pipeline
@@ -695,34 +1007,31 @@ impl QueryService {
     /// through this service's transport — their measured cost accumulates
     /// in [`QueryService::update_stats`].
     ///
-    /// Shares [`QueryService::update_in_place`]'s ownership semantics
-    /// (including the [`ServiceConfig::clone_on_write`] fallback) and its
-    /// generation-correct cache invalidation — with one refinement: a
-    /// batch that turns out to be a complete no-op (duplicates,
-    /// already-absent deletions) leaves the result cache untouched, so
-    /// idempotent replays cannot collapse the hit rate.
-    pub fn apply_updates(&self, ops: &[UpdateOp]) -> Result<UpdateOutcome, UpdateError> {
+    /// `mode` selects the ownership path — see [`UpdateMode`]. On every
+    /// path the cache stays generation-exact: a batch that changed
+    /// anything advances the chain (fresh namespace, old one retired or
+    /// retained for its pinned readers), while a complete no-op batch
+    /// (duplicates, already-absent deletions) keeps the generation and
+    /// the hot cache, so idempotent replays cannot collapse the hit rate.
+    ///
+    /// # Errors
+    /// [`UpdateError::PinnedReaders`] / [`UpdateError::IndexShared`] when
+    /// `mode` is [`UpdateMode::InPlace`] and exclusivity was refused —
+    /// the batch is **not** applied; [`UpdateError::Transport`] when the
+    /// delta exchange failed.
+    pub fn update(&self, ops: &[UpdateOp], mode: UpdateMode) -> Result<UpdateOutcome, UpdateError> {
         let ops = coalesce_updates(ops);
-        let (result, path) = self.mutate_index(
+        let (result, _path) = self.mutate_index(
             |index| index.apply_updates_with_transport(&ops, &self.core.transport),
+            // An in-place transport failure may leave the index partially
+            // refreshed: the generation must advance (retiring the old
+            // namespace) so no pre-update answer survives.
+            |result| result.is_err() || result.as_ref().is_ok_and(|o| o.rebuilt_compounds),
             // Only a successful, actually-changing batch installs the
             // fork; a half-applied fork (transport failure) is discarded.
             |result| result.as_ref().is_ok_and(|o| o.rebuilt_compounds),
+            mode,
         )?;
-        let invalidate = match (&result, path) {
-            // On success only real changes invalidate.
-            (Ok(outcome), _) => outcome.rebuilt_compounds,
-            // A transport failure on the in-place path may leave the owned
-            // index partially refreshed: cached pre-update answers must
-            // not survive either.
-            (Err(_), UpdatePath::InPlace) => true,
-            // The discarded fork left the installed index (and therefore
-            // the cache) untouched.
-            (Err(_), UpdatePath::Fork) => false,
-        };
-        if invalidate {
-            self.invalidate_cache();
-        }
         let outcome = result?;
         self.updates_comm.add(
             outcome.stats.update_rounds,
@@ -732,18 +1041,132 @@ impl QueryService {
         Ok(outcome)
     }
 
+    /// The single implementation of the ownership dance behind
+    /// [`QueryService::update`] (and the deprecated delegates): runs
+    /// `mutate` against the latest generation's index when exclusivity is
+    /// proven, or against a fork, per `mode`.
+    ///
+    /// `advanced_in_place` decides whether a completed in-place mutation
+    /// advanced the chain (the consumed generation's namespace is then
+    /// retired); `install_fork` decides whether a mutated fork is
+    /// installed as a new generation. `mutate` is `FnMut` only because
+    /// [`UpdateMode::Auto`] may route it to the fork path after a refused
+    /// exclusive attempt — it runs at most once.
+    fn mutate_index<R>(
+        &self,
+        mut mutate: impl FnMut(&mut DsrIndex) -> R,
+        advanced_in_place: impl Fn(&R) -> bool,
+        install_fork: impl Fn(&R) -> bool,
+        mode: UpdateMode,
+    ) -> Result<(R, UpdatePath), UpdateError> {
+        // One update at a time, end to end: two concurrent fork-based
+        // updates must not both fork the same parent.
+        let _serial = self.core.generations.lock_updates();
+        if matches!(mode, UpdateMode::InPlace | UpdateMode::Auto) {
+            match self
+                .core
+                .generations
+                .mutate_exclusive(|index| mutate(index), |r| advanced_in_place(r))
+            {
+                Ok(mutated) => {
+                    if let Some(retired) = mutated.retired {
+                        // Open the advanced generation's namespace before
+                        // retiring the consumed one: a reader racing the
+                        // swap finds a live namespace either way.
+                        self.core.cache.open(mutated.generation);
+                        self.core.cache.retire(retired);
+                        self.core.stats.record_invalidation();
+                    }
+                    return Ok((mutated.result, UpdatePath::InPlace));
+                }
+                Err(refused) => {
+                    if mode == UpdateMode::InPlace {
+                        return Err(refused.into());
+                    }
+                    // Auto: fall through to the fork path.
+                }
+            }
+        }
+        let latest = self.core.generations.latest();
+        let mut fork = latest.index().fork();
+        let result = mutate(&mut fork);
+        if install_fork(&result) {
+            let installed = self.core.generations.install(Arc::new(fork));
+            self.core.cache.open(installed.id());
+            // Shed our own pin before reaping: when no reader pins the
+            // superseded generation, it (and its namespace) dies now.
+            drop(latest);
+            self.reap_generations();
+        }
+        Ok((result, UpdatePath::Fork))
+    }
+
+    /// Applies an arbitrary index mutation in place, then invalidates by
+    /// advancing the generation.
+    #[deprecated(
+        note = "use QueryService::update with an UpdateMode (or install_index for wholesale \
+                replacement); arbitrary closures conservatively retire the whole namespace"
+    )]
+    pub fn update_in_place<R>(
+        &self,
+        mutate: impl FnOnce(&mut DsrIndex) -> R,
+    ) -> Result<R, UpdateError> {
+        let mode = if self.clone_on_write {
+            UpdateMode::Auto
+        } else {
+            UpdateMode::InPlace
+        };
+        let mut mutate = Some(mutate);
+        // An arbitrary mutation's effect is unknowable: conservatively
+        // treat every call as a change (advance the chain, retire or
+        // retain the old namespace).
+        let (result, _path) = self.mutate_index(
+            |index| (mutate.take().expect("mutation runs once"))(index),
+            |_| true,
+            |_| true,
+            mode,
+        )?;
+        Ok(result)
+    }
+
+    /// Applies a batch of edge updates with the ownership mode implied by
+    /// the legacy [`ServiceConfig::clone_on_write`] flag.
+    #[deprecated(note = "use QueryService::update with an explicit UpdateMode")]
+    pub fn apply_updates(&self, ops: &[UpdateOp]) -> Result<UpdateOutcome, UpdateError> {
+        let mode = if self.clone_on_write {
+            UpdateMode::Auto
+        } else {
+            UpdateMode::InPlace
+        };
+        self.update(ops, mode)
+    }
+
     /// Aggregate communication cost of every update batch applied through
-    /// [`QueryService::apply_updates`]: measured wire bytes of the shipped
+    /// [`QueryService::update`]: measured wire bytes of the shipped
     /// summary deltas, reported in the same units as
     /// [`QueryService::comm_stats`].
     pub fn update_stats(&self) -> UpdateStats {
         UpdateStats::from_comm(&self.updates_comm)
     }
 
-    /// Clears the cache and bumps its generation.
+    /// Explicitly drops every live namespace's entries (an administrative
+    /// clear — updates invalidate generation-exactly on their own).
     pub fn invalidate_cache(&self) {
-        self.core.cache.invalidate();
+        for namespace in self.core.cache.live_namespaces() {
+            self.core.cache.retire(namespace);
+            self.core.cache.open(namespace);
+        }
         self.core.stats.record_invalidation();
+    }
+
+    /// Reclaims every generation whose last pin has dropped, retiring the
+    /// matching cache namespaces. Called after installs and from
+    /// [`SnapshotRef`]'s `Drop`.
+    pub(crate) fn reap_generations(&self) {
+        for retired in self.core.generations.reap() {
+            self.core.cache.retire(retired);
+            self.core.stats.record_invalidation();
+        }
     }
 }
 
@@ -770,6 +1193,14 @@ mod tests {
         let second = service.query(&[0], &[5]);
         assert!(Arc::ptr_eq(&first, &second), "hit returns the shared Arc");
         assert_eq!(service.cache_stats().hits(), 1);
+        // The hit was served from the latest generation's namespace.
+        assert_eq!(
+            service.namespace_hits(),
+            NamespaceHits {
+                latest: 1,
+                pinned: 0
+            }
+        );
         // A hit performs no communication: the aggregate counters only hold
         // the first (miss) execution.
         assert_eq!(service.comm_stats().rounds(), 3);
@@ -824,6 +1255,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn uncached_bypass_does_not_touch_cache() {
         let service = chain_service();
         assert_eq!(service.query_uncached(&[0], &[5]), vec![(0, 5)]);
@@ -831,6 +1263,28 @@ mod tests {
         assert_eq!(service.cache_stats().misses(), 0);
         assert_eq!(service.cache_len(), 0);
         assert_eq!(service.batch_stats().batches(), 0, "bypasses the former");
+    }
+
+    #[test]
+    fn cache_false_options_fuse_but_never_store() {
+        let service = chain_service();
+        let options = QueryOptions {
+            cache: false,
+            ..QueryOptions::default()
+        };
+        let pairs = service
+            .query_with(&[0], &[5], options)
+            .expect("in-process transport");
+        assert_eq!(*pairs, vec![(0, 5)]);
+        // The bypass neither probed nor filled any namespace …
+        assert_eq!(service.cache_stats().hits(), 0);
+        assert_eq!(service.cache_stats().misses(), 0);
+        assert_eq!(service.cache_len(), 0);
+        // … but unlike the old query_uncached it went through the former.
+        assert_eq!(service.batch_stats().batches(), 1);
+        // A cached repeat afterwards proves the bypass left no trace.
+        service.query(&[0], &[5]);
+        assert_eq!(service.cache_stats().misses(), 1);
     }
 
     #[test]
@@ -926,19 +1380,49 @@ mod tests {
     }
 
     #[test]
-    fn update_in_place_invalidates_cache() {
+    fn in_place_update_advances_the_chain_and_retires_the_namespace() {
         let service = chain_service();
         assert!(service.query(&[5], &[0]).is_empty());
         let outcome = service
-            .update_in_place(|index| index.insert_edge(5, 0))
-            .expect("no outstanding index clones");
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
+            .expect("no pins or index clones outstanding");
         assert!(outcome.rebuilt_compounds);
-        assert_eq!(service.cache_len(), 0, "update invalidated the cache");
+        let stats = service.generation_stats();
+        assert_eq!(stats.latest, 1, "a real batch advances the chain");
+        assert_eq!(stats.retained, 1, "the consumed generation died with it");
+        assert_eq!(stats.reclaimed, 1);
+        assert_eq!(service.cache_len(), 0, "old namespace retired");
+        assert_eq!(service.cache_stats().invalidations(), 1);
         assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
     }
 
     #[test]
-    fn update_in_place_refuses_shared_index_with_explicit_error() {
+    fn pinned_readers_refuse_in_place_updates_with_a_typed_error() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        let err = service
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                UpdateError::PinnedReaders {
+                    generation: 0,
+                    pins: 1
+                }
+            ),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("pinned"));
+        drop(snap);
+        assert!(service
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_update_in_place_refuses_shared_index_with_explicit_error() {
         let service = chain_service();
         let pinned = service.index();
         assert!(matches!(
@@ -949,36 +1433,112 @@ mod tests {
         ));
         // The error is a real std::error::Error with actionable text.
         let err: Box<dyn std::error::Error> = Box::new(UpdateError::IndexShared);
-        assert!(err.to_string().contains("clone_on_write"));
+        assert!(err.to_string().contains("ForkAndSwap"));
         drop(pinned);
         assert!(service
             .update_in_place(|index| index.insert_edge(5, 0))
             .is_ok());
+        assert_eq!(service.generation_stats().latest, 1);
     }
 
     #[test]
-    fn clone_on_write_applies_updates_while_shared() {
-        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
-        let service = QueryService::with_config(
-            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
-            ServiceConfig {
-                clone_on_write: true,
-                ..ServiceConfig::default()
-            },
-        );
-        let pinned = service.index();
+    fn fork_and_swap_serves_pinned_readers_the_old_generation() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        assert!(snap.query(&[5], &[0]).is_empty());
         let outcome = service
-            .apply_updates(&[UpdateOp::Insert(5, 0)])
-            .expect("clone-on-write path applies the update");
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::ForkAndSwap)
+            .expect("fork path never refuses");
         assert!(outcome.rebuilt_compounds);
-        // Readers holding the old snapshot still see the old graph …
-        assert!(DsrEngine::new(&pinned)
-            .set_reachability(&[5], &[0])
-            .pairs
-            .is_empty());
-        // … while the service serves the updated fork.
+        // The pinned snapshot still answers from its frozen generation …
+        assert!(snap.query(&[5], &[0]).is_empty());
+        // … while fresh traffic sees the new edge.
         assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+        assert_eq!(service.generation_stats().retained, 2, "old gen pinned");
+        drop(snap);
+        let stats = service.generation_stats();
+        assert_eq!(stats.retained, 1, "drop reclaimed the old generation");
+        assert_eq!(stats.reclaimed, 1);
+    }
+
+    #[test]
+    fn pinned_snapshot_answers_survive_an_update_batch() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        let before = snap.query(&[0], &[5]);
+        assert_eq!(*before, vec![(0, 5)]);
+        // Sever the chain's cut edge for fresh traffic.
+        service
+            .update(&[UpdateOp::Delete(2, 3)], UpdateMode::ForkAndSwap)
+            .expect("fork path");
+        assert!(service.query(&[0], &[5]).is_empty(), "latest is severed");
+        // The pinned repeat is answered from the retained generation's own
+        // namespace: identical Arc, zero communication.
+        let after = snap.query(&[0], &[5]);
+        assert!(Arc::ptr_eq(&before, &after), "old-namespace cache hit");
+        assert_eq!(
+            service.namespace_hits().pinned,
+            1,
+            "hit counted against the pinned namespace"
+        );
+    }
+
+    #[test]
+    fn auto_mode_forks_exactly_when_exclusivity_is_refused() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        service
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::Auto)
+            .expect("auto forks around the pin");
+        assert_eq!(snap.generation(), 0, "pinned view unmoved");
+        assert_eq!(service.generation_stats().latest, 1);
+        drop(snap);
+        // Unpinned: auto takes the in-place path — the chain advances but
+        // nothing extra is retained.
+        service
+            .update(&[UpdateOp::Delete(5, 0)], UpdateMode::Auto)
+            .expect("in-place path");
+        let stats = service.generation_stats();
+        assert_eq!(stats.latest, 2);
+        assert_eq!(stats.retained, 1);
+    }
+
+    #[test]
+    fn query_options_pin_an_explicit_generation() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        let pinned_id = snap.generation();
+        service
+            .update(&[UpdateOp::Delete(2, 3)], UpdateMode::ForkAndSwap)
+            .expect("fork path");
+        let old = service
+            .query_with(
+                &[0],
+                &[5],
+                QueryOptions {
+                    pin: Some(pinned_id),
+                    ..QueryOptions::default()
+                },
+            )
+            .expect("retained generation is queryable by id");
+        assert_eq!(*old, vec![(0, 5)], "answered against the old generation");
+        drop(snap);
+        // The last pin dropped: the id now names a reclaimed generation.
+        let err = service
+            .query_with(
+                &[0],
+                &[5],
+                QueryOptions {
+                    pin: Some(pinned_id),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::GenerationReclaimed { generation } if generation == pinned_id),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("reclaimed"));
     }
 
     #[test]
@@ -986,17 +1546,19 @@ mod tests {
         let service = chain_service();
         service.query(&[0], &[5]);
         assert_eq!(service.cache_len(), 1);
-        // Re-inserting an existing edge is a full no-op: the hot cache
-        // must survive (idempotent replays cannot collapse the hit rate).
+        // Re-inserting an existing edge is a full no-op: the generation
+        // and its hot namespace must survive (idempotent replays cannot
+        // collapse the hit rate).
         let outcome = service
-            .apply_updates(&[UpdateOp::Insert(0, 1)])
+            .update(&[UpdateOp::Insert(0, 1)], UpdateMode::InPlace)
             .expect("index exclusively owned");
         assert!(!outcome.rebuilt_compounds);
+        assert_eq!(service.generation_stats().latest, 0, "no-op keeps the id");
         assert_eq!(service.cache_len(), 1, "no-op does not invalidate");
         assert_eq!(service.cache_stats().invalidations(), 0);
         // A real update still invalidates.
         service
-            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
             .expect("index exclusively owned");
         assert_eq!(service.cache_len(), 0);
         assert_eq!(service.cache_stats().invalidations(), 1);
@@ -1004,40 +1566,36 @@ mod tests {
 
     #[test]
     fn noop_update_on_a_shared_index_does_not_swap_the_fork() {
-        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
-        let service = QueryService::with_config(
-            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
-            ServiceConfig {
-                clone_on_write: true,
-                ..ServiceConfig::default()
-            },
-        );
+        let service = chain_service();
         let pinned = service.index();
         let outcome = service
-            .apply_updates(&[UpdateOp::Insert(0, 1)]) // duplicate: no-op
-            .expect("clone-on-write path");
+            .update(&[UpdateOp::Insert(0, 1)], UpdateMode::Auto) // duplicate: no-op
+            .expect("auto falls back to the fork path");
         assert!(!outcome.rebuilt_compounds);
         assert!(
             Arc::ptr_eq(&pinned, &service.index()),
             "untouched fork is discarded, not installed"
         );
+        assert_eq!(service.generation_stats().latest, 0);
     }
 
     #[test]
-    fn apply_updates_coalesces_and_records_stats() {
+    fn update_coalesces_and_records_stats() {
         let service = chain_service();
         // Insert-then-delete of the same edge coalesces to the delete of
         // an absent edge: a full no-op, zero messages.
         let outcome = service
-            .apply_updates(&[UpdateOp::Insert(5, 0), UpdateOp::Delete(5, 0)])
+            .update(
+                &[UpdateOp::Insert(5, 0), UpdateOp::Delete(5, 0)],
+                UpdateMode::InPlace,
+            )
             .expect("index exclusively owned");
         assert!(outcome.refreshed_summaries.is_empty());
         assert!(outcome.stats.is_zero());
         assert!(service.update_stats().is_zero());
         // A real cut-edge insertion ships its two deltas and accumulates.
         let outcome = service
-            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
             .expect("index exclusively owned");
         assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
         let total = service.update_stats();
@@ -1055,8 +1613,31 @@ mod tests {
         let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
         service.install_index(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)));
+        // The unpinned generation 0 died with the install, namespace and
+        // all.
         assert_eq!(service.cache_stats().invalidations(), 1);
+        let stats = service.generation_stats();
+        assert_eq!((stats.latest, stats.retained, stats.reclaimed), (1, 1, 1));
         assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn snapshot_pins_a_consistent_view_across_install() {
+        let service = chain_service();
+        let snap = service.snapshot();
+        assert_eq!(snap.generation(), 0);
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        service.install_index(Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)));
+        // The pinned view kept the install out entirely.
+        assert!(snap.query(&[5], &[0]).is_empty());
+        let reply = snap
+            .query_batch(&[SetQuery::new(vec![5], vec![0])])
+            .expect("in-process transport");
+        assert_eq!(reply.cache_hits, 1, "repeat hit the pinned namespace");
+        assert_eq!(*service.query(&[5], &[0]), vec![(5, 0)]);
+        drop(snap);
+        assert_eq!(service.generation_stats().retained, 1);
     }
 
     #[test]
@@ -1151,7 +1732,7 @@ mod tests {
             },
         );
         let out = owned
-            .apply_updates(&[UpdateOp::Insert(5, 0)])
+            .update(&[UpdateOp::Insert(5, 0)], UpdateMode::InPlace)
             .expect("tcp update");
         assert!(out.rebuilt_compounds);
         assert!(owned.update_stats().update_bytes > 0);

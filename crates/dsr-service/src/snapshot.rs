@@ -1,11 +1,32 @@
-//! Sharded atomic-swap snapshot holder for the installed index.
+//! The generation chain: MVCC snapshots of the installed index.
 //!
-//! The serving layer used to keep its index behind an
-//! `RwLock<Arc<DsrIndex>>`: every reader took the read lock to clone the
-//! `Arc`, and every update install took the *write* lock — for the whole
-//! duration of the mutation — stalling all readers behind it. This module
-//! replaces that with a [`SnapshotHolder`]: a small fixed array of
-//! mutex-protected `Arc` slots all pointing at the same snapshot.
+//! The serving layer's index lives in a [`GenerationChain`]: every install
+//! or mutating update batch produces a numbered, immutable [`Generation`]
+//! wrapping an `Arc<DsrIndex>`. The *latest* generation answers the
+//! default query paths; **pinned** readers (the service's `SnapshotRef`)
+//! hold an `Arc<Generation>` of whatever generation was latest when they
+//! pinned, so long analytical scans keep a consistent view while the live
+//! index advances underneath them:
+//!
+//! ```text
+//!   install/update        install/update
+//!  gen 0 ──────────▶ gen 1 ──────────▶ gen 2   (latest, serves query())
+//!    │                 │
+//!    └─ reclaimed      └─ retained: 2 pinned SnapshotRefs
+//!       (no pins)         reclaimed when the last pin drops
+//! ```
+//!
+//! Old generations are *retained* while pinned and *reclaimed* — together
+//! with their cache namespace (see
+//! [`ShardedCache`](crate::cache::ShardedCache)) — when the last pin
+//! drops; [`GenerationChain::retained`] is the gauge the mixed-tenant
+//! bench reports. Reclamation is reference-count exact: a generation's
+//! only non-pin owner is the chain's registry, so a registry entry with no
+//! outside `Arc` clones is provably unobservable and safe to drop.
+//!
+//! Underneath, the latest generation sits in a [`SnapshotHolder`]: a small
+//! fixed array of mutex-protected `Arc` slots all pointing at the same
+//! snapshot.
 //!
 //! * **Read path** ([`SnapshotHolder::read`]): a thread clones the `Arc`
 //!   out of *its own* slot (threads are spread round-robin over the slots),
@@ -20,16 +41,23 @@
 //!   every slot (readers briefly block, exactly as they must), consolidates
 //!   the slot clones into a single `Arc`, and hands the caller `&mut
 //!   Arc<T>` — `Arc::get_mut` succeeds there if and only if no *external*
-//!   clone (a pinned [`read`](SnapshotHolder::read) result) is outstanding,
-//!   which is precisely the old `RwLock` + `Arc::get_mut` semantics.
+//!   clone (a pinned [`read`](SnapshotHolder::read) result) is outstanding.
+//!   [`GenerationChain::mutate_exclusive`] builds on this to distinguish
+//!   *pinned snapshot readers* (typed
+//!   [`ExclusiveRefused::Pinned`]) from *shared index `Arc`s*
+//!   ([`ExclusiveRefused::IndexShared`]) — an old generation's pins no
+//!   longer block the latest generation's in-place path at all, because
+//!   each generation owns its own `Arc<DsrIndex>`.
 //!
-//! Readers racing an install may observe the old or the new snapshot —
+//! Readers racing an install may observe the old or the new generation —
 //! that is the documented snapshot semantics of the service; cache
-//! correctness is guaranteed separately by the generation check in
+//! correctness is guaranteed by the per-generation namespaces of
 //! [`ShardedCache`](crate::cache::ShardedCache).
 
-use dsr_sync::atomic::{AtomicUsize, Ordering};
+use dsr_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use dsr_sync::{Arc, Mutex, MutexGuard};
+
+use dsr_core::DsrIndex;
 
 /// Number of reader slots. More slots shrink reader/reader contention;
 /// each costs one `Arc` clone per install. Eight covers the thread counts
@@ -140,6 +168,277 @@ impl<T> SnapshotHolder<T> {
 impl<T: std::fmt::Debug> std::fmt::Debug for SnapshotHolder<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapshotHolder").finish_non_exhaustive()
+    }
+}
+
+/// Monotonic identifier of a [`Generation`] in a [`GenerationChain`].
+/// Generation 0 is the index the chain was created over; every install or
+/// mutating update batch takes the next id. Ids are never reused, so a
+/// reclaimed generation's id stays a valid "this snapshot is gone" token.
+pub type GenerationId = u64;
+
+/// One numbered, immutable snapshot of the served index.
+///
+/// A generation is created by [`GenerationChain::install`] or an advancing
+/// [`GenerationChain::mutate_exclusive`] and never mutated afterwards
+/// (in-place mutation *consumes* the old generation and wraps the mutated
+/// index in a fresh one — provably unobserved, because the exclusive path
+/// refuses to run while any pin is outstanding). Holding an
+/// `Arc<Generation>` **pins** it: the chain retains pinned generations and
+/// reclaims them when the last pin drops.
+pub struct Generation {
+    id: GenerationId,
+    index: Arc<DsrIndex>,
+}
+
+impl std::fmt::Debug for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generation").field("id", &self.id).finish()
+    }
+}
+
+impl Generation {
+    /// This generation's chain-unique id.
+    pub fn id(&self) -> GenerationId {
+        self.id
+    }
+
+    /// The immutable index this generation serves.
+    pub fn index(&self) -> &Arc<DsrIndex> {
+        &self.index
+    }
+}
+
+/// Why [`GenerationChain::mutate_exclusive`] refused to mutate in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExclusiveRefused {
+    /// Pinned `SnapshotRef`s hold the **latest** generation: mutating the
+    /// index under them would tear their consistent view. (Pins on *old*
+    /// generations never refuse the exclusive path — each generation owns
+    /// its own index `Arc`.)
+    Pinned {
+        /// The pinned latest generation.
+        generation: GenerationId,
+        /// How many pins were outstanding at the attempt.
+        pins: usize,
+    },
+    /// The latest generation itself was unpinned, but raw `Arc<DsrIndex>`
+    /// clones (from `QueryService::index`) are outstanding.
+    IndexShared {
+        /// The generation whose index `Arc` is shared.
+        generation: GenerationId,
+    },
+}
+
+/// Outcome of a successful [`GenerationChain::mutate_exclusive`].
+#[derive(Debug)]
+pub struct Mutated<R> {
+    /// Whatever the mutation closure returned.
+    pub result: R,
+    /// The generation now serving: a fresh id when the mutation advanced
+    /// the chain, the unchanged latest id for a no-op batch.
+    pub generation: GenerationId,
+    /// The generation consumed by an advancing mutation — its cache
+    /// namespace is dead and the caller reclaims it. `None` for a no-op.
+    pub retired: Option<GenerationId>,
+}
+
+/// The MVCC spine of the service: the latest [`Generation`] in a
+/// [`SnapshotHolder`] for wait-free-in-practice reads, plus a registry of
+/// retained (superseded but still pinned) generations.
+///
+/// See the [module docs](self) for the lifecycle diagram. The chain owns
+/// reclamation ([`GenerationChain::reap`]) and the retained/created/
+/// reclaimed gauges; cache-namespace reclamation is driven by the caller
+/// from `reap`'s return value, keeping this type free of cache knowledge.
+pub struct GenerationChain {
+    /// The latest generation — the target of every unpinned read.
+    holder: SnapshotHolder<Generation>,
+    /// Superseded generations still retained, ascending by id. The latest
+    /// generation is *not* in here: a registry entry whose `Arc` has no
+    /// other owners is therefore provably unpinned and reclaimable.
+    /// Also serializes installs: read-previous / push / swap happens under
+    /// this lock, so concurrent installs cannot double-retain a
+    /// generation.
+    registry: Mutex<Vec<Arc<Generation>>>,
+    /// Serializes whole update operations (fork → mutate → install) so two
+    /// concurrent fork-based updates cannot both fork the same parent and
+    /// silently lose one batch. Held via [`GenerationChain::lock_updates`]
+    /// across the service's update entry points; never held by readers.
+    update_lock: Mutex<()>,
+    /// The next generation id == number of generations ever created.
+    next_id: AtomicU64,
+    /// Generations reclaimed so far (gauge: retained = created − reclaimed
+    /// − 1 latest).
+    reclaimed: AtomicU64,
+}
+
+impl GenerationChain {
+    /// Creates a chain whose generation 0 serves `index`.
+    pub fn new(index: Arc<DsrIndex>) -> Self {
+        GenerationChain {
+            holder: SnapshotHolder::new(Arc::new(Generation { id: 0, index })),
+            registry: Mutex::new(Vec::new()),
+            update_lock: Mutex::new(()),
+            next_id: AtomicU64::new(1),
+            reclaimed: AtomicU64::new(0),
+        }
+    }
+
+    /// The latest generation. Holding the returned `Arc` pins it.
+    pub fn latest(&self) -> Arc<Generation> {
+        self.holder.read()
+    }
+
+    /// Looks up a retained (or latest) generation by id; `None` once it
+    /// has been reclaimed.
+    pub fn lookup(&self, id: GenerationId) -> Option<Arc<Generation>> {
+        let latest = self.latest();
+        if latest.id == id {
+            return Some(latest);
+        }
+        dsr_sync::lock(&self.registry)
+            .iter()
+            .find(|generation| generation.id == id)
+            .map(Arc::clone)
+    }
+
+    /// Serializes update operations end to end (exclusive attempt, fork,
+    /// install). Readers never take this lock.
+    pub fn lock_updates(&self) -> MutexGuard<'_, ()> {
+        dsr_sync::lock(&self.update_lock)
+    }
+
+    /// Installs `index` as a fresh generation, retaining the superseded
+    /// one until its pins drop. Returns the new generation.
+    pub fn install(&self, index: Arc<DsrIndex>) -> Arc<Generation> {
+        let generation = Arc::new(Generation {
+            id: self.next_id.fetch_add(1, Ordering::SeqCst),
+            index,
+        });
+        // The registry lock spans read-previous/push/swap: a concurrent
+        // install observes this one's swap and retains the right
+        // predecessor exactly once.
+        let mut registry = dsr_sync::lock(&self.registry);
+        let previous = self.holder.read();
+        registry.push(previous);
+        self.holder.swap(Arc::clone(&generation));
+        generation
+    }
+
+    /// Runs `mutate` with exclusive access to the latest generation's
+    /// index; when `advanced(&result)` reports a real change, the mutated
+    /// index becomes a fresh generation and the consumed one is retired
+    /// (see [`Mutated::retired`]).
+    ///
+    /// Callers serialize through [`GenerationChain::lock_updates`].
+    ///
+    /// # Errors
+    /// [`ExclusiveRefused::Pinned`] when `SnapshotRef`s pin the latest
+    /// generation (`mutate` does not run), [`ExclusiveRefused::IndexShared`]
+    /// when raw index `Arc` clones are outstanding. Pins on *older*
+    /// generations never refuse — that was the spurious `Arc::get_mut`
+    /// failure of the single-snapshot design.
+    pub fn mutate_exclusive<R>(
+        &self,
+        mutate: impl FnOnce(&mut DsrIndex) -> R,
+        advanced: impl FnOnce(&R) -> bool,
+    ) -> Result<Mutated<R>, ExclusiveRefused> {
+        let next_id = &self.next_id;
+        let reclaimed = &self.reclaimed;
+        self.holder.update(|slot| {
+            // `slot` is the consolidated latest generation: its strong
+            // count here is 1 + outstanding pins.
+            let pins = Arc::strong_count(slot) - 1;
+            let current = slot.id;
+            let Some(generation) = Arc::get_mut(slot) else {
+                return Err(ExclusiveRefused::Pinned {
+                    generation: current,
+                    pins,
+                });
+            };
+            let Some(index) = Arc::get_mut(&mut generation.index) else {
+                return Err(ExclusiveRefused::IndexShared {
+                    generation: current,
+                });
+            };
+            let result = mutate(index);
+            if advanced(&result) {
+                // Consume the exclusively held generation: wrap the
+                // mutated index in a fresh one. No reader ever observed
+                // the mutation under the old id.
+                let index = Arc::clone(&generation.index);
+                *slot = Arc::new(Generation {
+                    id: next_id.fetch_add(1, Ordering::SeqCst),
+                    index,
+                });
+                // The consumed generation never reaches the registry: it
+                // is reclaimed here, exactly once.
+                reclaimed.fetch_add(1, Ordering::SeqCst);
+                Ok(Mutated {
+                    result,
+                    generation: slot.id,
+                    retired: Some(current),
+                })
+            } else {
+                Ok(Mutated {
+                    result,
+                    generation: current,
+                    retired: None,
+                })
+            }
+        })
+    }
+
+    /// Reclaims every retained generation whose last pin has dropped,
+    /// returning their ids (the caller retires the matching cache
+    /// namespaces). A registry entry with `strong_count == 1` is owned by
+    /// the registry alone — no pin can reappear while the registry lock is
+    /// held, so the drop is exact, not heuristic.
+    pub fn reap(&self) -> Vec<GenerationId> {
+        let mut registry = dsr_sync::lock(&self.registry);
+        let mut reclaimed = Vec::new();
+        registry.retain(|generation| {
+            if Arc::strong_count(generation) > 1 {
+                return true;
+            }
+            reclaimed.push(generation.id);
+            false
+        });
+        self.reclaimed
+            .fetch_add(reclaimed.len() as u64, Ordering::SeqCst);
+        reclaimed
+    }
+
+    /// The latest generation's id.
+    pub fn latest_id(&self) -> GenerationId {
+        self.latest().id
+    }
+
+    /// Gauge: generations currently alive (retained + the latest).
+    pub fn retained(&self) -> usize {
+        dsr_sync::lock(&self.registry).len() + 1
+    }
+
+    /// Generations ever created (including generation 0).
+    pub fn created(&self) -> u64 {
+        self.next_id.load(Ordering::SeqCst)
+    }
+
+    /// Generations reclaimed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for GenerationChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerationChain")
+            .field("latest", &self.latest_id())
+            .field("retained", &self.retained())
+            .field("created", &self.created())
+            .field("reclaimed", &self.reclaimed())
+            .finish()
     }
 }
 
@@ -266,6 +565,116 @@ mod tests {
                 .check(concurrent_swaps_agree)
                 .expect_err("unlocked swap must tear the slots in some schedule");
             assert!(failure.message.contains("slots disagree"), "{failure}");
+        }
+    }
+
+    mod chain {
+        use super::*;
+        use dsr_graph::DiGraph;
+        use dsr_partition::Partitioning;
+        use dsr_reach::LocalIndexKind;
+
+        fn chain_index() -> Arc<DsrIndex> {
+            let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+            let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+            Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs))
+        }
+
+        #[test]
+        fn install_retains_until_pins_drop() {
+            let chain = GenerationChain::new(chain_index());
+            assert_eq!(chain.latest_id(), 0);
+            assert_eq!(chain.retained(), 1);
+
+            let pin = chain.latest();
+            let next = chain.install(chain_index());
+            assert_eq!(next.id(), 1);
+            assert_eq!(chain.latest_id(), 1);
+            // The pinned generation 0 survives the install …
+            assert_eq!(chain.retained(), 2);
+            assert!(chain.reap().is_empty(), "pinned generation not reclaimed");
+            assert_eq!(pin.id(), 0);
+            // … and is reclaimed exactly when the pin drops.
+            drop(pin);
+            assert_eq!(chain.reap(), vec![0]);
+            assert_eq!(chain.retained(), 1);
+            assert_eq!(chain.created(), 2);
+            assert_eq!(chain.reclaimed(), 1);
+            assert!(chain.lookup(0).is_none(), "reclaimed id no longer resolves");
+            assert_eq!(chain.lookup(1).expect("latest resolves").id(), 1);
+        }
+
+        #[test]
+        fn exclusive_mutation_advances_the_chain() {
+            let chain = GenerationChain::new(chain_index());
+            let mutated = chain
+                .mutate_exclusive(|index| index.insert_edge(3, 0), |o| o.rebuilt_compounds)
+                .expect("no pins, no shared index");
+            assert!(mutated.result.rebuilt_compounds);
+            assert_eq!(mutated.generation, 1);
+            assert_eq!(mutated.retired, Some(0));
+            assert_eq!(chain.latest_id(), 1);
+            assert_eq!(chain.retained(), 1, "consumed generation never retained");
+            assert_eq!(chain.reclaimed(), 1);
+        }
+
+        #[test]
+        fn noop_mutation_keeps_the_generation() {
+            let chain = GenerationChain::new(chain_index());
+            let mutated = chain
+                .mutate_exclusive(|index| index.insert_edge(0, 1), |o| o.rebuilt_compounds)
+                .expect("exclusive");
+            assert!(
+                !mutated.result.rebuilt_compounds,
+                "duplicate edge is a no-op"
+            );
+            assert_eq!(mutated.generation, 0);
+            assert_eq!(mutated.retired, None);
+            assert_eq!(chain.latest_id(), 0);
+        }
+
+        #[test]
+        fn latest_pin_refuses_exclusivity_with_pin_count() {
+            let chain = GenerationChain::new(chain_index());
+            let pin_a = chain.latest();
+            let pin_b = chain.latest();
+            let refused = chain
+                .mutate_exclusive(|index| index.insert_edge(3, 0), |_| true)
+                .expect_err("pinned latest generation");
+            assert_eq!(
+                refused,
+                ExclusiveRefused::Pinned {
+                    generation: 0,
+                    pins: 2
+                }
+            );
+            drop((pin_a, pin_b));
+            assert!(chain
+                .mutate_exclusive(|index| index.insert_edge(3, 0), |_| true)
+                .is_ok());
+        }
+
+        #[test]
+        fn old_generation_pins_do_not_block_the_latest() {
+            let chain = GenerationChain::new(chain_index());
+            let old_pin = chain.latest();
+            chain.install(chain_index()); // old_pin now pins a *retained* generation
+            let mutated = chain
+                .mutate_exclusive(|index| index.insert_edge(3, 0), |_| true)
+                .expect("pins on old generations are not spurious conflicts");
+            assert_eq!(mutated.generation, 2);
+            assert_eq!(old_pin.id(), 0, "old pin unaffected");
+        }
+
+        #[test]
+        fn shared_index_arc_is_a_distinct_refusal() {
+            let chain = GenerationChain::new(chain_index());
+            let shared = Arc::clone(chain.latest().index());
+            let refused = chain
+                .mutate_exclusive(|index| index.insert_edge(3, 0), |_| true)
+                .expect_err("index Arc shared");
+            assert_eq!(refused, ExclusiveRefused::IndexShared { generation: 0 });
+            drop(shared);
         }
     }
 

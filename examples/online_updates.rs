@@ -1,6 +1,6 @@
 //! Online updates on a live query service: interleave query batches with
-//! differential update batches ([`QueryService::apply_updates`]) and watch
-//! what each update actually ships.
+//! differential update batches ([`QueryService::update`]) and watch what
+//! each update actually ships.
 //!
 //! Demonstrates the whole serving-side update story:
 //!
@@ -10,8 +10,10 @@
 //!   the measured bytes land in [`QueryService::update_stats`];
 //! * generation-correct cache invalidation — stale answers disappear, hot
 //!   queries re-warm;
-//! * explicit shared-index handling — with a pinned `Arc` the update fails
-//!   loudly, and the clone-on-write config turns that into a fork + swap.
+//! * explicit shared-state handling — with a pinned snapshot or shared
+//!   `Arc` the in-place mode fails loudly (typed errors), and
+//!   `UpdateMode::ForkAndSwap` turns the refusal into a fork + swap that
+//!   pinned readers never observe.
 //!
 //! ```text
 //! cargo run --release --example online_updates
@@ -27,7 +29,7 @@ use dsr_datagen::{
 };
 use dsr_partition::{MultilevelPartitioner, Partitioner};
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig, UpdateError};
+use dsr_service::{QueryService, ServiceConfig, UpdateError, UpdateMode};
 
 fn main() {
     // 1. A live service over a web-graph analogue, transport from
@@ -78,8 +80,8 @@ fn main() {
             .query_batch(query_chunk)
             .expect("in-process transport never fails");
         let outcome = service
-            .apply_updates(update_chunk)
-            .expect("service owns its index");
+            .update(update_chunk, UpdateMode::Auto)
+            .expect("auto forks if the scheduler briefly pins");
         println!(
             "round {round}: {} queries ({} cache hits) | {} update ops -> \
              {} summaries refreshed, {} compounds patched, {} delta bytes",
@@ -118,41 +120,52 @@ fn main() {
         .expect("some edge is absent");
     let churn = [UpdateOp::Insert(u, v), UpdateOp::Delete(u, v)];
     let outcome = service
-        .apply_updates(&churn)
+        .update(&churn, UpdateMode::InPlace)
         .expect("service owns its index");
     assert!(outcome.stats.is_zero());
     println!("insert+delete of the same edge in one batch: 0 bytes shipped (coalesced)");
 
-    // 5. Shared-index handling: a pinned Arc makes in-place updates fail
-    //    loudly instead of dropping silently …
-    let pinned = service.index();
-    match service.apply_updates(&[UpdateOp::Insert(1, 2)]) {
+    // 5. Shared-state handling: a shared index Arc makes in-place updates
+    //    fail loudly instead of dropping silently …
+    let shared = service.index();
+    match service.update(&[UpdateOp::Insert(1, 2)], UpdateMode::InPlace) {
         Err(UpdateError::IndexShared) => {
-            println!("update while index is pinned: refused with UpdateError::IndexShared")
+            println!("in-place update while the index Arc is shared: refused with IndexShared")
         }
         other => panic!("expected IndexShared, got {other:?}"),
     }
-    drop(pinned);
+    drop(shared);
 
-    // … and clone_on_write turns the refusal into fork + atomic swap.
-    // Use the guaranteed-absent edge so the update is real (a no-op would
-    // discard the untouched fork and leave the shared snapshot in place).
-    let cow = QueryService::with_config(
-        service.index(),
-        ServiceConfig {
-            clone_on_write: true,
-            ..ServiceConfig::from_env()
-        },
-    );
-    let pinned = cow.index();
-    let outcome = cow
-        .apply_updates(&[UpdateOp::Insert(u, v)])
-        .expect("clone-on-write forks instead of refusing");
-    assert!(!Arc::ptr_eq(&pinned, &cow.index()), "fork swapped in");
+    // … a pinned SnapshotRef is a typed refusal carrying the pin count …
+    let snap = service.snapshot();
+    match service.update(&[UpdateOp::Insert(1, 2)], UpdateMode::InPlace) {
+        Err(UpdateError::PinnedReaders { generation, pins }) => println!(
+            "in-place update while generation {generation} is pinned: refused ({pins} pin)"
+        ),
+        other => panic!("expected PinnedReaders, got {other:?}"),
+    }
+
+    // … and UpdateMode::ForkAndSwap turns the refusal into fork + atomic
+    // swap that the pinned reader never observes. Use the guaranteed-absent
+    // edge so the update is real (a no-op would discard the untouched fork
+    // and leave the generation in place).
+    let before = snap.generation();
+    let outcome = service
+        .update(&[UpdateOp::Insert(u, v)], UpdateMode::ForkAndSwap)
+        .expect("the fork path never refuses");
+    let stats = service.generation_stats();
     println!(
-        "same insert with clone_on_write: applied on a fork ({} compounds patched), \
-         old snapshot still pinned by the reader",
-        outcome.patched_compounds.len()
+        "same insert with ForkAndSwap: applied on a fork ({} compounds patched); \
+         reader still pinned to generation {before}, latest is {}, {} generations alive",
+        outcome.patched_compounds.len(),
+        stats.latest,
+        stats.retained,
     );
-    drop(pinned);
+    assert_eq!(snap.generation(), before, "pinned view never moves");
+    drop(snap);
+    let stats = service.generation_stats();
+    println!(
+        "pin dropped: {} generations alive, {} reclaimed over the run",
+        stats.retained, stats.reclaimed
+    );
 }

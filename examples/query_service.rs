@@ -9,11 +9,11 @@
 use dsr_sync::Arc;
 use std::time::Instant;
 
-use dsr_core::{DsrIndex, SetQuery};
+use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 use dsr_datagen::{query_stream, web_graph, ArrivalPattern, StreamConfig};
 use dsr_partition::{MultilevelPartitioner, Partitioner};
 use dsr_reach::LocalIndexKind;
-use dsr_service::QueryService;
+use dsr_service::{QueryService, UpdateMode};
 
 fn main() {
     // 1. Dataset + index: a web-graph analogue on 4 slaves.
@@ -95,17 +95,18 @@ fn main() {
         batch_reply.elapsed.as_secs_f64()
     );
 
-    // 5. Updates invalidate the cache; the next query sees the new edge.
-    //    (Drop our own Arc clone first — in-place updates require the
-    //    service to be the sole owner of the index.)
+    // 5. Updates retire dead cache namespaces; the next query sees the
+    //    new edge. (Drop our own Arc clone first — in-place updates
+    //    require the service to be the sole owner of the index.)
     drop(index);
     let before = service.cache_len();
     service
-        .update_in_place(|index| index.insert_edge(0, 1))
+        .update(&[UpdateOp::Insert(0, 1)], UpdateMode::InPlace)
         .expect("index exclusively owned by the service");
     println!(
-        "applied incremental update: cache {} -> {} entries",
+        "applied incremental update: cache {} -> {} entries, generation {}",
         before,
-        service.cache_len()
+        service.cache_len(),
+        service.generation_stats().latest
     );
 }

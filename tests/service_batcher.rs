@@ -12,7 +12,7 @@ use dsr_datagen::erdos_renyi;
 use dsr_graph::{DiGraph, TransitiveClosure};
 use dsr_partition::{MultilevelPartitioner, Partitioner};
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig, ServiceError};
+use dsr_service::{QueryService, ServiceConfig, ServiceError, UpdateMode};
 
 const CLIENTS: usize = 64;
 const EPOCHS: usize = 4;
@@ -105,8 +105,8 @@ fn sixty_four_clients_fuse_under_update_churn() {
             })
             .collect();
         service
-            .apply_updates(&fresh)
-            .expect("service owns its index");
+            .update(&fresh, UpdateMode::Auto)
+            .expect("auto forks if the scheduler briefly pins");
     }
 
     let total_queries = (EPOCHS * CLIENTS * QUERIES_PER_CLIENT) as u64;

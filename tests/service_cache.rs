@@ -1,6 +1,6 @@
 //! Cache-behavior suite for the serving layer: hits on repeated queries,
-//! invalidation after incremental index updates (`updates.rs`), and the
-//! documented uncached bypass path.
+//! generation-exact invalidation after incremental index updates
+//! (`updates.rs`), and the cache-bypass query options.
 
 use dsr_sync::Arc;
 
@@ -8,7 +8,7 @@ use dsr_core::{DsrIndex, SetQuery, UpdateOp};
 use dsr_graph::{DiGraph, TransitiveClosure};
 use dsr_partition::Partitioning;
 use dsr_reach::LocalIndexKind;
-use dsr_service::{QueryService, ServiceConfig, UpdateError};
+use dsr_service::{QueryOptions, QueryService, ServiceConfig, UpdateError, UpdateMode};
 
 /// Two 3-vertex chains on two slaves, no cross edge yet.
 fn disconnected_service() -> QueryService {
@@ -44,8 +44,8 @@ fn incremental_update_invalidates_cached_answers() {
 
     // Apply the incremental update of Section 3.3.3 through the service.
     let outcome = service
-        .update_in_place(|index| index.insert_edge(2, 3))
-        .expect("index is exclusively owned by the service");
+        .update(&[UpdateOp::Insert(2, 3)], UpdateMode::InPlace)
+        .expect("no pins or index clones outstanding");
     assert!(outcome.rebuilt_compounds);
 
     // The stale entry is gone and the post-update query sees the new edge.
@@ -55,55 +55,70 @@ fn incremental_update_invalidates_cached_answers() {
 
     // Deletion invalidates again.
     service
-        .update_in_place(|index| index.delete_edge(2, 3))
+        .update(&[UpdateOp::Delete(2, 3)], UpdateMode::InPlace)
         .expect("still exclusively owned");
     assert_eq!(*service.query(&[0], &[5]), vec![]);
 }
 
 #[test]
-fn update_in_place_is_refused_while_index_is_shared() {
+fn in_place_update_is_refused_while_index_is_shared() {
     let service = disconnected_service();
-    let pinned = service.index();
-    // A concurrent reader pins the index: in-place mutation must refuse
-    // with an explicit error (clone_on_write or rebuild + install_index
-    // are the fallbacks) instead of silently dropping the update.
+    let shared = service.index();
+    // A raw index Arc is outstanding: in-place mutation must refuse with
+    // an explicit error (ForkAndSwap/Auto or rebuild + install_index are
+    // the fallbacks) instead of silently dropping the update.
     assert!(matches!(
         service
-            .update_in_place(|index| index.insert_edge(2, 3))
+            .update(&[UpdateOp::Insert(2, 3)], UpdateMode::InPlace)
             .unwrap_err(),
         UpdateError::IndexShared
     ));
-    drop(pinned);
+    drop(shared);
     assert!(service
-        .update_in_place(|index| index.insert_edge(2, 3))
+        .update(&[UpdateOp::Insert(2, 3)], UpdateMode::InPlace)
         .is_ok());
 }
 
 #[test]
-fn apply_updates_on_a_shared_index_forks_when_configured() {
-    let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
-    let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
-    let service = QueryService::with_config(
-        Arc::new(DsrIndex::build(&g, p, LocalIndexKind::Dfs)),
-        ServiceConfig {
-            clone_on_write: true,
-            ..ServiceConfig::default()
-        },
-    );
-    // Prime the cache, pin the index, then update while shared.
+fn in_place_update_is_refused_while_a_snapshot_is_pinned() {
+    let service = disconnected_service();
+    let snap = service.snapshot();
+    // A pinned SnapshotRef is a *typed* refusal carrying the pin count.
+    assert!(matches!(
+        service
+            .update(&[UpdateOp::Insert(2, 3)], UpdateMode::InPlace)
+            .unwrap_err(),
+        UpdateError::PinnedReaders {
+            generation: 0,
+            pins: 1
+        }
+    ));
+    // Auto mode forks around the pin instead.
+    service
+        .update(&[UpdateOp::Insert(2, 3)], UpdateMode::Auto)
+        .expect("auto falls back to fork-and-swap");
+    assert!(snap.query(&[0], &[5]).is_empty(), "pinned view unmoved");
+    assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
+}
+
+#[test]
+fn fork_and_swap_updates_a_shared_index() {
+    let service = disconnected_service();
+    // Prime the cache, share the index Arc, then update while shared.
     assert!(service.query(&[0], &[5]).is_empty());
-    let pinned = service.index();
+    let shared = service.index();
     let outcome = service
-        .apply_updates(&[UpdateOp::Insert(2, 3)])
-        .expect("clone-on-write fork applies the update");
+        .update(&[UpdateOp::Insert(2, 3)], UpdateMode::ForkAndSwap)
+        .expect("the fork path never refuses");
     assert_eq!(outcome.refreshed_summaries, vec![0, 1]);
-    assert!(!Arc::ptr_eq(&pinned, &service.index()), "fork swapped in");
-    // Generation-correct invalidation: the stale empty answer is gone.
+    assert!(!Arc::ptr_eq(&shared, &service.index()), "fork swapped in");
+    // Generation-exact invalidation: the stale empty answer is gone.
     assert_eq!(service.cache_stats().invalidations(), 1);
     assert_eq!(*service.query(&[0], &[5]), vec![(0, 5)]);
-    // The update's refresh traffic was measured.
+    // The update's refresh traffic was measured, and the chain advanced.
     assert!(service.update_stats().update_bytes > 0);
-    drop(pinned);
+    assert_eq!(service.generation_stats().latest, 1);
+    drop(shared);
 }
 
 #[test]
@@ -133,8 +148,15 @@ fn install_index_swaps_atomically_and_clears_the_cache() {
 #[test]
 fn uncached_bypass_reads_latest_state_without_polluting_the_cache() {
     let service = disconnected_service();
-    // The bypass path: compute, don't cache.
-    assert_eq!(service.query_uncached(&[0], &[2]), vec![(0, 2)]);
+    let bypass = QueryOptions {
+        cache: false,
+        ..QueryOptions::default()
+    };
+    // The bypass option: compute (still fused), don't probe or store.
+    assert_eq!(
+        *service.query_with(&[0], &[2], bypass).expect("in-process"),
+        vec![(0, 2)]
+    );
     assert_eq!(service.cache_len(), 0);
     assert_eq!(
         service.cache_stats().hits() + service.cache_stats().misses(),
@@ -143,9 +165,12 @@ fn uncached_bypass_reads_latest_state_without_polluting_the_cache() {
 
     // Read-your-writes right after an update, without disturbing entries.
     service
-        .update_in_place(|index| index.insert_edge(2, 3))
+        .update(&[UpdateOp::Insert(2, 3)], UpdateMode::InPlace)
         .expect("exclusively owned");
-    assert_eq!(service.query_uncached(&[0], &[5]), vec![(0, 5)]);
+    assert_eq!(
+        *service.query_with(&[0], &[5], bypass).expect("in-process"),
+        vec![(0, 5)]
+    );
     assert_eq!(service.cache_len(), 0);
 }
 

@@ -10,7 +10,7 @@ use dsr_datagen::erdos_renyi;
 use dsr_graph::TransitiveClosure;
 use dsr_partition::{MultilevelPartitioner, Partitioner};
 use dsr_reach::LocalIndexKind;
-use dsr_service::QueryService;
+use dsr_service::{QueryOptions, QueryService};
 
 fn fixture(
     n: usize,
@@ -142,8 +142,14 @@ fn service_runs_on_the_persistent_slave_pool() {
     let service = QueryService::new(index);
     let pool = dsr_cluster::global_pool();
     let before = pool.jobs_executed();
+    let bypass = QueryOptions {
+        cache: false,
+        ..QueryOptions::default()
+    };
     for q in queries.iter().take(8) {
-        service.query_uncached(&q.sources, &q.targets);
+        service
+            .query_with(&q.sources, &q.targets, bypass)
+            .expect("in-process transport");
     }
     assert!(
         pool.jobs_executed() > before,
